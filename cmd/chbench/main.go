@@ -1,0 +1,89 @@
+// Command chbench runs the CH-benCHmark (or the HTAPBench pacing rule)
+// against any of the four architectures:
+//
+//	chbench -arch a -warehouses 4 -tp 4 -ap 2 -duration 5s
+//	chbench -arch b -target-tpmc 6000 -duration 10s   # HTAPBench rule
+//
+// It prints tpmC, QphH, latencies and freshness, the metrics of §2.3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"htap/internal/ch"
+	"htap/internal/core"
+	"htap/internal/experiments"
+	"htap/internal/htapbench"
+)
+
+func main() {
+	var (
+		arch       = flag.String("arch", "a", "architecture: a|b|c|d")
+		warehouses = flag.Int("warehouses", 2, "warehouses")
+		tp         = flag.Int("tp", 4, "OLTP workers")
+		ap         = flag.Int("ap", 2, "OLAP streams")
+		duration   = flag.Duration("duration", 2*time.Second, "run duration")
+		target     = flag.Float64("target-tpmc", 0, "HTAPBench rule: pace OLTP to this tpmC (0 = unthrottled)")
+		syncEvery  = flag.Duration("sync", 50*time.Millisecond, "background sync interval (0 = none)")
+		seed       = flag.Int64("seed", 42, "seed")
+	)
+	flag.Parse()
+
+	var a core.Arch
+	switch strings.ToLower(*arch) {
+	case "a":
+		a = core.ArchA
+	case "b":
+		a = core.ArchB
+	case "c":
+		a = core.ArchC
+	case "d":
+		a = core.ArchD
+	default:
+		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
+		os.Exit(2)
+	}
+
+	e := experiments.NewEngine(a)
+	defer e.Close()
+	scale := ch.SmallScale(*warehouses)
+	scale.Customers = 100
+	scale.Orders = 100
+	scale.Items = 500
+	fmt.Printf("loading CH-benCHmark data (%d warehouses) into %s...\n", *warehouses, e.Name())
+	n, err := ch.NewGenerator(scale).Load(e)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded %d rows\n", n)
+
+	res := htapbench.Run(htapbench.Config{
+		Engine: e, Scale: scale,
+		TPWorkers: *tp, APStreams: *ap,
+		Duration: *duration, TargetTpmC: *target,
+		SyncInterval: *syncEvery, Seed: *seed,
+	})
+
+	rule := "CH-benCHmark (unthrottled)"
+	if *target > 0 {
+		rule = fmt.Sprintf("HTAPBench (paced to %.0f tpmC)", *target)
+	}
+	fmt.Printf("\nexecution rule: %s\narchitecture:   %s (%s)\n\n", rule, a, e.Name())
+	fmt.Printf("%-22s %12.0f\n", "tpmC (New-Order/min)", res.TpmC)
+	fmt.Printf("%-22s %12.0f\n", "TPS (all txns/sec)", res.TPS)
+	fmt.Printf("%-22s %12.0f\n", "QphH (queries/hour)", res.QphH)
+	fmt.Printf("%-22s %12d\n", "transactions", res.Txns)
+	fmt.Printf("%-22s %12d\n", "queries", res.Queries)
+	fmt.Printf("%-22s %12s\n", "avg txn latency", res.AvgTxnLatency.Round(time.Microsecond))
+	fmt.Printf("%-22s %12s\n", "avg query latency", res.AvgQueryLatency.Round(time.Microsecond))
+	fmt.Printf("%-22s %12.1f\n", "avg freshness lag", res.FreshAvgLagTS)
+	fmt.Printf("%-22s %12s\n", "max freshness lag", res.FreshMaxLagTime.Round(time.Millisecond))
+	st := e.Stats()
+	fmt.Printf("\nengine: commits=%d aborts=%d conflicts=%d merges=%d colBytes=%d\n",
+		st.Commits, st.Aborts, st.Conflicts, st.Merges, st.ColBytes)
+}

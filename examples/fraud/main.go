@@ -1,0 +1,108 @@
+// Fraud: the paper's second motivating case — "vendors can leverage an
+// HTAP system to process the customer transactions efficiently while
+// detecting the fraudulent transactions simultaneously" (§1).
+//
+// Payments stream into the TiDB-style distributed engine (architecture B);
+// a detector concurrently scans the history table on the columnar learner
+// replicas for suspicious velocity — many payments from one customer in a
+// short window — without ever touching the row-store voters that serve the
+// payment traffic. That is the workload-isolation property Table 1 credits
+// to this architecture.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"htap"
+)
+
+func main() {
+	engine := htap.NewEngineB(htap.ConfigB{
+		Schemas: htap.CHSchemas(), Partitions: 2, VotersPer: 3, LearnersPer: 1,
+		MergeInterval: 20 * time.Millisecond,
+	})
+	defer engine.Close()
+
+	scale := htap.CHSmallScale(1)
+	scale.Customers = 50
+	gen := htap.NewCHGenerator(scale)
+	if _, err := gen.Load(engine); err != nil {
+		log.Fatal(err)
+	}
+	driver := htap.NewCHDriver(engine, scale)
+
+	// One customer goes rogue: a burst of payments, hidden in normal
+	// traffic.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(11))
+		deadline := time.Now().Add(900 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			if rng.Intn(3) == 0 {
+				// The rogue customer (w=1, d=1, c=7) pays again and again.
+				if err := roguePayment(engine, 40+rng.Float64()); err != nil {
+					log.Fatalf("rogue payment: %v", err)
+				}
+			} else if err := driver.RunOne(rng); err != nil {
+				log.Fatalf("payment stream: %v", err)
+			}
+		}
+	}()
+
+	// The detector scans learner replicas every 150ms.
+	detector := func(round int) {
+		rows := engine.Query("history", []string{"h_c_key", "h_amount"}, nil).
+			Agg([]string{"h_c_key"},
+				htap.Agg{Kind: htap.Count, Name: "payments"},
+				htap.Agg{Kind: htap.Sum, Expr: htap.Col("h_amount"), Name: "total"},
+			).
+			Filter(htap.Cmp(htap.GT, htap.Col("payments"), htap.ConstInt(5))).
+			Sort(htap.SortKey{Col: "payments", Desc: true}).
+			Limit(3).Run()
+		fmt.Printf("detector sweep %d (on columnar learners): %d suspicious accounts\n", round, len(rows))
+		for _, r := range rows {
+			fmt.Printf("  customer key %-10d payments %-4d total %.2f\n",
+				r[0].Int(), r[1].Int(), r[2].Float())
+		}
+	}
+	for round := 1; round <= 5; round++ {
+		time.Sleep(180 * time.Millisecond)
+		detector(round)
+	}
+	wg.Wait()
+
+	st := engine.Stats()
+	fmt.Printf("\npayments committed: %d; learner disk reads during detection: %d\n",
+		st.Commits, st.Disk.ReadOps)
+	fmt.Println("detection ran on learner replicas only — OLTP never shared a data structure with it.")
+}
+
+// roguePayment runs a Payment-shaped transaction for the fixed rogue
+// customer (warehouse 1, district 1, customer 7) through the public API.
+func roguePayment(e htap.Engine, amount float64) error {
+	cKey := htap.CHCustomerKey(1, 1, 7)
+	return htap.Exec(e, func(tx htap.Tx) error {
+		c, err := tx.Get("customer", cKey)
+		if err != nil {
+			return err
+		}
+		c = c.Clone()
+		c[7] = htap.Float(c[7].Float() - amount) // balance
+		c[8] = htap.Float(c[8].Float() + amount) // ytd payments
+		c[9] = htap.Int(c[9].Int() + 1)          // payment count
+		if err := tx.Update("customer", c); err != nil {
+			return err
+		}
+		return tx.Insert("history", htap.Row{
+			htap.Int(htap.CHNextHistoryKey()), htap.Int(cKey),
+			htap.Int(1), htap.Int(1), htap.Int(0),
+			htap.Float(amount), htap.String("rogue"),
+		})
+	})
+}

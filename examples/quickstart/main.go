@@ -1,0 +1,70 @@
+// Quickstart: build an HTAP engine, run transactions, and analyze the
+// same data in place — no ETL, which is the whole point of HTAP (paper §1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"htap"
+)
+
+func main() {
+	// A tiny schema: one packed INT key plus typed attributes.
+	orders := htap.NewSchema("orders", 0,
+		htap.Column{Name: "id", Type: htap.IntType},
+		htap.Column{Name: "customer", Type: htap.IntType},
+		htap.Column{Name: "amount", Type: htap.FloatType},
+		htap.Column{Name: "item", Type: htap.StringType},
+	)
+
+	// Architecture A: primary row store + in-memory column store.
+	engine := htap.New(htap.ArchA, []*htap.Schema{orders})
+	defer engine.Close()
+
+	// OLTP: insert a few orders transactionally.
+	for i := int64(1); i <= 5; i++ {
+		i := i
+		err := htap.Exec(engine, func(tx htap.Tx) error {
+			return tx.Insert("orders", htap.Row{
+				htap.Int(i), htap.Int(i % 2), htap.Float(float64(i) * 10), htap.String("widget"),
+			})
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A transactional read-modify-write with automatic conflict retries.
+	err := htap.Exec(engine, func(tx htap.Tx) error {
+		r, err := tx.Get("orders", 3)
+		if err != nil {
+			return err
+		}
+		r = r.Clone()
+		r[2] = htap.Float(r[2].Float() + 5)
+		return tx.Update("orders", r)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// OLAP: aggregate over the live data. The in-memory delta + column
+	// scan sees the commits above immediately — freshness without ETL.
+	rows := engine.Query("orders", []string{"customer", "amount"}, nil).
+		Agg([]string{"customer"},
+			htap.Agg{Kind: htap.Sum, Expr: htap.Col("amount"), Name: "revenue"},
+			htap.Agg{Kind: htap.Count, Name: "n"},
+		).
+		Sort(htap.SortKey{Col: "revenue", Desc: true}).
+		Run()
+
+	fmt.Println("revenue by customer (fresh, no ETL):")
+	for _, r := range rows {
+		fmt.Printf("  customer %d: %.2f across %d orders\n",
+			r[0].Int(), r[1].Float(), r[2].Int())
+	}
+
+	snap := engine.Freshness()
+	fmt.Printf("freshness: analytical view lags OLTP by %d commits\n", snap.LagTS)
+}

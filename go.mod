@@ -1,0 +1,3 @@
+module htap
+
+go 1.22

@@ -1,0 +1,156 @@
+// Package accel simulates the heterogeneous CPU/GPU execution of the
+// paper's §2.2(4)(iii) (RateupDB, Caldera): "these techniques utilize the
+// task-parallel nature of CPUs and the data-parallel nature of GPUs for
+// handling OLTP and OLAP, respectively."
+//
+// No GPU is available (DESIGN.md "Substitutions"), so a Device is a cost
+// model: a fixed kernel-launch overhead, a PCIe-like transfer cost, and a
+// data-parallel processing rate. The structure reproduces the survey's
+// observed behaviour — a GPU device crushes wide scans but is hopeless for
+// short transactions, where the launch overhead dominates — without real
+// silicon.
+package accel
+
+import (
+	"sync"
+	"time"
+)
+
+// Device models one execution device.
+type Device struct {
+	Name string
+	// Launch is charged once per kernel (per operation batch).
+	Launch time.Duration
+	// TransferPerKB is charged per KiB moved to the device.
+	TransferPerKB time.Duration
+	// NsPerRow is the per-row processing cost once running.
+	NsPerRow float64
+
+	mu      sync.Mutex
+	busyFor time.Duration
+	kernels int64
+	rows    int64
+	// owed banks sub-millisecond kernel costs; the host sleep granularity
+	// (~1ms) would otherwise overcharge short kernels ~50x. Debt is paid in
+	// >=2ms chunks, keeping long-run occupancy faithful.
+	owed time.Duration
+}
+
+// CPU returns a task-parallel device: negligible launch cost, moderate
+// per-row speed.
+func CPU() *Device {
+	return &Device{Name: "cpu", Launch: 0, TransferPerKB: 0, NsPerRow: 25}
+}
+
+// GPU returns a data-parallel device: large launch + transfer overheads,
+// very high scan rate (~20x the CPU per row).
+func GPU() *Device {
+	return &Device{
+		Name:          "gpu",
+		Launch:        30 * time.Microsecond,
+		TransferPerKB: 300 * time.Nanosecond,
+		NsPerRow:      1.2,
+	}
+}
+
+// KernelCost returns the simulated duration of processing rows totalling
+// bytes of input on the device.
+func (d *Device) KernelCost(rows, bytes int) time.Duration {
+	c := d.Launch
+	c += time.Duration(float64(bytes) / 1024 * float64(d.TransferPerKB))
+	c += time.Duration(float64(rows) * d.NsPerRow)
+	return c
+}
+
+// Run charges the cost of one kernel, sleeping (in granularity-friendly
+// chunks) to model occupancy, and records stats.
+func (d *Device) Run(rows, bytes int) time.Duration {
+	c := d.KernelCost(rows, bytes)
+	var pay time.Duration
+	d.mu.Lock()
+	d.busyFor += c
+	d.kernels++
+	d.rows += int64(rows)
+	d.owed += c
+	if d.owed >= 2*time.Millisecond {
+		pay, d.owed = d.owed, 0
+	}
+	d.mu.Unlock()
+	if pay > 0 {
+		time.Sleep(pay)
+	}
+	return c
+}
+
+// Stats summarizes device usage.
+type Stats struct {
+	Kernels int64
+	Rows    int64
+	Busy    time.Duration
+}
+
+// Stats returns usage counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{Kernels: d.kernels, Rows: d.rows, Busy: d.busyFor}
+}
+
+// Placement routes work classes to devices.
+type Placement uint8
+
+// Placements evaluated by the Table 2 QO experiment.
+const (
+	CPUOnly Placement = iota + 1 // everything on the CPU
+	GPUOnly                      // everything on the GPU
+	Hybrid                       // OLTP on CPU, OLAP on GPU (RateupDB)
+)
+
+// String implements fmt.Stringer.
+func (p Placement) String() string {
+	switch p {
+	case CPUOnly:
+		return "cpu-only"
+	case GPUOnly:
+		return "gpu-only"
+	default:
+		return "hybrid"
+	}
+}
+
+// Router dispatches operations under a placement policy.
+type Router struct {
+	CPUDev *Device
+	GPUDev *Device
+	Policy Placement
+}
+
+// NewRouter returns a router over fresh CPU and GPU devices.
+func NewRouter(p Placement) *Router {
+	return &Router{CPUDev: CPU(), GPUDev: GPU(), Policy: p}
+}
+
+// DeviceFor returns the device an operation class runs on.
+func (r *Router) DeviceFor(analytical bool) *Device {
+	switch r.Policy {
+	case CPUOnly:
+		return r.CPUDev
+	case GPUOnly:
+		return r.GPUDev
+	default:
+		if analytical {
+			return r.GPUDev
+		}
+		return r.CPUDev
+	}
+}
+
+// RunTP charges one short transactional operation touching rows.
+func (r *Router) RunTP(rows, bytes int) time.Duration {
+	return r.DeviceFor(false).Run(rows, bytes)
+}
+
+// RunAP charges one analytical kernel over rows.
+func (r *Router) RunAP(rows, bytes int) time.Duration {
+	return r.DeviceFor(true).Run(rows, bytes)
+}

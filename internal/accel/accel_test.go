@@ -1,0 +1,88 @@
+package accel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGPUWinsWideScans(t *testing.T) {
+	cpu, gpu := CPU(), GPU()
+	const rows, bytes = 1_000_000, 8 << 20
+	if gpu.KernelCost(rows, bytes) >= cpu.KernelCost(rows, bytes) {
+		t.Fatalf("gpu %v !< cpu %v on a wide scan",
+			gpu.KernelCost(rows, bytes), cpu.KernelCost(rows, bytes))
+	}
+}
+
+func TestCPUWinsShortTransactions(t *testing.T) {
+	cpu, gpu := CPU(), GPU()
+	const rows, bytes = 5, 400
+	if cpu.KernelCost(rows, bytes) >= gpu.KernelCost(rows, bytes) {
+		t.Fatalf("cpu %v !< gpu %v on a short txn",
+			cpu.KernelCost(rows, bytes), gpu.KernelCost(rows, bytes))
+	}
+}
+
+func TestCrossoverExists(t *testing.T) {
+	// Somewhere between a point op and a megascan the devices cross over;
+	// locate it coarsely to prove the cost model is not degenerate.
+	cpu, gpu := CPU(), GPU()
+	crossed := false
+	for rows := 1; rows <= 1_000_000; rows *= 4 {
+		if gpu.KernelCost(rows, rows*16) < cpu.KernelCost(rows, rows*16) {
+			crossed = true
+			break
+		}
+	}
+	if !crossed {
+		t.Fatal("no crossover up to 1M rows")
+	}
+}
+
+func TestRunChargesAndCounts(t *testing.T) {
+	d := GPU()
+	c := d.Run(1000, 1024)
+	st := d.Stats()
+	if st.Kernels != 1 || st.Rows != 1000 || st.Busy != c {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Sub-millisecond kernels bank their cost; enough of them must pay
+	// real wall time (within the chunked-sleep scheme).
+	start := time.Now()
+	var total time.Duration
+	for total < 20*time.Millisecond {
+		total += d.Run(1000, 1024)
+	}
+	if el := time.Since(start); el < total/2 {
+		t.Fatalf("device occupancy not modeled: %v elapsed for %v charged", el, total)
+	}
+}
+
+func TestRouterPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		p       Placement
+		tpOnGPU bool
+		apOnGPU bool
+	}{
+		{CPUOnly, false, false},
+		{GPUOnly, true, true},
+		{Hybrid, false, true},
+	} {
+		r := NewRouter(tc.p)
+		if got := r.DeviceFor(false) == r.GPUDev; got != tc.tpOnGPU {
+			t.Fatalf("%s: TP on gpu = %v", tc.p, got)
+		}
+		if got := r.DeviceFor(true) == r.GPUDev; got != tc.apOnGPU {
+			t.Fatalf("%s: AP on gpu = %v", tc.p, got)
+		}
+	}
+}
+
+func TestRouterRunDispatch(t *testing.T) {
+	r := NewRouter(Hybrid)
+	r.RunTP(1, 100)
+	r.RunAP(100, 1000)
+	if r.CPUDev.Stats().Kernels != 1 || r.GPUDev.Stats().Kernels != 1 {
+		t.Fatalf("dispatch stats: cpu=%+v gpu=%+v", r.CPUDev.Stats(), r.GPUDev.Stats())
+	}
+}

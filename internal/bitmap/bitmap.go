@@ -1,0 +1,92 @@
+// Package bitmap provides a compact grow-on-demand bitset.
+//
+// Column-store segments use it as the delete bitmap described throughout the
+// paper's §2.2 ("the older version is marked as a delete row in a delete
+// bitmap"), and delta stores use it to track which delta entries have been
+// merged into the main column store.
+package bitmap
+
+import "math/bits"
+
+// Bitmap is a dense bitset over non-negative integers. The zero value is an
+// empty bitmap ready for use. Not safe for concurrent mutation.
+type Bitmap struct {
+	words []uint64
+	count int
+}
+
+// New returns a bitmap pre-sized for n bits.
+func New(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64)}
+}
+
+func (b *Bitmap) grow(word int) {
+	for len(b.words) <= word {
+		b.words = append(b.words, 0)
+	}
+}
+
+// Set sets bit i, reporting whether it was newly set.
+func (b *Bitmap) Set(i int) bool {
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	b.grow(w)
+	if b.words[w]&m != 0 {
+		return false
+	}
+	b.words[w] |= m
+	b.count++
+	return true
+}
+
+// Clear clears bit i, reporting whether it was previously set.
+func (b *Bitmap) Clear(i int) bool {
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if w >= len(b.words) || b.words[w]&m == 0 {
+		return false
+	}
+	b.words[w] &^= m
+	b.count--
+	return true
+}
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool {
+	w := i >> 6
+	return w < len(b.words) && b.words[w]&(uint64(1)<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int { return b.count }
+
+// Any reports whether any bit is set.
+func (b *Bitmap) Any() bool { return b.count > 0 }
+
+// ForEach calls fn for every set bit in ascending order until fn returns
+// false.
+func (b *Bitmap) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi*64 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Clone returns an independent copy.
+func (b *Bitmap) Clone() *Bitmap {
+	c := &Bitmap{words: make([]uint64, len(b.words)), count: b.count}
+	copy(c.words, b.words)
+	return c
+}
+
+// Word returns the 64-bit word containing bits [64w, 64w+63]; scan loops use
+// it to skip fully-live runs without per-bit tests.
+func (b *Bitmap) Word(w int) uint64 {
+	if w >= len(b.words) {
+		return 0
+	}
+	return b.words[w]
+}

@@ -1,0 +1,125 @@
+package bitmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(10)
+	if b.Get(3) {
+		t.Fatal("fresh bitmap has bit set")
+	}
+	if !b.Set(3) {
+		t.Fatal("Set on clear bit returned false")
+	}
+	if b.Set(3) {
+		t.Fatal("Set on set bit returned true")
+	}
+	if !b.Get(3) || b.Count() != 1 {
+		t.Fatal("Get/Count after Set broken")
+	}
+	if !b.Clear(3) {
+		t.Fatal("Clear on set bit returned false")
+	}
+	if b.Clear(3) {
+		t.Fatal("Clear on clear bit returned true")
+	}
+	if b.Get(3) || b.Count() != 0 || b.Any() {
+		t.Fatal("state after Clear broken")
+	}
+}
+
+func TestGrowBeyondInitial(t *testing.T) {
+	b := New(1)
+	b.Set(1000)
+	if !b.Get(1000) || b.Count() != 1 {
+		t.Fatal("grow-on-set broken")
+	}
+	if b.Get(999) || b.Get(1001) {
+		t.Fatal("neighbors affected")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var b Bitmap
+	b.Set(5)
+	if !b.Get(5) {
+		t.Fatal("zero-value bitmap unusable")
+	}
+	if b.Get(1 << 20) {
+		t.Fatal("Get past end should be false")
+	}
+}
+
+func TestForEachOrderAndStop(t *testing.T) {
+	b := New(0)
+	for _, i := range []int{5, 64, 63, 300, 0} {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) bool { got = append(got, i); return true })
+	want := []int{0, 5, 63, 64, 300}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach got %v, want %v", got, want)
+		}
+	}
+	n := 0
+	b.ForEach(func(i int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestClone(t *testing.T) {
+	b := New(0)
+	b.Set(7)
+	c := b.Clone()
+	c.Set(8)
+	if b.Get(8) {
+		t.Fatal("Clone aliases original")
+	}
+	if !c.Get(7) || c.Count() != 2 {
+		t.Fatal("Clone lost bits")
+	}
+}
+
+func TestWord(t *testing.T) {
+	b := New(0)
+	b.Set(0)
+	b.Set(63)
+	if b.Word(0) != (1 | 1<<63) {
+		t.Fatalf("Word(0) = %x", b.Word(0))
+	}
+	if b.Word(5) != 0 {
+		t.Fatal("Word past end should be 0")
+	}
+}
+
+// Property: count always equals the number of distinct set indices.
+func TestQuickCountMatchesSet(t *testing.T) {
+	f := func(idx []uint16) bool {
+		b := New(0)
+		ref := map[int]bool{}
+		for _, i := range idx {
+			b.Set(int(i))
+			ref[int(i)] = true
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if !b.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package btree implements an in-memory B+-tree keyed by int64.
+//
+// It is the ordered-index substrate of the repository: the MVCC row store
+// uses it as the primary-key index, delta stores use it to locate delta
+// entries by key (the paper's §2.2(3)(ii): "the delta data can be indexed by
+// a B+-tree, thus the delta items can be efficiently located with key
+// lookups"), and secondary indexes in the workload layer reuse it.
+//
+// The tree is not safe for concurrent mutation; callers synchronize. Leaf
+// nodes are linked for fast ascending range scans.
+package btree
+
+// degree is the maximum number of keys per node. 32 keeps nodes within a
+// couple of cache lines of keys while staying shallow at benchmark sizes.
+const degree = 32
+
+type node[V any] struct {
+	keys     []int64
+	vals     []V        // leaf only, parallel to keys
+	children []*node[V] // interior only, len(keys)+1
+	next     *node[V]   // leaf chain
+	leaf     bool
+}
+
+// Tree is a B+-tree from int64 keys to values of type V.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+// New returns an empty tree.
+func New[V any]() *Tree[V] {
+	return &Tree[V]{root: &node[V]{leaf: true}}
+}
+
+// Len returns the number of keys stored.
+func (t *Tree[V]) Len() int { return t.size }
+
+// search returns the index of the first key >= k in n.keys.
+func search(keys []int64, k int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under k.
+func (t *Tree[V]) Get(k int64) (V, bool) {
+	n := t.root
+	for !n.leaf {
+		i := search(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			i++ // interior separators are copied up; equal key lives right
+		}
+		n = n.children[i]
+	}
+	i := search(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		return n.vals[i], true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value under k, returning the previous value.
+func (t *Tree[V]) Put(k int64, v V) (old V, replaced bool) {
+	old, replaced, splitKey, sibling := t.insert(t.root, k, v)
+	if sibling != nil {
+		newRoot := &node[V]{
+			keys:     []int64{splitKey},
+			children: []*node[V]{t.root, sibling},
+		}
+		t.root = newRoot
+	}
+	if !replaced {
+		t.size++
+	}
+	return old, replaced
+}
+
+func (t *Tree[V]) insert(n *node[V], k int64, v V) (old V, replaced bool, splitKey int64, sibling *node[V]) {
+	if n.leaf {
+		i := search(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			old, n.vals[i] = n.vals[i], v
+			return old, true, 0, nil
+		}
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = k
+		var zero V
+		n.vals = append(n.vals, zero)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = v
+		if len(n.keys) > degree {
+			splitKey, sibling = t.splitLeaf(n)
+		}
+		return old, false, splitKey, sibling
+	}
+	i := search(n.keys, k)
+	if i < len(n.keys) && n.keys[i] == k {
+		i++
+	}
+	old, replaced, childKey, childSib := t.insert(n.children[i], k, v)
+	if childSib != nil {
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = childKey
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = childSib
+		if len(n.keys) > degree {
+			splitKey, sibling = t.splitInterior(n)
+		}
+	}
+	return old, replaced, splitKey, sibling
+}
+
+func (t *Tree[V]) splitLeaf(n *node[V]) (int64, *node[V]) {
+	mid := len(n.keys) / 2
+	sib := &node[V]{leaf: true, next: n.next}
+	sib.keys = append(sib.keys, n.keys[mid:]...)
+	sib.vals = append(sib.vals, n.vals[mid:]...)
+	n.keys = n.keys[:mid:mid]
+	n.vals = n.vals[:mid:mid]
+	n.next = sib
+	return sib.keys[0], sib
+}
+
+func (t *Tree[V]) splitInterior(n *node[V]) (int64, *node[V]) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	sib := &node[V]{}
+	sib.keys = append(sib.keys, n.keys[mid+1:]...)
+	sib.children = append(sib.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, sib
+}
+
+// Delete removes k, returning the removed value. Nodes are allowed to
+// underflow (no rebalancing): the engines only delete via MVCC tombstones,
+// so physical deletes are rare and tree height stays bounded by inserts.
+func (t *Tree[V]) Delete(k int64) (V, bool) {
+	var zero V
+	n := t.root
+	for !n.leaf {
+		i := search(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			i++
+		}
+		n = n.children[i]
+	}
+	i := search(n.keys, k)
+	if i >= len(n.keys) || n.keys[i] != k {
+		return zero, false
+	}
+	v := n.vals[i]
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	t.size--
+	return v, true
+}
+
+// leafFor returns the leaf that would contain k and is the starting point
+// of an ascending scan from k.
+func (t *Tree[V]) leafFor(k int64) *node[V] {
+	n := t.root
+	for !n.leaf {
+		i := search(n.keys, k)
+		if i < len(n.keys) && n.keys[i] == k {
+			i++
+		}
+		n = n.children[i]
+	}
+	return n
+}
+
+// AscendRange calls fn for every key in [lo, hi] in ascending order until
+// fn returns false. The full-range form is AscendRange(math.MinInt64,
+// math.MaxInt64, fn).
+func (t *Tree[V]) AscendRange(lo, hi int64, fn func(k int64, v V) bool) {
+	n := t.leafFor(lo)
+	for n != nil {
+		i := search(n.keys, lo)
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] > hi {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Ascend calls fn for every key in ascending order until fn returns false.
+func (t *Tree[V]) Ascend(fn func(k int64, v V) bool) {
+	const minInt64 = -1 << 63
+	const maxInt64 = 1<<63 - 1
+	t.AscendRange(minInt64, maxInt64, fn)
+}
+
+// Min returns the smallest key and its value.
+func (t *Tree[V]) Min() (int64, V, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	if len(n.keys) == 0 {
+		// Underflowed leftmost leaf: fall back to a scan.
+		var rk int64
+		var rv V
+		found := false
+		t.Ascend(func(k int64, v V) bool { rk, rv, found = k, v, true; return false })
+		return rk, rv, found
+	}
+	return n.keys[0], n.vals[0], true
+}
+
+// Height returns the tree height (1 for a lone leaf); used by tests.
+func (t *Tree[V]) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}

@@ -1,0 +1,248 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int]()
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has nonzero len")
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree returned ok")
+	}
+	tr.Ascend(func(k int64, v int) bool { t.Fatal("ascend visited something"); return false })
+}
+
+func TestPutGetReplace(t *testing.T) {
+	tr := New[string]()
+	if _, replaced := tr.Put(1, "a"); replaced {
+		t.Fatal("fresh insert reported replaced")
+	}
+	old, replaced := tr.Put(1, "b")
+	if !replaced || old != "a" {
+		t.Fatalf("replace got (%q,%v)", old, replaced)
+	}
+	if v, ok := tr.Get(1); !ok || v != "b" {
+		t.Fatalf("Get got (%q,%v)", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tr.Len())
+	}
+}
+
+func TestOrderedInsertScan(t *testing.T) {
+	tr := New[int64]()
+	const n = 10_000
+	for i := int64(0); i < n; i++ {
+		tr.Put(i, i*2)
+	}
+	var prev int64 = -1
+	count := 0
+	tr.Ascend(func(k int64, v int64) bool {
+		if k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		if v != k*2 {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan visited %d, want %d", count, n)
+	}
+}
+
+func TestRandomInsertDeleteMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New[int]()
+	ref := map[int64]int{}
+	for i := 0; i < 20_000; i++ {
+		k := int64(rng.Intn(5000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Int()
+			_, repl := tr.Put(k, v)
+			_, exists := ref[k]
+			if repl != exists {
+				t.Fatalf("step %d: replaced=%v exists=%v", i, repl, exists)
+			}
+			ref[k] = v
+		case 2:
+			_, del := tr.Delete(k)
+			_, exists := ref[k]
+			if del != exists {
+				t.Fatalf("step %d: deleted=%v exists=%v", i, del, exists)
+			}
+			delete(ref, k)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("len = %d, want %d", tr.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := tr.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, got, ok, v)
+		}
+	}
+	// Scan must visit exactly the reference keys in order.
+	keys := make([]int64, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	i := 0
+	tr.Ascend(func(k int64, v int) bool {
+		if i >= len(keys) || k != keys[i] {
+			t.Fatalf("scan mismatch at position %d: got %d", i, k)
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("scan visited %d, want %d", i, len(keys))
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New[int]()
+	for i := int64(0); i < 100; i += 2 {
+		tr.Put(i, int(i))
+	}
+	var got []int64
+	tr.AscendRange(10, 20, func(k int64, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []int64{10, 12, 14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("range got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range got %v, want %v", got, want)
+		}
+	}
+	// Range with early stop.
+	n := 0
+	tr.AscendRange(0, 98, func(k int64, v int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// Range over odd bounds not in the tree.
+	got = got[:0]
+	tr.AscendRange(11, 13, func(k int64, v int) bool { got = append(got, k); return true })
+	if len(got) != 1 || got[0] != 12 {
+		t.Fatalf("odd-bound range got %v", got)
+	}
+}
+
+func TestMinAfterDeletes(t *testing.T) {
+	tr := New[int]()
+	for i := int64(0); i < 200; i++ {
+		tr.Put(i, int(i))
+	}
+	for i := int64(0); i < 150; i++ {
+		tr.Delete(i)
+	}
+	k, v, ok := tr.Min()
+	if !ok || k != 150 || v != 150 {
+		t.Fatalf("Min = (%d,%d,%v), want (150,150,true)", k, v, ok)
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	tr := New[int]()
+	for i := int64(0); i < 100_000; i++ {
+		tr.Put(i, 0)
+	}
+	if h := tr.Height(); h > 6 {
+		t.Fatalf("height %d too large for 1e5 keys at degree %d", h, degree)
+	}
+}
+
+// Property: for any key set, Ascend yields exactly the sorted distinct keys.
+func TestQuickSortedScan(t *testing.T) {
+	f := func(keys []int64) bool {
+		tr := New[struct{}]()
+		set := map[int64]bool{}
+		for _, k := range keys {
+			tr.Put(k, struct{}{})
+			set[k] = true
+		}
+		want := make([]int64, 0, len(set))
+		for k := range set {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []int64
+		tr.Ascend(func(k int64, _ struct{}) bool { got = append(got, k); return true })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Get after Put always finds the latest value.
+func TestQuickPutGet(t *testing.T) {
+	f := func(ops []struct {
+		K int64
+		V int32
+	}) bool {
+		tr := New[int32]()
+		ref := map[int64]int32{}
+		for _, op := range ops {
+			tr.Put(op.K, op.V)
+			ref[op.K] = op.V
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New[int64]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Put(int64(i), int64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[int64]()
+	const n = 1 << 20
+	for i := int64(0); i < n; i++ {
+		tr.Put(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(int64(i) & (n - 1))
+	}
+}

@@ -1,0 +1,288 @@
+package ch
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"htap/internal/core"
+	"htap/internal/types"
+)
+
+// Scale sizes a CH-benCHmark dataset. TPC-C's standard cardinalities are
+// the defaults; tests shrink them. Per warehouse: Districts districts; per
+// district: Customers customers and Orders initial orders.
+type Scale struct {
+	Warehouses int
+	Districts  int
+	Customers  int
+	Orders     int
+	Items      int
+	Suppliers  int
+	Seed       int64
+	// Skew enables JCC-H-style join-crossing correlation with skew
+	// (paper §2.4): > 1 sets the Zipf exponent of item popularity and
+	// correlates customer nations with their warehouse. Zero means the
+	// uniform, independent distribution of stock TPC-C/TPC-H.
+	Skew float64
+}
+
+// SmallScale is a laptop-test dataset.
+func SmallScale(warehouses int) Scale {
+	return Scale{
+		Warehouses: warehouses, Districts: 3, Customers: 30, Orders: 30,
+		Items: 100, Suppliers: 10, Seed: 42,
+	}
+}
+
+// DefaultScale follows TPC-C cardinalities (trimmed item count).
+func DefaultScale(warehouses int) Scale {
+	return Scale{
+		Warehouses: warehouses, Districts: 10, Customers: 3000, Orders: 3000,
+		Items: 100_000, Suppliers: 10_000, Seed: 42,
+	}
+}
+
+func (s Scale) normalize() Scale {
+	if s.Warehouses <= 0 {
+		s.Warehouses = 1
+	}
+	if s.Districts <= 0 {
+		s.Districts = 10
+	}
+	if s.Customers <= 0 {
+		s.Customers = 3000
+	}
+	if s.Orders <= 0 {
+		s.Orders = s.Customers
+	}
+	if s.Orders > s.Customers {
+		s.Orders = s.Customers // initial orders are one per customer prefix
+	}
+	if s.Items <= 0 {
+		s.Items = 100_000
+	}
+	if s.Suppliers <= 0 {
+		s.Suppliers = 10_000
+	}
+	return s
+}
+
+var nationNames = []string{
+	"GERMANY", "FRANCE", "JAPAN", "CHINA", "BRAZIL",
+	"USA", "INDIA", "KENYA", "PERU", "EGYPT",
+}
+
+var regionNames = []string{"EUROPE", "ASIA", "AMERICA", "AFRICA", "MIDDLE EAST"}
+
+var lastNames = []string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// hKey hands out history primary keys.
+var hKey atomic.Int64
+
+// NextHistoryKey returns a fresh history key; the Payment transaction uses
+// it.
+func NextHistoryKey() int64 { return hKey.Add(1) }
+
+// Generator produces a deterministic CH dataset.
+type Generator struct {
+	Scale Scale
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+}
+
+// NewGenerator returns a generator for the given scale.
+func NewGenerator(s Scale) *Generator {
+	s = s.normalize()
+	return &Generator{Scale: s, rng: rand.New(rand.NewSource(s.Seed))}
+}
+
+// Load populates the engine with the full dataset. It returns the number
+// of rows loaded.
+func (g *Generator) Load(e core.Engine) (int, error) {
+	n := 0
+	load := func(table string, row types.Row) error {
+		if err := e.Load(table, row); err != nil {
+			return fmt.Errorf("ch: loading %s: %w", table, err)
+		}
+		n++
+		return nil
+	}
+	// Dimension tables.
+	for r := int64(0); r < int64(len(regionNames)); r++ {
+		if err := load(TRegion, types.Row{
+			types.NewInt(RegionKey(r)), types.NewInt(r), types.NewString(regionNames[r]),
+		}); err != nil {
+			return n, err
+		}
+	}
+	for i := int64(0); i < int64(len(nationNames)); i++ {
+		if err := load(TNation, types.Row{
+			types.NewInt(NationKey(i)), types.NewInt(i),
+			types.NewString(nationNames[i]), types.NewInt(i % int64(len(regionNames))),
+		}); err != nil {
+			return n, err
+		}
+	}
+	for s := int64(1); s <= int64(g.Scale.Suppliers); s++ {
+		if err := load(TSupplier, types.Row{
+			types.NewInt(SupplierKey(s)), types.NewInt(s),
+			types.NewString(fmt.Sprintf("Supplier#%05d", s)),
+			types.NewInt(s % int64(len(nationNames))),
+			types.NewFloat(float64(g.rng.Intn(10_000))),
+		}); err != nil {
+			return n, err
+		}
+	}
+	// Items.
+	for i := int64(1); i <= int64(g.Scale.Items); i++ {
+		data := fmt.Sprintf("item-data-%d", i)
+		if g.rng.Intn(10) == 0 {
+			data += "ORIGINAL"
+		}
+		if err := load(TItem, types.Row{
+			types.NewInt(ItemKey(i)), types.NewInt(i), types.NewInt(int64(g.rng.Intn(10_000))),
+			types.NewString(fmt.Sprintf("item-%d", i)),
+			types.NewFloat(1 + float64(g.rng.Intn(10_000))/100),
+			types.NewString(data),
+		}); err != nil {
+			return n, err
+		}
+	}
+	// Warehouses and their hierarchies.
+	for w := int64(1); w <= int64(g.Scale.Warehouses); w++ {
+		if err := load(TWarehouse, types.Row{
+			types.NewInt(WarehouseKey(w)), types.NewInt(w),
+			types.NewString(fmt.Sprintf("W-%d", w)),
+			types.NewString(stateFor(w)),
+			types.NewFloat(float64(g.rng.Intn(20)) / 100),
+			types.NewFloat(300_000),
+		}); err != nil {
+			return n, err
+		}
+		for i := int64(1); i <= int64(g.Scale.Items); i++ {
+			if err := load(TStock, types.Row{
+				types.NewInt(StockKey(w, i)), types.NewInt(w), types.NewInt(i),
+				types.NewInt(int64(10 + g.rng.Intn(91))), types.NewInt(0),
+				types.NewInt(0), types.NewInt(0),
+				types.NewString(fmt.Sprintf("stock-%d-%d", w, i)),
+				types.NewInt((w*i)%int64(g.Scale.Suppliers) + 1),
+			}); err != nil {
+				return n, err
+			}
+		}
+		for d := int64(1); d <= int64(g.Scale.Districts); d++ {
+			if err := load(TDistrict, types.Row{
+				types.NewInt(DistrictKey(w, d)), types.NewInt(w), types.NewInt(d),
+				types.NewString(fmt.Sprintf("D-%d-%d", w, d)),
+				types.NewFloat(float64(g.rng.Intn(20)) / 100),
+				types.NewFloat(30_000),
+				types.NewInt(int64(g.Scale.Orders) + 1),
+			}); err != nil {
+				return n, err
+			}
+			if err := g.loadDistrict(load, w, d); err != nil {
+				return n, err
+			}
+		}
+	}
+	e.Sync()
+	return n, nil
+}
+
+func (g *Generator) loadDistrict(load func(string, types.Row) error, w, d int64) error {
+	for c := int64(1); c <= int64(g.Scale.Customers); c++ {
+		credit := "GC"
+		if g.rng.Intn(10) == 0 {
+			credit = "BC"
+		}
+		nation := (w + c) % int64(len(nationNames))
+		if g.Scale.Skew > 0 {
+			// Join-crossing correlation: a warehouse's customers cluster in
+			// one nation, so customer-supplier joins cross correlated keys.
+			nation = w % int64(len(nationNames))
+		}
+		if err := load(TCustomer, types.Row{
+			types.NewInt(CustomerKey(w, d, c)), types.NewInt(w), types.NewInt(d),
+			types.NewInt(c),
+			types.NewString(lastNames[c%10] + lastNames[(c/10)%10]),
+			types.NewString(fmt.Sprintf("First%d", c)),
+			types.NewString(credit), types.NewFloat(-10),
+			types.NewFloat(10), types.NewInt(1), types.NewInt(0),
+			types.NewString(stateFor(w + c)),
+			types.NewString(fmt.Sprintf("%d%d13-555-%04d", (c%8)+1, (c%8)+1, c%10_000)),
+			types.NewInt(int64(g.rng.Intn(1_000_000))),
+			types.NewInt(nation),
+		}); err != nil {
+			return err
+		}
+		if err := load(THistory, types.Row{
+			types.NewInt(NextHistoryKey()), types.NewInt(CustomerKey(w, d, c)),
+			types.NewInt(w), types.NewInt(d), types.NewInt(0),
+			types.NewFloat(10), types.NewString("initial"),
+		}); err != nil {
+			return err
+		}
+	}
+	// Initial orders: one per customer 1..Orders, the last third undelivered.
+	for o := int64(1); o <= int64(g.Scale.Orders); o++ {
+		cID := o
+		olCnt := int64(5 + g.rng.Intn(11))
+		carrier := int64(1 + g.rng.Intn(10))
+		delivered := o <= int64(g.Scale.Orders)*2/3
+		if !delivered {
+			carrier = 0
+		}
+		entry := int64(g.rng.Intn(1_000_000))
+		if err := load(TOrders, types.Row{
+			types.NewInt(OrderKey(w, d, o)), types.NewInt(w), types.NewInt(d),
+			types.NewInt(o), types.NewInt(cID), types.NewInt(CustomerKey(w, d, cID)),
+			types.NewInt(entry), types.NewInt(carrier), types.NewInt(olCnt),
+		}); err != nil {
+			return err
+		}
+		if !delivered {
+			if err := load(TNewOrder, types.Row{
+				types.NewInt(OrderKey(w, d, o)), types.NewInt(w), types.NewInt(d), types.NewInt(o),
+			}); err != nil {
+				return err
+			}
+		}
+		for l := int64(1); l <= olCnt; l++ {
+			item := g.genItem()
+			deliveryD := entry + int64(g.rng.Intn(100))
+			if !delivered {
+				deliveryD = 0
+			}
+			if err := load(TOrderLine, types.Row{
+				types.NewInt(OrderLineKey(w, d, o, l)), types.NewInt(OrderKey(w, d, o)),
+				types.NewInt(w), types.NewInt(d), types.NewInt(o), types.NewInt(l),
+				types.NewInt(item), types.NewInt(w), types.NewInt(deliveryD),
+				types.NewInt(int64(1 + g.rng.Intn(10))),
+				types.NewFloat(float64(g.rng.Intn(10_000)) / 100),
+				types.NewString(fmt.Sprintf("dist-%d", d)),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// genItem draws an item id for initial order lines, honoring Skew.
+func (g *Generator) genItem() int64 {
+	if g.Scale.Skew <= 0 {
+		return int64(1 + g.rng.Intn(g.Scale.Items))
+	}
+	if g.zipf == nil {
+		g.zipf = zipfFor(g.rng, g.Scale.Skew, g.Scale.Items)
+	}
+	return int64(g.zipf.Uint64() + 1)
+}
+
+func stateFor(n int64) string {
+	states := []string{"AA", "BB", "CC", "DD", "EE", "FF", "GG", "HH", "II", "JJ"}
+	return states[n%int64(len(states))]
+}

@@ -1,0 +1,138 @@
+// Package ch implements the CH-benCHmark (paper §2.3): TPC-C's nine tables
+// and five transactions for the OLTP half, and the 22 CH analytical
+// queries (TPC-H queries rewritten against the TPC-C schema, plus the three
+// TPC-H dimension tables supplier/nation/region) for the OLAP half.
+//
+// Composite benchmark keys are packed into a single int64 primary key; the
+// packing functions are part of the public schema contract. Queries are
+// expressed as exec.Plan trees against any core.Engine, and the data
+// generator is fully deterministic given a seed.
+package ch
+
+import "htap/internal/types"
+
+// Table names.
+const (
+	TWarehouse = "warehouse"
+	TDistrict  = "district"
+	TCustomer  = "customer"
+	THistory   = "history"
+	TNewOrder  = "neworder"
+	TOrders    = "orders"
+	TOrderLine = "orderline"
+	TItem      = "item"
+	TStock     = "stock"
+	TSupplier  = "supplier"
+	TNation    = "nation"
+	TRegion    = "region"
+)
+
+// Key packing. Cardinalities follow TPC-C: up to 10 districts per
+// warehouse, 100k customers per district (3k standard), 10M orders per
+// district, 15 order lines per order, 1M items.
+//
+// The packed layouts keep related rows in contiguous key ranges, so
+// key-range predicates (for hybrid row/column scans) select whole
+// warehouses or districts.
+
+// WarehouseKey packs a warehouse id.
+func WarehouseKey(w int64) int64 { return w }
+
+// DistrictKey packs (warehouse, district).
+func DistrictKey(w, d int64) int64 { return w*100 + d }
+
+// CustomerKey packs (warehouse, district, customer).
+func CustomerKey(w, d, c int64) int64 { return DistrictKey(w, d)*100_000 + c }
+
+// OrderKey packs (warehouse, district, order).
+func OrderKey(w, d, o int64) int64 { return DistrictKey(w, d)*10_000_000 + o }
+
+// OrderLineKey packs (warehouse, district, order, line).
+func OrderLineKey(w, d, o, l int64) int64 { return OrderKey(w, d, o)*16 + l }
+
+// ItemKey packs an item id.
+func ItemKey(i int64) int64 { return i }
+
+// StockKey packs (warehouse, item).
+func StockKey(w, i int64) int64 { return w*1_000_000 + i }
+
+// SupplierKey packs a supplier id.
+func SupplierKey(s int64) int64 { return s }
+
+// NationKey packs a nation id.
+func NationKey(n int64) int64 { return n }
+
+// RegionKey packs a region id.
+func RegionKey(r int64) int64 { return r }
+
+func col(name string, t types.ColType) types.Column { return types.Column{Name: name, Type: t} }
+
+// Schemas returns the twelve CH-benCHmark schemas in registration order.
+func Schemas() []*types.Schema {
+	return []*types.Schema{
+		types.NewSchema(TWarehouse, 0,
+			col("w_key", types.Int), col("w_id", types.Int),
+			col("w_name", types.String), col("w_state", types.String),
+			col("w_tax", types.Float), col("w_ytd", types.Float),
+		),
+		types.NewSchema(TDistrict, 0,
+			col("d_key", types.Int), col("d_w_id", types.Int), col("d_id", types.Int),
+			col("d_name", types.String), col("d_tax", types.Float), col("d_ytd", types.Float),
+			col("d_next_o_id", types.Int),
+		),
+		types.NewSchema(TCustomer, 0,
+			col("c_key", types.Int), col("c_w_id", types.Int), col("c_d_id", types.Int),
+			col("c_id", types.Int), col("c_last", types.String), col("c_first", types.String),
+			col("c_credit", types.String), col("c_balance", types.Float),
+			col("c_ytd_payment", types.Float), col("c_payment_cnt", types.Int),
+			col("c_delivery_cnt", types.Int), col("c_state", types.String),
+			col("c_phone", types.String), col("c_since", types.Int),
+			col("c_n_nationkey", types.Int),
+		),
+		types.NewSchema(THistory, 0,
+			col("h_key", types.Int), col("h_c_key", types.Int), col("h_w_id", types.Int),
+			col("h_d_id", types.Int), col("h_date", types.Int), col("h_amount", types.Float),
+			col("h_data", types.String),
+		),
+		types.NewSchema(TNewOrder, 0,
+			col("no_key", types.Int), col("no_w_id", types.Int), col("no_d_id", types.Int),
+			col("no_o_id", types.Int),
+		),
+		types.NewSchema(TOrders, 0,
+			col("o_key", types.Int), col("o_w_id", types.Int), col("o_d_id", types.Int),
+			col("o_id", types.Int), col("o_c_id", types.Int), col("o_c_key", types.Int),
+			col("o_entry_d", types.Int), col("o_carrier_id", types.Int),
+			col("o_ol_cnt", types.Int),
+		),
+		types.NewSchema(TOrderLine, 0,
+			col("ol_key", types.Int), col("ol_o_key", types.Int), col("ol_w_id", types.Int),
+			col("ol_d_id", types.Int), col("ol_o_id", types.Int), col("ol_number", types.Int),
+			col("ol_i_id", types.Int), col("ol_supply_w_id", types.Int),
+			col("ol_delivery_d", types.Int), col("ol_quantity", types.Int),
+			col("ol_amount", types.Float), col("ol_dist_info", types.String),
+		),
+		types.NewSchema(TItem, 0,
+			col("i_key", types.Int), col("i_id", types.Int), col("i_im_id", types.Int),
+			col("i_name", types.String), col("i_price", types.Float), col("i_data", types.String),
+		),
+		types.NewSchema(TStock, 0,
+			col("s_key", types.Int), col("s_w_id", types.Int), col("s_i_id", types.Int),
+			col("s_quantity", types.Int), col("s_ytd", types.Int), col("s_order_cnt", types.Int),
+			col("s_remote_cnt", types.Int), col("s_data", types.String),
+			col("s_su_suppkey", types.Int),
+		),
+		types.NewSchema(TSupplier, 0,
+			col("su_key", types.Int), col("su_suppkey", types.Int),
+			col("su_name", types.String), col("su_nationkey", types.Int),
+			col("su_acctbal", types.Float),
+		),
+		types.NewSchema(TNation, 0,
+			col("n_key", types.Int), col("n_nationkey", types.Int),
+			col("n_name", types.String), col("n_regionkey", types.Int),
+		),
+		types.NewSchema(TRegion, 0,
+			col("r_key", types.Int), col("r_regionkey", types.Int),
+			col("r_name", types.String),
+		),
+	}
+}

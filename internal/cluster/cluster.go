@@ -1,0 +1,226 @@
+// Package cluster provides the in-process distributed substrate for
+// architecture B (paper §2.1(b)): data is split into partitions ("Regions"
+// in TiDB terms), each partition is an independent Raft group whose leader
+// owns the row-store replica and whose learner applies the same log into a
+// columnar replica.
+//
+// Real clusters span machines; here every node is in-process and the Raft
+// groups share one simulated network (DESIGN.md "Substitutions"). The
+// protocol costs the survey cares about — quorum round trips per write,
+// asynchronous learner lag, per-partition leadership — are all preserved.
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"htap/internal/raft"
+	"htap/internal/txn"
+	"htap/internal/types"
+)
+
+// Command op codes carried through the Raft log.
+const (
+	CmdPut    byte = 1 // insert or update
+	CmdDelete byte = 2
+)
+
+// Mutation is one replicated row mutation.
+type Mutation struct {
+	Table uint32
+	Key   int64
+	Op    txn.Op
+	Row   types.Row
+}
+
+// EncodeBatch serializes a commit timestamp plus mutations into a Raft
+// command.
+func EncodeBatch(commitTS uint64, muts []Mutation) raft.Command {
+	buf := binary.AppendUvarint(nil, commitTS)
+	buf = binary.AppendUvarint(buf, uint64(len(muts)))
+	for _, m := range muts {
+		if m.Op == txn.OpDelete {
+			buf = append(buf, CmdDelete)
+		} else {
+			buf = append(buf, CmdPut)
+		}
+		buf = binary.AppendUvarint(buf, uint64(m.Table))
+		buf = binary.AppendVarint(buf, m.Key)
+		if m.Op != txn.OpDelete {
+			buf = types.AppendRow(buf, m.Row)
+		}
+	}
+	return raft.Command(buf)
+}
+
+// DecodeBatch parses a command produced by EncodeBatch.
+func DecodeBatch(cmd raft.Command) (uint64, []Mutation, error) {
+	b := []byte(cmd)
+	ts, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("cluster: bad commit ts")
+	}
+	b = b[n:]
+	cnt, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("cluster: bad count")
+	}
+	b = b[n:]
+	muts := make([]Mutation, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		if len(b) == 0 {
+			return 0, nil, fmt.Errorf("cluster: truncated batch")
+		}
+		op := b[0]
+		b = b[1:]
+		table, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, nil, fmt.Errorf("cluster: bad table")
+		}
+		b = b[n:]
+		key, n := binary.Varint(b)
+		if n <= 0 {
+			return 0, nil, fmt.Errorf("cluster: bad key")
+		}
+		b = b[n:]
+		m := Mutation{Table: uint32(table), Key: key}
+		if op == CmdDelete {
+			m.Op = txn.OpDelete
+		} else {
+			m.Op = txn.OpUpdate
+			row, used, err := types.DecodeRow(b)
+			if err != nil {
+				return 0, nil, err
+			}
+			b = b[used:]
+			m.Row = row
+		}
+		muts = append(muts, m)
+	}
+	return ts, muts, nil
+}
+
+// Partition is one Raft-replicated shard.
+type Partition struct {
+	ID    int
+	Group *raft.Group
+}
+
+// Leader returns the partition's current Raft leader, waiting briefly for
+// an election if necessary.
+func (p *Partition) Leader() *raft.Node {
+	if l := p.Group.Leader(); l != nil {
+		return l
+	}
+	return p.Group.WaitLeader(5 * time.Second)
+}
+
+// Propose replicates a command through the partition's Raft group,
+// retrying through elections until it commits or the timeout expires.
+func (p *Partition) Propose(cmd raft.Command) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		l := p.Leader()
+		if l != nil {
+			if _, err := l.Propose(cmd); err == nil {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: partition %d: proposal timed out", p.ID)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Cluster is a set of partitions with a routing function.
+type Cluster struct {
+	Partitions []*Partition
+	route      func(table uint32, key int64) int
+
+	mu sync.Mutex
+}
+
+// Config sizes the cluster.
+type Config struct {
+	Partitions  int
+	VotersPer   int // Raft voters per partition (TiDB default: 3)
+	LearnersPer int // columnar learners per partition (TiFlash replicas)
+	NetLatency  time.Duration
+	// CompactEvery enables Raft log compaction per partition (entries
+	// held before truncation); zero disables it.
+	CompactEvery int
+	// Route maps a (table, key) to a partition; nil hashes the key.
+	Route func(table uint32, key int64) int
+	// Apply is invoked for each committed batch on every replica of a
+	// partition: role distinguishes row replicas (voters) from columnar
+	// learners.
+	Apply func(part, nodeID int, learner bool, commitTS uint64, muts []Mutation)
+	// ApplyRaw, when set, receives the raw command bytes instead of a
+	// decoded batch; the 2PC layer replicates its own command formats and
+	// uses this hook.
+	ApplyRaw func(part, nodeID int, learner bool, cmd []byte)
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
+	if cfg.VotersPer <= 0 {
+		cfg.VotersPer = 3
+	}
+	c := &Cluster{route: cfg.Route}
+	if c.route == nil {
+		c.route = func(table uint32, key int64) int {
+			h := uint64(key) * 0x9e3779b97f4a7c15
+			return int(h % uint64(cfg.Partitions))
+		}
+	}
+	for pid := 0; pid < cfg.Partitions; pid++ {
+		pid := pid
+		var apply func(nodeID int, e raft.Entry)
+		switch {
+		case cfg.ApplyRaw != nil:
+			apply = func(nodeID int, e raft.Entry) {
+				cfg.ApplyRaw(pid, nodeID, nodeID >= cfg.VotersPer, []byte(e.Cmd))
+			}
+		case cfg.Apply != nil:
+			apply = func(nodeID int, e raft.Entry) {
+				ts, muts, err := DecodeBatch(e.Cmd)
+				if err != nil {
+					panic(fmt.Sprintf("cluster: undecodable raft command: %v", err))
+				}
+				cfg.Apply(pid, nodeID, nodeID >= cfg.VotersPer, ts, muts)
+			}
+		}
+		g := raft.NewLocalGroupWith(cfg.VotersPer, cfg.LearnersPer, cfg.NetLatency,
+			raft.Config{CompactEvery: cfg.CompactEvery}, apply)
+		c.Partitions = append(c.Partitions, &Partition{ID: pid, Group: g})
+	}
+	return c
+}
+
+// Route returns the partition owning (table, key).
+func (c *Cluster) Route(table uint32, key int64) *Partition {
+	return c.Partitions[c.route(table, key)]
+}
+
+// WaitReady blocks until every partition has a leader.
+func (c *Cluster) WaitReady(timeout time.Duration) error {
+	for _, p := range c.Partitions {
+		if p.Group.WaitLeader(timeout) == nil {
+			return fmt.Errorf("cluster: partition %d has no leader", p.ID)
+		}
+	}
+	return nil
+}
+
+// Stop shuts down all partitions.
+func (c *Cluster) Stop() {
+	for _, p := range c.Partitions {
+		p.Group.Stop()
+	}
+}

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"htap/internal/txn"
+	"htap/internal/types"
+)
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	muts := []Mutation{
+		{Table: 1, Key: 10, Op: txn.OpUpdate, Row: types.Row{types.NewInt(10), types.NewString("a")}},
+		{Table: 2, Key: -5, Op: txn.OpDelete},
+	}
+	cmd := EncodeBatch(99, muts)
+	ts, got, err := DecodeBatch(cmd)
+	if err != nil || ts != 99 || len(got) != 2 {
+		t.Fatalf("decode = (%d, %v, %v)", ts, got, err)
+	}
+	if got[0].Key != 10 || got[0].Row[1].Str() != "a" {
+		t.Fatalf("mut 0 = %+v", got[0])
+	}
+	if got[1].Op != txn.OpDelete || got[1].Key != -5 {
+		t.Fatalf("mut 1 = %+v", got[1])
+	}
+}
+
+func TestQuickBatchCodec(t *testing.T) {
+	f := func(ts uint64, keys []int64) bool {
+		muts := make([]Mutation, len(keys))
+		for i, k := range keys {
+			muts[i] = Mutation{Table: uint32(i), Key: k, Op: txn.OpUpdate,
+				Row: types.Row{types.NewInt(k)}}
+		}
+		gotTS, got, err := DecodeBatch(EncodeBatch(ts, muts))
+		if err != nil || gotTS != ts || len(got) != len(muts) {
+			return false
+		}
+		for i := range muts {
+			if got[i].Key != muts[i].Key || got[i].Table != muts[i].Table {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterRoutingDeterministic(t *testing.T) {
+	c := New(Config{Partitions: 4, VotersPer: 1})
+	defer c.Stop()
+	for key := int64(0); key < 100; key++ {
+		p1 := c.Route(1, key)
+		p2 := c.Route(1, key)
+		if p1 != p2 {
+			t.Fatalf("routing unstable for key %d", key)
+		}
+	}
+}
+
+func TestClusterReplicatesToRowAndColumnReplicas(t *testing.T) {
+	type applyEvent struct {
+		part    int
+		learner bool
+		key     int64
+	}
+	var mu sync.Mutex
+	var events []applyEvent
+	c := New(Config{
+		Partitions: 2, VotersPer: 3, LearnersPer: 1,
+		Route: func(table uint32, key int64) int { return int(key % 2) },
+		Apply: func(part, nodeID int, learner bool, ts uint64, muts []Mutation) {
+			mu.Lock()
+			for _, m := range muts {
+				events = append(events, applyEvent{part, learner, m.Key})
+			}
+			mu.Unlock()
+		},
+	})
+	defer c.Stop()
+	if err := c.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for key := int64(0); key < 4; key++ {
+		p := c.Route(1, key)
+		cmd := EncodeBatch(uint64(key+1), []Mutation{{Table: 1, Key: key, Op: txn.OpUpdate,
+			Row: types.Row{types.NewInt(key)}}})
+		if err := p.Propose(cmd); err != nil {
+			t.Fatalf("propose key %d: %v", key, err)
+		}
+	}
+	// Each key applies on 3 voters + 1 learner of its partition.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(events)
+		mu.Unlock()
+		if n >= 16 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d apply events", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	perPart := map[int]int{}
+	learnerSeen := 0
+	for _, e := range events {
+		if e.part != int(e.key%2) {
+			t.Fatalf("key %d applied on partition %d", e.key, e.part)
+		}
+		perPart[e.part]++
+		if e.learner {
+			learnerSeen++
+		}
+	}
+	if learnerSeen < 4 {
+		t.Fatalf("learner applies = %d, want >= 4", learnerSeen)
+	}
+}
+
+func TestProposeSurvivesLeaderChange(t *testing.T) {
+	c := New(Config{Partitions: 1, VotersPer: 3})
+	defer c.Stop()
+	if err := c.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Partitions[0]
+	l := p.Leader()
+	p.Group.Net.Isolate(l.Status().ID, true)
+	defer p.Group.Net.Isolate(l.Status().ID, false)
+	err := p.Propose(EncodeBatch(1, []Mutation{{Table: 1, Key: 1, Op: txn.OpUpdate,
+		Row: types.Row{types.NewInt(1)}}}))
+	if err != nil {
+		t.Fatalf("propose after leader isolation: %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+package colsel
+
+import "testing"
+
+func cid(table, col string) ColumnID { return ColumnID{Table: table, Col: col} }
+
+func TestStaticSelectionByDensity(t *testing.T) {
+	a := NewAdvisor(Static, 0)
+	a.Record([]ColumnID{cid("t", "hot")}, 100)
+	a.Record([]ColumnID{cid("t", "warm")}, 50)
+	a.Record([]ColumnID{cid("t", "cold")}, 1)
+	cands := []Candidate{
+		{cid("t", "hot"), 100},
+		{cid("t", "warm"), 100},
+		{cid("t", "cold"), 100},
+	}
+	sel := a.Select(cands, 200)
+	if len(sel.Columns) != 2 {
+		t.Fatalf("selected %v", sel.Columns)
+	}
+	if !sel.Contains(cid("t", "hot"), cid("t", "warm")) {
+		t.Fatalf("selected %v, want hot+warm", sel.Columns)
+	}
+	if sel.UsedBytes != 200 {
+		t.Fatalf("used = %d", sel.UsedBytes)
+	}
+	if sel.Utility < 0.9 || sel.Utility > 1 {
+		t.Fatalf("utility = %f, want ~150/151", sel.Utility)
+	}
+}
+
+func TestDensityBeatsRawHeat(t *testing.T) {
+	a := NewAdvisor(Static, 0)
+	a.Record([]ColumnID{cid("t", "big")}, 100)   // 100 heat / 1000 bytes
+	a.Record([]ColumnID{cid("t", "small")}, 60)  // 60 heat / 100 bytes
+	a.Record([]ColumnID{cid("t", "small2")}, 50) // 50 heat / 100 bytes
+	sel := a.Select([]Candidate{
+		{cid("t", "big"), 1000},
+		{cid("t", "small"), 100},
+		{cid("t", "small2"), 100},
+	}, 250)
+	if !sel.Contains(cid("t", "small"), cid("t", "small2")) || len(sel.Columns) != 2 {
+		t.Fatalf("selected %v, want the two dense small columns", sel.Columns)
+	}
+}
+
+func TestZeroHeatNeverSelected(t *testing.T) {
+	a := NewAdvisor(Static, 0)
+	sel := a.Select([]Candidate{{cid("t", "untouched"), 10}}, 1000)
+	if len(sel.Columns) != 0 {
+		t.Fatalf("selected unaccessed column: %v", sel.Columns)
+	}
+}
+
+func TestDecayAdaptsToWorkloadShift(t *testing.T) {
+	static := NewAdvisor(Static, 0)
+	decay := NewAdvisor(Decay, 0.5)
+	// Phase 1: column A is hot for a long time.
+	for i := 0; i < 50; i++ {
+		static.Record([]ColumnID{cid("t", "a")}, 10)
+		decay.Record([]ColumnID{cid("t", "a")}, 10)
+		decay.Tick()
+	}
+	// Phase 2: the workload shifts entirely to column B.
+	for i := 0; i < 8; i++ {
+		static.Record([]ColumnID{cid("t", "b")}, 10)
+		decay.Record([]ColumnID{cid("t", "b")}, 10)
+		decay.Tick()
+	}
+	cands := []Candidate{{cid("t", "a"), 100}, {cid("t", "b"), 100}}
+	// Budget for one column only: static still prefers A (cumulative
+	// counts), decay has adapted to B.
+	sSel := static.Select(cands, 100)
+	dSel := decay.Select(cands, 100)
+	if !sSel.Contains(cid("t", "a")) {
+		t.Fatalf("static selected %v", sSel.Columns)
+	}
+	if !dSel.Contains(cid("t", "b")) {
+		t.Fatalf("decay selected %v, want the shifted-to column", dSel.Columns)
+	}
+}
+
+func TestTickEvictsColdEntries(t *testing.T) {
+	a := NewAdvisor(Decay, 0.1)
+	a.Record([]ColumnID{cid("t", "x")}, 1)
+	for i := 0; i < 20; i++ {
+		a.Tick()
+	}
+	if a.Score(cid("t", "x")) != 0 {
+		t.Fatalf("score = %f, want fully decayed", a.Score(cid("t", "x")))
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	a := NewAdvisor(Static, 0)
+	for _, c := range []string{"a", "b", "c"} {
+		a.Record([]ColumnID{cid("t", c)}, 10)
+	}
+	sel := a.Select([]Candidate{
+		{cid("t", "a"), 60}, {cid("t", "b"), 60}, {cid("t", "c"), 60},
+	}, 130)
+	if sel.UsedBytes > 130 {
+		t.Fatalf("budget exceeded: %d", sel.UsedBytes)
+	}
+	if len(sel.Columns) != 2 {
+		t.Fatalf("selected %d columns", len(sel.Columns))
+	}
+}
+
+func TestDefaultWeightAndAlpha(t *testing.T) {
+	a := NewAdvisor(Decay, 5) // invalid alpha falls back
+	a.Record([]ColumnID{cid("t", "x")}, 0)
+	if a.Score(cid("t", "x")) != 1 {
+		t.Fatalf("zero weight should default to 1, got %f", a.Score(cid("t", "x")))
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := Selection{Columns: []ColumnID{cid("t", "a")}}
+	if !s.Contains(cid("t", "a")) || s.Contains(cid("t", "b")) {
+		t.Fatal("Contains broken")
+	}
+	if !s.Contains() {
+		t.Fatal("empty query should be contained")
+	}
+}

@@ -1,0 +1,391 @@
+package colstore
+
+import (
+	"fmt"
+	"sync"
+
+	"htap/internal/bitmap"
+	"htap/internal/types"
+)
+
+// SegmentRows is the target number of rows per sealed segment.
+const SegmentRows = 4096
+
+// ZoneMap holds per-column min/max statistics for one segment; scans use it
+// to prune segments that cannot match a range predicate.
+type ZoneMap struct {
+	MinInt, MaxInt     int64
+	MinFloat, MaxFloat float64
+	MinStr, MaxStr     string
+	valid              bool
+}
+
+// PruneInt reports whether the segment can be skipped for a predicate
+// requiring the column to intersect [lo, hi].
+func (z *ZoneMap) PruneInt(lo, hi int64) bool {
+	return z.valid && (hi < z.MinInt || lo > z.MaxInt)
+}
+
+// Segment is an immutable block of encoded column vectors plus a delete
+// bitmap. Deleting marks bits; the data itself never changes, so concurrent
+// scans need no row locks — the classic read-optimized main store.
+type Segment struct {
+	N     int
+	Cols  []Vector
+	Keys  []int64 // decoded primary keys, parallel to rows
+	Zones []ZoneMap
+
+	mu   sync.RWMutex
+	dels *bitmap.Bitmap
+}
+
+// Deleted reports whether row i is deleted.
+func (s *Segment) Deleted(i int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dels.Get(i)
+}
+
+// DeleteRow marks row i deleted.
+func (s *Segment) DeleteRow(i int) {
+	s.mu.Lock()
+	s.dels.Set(i)
+	s.mu.Unlock()
+}
+
+// LiveCount returns the number of live rows.
+func (s *Segment) LiveCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.N - s.dels.Count()
+}
+
+// DeleteMask returns a snapshot of the delete bitmap.
+func (s *Segment) DeleteMask() *bitmap.Bitmap {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dels.Clone()
+}
+
+// Bytes estimates the encoded size of the segment.
+func (s *Segment) Bytes() int {
+	n := 8 * len(s.Keys)
+	for _, c := range s.Cols {
+		n += c.Bytes()
+	}
+	return n
+}
+
+// Row materializes row i as a types.Row.
+func (s *Segment) Row(i int) types.Row {
+	r := make(types.Row, len(s.Cols))
+	for c, v := range s.Cols {
+		r[c] = v.Datum(i)
+	}
+	return r
+}
+
+type loc struct {
+	seg int
+	idx int
+}
+
+// Table is a columnar table: a list of sealed segments plus a key locator
+// used to propagate updates and deletes from the row side during data
+// synchronization.
+type Table struct {
+	Schema *types.Schema
+
+	mu      sync.RWMutex
+	segs    []*Segment
+	buf     []types.Row // loaded rows awaiting their segment (see Append)
+	locator map[int64]loc
+	applied uint64 // commit watermark covered by the segments (freshness)
+	rebuild int64  // count of full rebuilds (DS technique iii)
+	merges  int64  // count of delta merges (DS techniques i/ii)
+}
+
+// NewTable returns an empty columnar table.
+func NewTable(schema *types.Schema) *Table {
+	return &Table{Schema: schema, locator: make(map[int64]loc)}
+}
+
+// Builder accumulates rows and seals them into segments of a table.
+type Builder struct {
+	t    *Table
+	rows []types.Row
+}
+
+// NewBuilder returns a builder appending into t.
+func (t *Table) NewBuilder() *Builder { return &Builder{t: t} }
+
+// Add buffers one row; the builder seals a segment each SegmentRows rows.
+func (b *Builder) Add(row types.Row) {
+	b.rows = append(b.rows, row)
+	if len(b.rows) >= SegmentRows {
+		b.Flush()
+	}
+}
+
+// Flush seals any buffered rows into a segment.
+func (b *Builder) Flush() {
+	if len(b.rows) == 0 {
+		return
+	}
+	seg := buildSegment(b.t.Schema, b.rows)
+	b.t.addSegment(seg)
+	b.rows = b.rows[:0]
+}
+
+func buildSegment(schema *types.Schema, rows []types.Row) *Segment {
+	n := len(rows)
+	seg := &Segment{
+		N:     n,
+		Cols:  make([]Vector, len(schema.Cols)),
+		Keys:  make([]int64, n),
+		Zones: make([]ZoneMap, len(schema.Cols)),
+		dels:  bitmap.New(n),
+	}
+	for i, r := range rows {
+		seg.Keys[i] = schema.Key(r)
+	}
+	for c, col := range schema.Cols {
+		switch col.Type {
+		case types.Int:
+			vals := make([]int64, n)
+			z := &seg.Zones[c]
+			for i, r := range rows {
+				v := r[c].Int()
+				vals[i] = v
+				if i == 0 || v < z.MinInt {
+					z.MinInt = v
+				}
+				if i == 0 || v > z.MaxInt {
+					z.MaxInt = v
+				}
+			}
+			z.valid = true
+			seg.Cols[c] = EncodeInts(vals)
+		case types.Float:
+			vals := make([]float64, n)
+			z := &seg.Zones[c]
+			for i, r := range rows {
+				v := r[c].Float()
+				vals[i] = v
+				if i == 0 || v < z.MinFloat {
+					z.MinFloat = v
+				}
+				if i == 0 || v > z.MaxFloat {
+					z.MaxFloat = v
+				}
+			}
+			z.valid = true
+			seg.Cols[c] = EncodeFloats(vals)
+		case types.String:
+			vals := make([]string, n)
+			z := &seg.Zones[c]
+			for i, r := range rows {
+				v := r[c].Str()
+				vals[i] = v
+				if i == 0 || v < z.MinStr {
+					z.MinStr = v
+				}
+				if i == 0 || v > z.MaxStr {
+					z.MaxStr = v
+				}
+			}
+			z.valid = true
+			seg.Cols[c] = EncodeStrings(vals)
+		default:
+			panic(fmt.Sprintf("colstore: unsupported column type %v", col.Type))
+		}
+	}
+	return seg
+}
+
+func (t *Table) addSegment(seg *Segment) {
+	t.mu.Lock()
+	t.addSegmentLocked(seg)
+	t.mu.Unlock()
+}
+
+func (t *Table) addSegmentLocked(seg *Segment) {
+	si := len(t.segs)
+	t.segs = append(t.segs, seg)
+	for i, k := range seg.Keys {
+		if old, ok := t.locator[k]; ok {
+			// Upsert: the new image supersedes the old row.
+			t.segs[old.seg].DeleteRow(old.idx)
+		}
+		t.locator[k] = loc{si, i}
+	}
+}
+
+// Append buffers one row, sealing a full segment every SegmentRows rows.
+// Bulk loaders call it per row; the buffered tail becomes visible to scans
+// and key lookups at the next Flush (Segments, GetKey and DeleteKey flush
+// implicitly).
+func (t *Table) Append(row types.Row) {
+	t.mu.Lock()
+	t.buf = append(t.buf, row)
+	if len(t.buf) >= SegmentRows {
+		t.flushLocked()
+	}
+	t.mu.Unlock()
+}
+
+// Flush seals any buffered rows into a segment.
+func (t *Table) Flush() {
+	t.mu.Lock()
+	t.flushLocked()
+	t.mu.Unlock()
+}
+
+func (t *Table) flushLocked() {
+	if len(t.buf) == 0 {
+		return
+	}
+	t.addSegmentLocked(buildSegment(t.Schema, t.buf))
+	t.buf = nil
+}
+
+// AppendRows seals rows directly into one or more segments; merges use it.
+func (t *Table) AppendRows(rows []types.Row) {
+	for len(rows) > 0 {
+		n := len(rows)
+		if n > SegmentRows {
+			n = SegmentRows
+		}
+		t.addSegment(buildSegment(t.Schema, rows[:n]))
+		rows = rows[n:]
+	}
+}
+
+// DeleteKey marks the live image of key deleted, reporting whether it was
+// present.
+func (t *Table) DeleteKey(key int64) bool {
+	t.mu.Lock()
+	t.flushLocked()
+	l, ok := t.locator[key]
+	var seg *Segment
+	if ok {
+		delete(t.locator, key)
+		seg = t.segs[l.seg]
+	}
+	t.mu.Unlock()
+	if !ok {
+		return false
+	}
+	seg.DeleteRow(l.idx)
+	return true
+}
+
+// GetKey materializes the live image of key, if present.
+func (t *Table) GetKey(key int64) (types.Row, bool) {
+	t.mu.RLock()
+	if len(t.buf) > 0 {
+		t.mu.RUnlock()
+		t.Flush()
+		t.mu.RLock()
+	}
+	l, ok := t.locator[key]
+	var seg *Segment
+	if ok {
+		seg = t.segs[l.seg]
+	}
+	t.mu.RUnlock()
+	if !ok || seg.Deleted(l.idx) {
+		return nil, false
+	}
+	return seg.Row(l.idx), true
+}
+
+// Segments returns a snapshot of the sealed segments, flushing any
+// buffered loads first.
+func (t *Table) Segments() []*Segment {
+	t.mu.RLock()
+	if len(t.buf) > 0 {
+		t.mu.RUnlock()
+		t.Flush()
+		t.mu.RLock()
+	}
+	defer t.mu.RUnlock()
+	return append([]*Segment(nil), t.segs...)
+}
+
+// LiveRows returns the number of live rows across all segments.
+func (t *Table) LiveRows() int {
+	n := 0
+	for _, s := range t.Segments() {
+		n += s.LiveCount()
+	}
+	return n
+}
+
+// Bytes estimates the memory footprint of all segments.
+func (t *Table) Bytes() int {
+	n := 0
+	for _, s := range t.Segments() {
+		n += s.Bytes()
+	}
+	return n
+}
+
+// Applied returns the commit watermark the segments cover; rows committed
+// after it are only visible through a delta store. This is the freshness
+// boundary of §2.2(2).
+func (t *Table) Applied() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.applied
+}
+
+// SetApplied raises the applied watermark.
+func (t *Table) SetApplied(ts uint64) {
+	t.mu.Lock()
+	if ts > t.applied {
+		t.applied = ts
+	}
+	t.mu.Unlock()
+}
+
+// Reset discards all segments; rebuild-from-row-store uses it.
+func (t *Table) Reset() {
+	t.mu.Lock()
+	t.segs = nil
+	t.buf = nil
+	t.locator = make(map[int64]loc)
+	t.applied = 0
+	t.rebuild++
+	t.mu.Unlock()
+}
+
+// NoteMerge bumps the merge counter (stats only).
+func (t *Table) NoteMerge() {
+	t.mu.Lock()
+	t.merges++
+	t.mu.Unlock()
+}
+
+// Stats describes a table's physical state.
+type Stats struct {
+	Segments int
+	LiveRows int
+	Bytes    int
+	Merges   int64
+	Rebuilds int64
+	Applied  uint64
+}
+
+// Stats returns a snapshot of table statistics.
+func (t *Table) Stats() Stats {
+	t.mu.RLock()
+	segs := append([]*Segment(nil), t.segs...)
+	st := Stats{Segments: len(segs), Merges: t.merges, Rebuilds: t.rebuild, Applied: t.applied}
+	t.mu.RUnlock()
+	for _, s := range segs {
+		st.LiveRows += s.LiveCount()
+		st.Bytes += s.Bytes()
+	}
+	return st
+}

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htap/internal/colstore"
+	"htap/internal/datasync"
+	"htap/internal/delta"
+	"htap/internal/disk"
+	"htap/internal/exec"
+	"htap/internal/freshness"
+	"htap/internal/rowstore"
+	"htap/internal/sched"
+	"htap/internal/txn"
+	"htap/internal/types"
+	"htap/internal/wal"
+)
+
+// SyncStrategy selects the data-synchronization technique of an engine.
+type SyncStrategy uint8
+
+// Synchronization strategies (paper §2.2(3)).
+const (
+	SyncMerge   SyncStrategy = iota + 1 // in-memory / log-based delta merge
+	SyncRebuild                         // rebuild from the primary row store
+)
+
+// ConfigA configures architecture A.
+type ConfigA struct {
+	Schemas []*types.Schema
+	// SyncInterval enables a background synchronization loop; zero means
+	// sync only on explicit Sync() calls (or via the Threshold below).
+	SyncInterval time.Duration
+	// Threshold triggers merges from the background loop.
+	Threshold datasync.Threshold
+	// Strategy picks delta merge (default) or full rebuild.
+	Strategy SyncStrategy
+}
+
+// EngineA is architecture A: a memory-optimized primary row store handles
+// OLTP; committed writes are "also appended to the delta store which will
+// be merged to the column store" (§2.1(a)); analytical queries perform the
+// in-memory delta + column scan.
+type EngineA struct {
+	ts      *tableSet
+	mgr     *txn.Manager
+	walDev  *disk.Device
+	wal     *wal.Log
+	rows    []*rowstore.Store
+	cols    []*colstore.Table
+	deltas  []*delta.Mem
+	tracker *freshness.Tracker
+	mode    atomic.Uint32
+	cfg     ConfigA
+
+	syncMu sync.Mutex
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	idxMu     sync.RWMutex
+	secondary map[string]*rowstore.SecondaryIndex
+}
+
+// NewEngineA builds architecture A over the given schemas.
+func NewEngineA(cfg ConfigA) *EngineA {
+	if cfg.Strategy == 0 {
+		cfg.Strategy = SyncMerge
+	}
+	e := &EngineA{
+		ts:      newTableSet(cfg.Schemas),
+		mgr:     txn.NewManager(),
+		walDev:  disk.New(disk.DefaultConfig()),
+		tracker: freshness.NewTracker(),
+		cfg:     cfg,
+		stop:    make(chan struct{}),
+	}
+	e.wal = wal.New(e.walDev, "wal-a")
+	for i, s := range cfg.Schemas {
+		e.rows = append(e.rows, rowstore.New(uint32(i), s))
+		e.cols = append(e.cols, colstore.NewTable(s))
+		e.deltas = append(e.deltas, delta.NewMem())
+	}
+	e.mode.Store(uint32(sched.Shared))
+	if cfg.SyncInterval > 0 {
+		e.wg.Add(1)
+		go e.syncLoop()
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *EngineA) Name() string { return "primary-row+inmem-col" }
+
+// Arch implements Engine.
+func (e *EngineA) Arch() Arch { return ArchA }
+
+// Tables implements Engine.
+func (e *EngineA) Tables() []*types.Schema { return e.ts.schemas }
+
+// Schema implements Engine.
+func (e *EngineA) Schema(table string) *types.Schema { return e.ts.schema(table) }
+
+func (e *EngineA) syncLoop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.cfg.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-t.C:
+			if e.shouldSync() {
+				e.Sync()
+			}
+		}
+	}
+}
+
+func (e *EngineA) shouldSync() bool {
+	if e.cfg.Threshold == (datasync.Threshold{}) {
+		return true // interval-driven
+	}
+	cur := e.mgr.Oracle().Watermark()
+	for i, d := range e.deltas {
+		if e.cfg.Threshold.ShouldSync(d.Unmerged(), cur, e.cols[i].Applied()) {
+			return true
+		}
+	}
+	return false
+}
+
+// txA is the architecture-A transaction.
+type txA struct {
+	e  *EngineA
+	tx *txn.Txn
+}
+
+// Begin implements Engine.
+func (e *EngineA) Begin() Tx { return &txA{e: e, tx: e.mgr.Begin()} }
+
+func (t *txA) store(table string) (*rowstore.Store, error) {
+	id, err := t.e.ts.id(table)
+	if err != nil {
+		return nil, err
+	}
+	return t.e.rows[id], nil
+}
+
+func (t *txA) Get(table string, key int64) (types.Row, error) {
+	s, err := t.store(table)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.Get(t.tx, key)
+	if errors.Is(err, rowstore.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return r, err
+}
+
+func (t *txA) Insert(table string, row types.Row) error {
+	s, err := t.store(table)
+	if err != nil {
+		return err
+	}
+	return s.Insert(t.tx, row)
+}
+
+func (t *txA) Update(table string, row types.Row) error {
+	s, err := t.store(table)
+	if err != nil {
+		return err
+	}
+	return s.Update(t.tx, row)
+}
+
+func (t *txA) Delete(table string, key int64) error {
+	s, err := t.store(table)
+	if err != nil {
+		return err
+	}
+	err = s.Delete(t.tx, key)
+	if errors.Is(err, rowstore.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+
+func (t *txA) Commit() error {
+	e := t.e
+	ts, err := t.tx.Commit(func(commitTS uint64, writes []txn.Write) error {
+		// MVCC + logging (§2.2(1)(i)): redo first, then install, then the
+		// delta store.
+		for _, s := range e.rows {
+			if err := s.LogWrites(e.wal, t.tx.ID, writes); err != nil {
+				return err
+			}
+		}
+		if _, err := e.wal.Append(wal.Record{Txn: t.tx.ID, Type: wal.RecCommit}); err != nil {
+			return err
+		}
+		byTable := groupWrites(writes)
+		for id, ws := range byTable {
+			e.rows[id].Apply(commitTS, ws)
+			e.deltas[id].Append(commitTS, ws)
+		}
+		return nil
+	})
+	if err != nil {
+		return wrapTxnErr(err)
+	}
+	if t.tx.Pending() > 0 {
+		e.tracker.Committed(ts)
+	}
+	return nil
+}
+
+func (t *txA) Abort() { t.tx.Abort() }
+
+// Load implements Engine.
+func (e *EngineA) Load(table string, row types.Row) error {
+	id, err := e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	if err := e.rows[id].Load(row); err != nil {
+		return err
+	}
+	e.cols[id].Append(row)
+	return nil
+}
+
+// Source implements Engine: the in-memory delta + column scan of
+// §2.2(2)(i). In Isolated mode the delta is skipped (stale but
+// interference-free), which is what freshness-driven scheduling toggles.
+func (e *EngineA) Source(table string, cols []string, pred *exec.ScanPred) exec.Source {
+	id := e.ts.mustID(table)
+	var overlay *delta.Overlay
+	if sched.Mode(e.mode.Load()) == sched.Shared {
+		overlay = e.deltas[id].Overlay(e.mgr.Oracle().Watermark())
+	}
+	return exec.NewColScan(e.cols[id], cols, pred, overlay)
+}
+
+// Query implements Engine.
+func (e *EngineA) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+	return exec.From(e.Source(table, cols, pred))
+}
+
+// Sync implements Engine.
+func (e *EngineA) Sync() {
+	e.syncMu.Lock()
+	defer e.syncMu.Unlock()
+	upTo := e.mgr.Oracle().Watermark()
+	for i := range e.cols {
+		if e.cfg.Strategy == SyncRebuild {
+			datasync.Rebuild(e.cols[i], e.rows[i], e.deltas[i], upTo)
+		} else {
+			datasync.MergeDelta(e.cols[i], e.deltas[i], upTo)
+		}
+	}
+	e.tracker.Applied(upTo)
+}
+
+// GC reclaims row versions older than the current watermark that are
+// shadowed by newer ones; §2.2(1)'s MVCC leaves them behind. It returns
+// the number of reclaimed versions.
+func (e *EngineA) GC() int64 {
+	ts := e.mgr.Oracle().Watermark()
+	var reclaimed int64
+	for _, s := range e.rows {
+		reclaimed += s.GC(ts)
+	}
+	return reclaimed
+}
+
+// SetMode implements Engine.
+func (e *EngineA) SetMode(m sched.Mode) { e.mode.Store(uint32(m)) }
+
+// Freshness implements Engine. In Shared mode the analytical view scans
+// the in-memory delta and therefore sees every commit (§2.2(2)(i): "the
+// data freshness is high"); in Isolated mode staleness is bounded by the
+// last merge.
+func (e *EngineA) Freshness() freshness.Snapshot {
+	if sched.Mode(e.mode.Load()) == sched.Shared {
+		return e.tracker.ReadWithApplied(e.mgr.Oracle().Watermark())
+	}
+	return e.tracker.Read()
+}
+
+// Stats implements Engine.
+func (e *EngineA) Stats() Stats {
+	ts := e.mgr.Stats()
+	st := Stats{Commits: ts.Commits, Aborts: ts.Aborts, Conflicts: ts.Conflicts, Disk: e.walDev.Stats()}
+	for i := range e.cols {
+		cs := e.cols[i].Stats()
+		st.Merges += cs.Merges
+		st.Rebuilds += cs.Rebuilds
+		st.ColBytes += cs.Bytes
+		st.DeltaRows += e.deltas[i].Unmerged()
+	}
+	return st
+}
+
+// Close implements Engine.
+func (e *EngineA) Close() {
+	close(e.stop)
+	e.wg.Wait()
+}
+
+// groupWrites splits a write set by table id.
+func groupWrites(writes []txn.Write) map[uint32][]txn.Write {
+	m := make(map[uint32][]txn.Write)
+	for _, w := range writes {
+		m[w.Table] = append(m[w.Table], w)
+	}
+	return m
+}
+
+// wrapTxnErr marks concurrency-control failures retryable for Exec.
+func wrapTxnErr(err error) error {
+	if errors.Is(err, txn.ErrConflict) || errors.Is(err, txn.ErrReadStale) {
+		return errors.Join(errRetry, err)
+	}
+	return err
+}
+
+// AddIndex implements Indexer.
+func (e *EngineA) AddIndex(table, name string, key func(types.Row) int64) error {
+	id, err := e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	if e.secondary == nil {
+		e.secondary = make(map[string]*rowstore.SecondaryIndex)
+	}
+	if _, dup := e.secondary[table+"/"+name]; dup {
+		return fmt.Errorf("core: index %s/%s already exists", table, name)
+	}
+	e.secondary[table+"/"+name] = e.rows[id].AddIndex(name, key)
+	return nil
+}
+
+// IndexLookup implements Indexer.
+func (e *EngineA) IndexLookup(table, name string, k int64) []int64 {
+	e.idxMu.RLock()
+	ix := e.secondary[table+"/"+name]
+	e.idxMu.RUnlock()
+	if ix == nil {
+		return nil
+	}
+	return ix.Lookup(k)
+}

@@ -1,0 +1,526 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htap/internal/cluster"
+	"htap/internal/colstore"
+	"htap/internal/datasync"
+	"htap/internal/delta"
+	"htap/internal/disk"
+	"htap/internal/exec"
+	"htap/internal/freshness"
+	"htap/internal/rowstore"
+	"htap/internal/sched"
+	"htap/internal/twopc"
+	"htap/internal/txn"
+	"htap/internal/types"
+)
+
+// ConfigB configures architecture B.
+type ConfigB struct {
+	Schemas     []*types.Schema
+	Partitions  int
+	VotersPer   int // row-store replicas per partition (TiKV peers)
+	LearnersPer int // columnar replicas per partition (TiFlash peers)
+	NetLatency  time.Duration
+	// MergeInterval is the learners' background log-delta merge cadence;
+	// zero merges only on explicit Sync().
+	MergeInterval time.Duration
+}
+
+// voterStorage is one voting replica's state: MVCC row stores per table.
+type voterStorage struct {
+	rows []*rowstore.Store
+}
+
+func newVoterStorage(schemas []*types.Schema) *voterStorage {
+	v := &voterStorage{}
+	for i, s := range schemas {
+		v.rows = append(v.rows, rowstore.New(uint32(i), s))
+	}
+	return v
+}
+
+// LatestVersion implements twopc.Storage.
+func (v *voterStorage) LatestVersion(table uint32, key int64) uint64 {
+	return v.rows[table].LatestVersion(key)
+}
+
+// ApplyMutations implements twopc.Storage.
+func (v *voterStorage) ApplyMutations(commitTS uint64, muts []cluster.Mutation) {
+	byTable := make(map[uint32][]txn.Write)
+	for _, m := range muts {
+		byTable[m.Table] = append(byTable[m.Table], txn.Write{Table: m.Table, Key: m.Key, Op: m.Op, Row: m.Row})
+	}
+	for id, ws := range byTable {
+		v.rows[id].Apply(commitTS, ws)
+	}
+}
+
+// learnerStorage is one columnar replica's state: per-table log-based
+// delta files on a simulated disk plus the column store they merge into.
+type learnerStorage struct {
+	dev    *disk.Device
+	deltas []*delta.Log
+	cols   []*colstore.Table
+}
+
+func newLearnerStorage(pid int, schemas []*types.Schema) *learnerStorage {
+	l := &learnerStorage{dev: disk.New(disk.DefaultConfig())}
+	for i, s := range schemas {
+		l.deltas = append(l.deltas, delta.NewLog(l.dev, fmt.Sprintf("p%d-t%d-delta", pid, i)))
+		l.cols = append(l.cols, colstore.NewTable(s))
+	}
+	return l
+}
+
+// LatestVersion implements twopc.Storage. It must agree with the voters'
+// answer for determinism: every write flows through the same log, so the
+// newest delta entry's timestamp equals the row store's newest version.
+func (l *learnerStorage) LatestVersion(table uint32, key int64) uint64 {
+	return l.deltas[table].LatestTS(key)
+}
+
+// ApplyMutations implements twopc.Storage: committed writes land in the
+// log-based delta files (the TiFlash write path).
+func (l *learnerStorage) ApplyMutations(commitTS uint64, muts []cluster.Mutation) {
+	byTable := make(map[uint32][]txn.Write)
+	for _, m := range muts {
+		byTable[m.Table] = append(byTable[m.Table], txn.Write{Table: m.Table, Key: m.Key, Op: m.Op, Row: m.Row})
+	}
+	for id, ws := range byTable {
+		l.deltas[id].Append(commitTS, ws)
+	}
+}
+
+// EngineB is architecture B (TiDB, §2.1(b)): transactions run under
+// 2PC + Raft + logging across partitioned row-store replicas; the same
+// Raft logs feed learner replicas holding columnar data, which merge their
+// log-based delta files in the background. Workload isolation is high —
+// analytical scans touch only learner state — and freshness is bounded by
+// replication plus merge lag.
+type EngineB struct {
+	ts     *tableSet
+	oracle *txn.Oracle
+	c      *cluster.Cluster
+	coord  *twopc.Coordinator
+	cfg    ConfigB
+
+	voters   map[int]map[int]*voterStorage // pid -> nodeID
+	learners map[int]map[int]*learnerStorage
+	parts    map[int]map[int]*twopc.Participant
+
+	tracker *freshness.Tracker
+	mode    atomic.Uint32
+	commits atomic.Int64
+	aborts  atomic.Int64
+	// lastCommit tracks, per partition, the highest commit timestamp that
+	// touched it; learners that applied up to it are fully caught up.
+	lastCommit []atomic.Uint64
+
+	syncMu sync.Mutex
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewEngineB builds and starts architecture B.
+func NewEngineB(cfg ConfigB) *EngineB {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 2
+	}
+	if cfg.VotersPer <= 0 {
+		cfg.VotersPer = 3
+	}
+	if cfg.LearnersPer <= 0 {
+		cfg.LearnersPer = 1
+	}
+	e := &EngineB{
+		ts:       newTableSet(cfg.Schemas),
+		oracle:   &txn.Oracle{},
+		cfg:      cfg,
+		voters:   make(map[int]map[int]*voterStorage),
+		learners: make(map[int]map[int]*learnerStorage),
+		parts:    make(map[int]map[int]*twopc.Participant),
+		tracker:  freshness.NewTracker(),
+		stop:     make(chan struct{}),
+	}
+	e.lastCommit = make([]atomic.Uint64, cfg.Partitions)
+	for pid := 0; pid < cfg.Partitions; pid++ {
+		e.voters[pid] = make(map[int]*voterStorage)
+		e.learners[pid] = make(map[int]*learnerStorage)
+		e.parts[pid] = make(map[int]*twopc.Participant)
+		for n := 0; n < cfg.VotersPer; n++ {
+			vs := newVoterStorage(cfg.Schemas)
+			e.voters[pid][n] = vs
+			e.parts[pid][n] = twopc.NewParticipant(vs)
+		}
+		for n := cfg.VotersPer; n < cfg.VotersPer+cfg.LearnersPer; n++ {
+			ls := newLearnerStorage(pid, cfg.Schemas)
+			e.learners[pid][n] = ls
+			e.parts[pid][n] = twopc.NewParticipant(ls)
+		}
+	}
+	e.c = cluster.New(cluster.Config{
+		Partitions: cfg.Partitions, VotersPer: cfg.VotersPer, LearnersPer: cfg.LearnersPer,
+		NetLatency: cfg.NetLatency, CompactEvery: 4096,
+		ApplyRaw: func(part, nodeID int, learner bool, cmd []byte) {
+			e.parts[part][nodeID].Apply(cmd)
+		},
+	})
+	if err := e.c.WaitReady(10 * time.Second); err != nil {
+		panic(err)
+	}
+	e.coord = twopc.NewCoordinator(e.c, e.oracle, func(part int) *twopc.Participant {
+		l := e.c.Partitions[part].Leader()
+		if l == nil {
+			return e.parts[part][0]
+		}
+		return e.parts[part][l.Status().ID]
+	})
+	e.mode.Store(uint32(sched.Shared))
+	if cfg.MergeInterval > 0 {
+		e.wg.Add(1)
+		go e.mergeLoop()
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *EngineB) Name() string { return "dist-row+col-replica" }
+
+// Arch implements Engine.
+func (e *EngineB) Arch() Arch { return ArchB }
+
+// Tables implements Engine.
+func (e *EngineB) Tables() []*types.Schema { return e.ts.schemas }
+
+// Schema implements Engine.
+func (e *EngineB) Schema(table string) *types.Schema { return e.ts.schema(table) }
+
+func (e *EngineB) mergeLoop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.cfg.MergeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-t.C:
+			e.Sync()
+		}
+	}
+}
+
+// leaderStorage returns the row stores of a partition's current leader.
+func (e *EngineB) leaderStorage(pid int) *voterStorage {
+	l := e.c.Partitions[pid].Leader()
+	if l == nil {
+		return e.voters[pid][0]
+	}
+	return e.voters[pid][l.Status().ID]
+}
+
+// txB is a distributed transaction: reads go to partition leaders at the
+// snapshot, writes buffer locally and commit through 2PC.
+type txB struct {
+	e      *EngineB
+	readTS uint64
+	muts   []cluster.Mutation
+	idx    map[[2]int64]int // (table, key) -> muts index
+	done   bool
+}
+
+// Begin implements Engine.
+func (e *EngineB) Begin() Tx {
+	return &txB{e: e, readTS: e.oracle.Watermark(), idx: make(map[[2]int64]int)}
+}
+
+func (t *txB) key(table uint32, key int64) [2]int64 { return [2]int64{int64(table), key} }
+
+func (t *txB) ownWrite(table uint32, key int64) (cluster.Mutation, bool) {
+	if i, ok := t.idx[t.key(table, key)]; ok {
+		return t.muts[i], true
+	}
+	return cluster.Mutation{}, false
+}
+
+func (t *txB) Get(table string, key int64) (types.Row, error) {
+	id, err := t.e.ts.id(table)
+	if err != nil {
+		return nil, err
+	}
+	if m, ok := t.ownWrite(id, key); ok {
+		if m.Op == txn.OpDelete {
+			return nil, ErrNotFound
+		}
+		return m.Row, nil
+	}
+	pid := t.e.c.Route(id, key).ID
+	r, err := t.e.leaderStorage(pid).rows[id].GetAt(t.readTS, key)
+	if errors.Is(err, rowstore.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return r, err
+}
+
+func (t *txB) buffer(id uint32, key int64, op txn.Op, row types.Row) {
+	k := t.key(id, key)
+	if i, ok := t.idx[k]; ok {
+		t.muts[i].Op = op
+		t.muts[i].Row = row
+		return
+	}
+	t.idx[k] = len(t.muts)
+	t.muts = append(t.muts, cluster.Mutation{Table: id, Key: key, Op: op, Row: row})
+}
+
+func (t *txB) Insert(table string, row types.Row) error {
+	id, err := t.e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	if err := t.e.ts.schemas[id].Validate(row); err != nil {
+		return err
+	}
+	key := t.e.ts.schemas[id].Key(row)
+	if _, err := t.Get(table, key); err == nil {
+		return errors.Join(errRetry, errors.New("core: duplicate key"))
+	}
+	t.buffer(id, key, txn.OpInsert, row)
+	return nil
+}
+
+func (t *txB) Update(table string, row types.Row) error {
+	id, err := t.e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	if err := t.e.ts.schemas[id].Validate(row); err != nil {
+		return err
+	}
+	key := t.e.ts.schemas[id].Key(row)
+	if _, err := t.Get(table, key); err != nil {
+		return err
+	}
+	t.buffer(id, key, txn.OpUpdate, row)
+	return nil
+}
+
+func (t *txB) Delete(table string, key int64) error {
+	id, err := t.e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	if _, err := t.Get(table, key); err != nil {
+		return err
+	}
+	t.buffer(id, key, txn.OpDelete, nil)
+	return nil
+}
+
+func (t *txB) Commit() error {
+	if t.done {
+		return txn.ErrFinished
+	}
+	t.done = true
+	if len(t.muts) == 0 {
+		t.e.commits.Add(1)
+		return nil
+	}
+	ts, err := t.e.coord.Commit(t.readTS, t.muts)
+	if err != nil {
+		t.e.aborts.Add(1)
+		if errors.Is(err, twopc.ErrConflict) {
+			return errors.Join(errRetry, err)
+		}
+		return err
+	}
+	t.e.commits.Add(1)
+	seen := make(map[int]bool)
+	for _, m := range t.muts {
+		pid := t.e.c.Route(m.Table, m.Key).ID
+		if seen[pid] {
+			continue
+		}
+		seen[pid] = true
+		lc := &t.e.lastCommit[pid]
+		for {
+			cur := lc.Load()
+			if ts <= cur || lc.CompareAndSwap(cur, ts) {
+				break
+			}
+		}
+	}
+	t.e.tracker.Committed(ts)
+	return nil
+}
+
+func (t *txB) Abort() {
+	if !t.done {
+		t.done = true
+		t.e.aborts.Add(1)
+	}
+}
+
+// Load implements Engine: rows are installed directly on every replica of
+// the owning partition (row stores on voters, column stores on learners),
+// bypassing consensus, so experiments start from a synchronized state.
+func (e *EngineB) Load(table string, row types.Row) error {
+	id, err := e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	if err := e.ts.schemas[id].Validate(row); err != nil {
+		return err
+	}
+	pid := e.c.Route(id, e.ts.schemas[id].Key(row)).ID
+	for _, vs := range e.voters[pid] {
+		if err := vs.rows[id].Load(row); err != nil {
+			return err
+		}
+	}
+	for _, ls := range e.learners[pid] {
+		ls.cols[id].Append(row)
+	}
+	return nil
+}
+
+// Source implements Engine: the log-based delta + column scan of
+// §2.2(2)(ii), executed in parallel across the per-partition learner
+// replicas. Isolated mode scans only merged columnar data.
+func (e *EngineB) Source(table string, cols []string, pred *exec.ScanPred) exec.Source {
+	id := e.ts.mustID(table)
+	shared := sched.Mode(e.mode.Load()) == sched.Shared
+	var srcs []exec.Source
+	for pid := 0; pid < e.cfg.Partitions; pid++ {
+		for _, ls := range e.learners[pid] {
+			var overlay *delta.Overlay
+			if shared {
+				overlay = ls.deltas[id].Overlay(e.oracle.Watermark())
+			}
+			srcs = append(srcs, exec.NewColScan(ls.cols[id], cols, pred, overlay))
+			break // one learner per partition serves queries
+		}
+	}
+	return exec.NewParallel(srcs...)
+}
+
+// Query implements Engine.
+func (e *EngineB) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+	return exec.From(e.Source(table, cols, pred))
+}
+
+// Sync implements Engine: every learner merges its log-based delta files
+// into its column store, up to what replication has delivered to it.
+func (e *EngineB) Sync() {
+	e.syncMu.Lock()
+	defer e.syncMu.Unlock()
+	for pid := 0; pid < e.cfg.Partitions; pid++ {
+		for n, ls := range e.learners[pid] {
+			upTo := e.parts[pid][n].AppliedTS()
+			for tid := range ls.cols {
+				datasync.MergeDelta(ls.cols[tid], ls.deltas[tid], upTo)
+			}
+		}
+	}
+	e.tracker.Applied(e.minColApplied())
+}
+
+// minColApplied is the freshness watermark of the analytical view: per
+// partition, a learner whose merged watermark has reached everything the
+// partition ever committed is caught up to the global watermark (an idle
+// partition cannot hold freshness back); otherwise its merged watermark
+// counts. The minimum across partitions is the view's watermark.
+func (e *EngineB) minColApplied() uint64 {
+	global := e.oracle.Watermark()
+	min := global
+	for pid := 0; pid < e.cfg.Partitions; pid++ {
+		last := e.lastCommit[pid].Load()
+		for _, ls := range e.learners[pid] {
+			merged := uint64(1<<63 - 1)
+			for _, c := range ls.cols {
+				if a := c.Applied(); a < merged {
+					merged = a
+				}
+			}
+			eff := merged
+			if merged >= last {
+				eff = global
+			}
+			if eff < min {
+				min = eff
+			}
+		}
+	}
+	return min
+}
+
+// SetMode implements Engine.
+func (e *EngineB) SetMode(m sched.Mode) { e.mode.Store(uint32(m)) }
+
+// Freshness implements Engine. Even in Shared mode the analytical view is
+// only as fresh as what replication has delivered to the learners; in
+// Isolated mode it is further bounded by the last log-delta merge. This is
+// the paper's "the data freshness is low since newly-updated data may have
+// not been merged to the column store".
+func (e *EngineB) Freshness() freshness.Snapshot {
+	if sched.Mode(e.mode.Load()) == sched.Shared {
+		return e.tracker.ReadWithApplied(e.minLearnerApplied())
+	}
+	return e.tracker.Read()
+}
+
+// minLearnerApplied is the replication watermark: the lowest commit
+// timestamp fully delivered to each partition's learner (idle partitions
+// count as caught up).
+func (e *EngineB) minLearnerApplied() uint64 {
+	global := e.oracle.Watermark()
+	min := global
+	for pid := 0; pid < e.cfg.Partitions; pid++ {
+		last := e.lastCommit[pid].Load()
+		for n := range e.learners[pid] {
+			applied := e.parts[pid][n].AppliedTS()
+			eff := applied
+			if applied >= last {
+				eff = global
+			}
+			if eff < min {
+				min = eff
+			}
+		}
+	}
+	return min
+}
+
+// Stats implements Engine.
+func (e *EngineB) Stats() Stats {
+	st := Stats{Commits: e.commits.Load(), Aborts: e.aborts.Load()}
+	for pid := 0; pid < e.cfg.Partitions; pid++ {
+		for _, ls := range e.learners[pid] {
+			d := ls.dev.Stats()
+			st.Disk.ReadOps += d.ReadOps
+			st.Disk.WriteOps += d.WriteOps
+			st.Disk.ReadBytes += d.ReadBytes
+			st.Disk.WriteBytes += d.WriteBytes
+			for tid := range ls.cols {
+				cs := ls.cols[tid].Stats()
+				st.Merges += cs.Merges
+				st.ColBytes += cs.Bytes
+				st.DeltaRows += ls.deltas[tid].Unmerged()
+			}
+		}
+	}
+	return st
+}
+
+// Close implements Engine.
+func (e *EngineB) Close() {
+	close(e.stop)
+	e.wg.Wait()
+	e.c.Stop()
+}

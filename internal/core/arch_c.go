@@ -1,0 +1,576 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"htap/internal/colsel"
+	"htap/internal/colstore"
+	"htap/internal/delta"
+	"htap/internal/disk"
+	"htap/internal/exec"
+	"htap/internal/freshness"
+	"htap/internal/planner"
+	"htap/internal/rowstore"
+	"htap/internal/sched"
+	"htap/internal/txn"
+	"htap/internal/types"
+	"htap/internal/wal"
+)
+
+// ConfigC configures architecture C.
+type ConfigC struct {
+	Schemas []*types.Schema
+	// Shards is the size of the distributed in-memory column-store
+	// cluster (Heatwave nodes).
+	Shards int
+	// BudgetBytes bounds the memory the column selection may fill;
+	// zero means unlimited (everything loads).
+	BudgetBytes int
+	// Policy is the column-selection policy (Static Heatmap or Decay).
+	Policy colsel.Policy
+	// Disk is the row-store device cost model.
+	Disk disk.Config
+	// Cost drives the hybrid row/column access-path choice.
+	Cost planner.CostParams
+}
+
+// imcsTable is one table's footprint in the in-memory column-store
+// cluster: a projected schema over the selected columns, sharded by key
+// hash across the cluster.
+type imcsTable struct {
+	mu     sync.RWMutex
+	loaded map[string]bool // selected column names (always includes the key)
+	proj   *types.Schema   // projected schema, nil when not loaded
+	shards []*colstore.Table
+	delta  *delta.Mem
+	rows   int64
+}
+
+// EngineC is architecture C (MySQL Heatwave, §2.1(c)): a disk-backed row
+// store "preserves the full capacity for OLTP workloads", while frequently
+// accessed columns are extracted into a distributed in-memory column
+// store; analytical queries are pushed down when their columns are loaded
+// and the cost model prefers the columnar path, else they fall back to the
+// (expensive) disk row scan.
+type EngineC struct {
+	ts      *tableSet
+	mgr     *txn.Manager
+	walDev  *disk.Device
+	rowDev  *disk.Device
+	wal     *wal.Log
+	rows    []*rowstore.Store
+	imcs    []*imcsTable
+	advisor *colsel.Advisor
+	cfg     ConfigC
+	tracker *freshness.Tracker
+	mode    atomic.Uint32
+
+	syncMu    sync.Mutex
+	pushdowns atomic.Int64
+	fallbacks atomic.Int64
+
+	idxMu     sync.RWMutex
+	secondary map[string]*rowstore.SecondaryIndex
+}
+
+// NewEngineC builds architecture C.
+func NewEngineC(cfg ConfigC) *EngineC {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Disk == (disk.Config{}) {
+		cfg.Disk = disk.DefaultConfig()
+	}
+	if cfg.Cost == (planner.CostParams{}) {
+		cfg.Cost = planner.DefaultCostParams()
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = colsel.Static
+	}
+	e := &EngineC{
+		ts:      newTableSet(cfg.Schemas),
+		mgr:     txn.NewManager(),
+		walDev:  disk.New(disk.DefaultConfig()),
+		rowDev:  disk.New(cfg.Disk),
+		advisor: colsel.NewAdvisor(cfg.Policy, 0.8),
+		cfg:     cfg,
+		tracker: freshness.NewTracker(),
+	}
+	e.wal = wal.New(e.walDev, "wal-c")
+	for i, s := range cfg.Schemas {
+		e.rows = append(e.rows, rowstore.NewDiskBacked(uint32(i), s, e.rowDev))
+		e.imcs = append(e.imcs, &imcsTable{loaded: make(map[string]bool), delta: delta.NewMem()})
+	}
+	e.mode.Store(uint32(sched.Shared))
+	return e
+}
+
+// Name implements Engine.
+func (e *EngineC) Name() string { return "disk-row+dist-col" }
+
+// Arch implements Engine.
+func (e *EngineC) Arch() Arch { return ArchC }
+
+// Tables implements Engine.
+func (e *EngineC) Tables() []*types.Schema { return e.ts.schemas }
+
+// Schema implements Engine.
+func (e *EngineC) Schema(table string) *types.Schema { return e.ts.schema(table) }
+
+// txC reuses the MVCC row-store transaction of architecture A; only the
+// storage (disk-backed) and the commit hook differ.
+type txC struct {
+	e  *EngineC
+	tx *txn.Txn
+}
+
+// Begin implements Engine.
+func (e *EngineC) Begin() Tx { return &txC{e: e, tx: e.mgr.Begin()} }
+
+func (t *txC) Get(table string, key int64) (types.Row, error) {
+	id, err := t.e.ts.id(table)
+	if err != nil {
+		return nil, err
+	}
+	r, err := t.e.rows[id].Get(t.tx, key)
+	if errors.Is(err, rowstore.ErrNotFound) {
+		return nil, ErrNotFound
+	}
+	return r, err
+}
+
+func (t *txC) Insert(table string, row types.Row) error {
+	id, err := t.e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	return t.e.rows[id].Insert(t.tx, row)
+}
+
+func (t *txC) Update(table string, row types.Row) error {
+	id, err := t.e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	return t.e.rows[id].Update(t.tx, row)
+}
+
+func (t *txC) Delete(table string, key int64) error {
+	id, err := t.e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	err = t.e.rows[id].Delete(t.tx, key)
+	if errors.Is(err, rowstore.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+
+func (t *txC) Commit() error {
+	e := t.e
+	ts, err := t.tx.Commit(func(commitTS uint64, writes []txn.Write) error {
+		for id, ws := range groupWrites(writes) {
+			if err := e.rows[id].LogWrites(e.wal, t.tx.ID, ws); err != nil {
+				return err
+			}
+			e.rows[id].Apply(commitTS, ws)
+			// Changes propagate to the IMCS only for loaded tables.
+			if e.imcs[id].isLoaded() {
+				e.imcs[id].delta.Append(commitTS, ws)
+			}
+		}
+		_, err := e.wal.Append(wal.Record{Txn: t.tx.ID, Type: wal.RecCommit})
+		return err
+	})
+	if err != nil {
+		return wrapTxnErr(err)
+	}
+	if t.tx.Pending() > 0 {
+		e.tracker.Committed(ts)
+	}
+	return nil
+}
+
+func (t *txC) Abort() { t.tx.Abort() }
+
+// Load implements Engine.
+func (e *EngineC) Load(table string, row types.Row) error {
+	id, err := e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	return e.rows[id].Load(row)
+}
+
+func (it *imcsTable) isLoaded() bool {
+	it.mu.RLock()
+	defer it.mu.RUnlock()
+	return it.proj != nil
+}
+
+func (it *imcsTable) covers(cols []string) bool {
+	it.mu.RLock()
+	defer it.mu.RUnlock()
+	if it.proj == nil {
+		return false
+	}
+	for _, c := range cols {
+		if !it.loaded[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// project maps a full row onto the IMCS projection.
+func projectRow(full *types.Schema, proj *types.Schema, r types.Row) types.Row {
+	out := make(types.Row, len(proj.Cols))
+	for i, c := range proj.Cols {
+		out[i] = r[full.MustCol(c.Name)]
+	}
+	return out
+}
+
+// shardFor routes a key to an IMCS shard.
+func shardFor(key int64, n int) int {
+	h := uint64(key) * 0x9e3779b97f4a7c15
+	return int(h % uint64(n))
+}
+
+// LoadColumns (re)extracts the given columns of a table into the IMCS,
+// replacing the previous projection. The key column is always included.
+func (e *EngineC) LoadColumns(table string, cols []string) {
+	id := e.ts.mustID(table)
+	full := e.ts.schemas[id]
+	keyName := full.Cols[full.KeyCol].Name
+	names := []string{keyName}
+	seen := map[string]bool{keyName: true}
+	for _, c := range cols {
+		if !seen[c] && full.ColIndex(c) >= 0 {
+			names = append(names, c)
+			seen[c] = true
+		}
+	}
+	projCols := make([]types.Column, len(names))
+	for i, n := range names {
+		projCols[i] = full.Cols[full.MustCol(n)]
+	}
+	proj := types.NewSchema(full.Name, 0, projCols...)
+
+	shards := make([]*colstore.Table, e.cfg.Shards)
+	builders := make([]*colstore.Builder, e.cfg.Shards)
+	for i := range shards {
+		shards[i] = colstore.NewTable(proj)
+		builders[i] = shards[i].NewBuilder()
+	}
+	snap := e.mgr.Oracle().Watermark()
+	n := int64(0)
+	e.rows[id].Scan(snap, func(key int64, r types.Row) bool {
+		builders[shardFor(key, len(builders))].Add(projectRow(full, proj, r))
+		n++
+		return true
+	})
+	for i := range builders {
+		builders[i].Flush()
+		shards[i].SetApplied(snap)
+	}
+	it := e.imcs[id]
+	it.mu.Lock()
+	it.loaded = seen
+	it.proj = proj
+	it.shards = shards
+	it.rows = n
+	it.delta = delta.NewMem()
+	it.mu.Unlock()
+}
+
+// Unload evicts a table from the IMCS.
+func (e *EngineC) Unload(table string) {
+	it := e.imcs[e.ts.mustID(table)]
+	it.mu.Lock()
+	it.loaded = make(map[string]bool)
+	it.proj = nil
+	it.shards = nil
+	it.rows = 0
+	it.delta = delta.NewMem()
+	it.mu.Unlock()
+}
+
+// Reselect runs the column-selection advisor over all tables and loads the
+// recommended projections under the memory budget (§2.2(4)(i)).
+func (e *EngineC) Reselect() colsel.Selection {
+	var cands []colsel.Candidate
+	for id, s := range e.ts.schemas {
+		rows := e.rows[id].Count(e.mgr.Oracle().Watermark())
+		for _, c := range s.Cols {
+			width := 8
+			if c.Type == types.String {
+				width = 24
+			}
+			cands = append(cands, colsel.Candidate{
+				ID:    colsel.ColumnID{Table: s.Name, Col: c.Name},
+				Bytes: width * (rows + 1),
+			})
+		}
+	}
+	budget := e.cfg.BudgetBytes
+	if budget <= 0 {
+		budget = 1 << 40
+	}
+	sel := e.advisor.Select(cands, budget)
+	byTable := make(map[string][]string)
+	for _, c := range sel.Columns {
+		byTable[c.Table] = append(byTable[c.Table], c.Col)
+	}
+	for _, s := range e.ts.schemas {
+		if cols, ok := byTable[s.Name]; ok {
+			e.LoadColumns(s.Name, cols)
+		} else if e.imcs[e.ts.mustID(s.Name)].isLoaded() {
+			e.Unload(s.Name)
+		}
+	}
+	return sel
+}
+
+// Advisor exposes the column-selection advisor (experiments tick it).
+func (e *EngineC) Advisor() *colsel.Advisor { return e.advisor }
+
+// PushdownStats reports how many queries were pushed down to the IMCS vs
+// answered by the disk row store.
+func (e *EngineC) PushdownStats() (pushdowns, fallbacks int64) {
+	return e.pushdowns.Load(), e.fallbacks.Load()
+}
+
+// Source implements Engine: record the access pattern, then push down to
+// the IMCS when the projection covers the query and the cost model prefers
+// the columnar path; otherwise scan the disk row store.
+func (e *EngineC) Source(table string, cols []string, pred *exec.ScanPred) exec.Source {
+	id := e.ts.mustID(table)
+	full := e.ts.schemas[id]
+	qcols := cols
+	if qcols == nil {
+		qcols = make([]string, len(full.Cols))
+		for i, c := range full.Cols {
+			qcols[i] = c.Name
+		}
+	}
+	ids := make([]colsel.ColumnID, len(qcols))
+	for i, c := range qcols {
+		ids[i] = colsel.ColumnID{Table: table, Col: c}
+	}
+	rowsN := int(e.rows[id].Count(e.mgr.Oracle().Watermark()))
+	e.advisor.Record(ids, float64(rowsN))
+
+	it := e.imcs[id]
+	covered := it.covers(qcols)
+	in := planner.TableInput{
+		Rows:        rowsN,
+		Cols:        len(full.Cols),
+		NeedCols:    len(qcols),
+		Selectivity: selEstimate(pred),
+		KeyRange:    pred != nil && pred.Col == full.Cols[full.KeyCol].Name,
+		ZoneMapped:  pred != nil,
+		RowOnDisk:   true,
+		DeltaRows:   it.delta.Unmerged(),
+		HasColumn:   covered,
+	}
+	d := e.cfg.Cost.Choose(in)
+	if covered && d.Path == planner.ColPath {
+		e.pushdowns.Add(1)
+		return e.imcsSource(id, qcols, pred)
+	}
+	e.fallbacks.Add(1)
+	return exec.NewRowScan(e.rows[id], e.mgr.Oracle().Watermark(), qcols, pred)
+}
+
+func (e *EngineC) imcsSource(id uint32, cols []string, pred *exec.ScanPred) exec.Source {
+	it := e.imcs[id]
+	it.mu.RLock()
+	shards := it.shards
+	proj := it.proj
+	d := it.delta
+	it.mu.RUnlock()
+	var overlay *delta.Overlay
+	if sched.Mode(e.mode.Load()) == sched.Shared {
+		full := e.ts.schemas[id]
+		raw := d.Overlay(e.mgr.Oracle().Watermark())
+		overlay = &delta.Overlay{Rows: make(map[int64]types.Row, len(raw.Rows)), Masked: raw.Masked, MaxTS: raw.MaxTS}
+		for k, r := range raw.Rows {
+			overlay.Rows[k] = projectRow(full, proj, r)
+		}
+	}
+	srcs := make([]exec.Source, len(shards))
+	for i, sh := range shards {
+		o := overlay
+		if i > 0 && overlay != nil {
+			o = overlay.MaskOnly() // emit delta rows exactly once
+		}
+		srcs[i] = exec.NewColScan(sh, cols, pred, o)
+	}
+	return exec.NewParallel(srcs...)
+}
+
+// Query implements Engine.
+func (e *EngineC) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+	return exec.From(e.Source(table, cols, pred))
+}
+
+// RowSource forces the disk row-store access path, bypassing the cost
+// model; the hybrid-scan experiments use it as the row-only baseline.
+func (e *EngineC) RowSource(table string, cols []string, pred *exec.ScanPred) exec.Source {
+	id := e.ts.mustID(table)
+	return exec.NewRowScan(e.rows[id], e.mgr.Oracle().Watermark(), cols, pred)
+}
+
+// ColSource forces the IMCS access path, bypassing the cost model; the
+// requested columns must be loaded.
+func (e *EngineC) ColSource(table string, cols []string, pred *exec.ScanPred) exec.Source {
+	id := e.ts.mustID(table)
+	if !e.imcs[id].covers(cols) {
+		panic(fmt.Sprintf("core: ColSource(%s): columns not loaded", table))
+	}
+	return e.imcsSource(id, cols, pred)
+}
+
+func selEstimate(pred *exec.ScanPred) float64 {
+	if pred == nil {
+		return 1
+	}
+	return 0.05 // fixed heuristic; the paper's §2.4 criticizes exactly this
+}
+
+// Sync implements Engine: merge each loaded table's delta into its shards.
+func (e *EngineC) Sync() {
+	e.syncMu.Lock()
+	defer e.syncMu.Unlock()
+	upTo := e.mgr.Oracle().Watermark()
+	for id := range e.imcs {
+		it := e.imcs[id]
+		it.mu.RLock()
+		loaded := it.proj != nil
+		it.mu.RUnlock()
+		if !loaded {
+			continue
+		}
+		e.mergeIMCS(uint32(id), upTo)
+	}
+	e.tracker.Applied(upTo)
+}
+
+func (e *EngineC) mergeIMCS(id uint32, upTo uint64) {
+	it := e.imcs[id]
+	it.mu.RLock()
+	proj := it.proj
+	shards := it.shards
+	d := it.delta
+	it.mu.RUnlock()
+	full := e.ts.schemas[id]
+	entries := d.Pending(upTo)
+	// Net effect per key (newest image wins), as in datasync.MergeDelta.
+	images := make(map[int64]types.Row, len(entries))
+	order := make([]int64, 0, len(entries))
+	for _, en := range entries {
+		if _, seen := images[en.Key]; !seen {
+			order = append(order, en.Key)
+		}
+		if en.Op == txn.OpDelete {
+			images[en.Key] = nil
+		} else {
+			images[en.Key] = en.Row
+		}
+	}
+	perShard := make([][]types.Row, len(shards))
+	for _, k := range order {
+		sh := shardFor(k, len(shards))
+		img := images[k]
+		if img == nil {
+			shards[sh].DeleteKey(k)
+			continue
+		}
+		perShard[sh] = append(perShard[sh], projectRow(full, proj, img))
+	}
+	for i, rows := range perShard {
+		if len(rows) > 0 {
+			shards[i].AppendRows(rows)
+			shards[i].NoteMerge()
+		}
+		shards[i].SetApplied(upTo)
+	}
+	d.MarkMerged(upTo)
+}
+
+// GC reclaims shadowed row versions older than the current watermark.
+func (e *EngineC) GC() int64 {
+	ts := e.mgr.Oracle().Watermark()
+	var reclaimed int64
+	for _, s := range e.rows {
+		reclaimed += s.GC(ts)
+	}
+	return reclaimed
+}
+
+// SetMode implements Engine.
+func (e *EngineC) SetMode(m sched.Mode) { e.mode.Store(uint32(m)) }
+
+// Freshness implements Engine. Shared-mode pushdown scans overlay the
+// IMCS delta (and row-store fallbacks are always current), so the view is
+// fresh; Isolated mode is bounded by the last IMCS merge.
+func (e *EngineC) Freshness() freshness.Snapshot {
+	if sched.Mode(e.mode.Load()) == sched.Shared {
+		return e.tracker.ReadWithApplied(e.mgr.Oracle().Watermark())
+	}
+	return e.tracker.Read()
+}
+
+// Stats implements Engine.
+func (e *EngineC) Stats() Stats {
+	ts := e.mgr.Stats()
+	st := Stats{Commits: ts.Commits, Aborts: ts.Aborts, Conflicts: ts.Conflicts, Disk: e.rowDev.Stats()}
+	for _, it := range e.imcs {
+		it.mu.RLock()
+		for _, sh := range it.shards {
+			s := sh.Stats()
+			st.Merges += s.Merges
+			st.ColBytes += s.Bytes
+		}
+		st.DeltaRows += it.delta.Unmerged()
+		it.mu.RUnlock()
+	}
+	return st
+}
+
+// Close implements Engine.
+func (e *EngineC) Close() {}
+
+// AddIndex implements Indexer.
+func (e *EngineC) AddIndex(table, name string, key func(types.Row) int64) error {
+	id, err := e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	e.idxMu.Lock()
+	defer e.idxMu.Unlock()
+	if e.secondary == nil {
+		e.secondary = make(map[string]*rowstore.SecondaryIndex)
+	}
+	if _, dup := e.secondary[table+"/"+name]; dup {
+		return fmt.Errorf("core: index %s/%s already exists", table, name)
+	}
+	e.secondary[table+"/"+name] = e.rows[id].AddIndex(name, key)
+	return nil
+}
+
+// IndexLookup implements Indexer.
+func (e *EngineC) IndexLookup(table, name string, k int64) []int64 {
+	e.idxMu.RLock()
+	ix := e.secondary[table+"/"+name]
+	e.idxMu.RUnlock()
+	if ix == nil {
+		return nil
+	}
+	return ix.Lookup(k)
+}

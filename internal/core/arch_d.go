@@ -1,0 +1,327 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"htap/internal/datasync"
+	"htap/internal/disk"
+	"htap/internal/exec"
+	"htap/internal/freshness"
+	"htap/internal/sched"
+	"htap/internal/txn"
+	"htap/internal/types"
+	"htap/internal/wal"
+)
+
+// ConfigD configures architecture D.
+type ConfigD struct {
+	Schemas []*types.Schema
+	// L1Rows and L2Rows are the HANA layer-promotion thresholds.
+	L1Rows int
+	L2Rows int
+}
+
+// EngineD is architecture D (SAP HANA, §2.1(d)): the main column store is
+// primary; OLTP writes land in the row-wise L1-delta and trickle through
+// the columnar L2-delta into Main via the dictionary-encoded sorting
+// merge. "The OLAP performance is high as the column store is highly
+// read-optimized. However, since there is only a delta row store for OLTP
+// workloads, the OLTP scalability is low."
+type EngineD struct {
+	ts      *tableSet
+	mgr     *txn.Manager
+	walDev  *disk.Device
+	wal     *wal.Log
+	layers  []*datasync.Layered
+	tracker *freshness.Tracker
+	mode    atomic.Uint32
+
+	// versions tracks the latest committed version per key for conflict
+	// checks: the layered store has no version chains of its own.
+	verMu    sync.RWMutex
+	versions []map[int64]uint64
+
+	syncMu sync.Mutex
+}
+
+// NewEngineD builds architecture D.
+func NewEngineD(cfg ConfigD) *EngineD {
+	if cfg.L1Rows <= 0 {
+		cfg.L1Rows = 1024
+	}
+	if cfg.L2Rows <= 0 {
+		cfg.L2Rows = 64 * 1024
+	}
+	e := &EngineD{
+		ts:      newTableSet(cfg.Schemas),
+		mgr:     txn.NewManager(),
+		walDev:  disk.New(disk.DefaultConfig()),
+		tracker: freshness.NewTracker(),
+	}
+	e.wal = wal.New(e.walDev, "wal-d")
+	for _, s := range cfg.Schemas {
+		e.layers = append(e.layers, datasync.NewLayered(s, cfg.L1Rows, cfg.L2Rows))
+		e.versions = append(e.versions, make(map[int64]uint64))
+	}
+	e.mode.Store(uint32(sched.Shared))
+	return e
+}
+
+// Name implements Engine.
+func (e *EngineD) Name() string { return "primary-col+delta-row" }
+
+// Arch implements Engine.
+func (e *EngineD) Arch() Arch { return ArchD }
+
+// Tables implements Engine.
+func (e *EngineD) Tables() []*types.Schema { return e.ts.schemas }
+
+// Schema implements Engine.
+func (e *EngineD) Schema(table string) *types.Schema { return e.ts.schema(table) }
+
+// read returns the live image of key at the current state (L1 newest
+// first, then L2, then Main).
+func (e *EngineD) read(id uint32, key int64, ts uint64) (types.Row, bool) {
+	l := e.layers[id]
+	o := l.L1.Overlay(ts)
+	if _, masked := o.Masked[key]; masked {
+		r, ok := o.Rows[key]
+		return r, ok
+	}
+	if r, ok := l.L2.GetKey(key); ok {
+		return r, true
+	}
+	return l.Main.GetKey(key)
+}
+
+func (e *EngineD) latestVersion(id uint32, key int64) uint64 {
+	e.verMu.RLock()
+	defer e.verMu.RUnlock()
+	return e.versions[id][key]
+}
+
+// txD is the architecture-D transaction.
+type txD struct {
+	e  *EngineD
+	tx *txn.Txn
+}
+
+// Begin implements Engine.
+func (e *EngineD) Begin() Tx { return &txD{e: e, tx: e.mgr.Begin()} }
+
+func (t *txD) Get(table string, key int64) (types.Row, error) {
+	id, err := t.e.ts.id(table)
+	if err != nil {
+		return nil, err
+	}
+	if w, ok := t.tx.GetWrite(id, key); ok {
+		if w.Op == txn.OpDelete {
+			return nil, ErrNotFound
+		}
+		return w.Row, nil
+	}
+	if r, ok := t.e.read(id, key, t.tx.ReadTS); ok {
+		return r, nil
+	}
+	return nil, ErrNotFound
+}
+
+func (t *txD) write(table string, key int64, op txn.Op, row types.Row) error {
+	id, err := t.e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	if row != nil {
+		if err := t.e.ts.schemas[id].Validate(row); err != nil {
+			return err
+		}
+	}
+	_, exists := t.e.read(id, key, t.tx.ReadTS)
+	if w, ok := t.tx.GetWrite(id, key); ok {
+		exists = w.Op != txn.OpDelete
+	}
+	switch op {
+	case txn.OpInsert:
+		if exists {
+			return errors.Join(errRetry, errors.New("core: duplicate key"))
+		}
+	case txn.OpUpdate, txn.OpDelete:
+		if !exists {
+			return ErrNotFound
+		}
+	}
+	return t.tx.Write(id, key, op, row, t.e.latestVersion(id, key))
+}
+
+func (t *txD) Insert(table string, row types.Row) error {
+	id, err := t.e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	return t.write(table, t.e.ts.schemas[id].Key(row), txn.OpInsert, row)
+}
+
+func (t *txD) Update(table string, row types.Row) error {
+	id, err := t.e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	return t.write(table, t.e.ts.schemas[id].Key(row), txn.OpUpdate, row)
+}
+
+func (t *txD) Delete(table string, key int64) error {
+	return t.write(table, key, txn.OpDelete, nil)
+}
+
+func (t *txD) Commit() error {
+	e := t.e
+	ts, err := t.tx.Commit(func(commitTS uint64, writes []txn.Write) error {
+		for id := range e.layers {
+			if err := logWritesFor(e.wal, uint32(id), t.tx.ID, writes); err != nil {
+				return err
+			}
+		}
+		if _, err := e.wal.Append(wal.Record{Txn: t.tx.ID, Type: wal.RecCommit}); err != nil {
+			return err
+		}
+		e.verMu.Lock()
+		for _, w := range writes {
+			e.versions[w.Table][w.Key] = commitTS
+		}
+		e.verMu.Unlock()
+		for id, ws := range groupWrites(writes) {
+			e.layers[id].Append(commitTS, ws)
+		}
+		return nil
+	})
+	if err != nil {
+		return wrapTxnErr(err)
+	}
+	if t.tx.Pending() > 0 {
+		e.tracker.Committed(ts)
+		// Layer maintenance happens on the commit path, which is precisely
+		// why the paper scores this architecture's OLTP scalability low.
+		touched := map[uint32]struct{}{}
+		minApplied := uint64(0)
+		for _, w := range t.tx.Writes() {
+			if _, done := touched[w.Table]; done {
+				continue
+			}
+			touched[w.Table] = struct{}{}
+			e.layers[w.Table].Maintain(ts)
+			if a := e.layers[w.Table].Applied(); minApplied == 0 || a < minApplied {
+				minApplied = a
+			}
+		}
+		if minApplied > 0 {
+			e.tracker.Applied(minApplied)
+		}
+	}
+	return nil
+}
+
+func (t *txD) Abort() { t.tx.Abort() }
+
+// Load implements Engine.
+func (e *EngineD) Load(table string, row types.Row) error {
+	id, err := e.ts.id(table)
+	if err != nil {
+		return err
+	}
+	if err := e.ts.schemas[id].Validate(row); err != nil {
+		return err
+	}
+	e.layers[id].Main.Append(row)
+	return nil
+}
+
+// Source implements Engine: Main + L2 scans with the L1 overlay applied
+// exactly once. Isolated mode skips the L1 overlay.
+func (e *EngineD) Source(table string, cols []string, pred *exec.ScanPred) exec.Source {
+	id := e.ts.mustID(table)
+	l := e.layers[id]
+	if sched.Mode(e.mode.Load()) == sched.Shared {
+		o := l.L1.Overlay(e.mgr.Oracle().Watermark())
+		return exec.NewUnion(
+			exec.NewColScan(l.Main, cols, pred, o),
+			exec.NewColScan(l.L2, cols, pred, o.MaskOnly()),
+		)
+	}
+	return exec.NewUnion(
+		exec.NewColScan(l.Main, cols, pred, nil),
+		exec.NewColScan(l.L2, cols, pred, nil),
+	)
+}
+
+// Query implements Engine.
+func (e *EngineD) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+	return exec.From(e.Source(table, cols, pred))
+}
+
+// Sync implements Engine: promote every L1 and merge every L2 down to
+// Main, making Main current.
+func (e *EngineD) Sync() {
+	e.syncMu.Lock()
+	defer e.syncMu.Unlock()
+	upTo := e.mgr.Oracle().Watermark()
+	for _, l := range e.layers {
+		l.PromoteL1(upTo)
+		l.MergeL2()
+		if upTo > l.Main.Applied() {
+			l.Main.SetApplied(upTo)
+		}
+	}
+	e.tracker.Applied(upTo)
+}
+
+// SetMode implements Engine.
+func (e *EngineD) SetMode(m sched.Mode) { e.mode.Store(uint32(m)) }
+
+// Freshness implements Engine. Shared-mode scans overlay the L1 delta and
+// see every commit; Isolated mode is bounded by layer promotion.
+func (e *EngineD) Freshness() freshness.Snapshot {
+	if sched.Mode(e.mode.Load()) == sched.Shared {
+		return e.tracker.ReadWithApplied(e.mgr.Oracle().Watermark())
+	}
+	return e.tracker.Read()
+}
+
+// Stats implements Engine.
+func (e *EngineD) Stats() Stats {
+	ts := e.mgr.Stats()
+	st := Stats{Commits: ts.Commits, Aborts: ts.Aborts, Conflicts: ts.Conflicts, Disk: e.walDev.Stats()}
+	for _, l := range e.layers {
+		ms, l2 := l.Main.Stats(), l.L2.Stats()
+		st.Merges += ms.Merges + l2.Merges
+		st.ColBytes += ms.Bytes + l2.Bytes
+		st.DeltaRows += l.L1.Unmerged()
+	}
+	return st
+}
+
+// Close implements Engine.
+func (e *EngineD) Close() {}
+
+// logWritesFor appends redo records for one table's writes.
+func logWritesFor(l *wal.Log, table uint32, txnID uint64, writes []txn.Write) error {
+	for _, w := range writes {
+		if w.Table != table {
+			continue
+		}
+		var rt wal.RecType
+		switch w.Op {
+		case txn.OpInsert:
+			rt = wal.RecInsert
+		case txn.OpUpdate:
+			rt = wal.RecUpdate
+		case txn.OpDelete:
+			rt = wal.RecDelete
+		}
+		if _, err := l.Append(wal.Record{Txn: txnID, Type: rt, Table: table, Key: w.Key, Row: w.Row}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+// Package core implements the paper's subject matter: the four HTAP
+// storage architectures of Figure 1, each composed from the repository's
+// substrates behind one Engine interface.
+//
+//	A  PrimaryRowIMC   — primary row store + in-memory column store
+//	                     (Oracle dual-format, SQL Server CSI, DB2 BLU)
+//	B  DistRowColRep   — distributed row store + column store replica (TiDB)
+//	C  DiskRowDistCol  — disk row store + distributed column store
+//	                     (MySQL Heatwave)
+//	D  PrimaryColDelta — primary column store + delta row store (SAP HANA)
+//
+// The Engine interface exposes a transactional point-access API (the OLTP
+// side), an exec.Source factory honoring the architecture's analytical
+// technique (the OLAP side), and control hooks for data synchronization
+// and execution mode, so the benchmark harness can run identical workloads
+// against every architecture and regenerate the paper's Table 1.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"htap/internal/disk"
+	"htap/internal/exec"
+	"htap/internal/freshness"
+	"htap/internal/sched"
+	"htap/internal/twopc"
+	"htap/internal/txn"
+	"htap/internal/types"
+)
+
+// Arch identifies a storage architecture from Figure 1.
+type Arch uint8
+
+// The four architectures.
+const (
+	ArchA Arch = iota + 1 // Primary Row Store + In-Memory Column Store
+	ArchB                 // Distributed Row Store + Column Store Replica
+	ArchC                 // Disk Row Store + Distributed Column Store
+	ArchD                 // Primary Column Store + Delta Row Store
+)
+
+// String implements fmt.Stringer.
+func (a Arch) String() string {
+	switch a {
+	case ArchA:
+		return "A/PrimaryRow+InMemCol"
+	case ArchB:
+		return "B/DistRow+ColReplica"
+	case ArchC:
+		return "C/DiskRow+DistCol"
+	case ArchD:
+		return "D/PrimaryCol+DeltaRow"
+	default:
+		return fmt.Sprintf("Arch(%d)", uint8(a))
+	}
+}
+
+// ErrNotFound is returned by point reads of absent keys.
+var ErrNotFound = errors.New("core: key not found")
+
+// ErrNoTable reports an unregistered table.
+var ErrNoTable = errors.New("core: no such table")
+
+// Tx is one OLTP transaction against an engine.
+type Tx interface {
+	Get(table string, key int64) (types.Row, error)
+	Insert(table string, row types.Row) error
+	Update(table string, row types.Row) error
+	Delete(table string, key int64) error
+	Commit() error
+	Abort()
+}
+
+// Stats aggregates engine counters for the experiment harness.
+type Stats struct {
+	Commits   int64
+	Aborts    int64
+	Conflicts int64
+	Merges    int64
+	Rebuilds  int64
+	ColBytes  int
+	DeltaRows int
+	Disk      disk.Stats
+}
+
+// Engine is one storage architecture.
+type Engine interface {
+	Name() string
+	Arch() Arch
+	Tables() []*types.Schema
+	Schema(table string) *types.Schema
+
+	// Begin starts an OLTP transaction.
+	Begin() Tx
+	// Load bulk-loads a row outside transactions (benchmark setup). The
+	// row lands in both stores so experiments start synchronized.
+	Load(table string, row types.Row) error
+
+	// Source returns the analytical access path for a table under the
+	// engine's AP technique, at the engine's current snapshot and mode.
+	Source(table string, cols []string, pred *exec.ScanPred) exec.Source
+	// Query is shorthand for exec.From(Source(...)).
+	Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan
+
+	// Sync forces one data-synchronization round (delta merge / rebuild).
+	Sync()
+	// SetMode switches analytical reads between Shared (scan the live
+	// delta: fresh, interfering) and Isolated (merged data only: stale,
+	// isolated).
+	SetMode(m sched.Mode)
+	// Freshness reports the OLTP-vs-OLAP watermark gap.
+	Freshness() freshness.Snapshot
+	Stats() Stats
+	Close()
+}
+
+// Indexer is implemented by engines whose primary row store supports
+// secondary indexes (architectures A and C). Lookups return candidate
+// primary keys whose current image matches; transactional callers re-read
+// each key at their snapshot.
+type Indexer interface {
+	// AddIndex registers a named index derived from the row image.
+	AddIndex(table, name string, key func(types.Row) int64) error
+	// IndexLookup returns the primary keys indexed under k.
+	IndexLookup(table, name string, k int64) []int64
+}
+
+// Exec runs fn in a transaction with bounded conflict retries, the loop
+// every benchmark driver needs.
+func Exec(e Engine, fn func(Tx) error) error {
+	var last error
+	for attempt := 0; attempt < 64; attempt++ {
+		tx := e.Begin()
+		if err := fn(tx); err != nil {
+			tx.Abort()
+			if retryable(err) {
+				last = err
+				backoff(attempt)
+				continue
+			}
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			if retryable(err) {
+				last = err
+				backoff(attempt)
+				continue
+			}
+			return err
+		}
+		return nil
+	}
+	return fmt.Errorf("core: transaction gave up after retries: %w", last)
+}
+
+func retryable(err error) bool {
+	return errors.Is(err, errRetry) ||
+		errors.Is(err, txn.ErrConflict) ||
+		errors.Is(err, txn.ErrReadStale) ||
+		errors.Is(err, twopc.ErrConflict)
+}
+
+// errRetry is wrapped around engine-internal transient failures.
+var errRetry = errors.New("core: transient conflict")
+
+func backoff(attempt int) {
+	if attempt > 2 {
+		d := time.Duration(attempt) * 50 * time.Microsecond
+		if d > 2*time.Millisecond {
+			d = 2 * time.Millisecond
+		}
+		time.Sleep(d)
+	}
+}
+
+// tableSet is the shared name->schema registry.
+type tableSet struct {
+	schemas []*types.Schema
+	byName  map[string]int
+}
+
+func newTableSet(schemas []*types.Schema) *tableSet {
+	ts := &tableSet{schemas: schemas, byName: make(map[string]int, len(schemas))}
+	for i, s := range schemas {
+		ts.byName[s.Name] = i
+	}
+	return ts
+}
+
+func (ts *tableSet) id(name string) (uint32, error) {
+	i, ok := ts.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return uint32(i), nil
+}
+
+func (ts *tableSet) mustID(name string) uint32 {
+	id, err := ts.id(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (ts *tableSet) schema(name string) *types.Schema {
+	if i, ok := ts.byName[name]; ok {
+		return ts.schemas[i]
+	}
+	return nil
+}

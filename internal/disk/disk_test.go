@@ -1,0 +1,98 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	d := New(MemConfig())
+	off1, err := d.Append("f", []byte("hello"))
+	if err != nil || off1 != 0 {
+		t.Fatalf("Append = (%d,%v)", off1, err)
+	}
+	off2, _ := d.Append("f", []byte("world"))
+	if off2 != 5 {
+		t.Fatalf("second offset = %d, want 5", off2)
+	}
+	buf := make([]byte, 10)
+	if err := d.ReadAt("f", buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("helloworld")) {
+		t.Fatalf("read %q", buf)
+	}
+	if d.Size("f") != 10 {
+		t.Fatalf("Size = %d", d.Size("f"))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	d := New(MemConfig())
+	if err := d.ReadAt("missing", make([]byte, 1), 0); err != ErrNotFound {
+		t.Fatalf("missing file: %v", err)
+	}
+	d.Append("f", []byte("ab"))
+	if err := d.ReadAt("f", make([]byte, 3), 0); err != ErrNotFound {
+		t.Fatalf("past-end read: %v", err)
+	}
+	if err := d.ReadAt("f", make([]byte, 1), -1); err != ErrNotFound {
+		t.Fatalf("negative offset: %v", err)
+	}
+}
+
+func TestTruncateAndRemove(t *testing.T) {
+	d := New(MemConfig())
+	d.Append("f", []byte("abc"))
+	d.Truncate("f")
+	if d.Size("f") != 0 {
+		t.Fatal("Truncate did not clear file")
+	}
+	d.Remove("f")
+	if err := d.ReadAt("f", make([]byte, 1), 0); err != ErrNotFound {
+		t.Fatal("Remove did not delete file")
+	}
+}
+
+func TestCountersAndBlockMath(t *testing.T) {
+	d := New(Config{BytesPerOp: 4})
+	d.Append("f", make([]byte, 10)) // 3 ops of 4 bytes
+	st := d.Stats()
+	if st.WriteOps != 3 || st.WriteBytes != 10 {
+		t.Fatalf("write stats %+v", st)
+	}
+	d.ReadAt("f", make([]byte, 5), 0) // 2 ops
+	st = d.Stats()
+	if st.ReadOps != 2 || st.ReadBytes != 5 {
+		t.Fatalf("read stats %+v", st)
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	d := New(Config{WriteLatency: 2 * time.Millisecond, BytesPerOp: 4096})
+	start := time.Now()
+	d.Append("f", []byte("x"))
+	if el := time.Since(start); el < 2*time.Millisecond {
+		t.Fatalf("write returned in %v, want >= 2ms charge", el)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	d := New(MemConfig())
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 100; j++ {
+				d.Append("f", []byte("0123456789"))
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if d.Size("f") != 8000 {
+		t.Fatalf("Size = %d, want 8000", d.Size("f"))
+	}
+}

@@ -1,0 +1,131 @@
+package exec
+
+import (
+	"sort"
+	"testing"
+
+	"htap/internal/types"
+)
+
+func manyRows(n int) []types.Row {
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = sale(int64(i), int64(i%7), float64(i), "x")
+	}
+	return rows
+}
+
+func TestUnionConcatenates(t *testing.T) {
+	a := NewMemSource(salesSchema.Cols, manyRows(1500))
+	b := NewMemSource(salesSchema.Cols, manyRows(700))
+	if got := From(NewUnion(a, b)).Count(); got != 2200 {
+		t.Fatalf("union = %d", got)
+	}
+	// Single-source unions and empty parts behave.
+	if got := From(NewUnion(NewMemSource(salesSchema.Cols, nil))).Count(); got != 0 {
+		t.Fatalf("empty union = %d", got)
+	}
+}
+
+func TestUnionSchemaMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("schema mismatch should panic")
+		}
+	}()
+	NewUnion(
+		NewMemSource(salesSchema.Cols, nil),
+		NewMemSource(regionSchema, nil),
+	)
+}
+
+func TestParallelDrainsAllSources(t *testing.T) {
+	srcs := []Source{
+		NewMemSource(salesSchema.Cols, manyRows(1200)),
+		NewMemSource(salesSchema.Cols, manyRows(900)),
+		NewMemSource(salesSchema.Cols, manyRows(1)),
+		NewMemSource(salesSchema.Cols, nil),
+	}
+	rows := From(NewParallel(srcs...)).Run()
+	if len(rows) != 2101 {
+		t.Fatalf("parallel union = %d rows", len(rows))
+	}
+	// No duplication, no loss: ids 0..1199 appear exactly twice up to 899,
+	// once from 900..1199, plus id 0 a third time from the 1-row source.
+	count := map[int64]int{}
+	for _, r := range rows {
+		count[r[0].Int()]++
+	}
+	if count[0] != 3 || count[500] != 2 || count[1000] != 1 {
+		t.Fatalf("multiset broken: %d %d %d", count[0], count[500], count[1000])
+	}
+}
+
+func TestParallelSingleSourcePassthrough(t *testing.T) {
+	src := NewMemSource(salesSchema.Cols, manyRows(10))
+	if NewParallel(src) != src {
+		t.Fatal("single-source parallel should be the source itself")
+	}
+}
+
+func TestIfExpr(t *testing.T) {
+	rows := From(NewMemSource(salesSchema.Cols, testRows())).
+		Project(NamedExpr{"tier", If(
+			Cmp(GE, ColName("amount"), ConstFloat(30)),
+			ConstStr("big"), ConstStr("small"),
+		)}).Run()
+	big := 0
+	for _, r := range rows {
+		if r[0].Str() == "big" {
+			big++
+		}
+	}
+	if big != 3 {
+		t.Fatalf("big tier = %d", big)
+	}
+}
+
+func TestSubstrExpr(t *testing.T) {
+	rows := From(NewMemSource(salesSchema.Cols, testRows()[:1])).
+		Project(
+			NamedExpr{"a", Substr(ColName("item"), 0, 3)},  // "app"
+			NamedExpr{"b", Substr(ColName("item"), 3, 99)}, // "le" (clamped)
+			NamedExpr{"c", Substr(ColName("item"), 99, 2)}, // "" (start clamped)
+		).Run()
+	if rows[0][0].Str() != "app" || rows[0][1].Str() != "le" || rows[0][2].Str() != "" {
+		t.Fatalf("substr = %v", rows[0])
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	// Equal keys keep input order (SliceStable): verify by sorting on a
+	// constant column.
+	rows := From(NewMemSource(salesSchema.Cols, testRows())).
+		Sort(SortKey{Col: "item"}).Run()
+	// The three apples must keep relative id order 1, 3, 5.
+	var apples []int64
+	for _, r := range rows {
+		if r[3].Str() == "apple" {
+			apples = append(apples, r[0].Int())
+		}
+	}
+	if !sort.SliceIsSorted(apples, func(i, j int) bool { return apples[i] < apples[j] }) {
+		t.Fatalf("stability broken: %v", apples)
+	}
+}
+
+func TestExprStringer(t *testing.T) {
+	exprs := []Expr{
+		Cmp(EQ, ColName("a"), ConstInt(1)),
+		And(ConstInt(1)), Or(ConstInt(0)), Not(ConstInt(1)),
+		Arith(Add, ColName("a"), ConstFloat(2)),
+		InInts(ColName("a"), 1, 2), HasPrefix(ColName("s"), "x"),
+		If(ConstInt(1), ConstInt(2), ConstInt(3)),
+		Substr(ColName("s"), 0, 2),
+	}
+	for _, e := range exprs {
+		if e.String() == "" {
+			t.Fatalf("%T has empty String()", e)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"htap/internal/types"
+)
+
+// Expr is a scalar expression evaluated against one row of a batch.
+// Comparison and boolean expressions yield INT 0/1.
+type Expr interface {
+	// Type reports the result kind given the input schema.
+	Type(schema []types.Column) types.ColType
+	// Bind resolves column names to ordinals for the given schema; it
+	// returns a bound copy that Eval may be called on.
+	Bind(schema []types.Column) Expr
+	// Eval computes the value for row i of b.
+	Eval(b *Batch, i int) types.Datum
+	fmt.Stringer
+}
+
+// --- column reference ---
+
+type colRef struct {
+	name string
+	idx  int
+	kind types.ColType
+}
+
+// ColName references a column by name.
+func ColName(name string) Expr { return &colRef{name: name, idx: -1} }
+
+func (e *colRef) Type(schema []types.Column) types.ColType {
+	return schema[colIndex(schema, e.name)].Type
+}
+
+func (e *colRef) Bind(schema []types.Column) Expr {
+	i := colIndex(schema, e.name)
+	return &colRef{name: e.name, idx: i, kind: schema[i].Type}
+}
+
+func (e *colRef) Eval(b *Batch, i int) types.Datum { return b.Cols[e.idx].Datum(i) }
+func (e *colRef) String() string                   { return e.name }
+
+// --- constant ---
+
+type constExpr struct{ d types.Datum }
+
+// ConstInt is an INT literal.
+func ConstInt(v int64) Expr { return &constExpr{types.NewInt(v)} }
+
+// ConstFloat is a FLOAT literal.
+func ConstFloat(v float64) Expr { return &constExpr{types.NewFloat(v)} }
+
+// ConstStr is a STRING literal.
+func ConstStr(v string) Expr { return &constExpr{types.NewString(v)} }
+
+func (e *constExpr) Type([]types.Column) types.ColType { return e.d.Kind }
+func (e *constExpr) Bind([]types.Column) Expr          { return e }
+func (e *constExpr) Eval(*Batch, int) types.Datum      { return e.d }
+func (e *constExpr) String() string                    { return e.d.String() }
+
+// --- comparison ---
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota + 1
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) String() string {
+	return [...]string{"?", "=", "!=", "<", "<=", ">", ">="}[op]
+}
+
+type cmpExpr struct {
+	op   CmpOp
+	l, r Expr
+}
+
+// Cmp compares two expressions, yielding 0/1.
+func Cmp(op CmpOp, l, r Expr) Expr { return &cmpExpr{op, l, r} }
+
+func (e *cmpExpr) Type([]types.Column) types.ColType { return types.Int }
+func (e *cmpExpr) Bind(s []types.Column) Expr        { return &cmpExpr{e.op, e.l.Bind(s), e.r.Bind(s)} }
+func (e *cmpExpr) String() string                    { return fmt.Sprintf("(%s %s %s)", e.l, e.op, e.r) }
+
+func (e *cmpExpr) Eval(b *Batch, i int) types.Datum {
+	c := e.l.Eval(b, i).Compare(e.r.Eval(b, i))
+	ok := false
+	switch e.op {
+	case EQ:
+		ok = c == 0
+	case NE:
+		ok = c != 0
+	case LT:
+		ok = c < 0
+	case LE:
+		ok = c <= 0
+	case GT:
+		ok = c > 0
+	case GE:
+		ok = c >= 0
+	}
+	if ok {
+		return types.NewInt(1)
+	}
+	return types.NewInt(0)
+}
+
+// --- arithmetic ---
+
+// ArithOp is an arithmetic operator.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota + 1
+	Sub
+	Mul
+	Div
+)
+
+func (op ArithOp) String() string { return [...]string{"?", "+", "-", "*", "/"}[op] }
+
+type arithExpr struct {
+	op   ArithOp
+	l, r Expr
+}
+
+// Arith combines two numeric expressions.
+func Arith(op ArithOp, l, r Expr) Expr { return &arithExpr{op, l, r} }
+
+func (e *arithExpr) Type(s []types.Column) types.ColType {
+	if e.l.Type(s) == types.Float || e.r.Type(s) == types.Float || e.op == Div {
+		return types.Float
+	}
+	return types.Int
+}
+
+func (e *arithExpr) Bind(s []types.Column) Expr {
+	b := &arithExpr{e.op, e.l.Bind(s), e.r.Bind(s)}
+	return b
+}
+
+func (e *arithExpr) String() string { return fmt.Sprintf("(%s %s %s)", e.l, e.op, e.r) }
+
+func (e *arithExpr) Eval(b *Batch, i int) types.Datum {
+	l, r := e.l.Eval(b, i), e.r.Eval(b, i)
+	if l.Kind == types.Int && r.Kind == types.Int && e.op != Div {
+		switch e.op {
+		case Add:
+			return types.NewInt(l.I + r.I)
+		case Sub:
+			return types.NewInt(l.I - r.I)
+		default:
+			return types.NewInt(l.I * r.I)
+		}
+	}
+	lf, rf := l.Float(), r.Float()
+	switch e.op {
+	case Add:
+		return types.NewFloat(lf + rf)
+	case Sub:
+		return types.NewFloat(lf - rf)
+	case Mul:
+		return types.NewFloat(lf * rf)
+	default:
+		if rf == 0 {
+			return types.NewFloat(0)
+		}
+		return types.NewFloat(lf / rf)
+	}
+}
+
+// --- boolean connectives ---
+
+type andExpr struct{ terms []Expr }
+
+// And is true when every term is true. And() with no terms is true.
+func And(terms ...Expr) Expr { return &andExpr{terms} }
+
+func (e *andExpr) Type([]types.Column) types.ColType { return types.Int }
+
+func (e *andExpr) Bind(s []types.Column) Expr {
+	b := make([]Expr, len(e.terms))
+	for i, t := range e.terms {
+		b[i] = t.Bind(s)
+	}
+	return &andExpr{b}
+}
+
+func (e *andExpr) Eval(b *Batch, i int) types.Datum {
+	for _, t := range e.terms {
+		if t.Eval(b, i).Int() == 0 {
+			return types.NewInt(0)
+		}
+	}
+	return types.NewInt(1)
+}
+
+func (e *andExpr) String() string {
+	parts := make([]string, len(e.terms))
+	for i, t := range e.terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+type orExpr struct{ terms []Expr }
+
+// Or is true when any term is true.
+func Or(terms ...Expr) Expr { return &orExpr{terms} }
+
+func (e *orExpr) Type([]types.Column) types.ColType { return types.Int }
+
+func (e *orExpr) Bind(s []types.Column) Expr {
+	b := make([]Expr, len(e.terms))
+	for i, t := range e.terms {
+		b[i] = t.Bind(s)
+	}
+	return &orExpr{b}
+}
+
+func (e *orExpr) Eval(b *Batch, i int) types.Datum {
+	for _, t := range e.terms {
+		if t.Eval(b, i).Int() != 0 {
+			return types.NewInt(1)
+		}
+	}
+	return types.NewInt(0)
+}
+
+func (e *orExpr) String() string {
+	parts := make([]string, len(e.terms))
+	for i, t := range e.terms {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}
+
+type notExpr struct{ t Expr }
+
+// Not negates a boolean expression.
+func Not(t Expr) Expr { return &notExpr{t} }
+
+func (e *notExpr) Type([]types.Column) types.ColType { return types.Int }
+func (e *notExpr) Bind(s []types.Column) Expr        { return &notExpr{e.t.Bind(s)} }
+func (e *notExpr) String() string                    { return "NOT " + e.t.String() }
+
+func (e *notExpr) Eval(b *Batch, i int) types.Datum {
+	if e.t.Eval(b, i).Int() == 0 {
+		return types.NewInt(1)
+	}
+	return types.NewInt(0)
+}
+
+// --- convenience predicates ---
+
+// Between is lo <= col <= hi over INT expressions.
+func Between(col Expr, lo, hi int64) Expr {
+	return And(Cmp(GE, col, ConstInt(lo)), Cmp(LE, col, ConstInt(hi)))
+}
+
+type inExpr struct {
+	col Expr
+	set map[int64]struct{}
+}
+
+// InInts is a membership test over INT values.
+func InInts(col Expr, vals ...int64) Expr {
+	set := make(map[int64]struct{}, len(vals))
+	for _, v := range vals {
+		set[v] = struct{}{}
+	}
+	return &inExpr{col, set}
+}
+
+func (e *inExpr) Type([]types.Column) types.ColType { return types.Int }
+func (e *inExpr) Bind(s []types.Column) Expr        { return &inExpr{e.col.Bind(s), e.set} }
+func (e *inExpr) String() string                    { return fmt.Sprintf("%s IN (...%d)", e.col, len(e.set)) }
+
+func (e *inExpr) Eval(b *Batch, i int) types.Datum {
+	if _, ok := e.set[e.col.Eval(b, i).Int()]; ok {
+		return types.NewInt(1)
+	}
+	return types.NewInt(0)
+}
+
+type ifExpr struct {
+	cond, then, els Expr
+}
+
+// If yields then when cond is true, els otherwise (the CASE WHEN of the CH
+// queries).
+func If(cond, then, els Expr) Expr { return &ifExpr{cond, then, els} }
+
+func (e *ifExpr) Type(s []types.Column) types.ColType { return e.then.Type(s) }
+
+func (e *ifExpr) Bind(s []types.Column) Expr {
+	return &ifExpr{e.cond.Bind(s), e.then.Bind(s), e.els.Bind(s)}
+}
+
+func (e *ifExpr) Eval(b *Batch, i int) types.Datum {
+	if e.cond.Eval(b, i).Int() != 0 {
+		return e.then.Eval(b, i)
+	}
+	return e.els.Eval(b, i)
+}
+
+func (e *ifExpr) String() string {
+	return fmt.Sprintf("IF(%s, %s, %s)", e.cond, e.then, e.els)
+}
+
+type substrExpr struct {
+	col      Expr
+	start, n int
+}
+
+// Substr yields n bytes of a STRING expression starting at 0-based start
+// (clamped to the value's length).
+func Substr(col Expr, start, n int) Expr { return &substrExpr{col, start, n} }
+
+func (e *substrExpr) Type([]types.Column) types.ColType { return types.String }
+func (e *substrExpr) Bind(s []types.Column) Expr        { return &substrExpr{e.col.Bind(s), e.start, e.n} }
+
+func (e *substrExpr) Eval(b *Batch, i int) types.Datum {
+	s := e.col.Eval(b, i).Str()
+	lo := e.start
+	if lo > len(s) {
+		lo = len(s)
+	}
+	hi := lo + e.n
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return types.NewString(s[lo:hi])
+}
+
+func (e *substrExpr) String() string {
+	return fmt.Sprintf("SUBSTR(%s, %d, %d)", e.col, e.start, e.n)
+}
+
+type likeExpr struct {
+	col    Expr
+	prefix string
+}
+
+// HasPrefix tests whether a STRING column starts with prefix (the LIKE
+// 'x%' pattern the CH queries need).
+func HasPrefix(col Expr, prefix string) Expr { return &likeExpr{col, prefix} }
+
+func (e *likeExpr) Type([]types.Column) types.ColType { return types.Int }
+func (e *likeExpr) Bind(s []types.Column) Expr        { return &likeExpr{e.col.Bind(s), e.prefix} }
+func (e *likeExpr) String() string                    { return fmt.Sprintf("%s LIKE %q%%", e.col, e.prefix) }
+
+func (e *likeExpr) Eval(b *Batch, i int) types.Datum {
+	if strings.HasPrefix(e.col.Eval(b, i).Str(), e.prefix) {
+		return types.NewInt(1)
+	}
+	return types.NewInt(0)
+}

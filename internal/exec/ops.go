@@ -1,0 +1,855 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"htap/internal/colstore"
+	"htap/internal/delta"
+	"htap/internal/rowstore"
+	"htap/internal/types"
+)
+
+// Source produces batches. Next returns nil when exhausted.
+type Source interface {
+	Schema() []types.Column
+	Next() *Batch
+}
+
+// ScanPred is an advisory single-column integer range used for zone-map
+// pruning and planner selectivity estimates. Plans must still apply the
+// full filter; the predicate only lets scans skip whole segments.
+type ScanPred struct {
+	Col    string
+	Lo, Hi int64
+}
+
+// --- memory source ---
+
+type memSource struct {
+	schema []types.Column
+	rows   []types.Row
+	pos    int
+}
+
+// NewMemSource serves pre-materialized rows; tests and delta overlays use
+// it.
+func NewMemSource(schema []types.Column, rows []types.Row) Source {
+	return &memSource{schema: schema, rows: rows}
+}
+
+func (s *memSource) Schema() []types.Column { return s.schema }
+
+func (s *memSource) Next() *Batch {
+	if s.pos >= len(s.rows) {
+		return nil
+	}
+	b := NewBatch(s.schema)
+	for s.pos < len(s.rows) && b.N < BatchSize {
+		b.AppendRow(s.rows[s.pos])
+		s.pos++
+	}
+	return b
+}
+
+// --- row-store scan ---
+
+// NewRowScan scans the row store at snapshot ts, projecting cols (all
+// columns when nil). This is the row-side access path of the hybrid
+// row/column technique.
+func NewRowScan(st *rowstore.Store, ts uint64, cols []string, pred *ScanPred) Source {
+	schema, idxs := projectSchema(st.Schema, cols)
+	var rows []types.Row
+	lo, hi := int64(-1<<63), int64(1<<63-1)
+	if pred != nil && pred.Col == st.Schema.Cols[st.Schema.KeyCol].Name {
+		// Key-range predicates become B+-tree range scans: the "row-based
+		// index scan" half of the paper's hybrid SPJ example.
+		lo, hi = pred.Lo, pred.Hi
+	}
+	st.ScanRange(ts, lo, hi, func(_ int64, r types.Row) bool {
+		out := make(types.Row, len(idxs))
+		for i, c := range idxs {
+			out[i] = r[c]
+		}
+		rows = append(rows, out)
+		return true
+	})
+	return NewMemSource(schema, rows)
+}
+
+func projectSchema(s *types.Schema, cols []string) ([]types.Column, []int) {
+	if cols == nil {
+		idxs := make([]int, len(s.Cols))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		return s.Cols, idxs
+	}
+	schema := make([]types.Column, len(cols))
+	idxs := make([]int, len(cols))
+	for i, name := range cols {
+		j := s.MustCol(name)
+		schema[i] = s.Cols[j]
+		idxs[i] = j
+	}
+	return schema, idxs
+}
+
+// --- column-store scan ---
+
+type colScan struct {
+	tbl     *colstore.Table
+	schema  []types.Column
+	idxs    []int
+	pred    *ScanPred
+	predIdx int
+	overlay *delta.Overlay
+
+	segs    []*colstore.Segment
+	seg     int
+	row     int
+	overRem []types.Row
+	done    bool
+}
+
+// NewColScan scans the column store, merging an optional delta overlay: the
+// paper's "in-memory delta and column scan" when the overlay comes from a
+// Mem delta, its "log-based delta and column scan" when it comes from a Log
+// delta, and its pure "column scan" when the overlay is nil.
+func NewColScan(tbl *colstore.Table, cols []string, pred *ScanPred, overlay *delta.Overlay) Source {
+	schema, idxs := projectSchema(tbl.Schema, cols)
+	s := &colScan{tbl: tbl, schema: schema, idxs: idxs, pred: pred, predIdx: -1, overlay: overlay}
+	s.segs = tbl.Segments()
+	if pred != nil {
+		if i := tbl.Schema.ColIndex(pred.Col); i >= 0 && tbl.Schema.Cols[i].Type == types.Int {
+			s.predIdx = i
+		}
+	}
+	if overlay != nil {
+		for _, r := range overlay.Rows {
+			out := make(types.Row, len(idxs))
+			for i, c := range idxs {
+				out[i] = r[c]
+			}
+			s.overRem = append(s.overRem, out)
+		}
+	}
+	return s
+}
+
+func (s *colScan) Schema() []types.Column { return s.schema }
+
+func (s *colScan) Next() *Batch {
+	if s.done {
+		return nil
+	}
+	b := NewBatch(s.schema)
+	for b.N < BatchSize && s.seg < len(s.segs) {
+		seg := s.segs[s.seg]
+		if s.row == 0 && s.predIdx >= 0 && seg.Zones[s.predIdx].PruneInt(s.pred.Lo, s.pred.Hi) {
+			s.seg++
+			continue
+		}
+		mask := seg.DeleteMask()
+		for s.row < seg.N && b.N < BatchSize {
+			i := s.row
+			s.row++
+			if mask.Get(i) {
+				continue
+			}
+			if s.overlay != nil {
+				if _, masked := s.overlay.Masked[seg.Keys[i]]; masked {
+					continue
+				}
+			}
+			for c, idx := range s.idxs {
+				b.Cols[c].Append(seg.Cols[idx].Datum(i))
+			}
+			b.N++
+		}
+		if s.row >= seg.N {
+			s.seg++
+			s.row = 0
+		}
+	}
+	for b.N < BatchSize && len(s.overRem) > 0 {
+		b.AppendRow(s.overRem[len(s.overRem)-1])
+		s.overRem = s.overRem[:len(s.overRem)-1]
+	}
+	if b.N == 0 {
+		s.done = true
+		return nil
+	}
+	return b
+}
+
+// --- union ---
+
+type unionSource struct {
+	srcs []Source
+	cur  int
+}
+
+// NewUnion concatenates sources with identical schemas; layered stores
+// (main + delta layers) scan as a union.
+func NewUnion(srcs ...Source) Source {
+	if len(srcs) == 0 {
+		panic("exec: empty union")
+	}
+	for _, s := range srcs[1:] {
+		if len(s.Schema()) != len(srcs[0].Schema()) {
+			panic("exec: union schema mismatch")
+		}
+	}
+	return &unionSource{srcs: srcs}
+}
+
+func (s *unionSource) Schema() []types.Column { return s.srcs[0].Schema() }
+
+func (s *unionSource) Next() *Batch {
+	for s.cur < len(s.srcs) {
+		if b := s.srcs[s.cur].Next(); b != nil {
+			return b
+		}
+		s.cur++
+	}
+	return nil
+}
+
+// --- parallel union ---
+
+type parallelSource struct {
+	schema []types.Column
+	ch     chan *Batch
+	once   sync.Once
+	srcs   []Source
+}
+
+// NewParallel drains the sources concurrently (one goroutine each) and
+// multiplexes their batches. Architectures with a *distributed* column
+// store (B's learner replicas, C's IMCS cluster) scan their shards this
+// way; row order is not preserved, which no aggregate in the repository
+// depends on.
+func NewParallel(srcs ...Source) Source {
+	if len(srcs) == 1 {
+		return srcs[0]
+	}
+	if len(srcs) == 0 {
+		panic("exec: empty parallel union")
+	}
+	return &parallelSource{schema: srcs[0].Schema(), srcs: srcs, ch: make(chan *Batch, 4)}
+}
+
+func (s *parallelSource) Schema() []types.Column { return s.schema }
+
+func (s *parallelSource) start() {
+	var wg sync.WaitGroup
+	for _, src := range s.srcs {
+		wg.Add(1)
+		go func(src Source) {
+			defer wg.Done()
+			for {
+				b := src.Next()
+				if b == nil {
+					return
+				}
+				s.ch <- b
+			}
+		}(src)
+	}
+	go func() {
+		wg.Wait()
+		close(s.ch)
+	}()
+}
+
+func (s *parallelSource) Next() *Batch {
+	s.once.Do(s.start)
+	return <-s.ch
+}
+
+// --- filter ---
+
+type filterOp struct {
+	in   Source
+	expr Expr
+}
+
+func (o *filterOp) Schema() []types.Column { return o.in.Schema() }
+
+func (o *filterOp) Next() *Batch {
+	for {
+		b := o.in.Next()
+		if b == nil {
+			return nil
+		}
+		out := NewBatch(b.Schema)
+		for i := 0; i < b.N; i++ {
+			if o.expr.Eval(b, i).Int() != 0 {
+				for c := range out.Cols {
+					out.Cols[c].AppendFrom(b.Cols[c], i)
+				}
+				out.N++
+			}
+		}
+		if out.N > 0 {
+			return out
+		}
+	}
+}
+
+// --- project ---
+
+// NamedExpr pairs an output column name with its defining expression.
+type NamedExpr struct {
+	Name string
+	Expr Expr
+}
+
+type projectOp struct {
+	in     Source
+	schema []types.Column
+	exprs  []Expr
+}
+
+func newProject(in Source, exprs []NamedExpr) *projectOp {
+	schema := make([]types.Column, len(exprs))
+	bound := make([]Expr, len(exprs))
+	for i, ne := range exprs {
+		schema[i] = types.Column{Name: ne.Name, Type: ne.Expr.Type(in.Schema())}
+		bound[i] = ne.Expr.Bind(in.Schema())
+	}
+	return &projectOp{in: in, schema: schema, exprs: bound}
+}
+
+func (o *projectOp) Schema() []types.Column { return o.schema }
+
+func (o *projectOp) Next() *Batch {
+	b := o.in.Next()
+	if b == nil {
+		return nil
+	}
+	out := NewBatch(o.schema)
+	for i := 0; i < b.N; i++ {
+		for c, e := range o.exprs {
+			out.Cols[c].Append(e.Eval(b, i))
+		}
+	}
+	out.N = b.N
+	return out
+}
+
+// --- hash join ---
+
+// JoinType selects join semantics.
+type JoinType uint8
+
+// Join types: inner produces matched pairs; semi/anti produce left rows
+// with (no) matches, used for EXISTS / NOT EXISTS subqueries.
+const (
+	InnerJoin JoinType = iota + 1
+	LeftSemiJoin
+	LeftAntiJoin
+)
+
+type hashJoinOp struct {
+	typ        JoinType
+	left       Source
+	schema     []types.Column
+	leftKeys   []int
+	rightKeys  []int
+	buildRows  *Batch
+	buckets    map[uint64][]int
+	rightWidth int
+	built      bool
+	buildSrc   Source
+}
+
+func newHashJoin(typ JoinType, left, right Source, leftCols, rightCols []string) *hashJoinOp {
+	if len(leftCols) != len(rightCols) || len(leftCols) == 0 {
+		panic("exec: join key arity mismatch")
+	}
+	lk := make([]int, len(leftCols))
+	for i, c := range leftCols {
+		lk[i] = colIndex(left.Schema(), c)
+	}
+	rk := make([]int, len(rightCols))
+	for i, c := range rightCols {
+		rk[i] = colIndex(right.Schema(), c)
+	}
+	var schema []types.Column
+	schema = append(schema, left.Schema()...)
+	if typ == InnerJoin {
+		for _, c := range right.Schema() {
+			for _, l := range left.Schema() {
+				if l.Name == c.Name {
+					panic(fmt.Sprintf("exec: join output column %q is ambiguous", c.Name))
+				}
+			}
+		}
+		schema = append(schema, right.Schema()...)
+	}
+	return &hashJoinOp{
+		typ: typ, left: left, schema: schema,
+		leftKeys: lk, rightKeys: rk,
+		rightWidth: len(right.Schema()), buildSrc: right,
+	}
+}
+
+func (o *hashJoinOp) Schema() []types.Column { return o.schema }
+
+func hashKeys(b *Batch, i int, keys []int) uint64 {
+	h := uint64(1469598103934665603)
+	for _, k := range keys {
+		h = b.Cols[k].Datum(i).Hash(h)
+	}
+	return h
+}
+
+func keysEqual(lb *Batch, li int, lk []int, rb *Batch, ri int, rk []int) bool {
+	for i := range lk {
+		if !lb.Cols[lk[i]].Datum(li).Equal(rb.Cols[rk[i]].Datum(ri)) {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *hashJoinOp) build() {
+	o.buildRows = NewBatch(o.buildSrc.Schema())
+	o.buckets = make(map[uint64][]int)
+	for {
+		b := o.buildSrc.Next()
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			idx := o.buildRows.N
+			for c := range b.Cols {
+				o.buildRows.Cols[c].AppendFrom(b.Cols[c], i)
+			}
+			o.buildRows.N++
+			h := hashKeys(b, i, o.rightKeys)
+			o.buckets[h] = append(o.buckets[h], idx)
+		}
+	}
+	o.built = true
+}
+
+func (o *hashJoinOp) Next() *Batch {
+	if !o.built {
+		o.build()
+	}
+	for {
+		b := o.left.Next()
+		if b == nil {
+			return nil
+		}
+		out := NewBatch(o.schema)
+		for i := 0; i < b.N; i++ {
+			h := hashKeys(b, i, o.leftKeys)
+			matched := false
+			for _, ri := range o.buckets[h] {
+				if !keysEqual(b, i, o.leftKeys, o.buildRows, ri, o.rightKeys) {
+					continue
+				}
+				matched = true
+				if o.typ != InnerJoin {
+					break
+				}
+				nl := len(b.Cols)
+				for c := range b.Cols {
+					out.Cols[c].AppendFrom(b.Cols[c], i)
+				}
+				for c := 0; c < o.rightWidth; c++ {
+					out.Cols[nl+c].AppendFrom(o.buildRows.Cols[c], ri)
+				}
+				out.N++
+			}
+			if (o.typ == LeftSemiJoin && matched) || (o.typ == LeftAntiJoin && !matched) {
+				for c := range b.Cols {
+					out.Cols[c].AppendFrom(b.Cols[c], i)
+				}
+				out.N++
+			}
+		}
+		if out.N > 0 {
+			return out
+		}
+	}
+}
+
+// --- hash aggregate ---
+
+// AggKind is an aggregate function.
+type AggKind uint8
+
+// Aggregate functions.
+const (
+	Sum AggKind = iota + 1
+	Count
+	Avg
+	Min
+	Max
+)
+
+// Agg is one aggregate output: Kind over Expr, named Name. Count ignores
+// Expr (COUNT(*)).
+type Agg struct {
+	Kind AggKind
+	Expr Expr
+	Name string
+}
+
+type aggState struct {
+	sum   float64
+	isum  int64
+	count int64
+	min   types.Datum
+	max   types.Datum
+}
+
+type hashAggOp struct {
+	in       Source
+	groupBy  []Expr
+	aggs     []Agg
+	aggExprs []Expr
+	schema   []types.Column
+	intSum   []bool
+
+	done bool
+	out  []types.Row
+	pos  int
+}
+
+func newHashAgg(in Source, groupBy []string, aggs []Agg) *hashAggOp {
+	o := &hashAggOp{in: in, aggs: aggs}
+	ins := in.Schema()
+	for _, g := range groupBy {
+		o.schema = append(o.schema, ins[colIndex(ins, g)])
+		o.groupBy = append(o.groupBy, ColName(g).Bind(ins))
+	}
+	o.intSum = make([]bool, len(aggs))
+	for i, a := range aggs {
+		var kind types.ColType
+		switch a.Kind {
+		case Count:
+			kind = types.Int
+		case Sum:
+			if a.Expr.Type(ins) == types.Int {
+				kind = types.Int
+				o.intSum[i] = true
+			} else {
+				kind = types.Float
+			}
+		case Avg:
+			kind = types.Float
+		default:
+			kind = a.Expr.Type(ins)
+		}
+		o.schema = append(o.schema, types.Column{Name: a.Name, Type: kind})
+		if a.Expr != nil {
+			o.aggExprs = append(o.aggExprs, a.Expr.Bind(ins))
+		} else {
+			o.aggExprs = append(o.aggExprs, nil)
+		}
+	}
+	return o
+}
+
+func (o *hashAggOp) Schema() []types.Column { return o.schema }
+
+func (o *hashAggOp) run() {
+	type group struct {
+		key    types.Row
+		states []aggState
+	}
+	groups := make(map[uint64][]*group)
+	var order []*group
+	find := func(b *Batch, i int) *group {
+		key := make(types.Row, len(o.groupBy))
+		h := uint64(1469598103934665603)
+		for gi, g := range o.groupBy {
+			key[gi] = g.Eval(b, i)
+			h = key[gi].Hash(h)
+		}
+		for _, g := range groups[h] {
+			same := true
+			for gi := range key {
+				if !g.key[gi].Equal(key[gi]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				return g
+			}
+		}
+		g := &group{key: key, states: make([]aggState, len(o.aggs))}
+		groups[h] = append(groups[h], g)
+		order = append(order, g)
+		return g
+	}
+	for {
+		b := o.in.Next()
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			g := find(b, i)
+			for ai, a := range o.aggs {
+				st := &g.states[ai]
+				st.count++
+				if a.Kind == Count {
+					continue
+				}
+				d := o.aggExprs[ai].Eval(b, i)
+				switch a.Kind {
+				case Sum, Avg:
+					st.sum += d.Float()
+					if d.Kind == types.Int {
+						st.isum += d.I
+					}
+				case Min:
+					if st.count == 1 || d.Compare(st.min) < 0 {
+						st.min = d
+					}
+				case Max:
+					if st.count == 1 || d.Compare(st.max) > 0 {
+						st.max = d
+					}
+				}
+			}
+		}
+	}
+	// A global aggregate over zero rows still yields one row of zeros.
+	if len(order) == 0 && len(o.groupBy) == 0 {
+		order = append(order, &group{states: make([]aggState, len(o.aggs))})
+	}
+	for _, g := range order {
+		row := make(types.Row, 0, len(o.schema))
+		row = append(row, g.key...)
+		for ai, a := range o.aggs {
+			st := g.states[ai]
+			switch a.Kind {
+			case Count:
+				row = append(row, types.NewInt(st.count))
+			case Sum:
+				if o.intSum[ai] {
+					row = append(row, types.NewInt(st.isum))
+				} else {
+					row = append(row, types.NewFloat(st.sum))
+				}
+			case Avg:
+				if st.count == 0 {
+					row = append(row, types.NewFloat(0))
+				} else {
+					row = append(row, types.NewFloat(st.sum/float64(st.count)))
+				}
+			case Min:
+				row = append(row, st.min)
+			case Max:
+				row = append(row, st.max)
+			}
+		}
+		o.out = append(o.out, row)
+	}
+	o.done = true
+}
+
+func (o *hashAggOp) Next() *Batch {
+	if !o.done {
+		o.run()
+	}
+	if o.pos >= len(o.out) {
+		return nil
+	}
+	b := NewBatch(o.schema)
+	for o.pos < len(o.out) && b.N < BatchSize {
+		b.AppendRow(o.out[o.pos])
+		o.pos++
+	}
+	return b
+}
+
+// --- sort ---
+
+// SortKey orders output by the named column.
+type SortKey struct {
+	Col  string
+	Desc bool
+}
+
+type sortOp struct {
+	in   Source
+	keys []SortKey
+
+	done bool
+	rows []types.Row
+	pos  int
+}
+
+func (o *sortOp) Schema() []types.Column { return o.in.Schema() }
+
+func (o *sortOp) run() {
+	idxs := make([]int, len(o.keys))
+	for i, k := range o.keys {
+		idxs[i] = colIndex(o.in.Schema(), k.Col)
+	}
+	for {
+		b := o.in.Next()
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			o.rows = append(o.rows, b.Row(i))
+		}
+	}
+	sort.SliceStable(o.rows, func(a, b int) bool {
+		for ki, idx := range idxs {
+			c := o.rows[a][idx].Compare(o.rows[b][idx])
+			if c == 0 {
+				continue
+			}
+			if o.keys[ki].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	o.done = true
+}
+
+func (o *sortOp) Next() *Batch {
+	if !o.done {
+		o.run()
+	}
+	if o.pos >= len(o.rows) {
+		return nil
+	}
+	b := NewBatch(o.Schema())
+	for o.pos < len(o.rows) && b.N < BatchSize {
+		b.AppendRow(o.rows[o.pos])
+		o.pos++
+	}
+	return b
+}
+
+// --- limit ---
+
+type limitOp struct {
+	in   Source
+	left int
+}
+
+func (o *limitOp) Schema() []types.Column { return o.in.Schema() }
+
+func (o *limitOp) Next() *Batch {
+	if o.left <= 0 {
+		return nil
+	}
+	b := o.in.Next()
+	if b == nil {
+		return nil
+	}
+	if b.N <= o.left {
+		o.left -= b.N
+		return b
+	}
+	out := NewBatch(b.Schema)
+	for i := 0; i < o.left; i++ {
+		for c := range out.Cols {
+			out.Cols[c].AppendFrom(b.Cols[c], i)
+		}
+	}
+	out.N = o.left
+	o.left = 0
+	return out
+}
+
+// --- plan builder ---
+
+// Plan is a fluent builder over a Source pipeline.
+type Plan struct{ src Source }
+
+// From starts a plan at a source.
+func From(s Source) *Plan { return &Plan{src: s} }
+
+// Filter keeps rows where e is true.
+func (p *Plan) Filter(e Expr) *Plan {
+	return &Plan{&filterOp{in: p.src, expr: e.Bind(p.src.Schema())}}
+}
+
+// Project computes named expressions.
+func (p *Plan) Project(exprs ...NamedExpr) *Plan {
+	return &Plan{newProject(p.src, exprs)}
+}
+
+// Join inner-joins with right on equality of the paired key columns.
+func (p *Plan) Join(right *Plan, leftCols, rightCols []string) *Plan {
+	return &Plan{newHashJoin(InnerJoin, p.src, right.src, leftCols, rightCols)}
+}
+
+// SemiJoin keeps left rows with a match in right (EXISTS).
+func (p *Plan) SemiJoin(right *Plan, leftCols, rightCols []string) *Plan {
+	return &Plan{newHashJoin(LeftSemiJoin, p.src, right.src, leftCols, rightCols)}
+}
+
+// AntiJoin keeps left rows without a match in right (NOT EXISTS).
+func (p *Plan) AntiJoin(right *Plan, leftCols, rightCols []string) *Plan {
+	return &Plan{newHashJoin(LeftAntiJoin, p.src, right.src, leftCols, rightCols)}
+}
+
+// Agg groups by the named columns (nil for a global aggregate) and computes
+// aggs.
+func (p *Plan) Agg(groupBy []string, aggs ...Agg) *Plan {
+	return &Plan{newHashAgg(p.src, groupBy, aggs)}
+}
+
+// Distinct removes duplicate rows.
+func (p *Plan) Distinct() *Plan {
+	cols := make([]string, len(p.src.Schema()))
+	for i, c := range p.src.Schema() {
+		cols[i] = c.Name
+	}
+	return p.Agg(cols)
+}
+
+// Sort orders the output.
+func (p *Plan) Sort(keys ...SortKey) *Plan {
+	return &Plan{&sortOp{in: p.src, keys: keys}}
+}
+
+// Limit truncates the output to n rows.
+func (p *Plan) Limit(n int) *Plan { return &Plan{&limitOp{in: p.src, left: n}} }
+
+// Schema returns the plan's output schema.
+func (p *Plan) Schema() []types.Column { return p.src.Schema() }
+
+// Run executes the plan, materializing all output rows.
+func (p *Plan) Run() []types.Row {
+	var rows []types.Row
+	for {
+		b := p.src.Next()
+		if b == nil {
+			return rows
+		}
+		for i := 0; i < b.N; i++ {
+			rows = append(rows, b.Row(i))
+		}
+	}
+}
+
+// Count executes the plan, returning only the row count.
+func (p *Plan) Count() int {
+	n := 0
+	for {
+		b := p.src.Next()
+		if b == nil {
+			return n
+		}
+		n += b.N
+	}
+}

@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"container/heap"
+
+	"htap/internal/types"
+)
+
+// topKOp keeps only the k smallest rows under the sort keys, using a
+// bounded max-heap instead of materializing and sorting the whole input —
+// the standard optimization for the ORDER BY ... LIMIT k shape every "top
+// customers/items" CH query has.
+type topKOp struct {
+	in   Source
+	keys []SortKey
+	k    int
+
+	done bool
+	rows []types.Row
+	pos  int
+}
+
+type rowHeap struct {
+	rows []types.Row
+	less func(a, b types.Row) bool // true when a orders before b
+}
+
+func (h *rowHeap) Len() int { return len(h.rows) }
+
+// Less inverts the ordering: the heap root is the WORST retained row, so
+// it pops first when a better candidate arrives.
+func (h *rowHeap) Less(i, j int) bool { return h.less(h.rows[j], h.rows[i]) }
+func (h *rowHeap) Swap(i, j int)      { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+
+func (h *rowHeap) Push(x any) { h.rows = append(h.rows, x.(types.Row)) }
+
+func (h *rowHeap) Pop() any {
+	last := h.rows[len(h.rows)-1]
+	h.rows = h.rows[:len(h.rows)-1]
+	return last
+}
+
+func (o *topKOp) Schema() []types.Column { return o.in.Schema() }
+
+func (o *topKOp) run() {
+	idxs := make([]int, len(o.keys))
+	for i, k := range o.keys {
+		idxs[i] = colIndex(o.in.Schema(), k.Col)
+	}
+	less := func(a, b types.Row) bool {
+		for ki, idx := range idxs {
+			c := a[idx].Compare(b[idx])
+			if c == 0 {
+				continue
+			}
+			if o.keys[ki].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	}
+	h := &rowHeap{less: less}
+	for {
+		b := o.in.Next()
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			r := b.Row(i)
+			if h.Len() < o.k {
+				heap.Push(h, r)
+			} else if less(r, h.rows[0]) {
+				h.rows[0] = r
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	// Drain in reverse pop order to emit ascending.
+	out := make([]types.Row, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(types.Row)
+	}
+	o.rows = out
+	o.done = true
+}
+
+func (o *topKOp) Next() *Batch {
+	if !o.done {
+		o.run()
+	}
+	if o.pos >= len(o.rows) {
+		return nil
+	}
+	b := NewBatch(o.Schema())
+	for o.pos < len(o.rows) && b.N < BatchSize {
+		b.AppendRow(o.rows[o.pos])
+		o.pos++
+	}
+	return b
+}
+
+// TopK is Sort(keys...).Limit(k) with a bounded heap: equivalent output,
+// O(n log k) time and O(k) memory instead of materializing the input.
+func (p *Plan) TopK(k int, keys ...SortKey) *Plan {
+	if k <= 0 {
+		return p.Limit(0)
+	}
+	return &Plan{&topKOp{in: p.src, keys: keys, k: k}}
+}

@@ -1,0 +1,123 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"htap/internal/types"
+)
+
+func TestTopKMatchesSortLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]types.Row, 5000)
+	for i := range rows {
+		rows[i] = sale(int64(i), int64(rng.Intn(100)), float64(rng.Intn(10_000)), "x")
+	}
+	keys := []SortKey{{Col: "amount", Desc: true}, {Col: "id"}}
+	want := From(NewMemSource(salesSchema.Cols, rows)).Sort(keys...).Limit(25).Run()
+	got := From(NewMemSource(salesSchema.Cols, rows)).TopK(25, keys...).Run()
+	if len(got) != len(want) {
+		t.Fatalf("topk %d rows, sort+limit %d", len(got), len(want))
+	}
+	for i := range want {
+		for c := range want[i] {
+			if !got[i][c].Equal(want[i][c]) {
+				t.Fatalf("row %d differs: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	rows := testRows()
+	// k larger than input: full sorted output.
+	got := From(NewMemSource(salesSchema.Cols, rows)).TopK(100, SortKey{Col: "id"}).Run()
+	if len(got) != len(rows) {
+		t.Fatalf("k>n returned %d rows", len(got))
+	}
+	// k == 0: nothing.
+	if n := From(NewMemSource(salesSchema.Cols, rows)).TopK(0, SortKey{Col: "id"}).Count(); n != 0 {
+		t.Fatalf("k=0 returned %d", n)
+	}
+	// Empty input.
+	if n := From(NewMemSource(salesSchema.Cols, nil)).TopK(5, SortKey{Col: "id"}).Count(); n != 0 {
+		t.Fatalf("empty input returned %d", n)
+	}
+}
+
+// Property: TopK == Sort+Limit for arbitrary data and k.
+func TestQuickTopKEquivalence(t *testing.T) {
+	f := func(vals []int16, k uint8) bool {
+		rows := make([]types.Row, len(vals))
+		for i, v := range vals {
+			rows[i] = sale(int64(i), int64(v), float64(v), "x")
+		}
+		kk := int(k%32) + 1
+		keys := []SortKey{{Col: "region"}, {Col: "id", Desc: true}}
+		want := From(NewMemSource(salesSchema.Cols, rows)).Sort(keys...).Limit(kk).Run()
+		got := From(NewMemSource(salesSchema.Cols, rows)).TopK(kk, keys...).Run()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !got[i][0].Equal(want[i][0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainRendersTree(t *testing.T) {
+	p := From(NewMemSource(salesSchema.Cols, testRows())).
+		Filter(Cmp(GT, ColName("amount"), ConstFloat(10))).
+		Join(From(NewMemSource(regionSchema, regionRows())), []string{"region"}, []string{"r_id"}).
+		Agg([]string{"r_name"}, Agg{Kind: Sum, Expr: ColName("amount"), Name: "rev"}).
+		TopK(3, SortKey{Col: "rev", Desc: true})
+	out := p.Explain()
+	for _, want := range []string{"TopK(3 by rev DESC)", "HashAggregate", "HashJoin(Inner", "Filter((amount > 10))", "MemScan"} {
+		if !contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// The tree must be indented (children deeper than parents).
+	if !contains(out, "\n  HashAggregate") {
+		t.Fatalf("no indentation:\n%s", out)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && (stringsIndex(s, sub) >= 0))
+}
+
+func stringsIndex(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func BenchmarkAblationTopKVsSortLimit(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	rows := make([]types.Row, 200_000)
+	for i := range rows {
+		rows[i] = sale(int64(i), int64(rng.Intn(1000)), float64(rng.Intn(1_000_000)), "x")
+	}
+	keys := []SortKey{{Col: "amount", Desc: true}}
+	b.Run("topk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			From(NewMemSource(salesSchema.Cols, rows)).TopK(20, keys...).Count()
+		}
+	})
+	b.Run("sort-limit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			From(NewMemSource(salesSchema.Cols, rows)).Sort(keys...).Limit(20).Count()
+		}
+	})
+}

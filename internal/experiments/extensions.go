@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"htap/internal/ch"
+	"htap/internal/core"
+	"htap/internal/exec"
+)
+
+// ExtensionsResult reports the §2.4 benchmark-suite extensions in action.
+type ExtensionsResult struct {
+	// Skew: share of order-line volume captured by the top 1% of items,
+	// under the uniform generator and the JCC-H-style skewed one.
+	UniformTop1Pct float64
+	SkewedTop1Pct  float64
+	// Join-crossing correlation: distinct customer nations per warehouse.
+	UniformNationsPerWH float64
+	SkewedNationsPerWH  float64
+
+	// In-process HTAP: latency of the plain New-Order vs the variant with
+	// an embedded analytical operation.
+	PlainNewOrderLat      time.Duration
+	AnalyticalNewOrderLat time.Duration
+}
+
+// Extensions measures the implemented §2.4 extensions.
+func Extensions(o Opts) ExtensionsResult {
+	o = o.normalize()
+	var res ExtensionsResult
+
+	measure := func(skew float64) (top1 float64, nationsPerWH float64) {
+		e := core.NewEngineA(core.ConfigA{Schemas: ch.Schemas()})
+		defer e.Close()
+		s := o.scale()
+		s.Skew = skew
+		if _, err := ch.NewGenerator(s).Load(e); err != nil {
+			panic(err)
+		}
+		// Volume share of the hottest 1% of items.
+		rows := e.Query(ch.TOrderLine, []string{"ol_i_id", "ol_quantity"}, nil).
+			Agg([]string{"ol_i_id"},
+				exec.Agg{Kind: exec.Sum, Expr: exec.ColName("ol_quantity"), Name: "q"}).
+			Sort(exec.SortKey{Col: "q", Desc: true}).Run()
+		total, top := int64(0), int64(0)
+		cut := len(rows) / 100
+		if cut < 1 {
+			cut = 1
+		}
+		for i, r := range rows {
+			q := r[1].Int()
+			total += q
+			if i < cut {
+				top += q
+			}
+		}
+		if total > 0 {
+			top1 = 100 * float64(top) / float64(total)
+		}
+		// Nations per warehouse.
+		nrows := e.Query(ch.TCustomer, []string{"c_w_id", "c_n_nationkey"}, nil).
+			Distinct().
+			Agg([]string{"c_w_id"}, exec.Agg{Kind: exec.Count, Name: "n"}).Run()
+		sum := 0.0
+		for _, r := range nrows {
+			sum += r[1].Float()
+		}
+		if len(nrows) > 0 {
+			nationsPerWH = sum / float64(len(nrows))
+		}
+		return top1, nationsPerWH
+	}
+	res.UniformTop1Pct, res.UniformNationsPerWH = measure(0)
+	res.SkewedTop1Pct, res.SkewedNationsPerWH = measure(2.0)
+
+	// In-process HTAP transaction cost.
+	{
+		e, s := loadEngine(core.ArchA, o)
+		defer e.Close()
+		d := ch.NewDriver(e, s)
+		rng := rand.New(rand.NewSource(o.Seed))
+		const n = 50
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := d.NewOrder(rng); err != nil {
+				panic(err)
+			}
+		}
+		res.PlainNewOrderLat = time.Since(start) / n
+		start = time.Now()
+		for i := 0; i < n; i++ {
+			if err := d.AnalyticalNewOrder(rng); err != nil {
+				panic(err)
+			}
+		}
+		res.AnalyticalNewOrderLat = time.Since(start) / n
+	}
+	return res
+}
+
+// FormatExtensions renders the extension measurements.
+func FormatExtensions(r ExtensionsResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "JCC-H-style skew (top-1%% item share of volume):\n")
+	fmt.Fprintf(&b, "  uniform generator: %5.1f%%   skewed generator: %5.1f%%\n",
+		r.UniformTop1Pct, r.SkewedTop1Pct)
+	fmt.Fprintf(&b, "join-crossing correlation (distinct nations per warehouse):\n")
+	fmt.Fprintf(&b, "  uniform: %.1f   skewed: %.1f (customers cluster with their warehouse)\n",
+		r.UniformNationsPerWH, r.SkewedNationsPerWH)
+	fmt.Fprintf(&b, "in-process HTAP transaction (analytical op inside New-Order):\n")
+	fmt.Fprintf(&b, "  plain: %v   analytical: %v (the embedded aggregate is the price of weaving)\n",
+		r.PlainNewOrderLat.Round(time.Microsecond), r.AnalyticalNewOrderLat.Round(time.Microsecond))
+	return b.String()
+}

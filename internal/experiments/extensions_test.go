@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExtensionsShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r := Extensions(Opts{Warehouses: 2, Duration: 100 * time.Millisecond, Seed: 7})
+	// Skew concentrates volume dramatically.
+	if r.SkewedTop1Pct < r.UniformTop1Pct*5 {
+		t.Errorf("skewed top-1%% share %.1f not far above uniform %.1f",
+			r.SkewedTop1Pct, r.UniformTop1Pct)
+	}
+	// Correlation collapses nation diversity per warehouse.
+	if r.SkewedNationsPerWH >= r.UniformNationsPerWH {
+		t.Errorf("correlated nations/wh %.1f not below uniform %.1f",
+			r.SkewedNationsPerWH, r.UniformNationsPerWH)
+	}
+	// The in-process analytical operation costs real work.
+	if r.AnalyticalNewOrderLat <= r.PlainNewOrderLat {
+		t.Errorf("analytical new-order %v not above plain %v",
+			r.AnalyticalNewOrderLat, r.PlainNewOrderLat)
+	}
+	out := FormatExtensions(r)
+	if !strings.Contains(out, "JCC-H") {
+		t.Fatalf("format:\n%s", out)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; tight latency-margin assertions are skipped under it because
+// instrumentation inflates CPU costs ~10x and swamps simulated-I/O margins.
+const raceEnabled = true

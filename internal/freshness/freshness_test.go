@@ -1,0 +1,84 @@
+package freshness
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFreshWhenCaughtUp(t *testing.T) {
+	tr := NewTracker()
+	tr.Committed(5)
+	tr.Applied(5)
+	s := tr.Read()
+	if !s.Fresh() || s.LagTS != 0 || s.LagTime != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestLagCountsCommits(t *testing.T) {
+	tr := NewTracker()
+	for ts := uint64(1); ts <= 10; ts++ {
+		tr.Committed(ts)
+	}
+	tr.Applied(4)
+	s := tr.Read()
+	if s.LagTS != 6 {
+		t.Fatalf("lag = %d, want 6", s.LagTS)
+	}
+	if s.Fresh() {
+		t.Fatal("lagging snapshot reported fresh")
+	}
+}
+
+func TestLagTimeGrows(t *testing.T) {
+	tr := NewTracker()
+	tr.Committed(1)
+	time.Sleep(10 * time.Millisecond)
+	s := tr.Read()
+	if s.LagTime < 8*time.Millisecond {
+		t.Fatalf("lag time = %v, want >= ~10ms", s.LagTime)
+	}
+	tr.Applied(1)
+	if got := tr.Read().LagTime; got != 0 {
+		t.Fatalf("lag time after apply = %v", got)
+	}
+}
+
+func TestWatermarksMonotonic(t *testing.T) {
+	tr := NewTracker()
+	tr.Committed(10)
+	tr.Committed(5) // regression ignored for the max watermark
+	tr.Applied(8)
+	tr.Applied(3)
+	s := tr.Read()
+	if s.CommitTS != 10 || s.AppliedTS != 8 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestMaxLagRecorded(t *testing.T) {
+	tr := NewTracker()
+	tr.Committed(1)
+	time.Sleep(5 * time.Millisecond)
+	tr.Committed(2)
+	tr.Applied(1) // still lagging behind commit 2, lag measured here
+	if tr.MaxLag() <= 0 {
+		t.Fatal("max lag not recorded")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracker()
+	tr.ringCap = 4
+	for ts := uint64(1); ts <= 10; ts++ {
+		tr.Committed(ts)
+	}
+	if len(tr.tsTimes) > 4 {
+		t.Fatalf("ring grew to %d", len(tr.tsTimes))
+	}
+	// Lag is still measurable from the remembered suffix.
+	tr.Applied(7)
+	if tr.Read().LagTS != 3 {
+		t.Fatalf("lag = %d", tr.Read().LagTS)
+	}
+}

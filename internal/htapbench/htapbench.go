@@ -1,0 +1,267 @@
+// Package htapbench implements the mixed-workload execution rules and
+// metrics of the paper's §2.3.
+//
+// Two end-to-end execution rules are provided:
+//
+//   - CH-benCHmark rule (Run with TargetTpmC == 0): OLTP workers and OLAP
+//     streams run unthrottled side by side; the benchmark reports both
+//     tpmC (New-Order transactions per minute) and QphH (analytical
+//     queries per hour), plus freshness samples.
+//   - HTAPBench rule (TargetTpmC > 0): the OLTP side is paced to a fixed
+//     transaction rate and the metric of interest is the QphH the system
+//     sustains at that guaranteed OLTP service level — HTAPBench's
+//     "business value under a transactional SLA" idea.
+//
+// The isolation/freshness evaluation practice of §2.3(2) is covered by
+// RunIsolationProbe, which measures OLTP degradation caused by turning the
+// OLAP side on.
+package htapbench
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"htap/internal/ch"
+	"htap/internal/core"
+)
+
+// Config parameterizes a mixed run.
+type Config struct {
+	Engine    core.Engine
+	Scale     ch.Scale
+	TPWorkers int
+	APStreams int
+	Duration  time.Duration
+	// QuerySet lists the CH query numbers the AP streams cycle through
+	// (nil = all 22).
+	QuerySet []int
+	// TargetTpmC, when positive, paces the OLTP side (HTAPBench rule).
+	TargetTpmC float64
+	// SyncInterval runs engine.Sync in the background (0 = none).
+	SyncInterval time.Duration
+	Seed         int64
+}
+
+// Result reports the metrics of one run.
+type Result struct {
+	Elapsed time.Duration
+
+	Txns     int64
+	NewOrder int64
+	TpmC     float64 // New-Order transactions per minute
+	TPS      float64 // all transactions per second
+
+	Queries int64
+	QphH    float64 // analytical queries per hour
+
+	TxnErrors int64
+
+	AvgTxnLatency   time.Duration
+	AvgQueryLatency time.Duration
+
+	// Freshness samples (staleness of the analytical view).
+	FreshAvgLagTS   float64
+	FreshMaxLagTS   uint64
+	FreshAvgLagTime time.Duration
+	FreshMaxLagTime time.Duration
+}
+
+// Run executes the mixed workload and reports metrics.
+func Run(cfg Config) Result {
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	driver := ch.NewDriver(cfg.Engine, cfg.Scale)
+	queries := pickQueries(cfg.QuerySet)
+
+	var (
+		stop       atomic.Bool
+		txnErrs    atomic.Int64
+		txnNanos   atomic.Int64
+		queryCount atomic.Int64
+		queryNanos atomic.Int64
+		wg         sync.WaitGroup
+	)
+
+	// Pacing for the HTAPBench rule: a token bucket at TargetTpmC/60 tps.
+	var tokens chan struct{}
+	if cfg.TargetTpmC > 0 {
+		tokens = make(chan struct{}, 64)
+		interval := time.Duration(float64(time.Minute) / cfg.TargetTpmC)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for !stop.Load() {
+				<-tick.C
+				select {
+				case tokens <- struct{}{}:
+				default:
+				}
+			}
+		}()
+	}
+
+	for w := 0; w < cfg.TPWorkers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*1000 + seed))
+			for !stop.Load() {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-time.After(time.Millisecond):
+						continue
+					}
+				}
+				start := time.Now()
+				if err := driver.RunOne(rng); err != nil {
+					txnErrs.Add(1)
+				} else {
+					txnNanos.Add(int64(time.Since(start)))
+				}
+			}
+		}(int64(w))
+	}
+
+	for s := 0; s < cfg.APStreams; s++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*7777 + seed))
+			for !stop.Load() {
+				q := queries[rng.Intn(len(queries))]
+				start := time.Now()
+				q(cfg.Engine)
+				queryNanos.Add(int64(time.Since(start)))
+				queryCount.Add(1)
+			}
+		}(int64(s))
+	}
+
+	if cfg.SyncInterval > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(cfg.SyncInterval)
+			defer t.Stop()
+			for !stop.Load() {
+				<-t.C
+				cfg.Engine.Sync()
+			}
+		}()
+	}
+
+	// Freshness sampler.
+	var lagSumTS, lagSamples uint64
+	var lagMaxTS uint64
+	var lagSumTime, lagMaxTime time.Duration
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for !stop.Load() {
+			<-t.C
+			s := cfg.Engine.Freshness()
+			lagSumTS += s.LagTS
+			lagSamples++
+			if s.LagTS > lagMaxTS {
+				lagMaxTS = s.LagTS
+			}
+			lagSumTime += s.LagTime
+			if s.LagTime > lagMaxTime {
+				lagMaxTime = s.LagTime
+			}
+		}
+	}()
+
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	counts := driver.Counts()
+	total := int64(0)
+	for _, n := range counts {
+		total += n
+	}
+	res := Result{
+		Elapsed:   elapsed,
+		Txns:      total,
+		NewOrder:  driver.NewOrders(),
+		Queries:   queryCount.Load(),
+		TxnErrors: txnErrs.Load(),
+	}
+	mins := elapsed.Minutes()
+	res.TpmC = float64(res.NewOrder) / mins
+	res.TPS = float64(res.Txns) / elapsed.Seconds()
+	res.QphH = float64(res.Queries) / elapsed.Hours()
+	if res.Txns > 0 {
+		res.AvgTxnLatency = time.Duration(txnNanos.Load() / max64(res.Txns, 1))
+	}
+	if res.Queries > 0 {
+		res.AvgQueryLatency = time.Duration(queryNanos.Load() / res.Queries)
+	}
+	if lagSamples > 0 {
+		res.FreshAvgLagTS = float64(lagSumTS) / float64(lagSamples)
+		res.FreshAvgLagTime = lagSumTime / time.Duration(lagSamples)
+	}
+	res.FreshMaxLagTS = lagMaxTS
+	res.FreshMaxLagTime = lagMaxTime
+	return res
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func pickQueries(set []int) []ch.QueryFunc {
+	all := ch.Queries()
+	if len(set) == 0 {
+		out := make([]ch.QueryFunc, 0, len(all))
+		for i := 1; i <= 22; i++ {
+			out = append(out, all[i])
+		}
+		return out
+	}
+	out := make([]ch.QueryFunc, 0, len(set))
+	for _, i := range set {
+		if q, ok := all[i]; ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// IsolationProbe quantifies workload interference (§2.3(2)): run OLTP
+// alone, then OLTP with the OLAP side on, and report the degradation.
+type IsolationProbe struct {
+	BaselineTPS float64
+	MixedTPS    float64
+	// DegradationPct is the share of OLTP throughput lost to OLAP
+	// co-execution: the paper's "what percentage of performance
+	// degradation the systems should pay".
+	DegradationPct float64
+}
+
+// RunIsolationProbe measures OLTP throughput with and without AP streams.
+func RunIsolationProbe(cfg Config) IsolationProbe {
+	alone := cfg
+	alone.APStreams = 0
+	a := Run(alone)
+	m := Run(cfg)
+	p := IsolationProbe{BaselineTPS: a.TPS, MixedTPS: m.TPS}
+	if a.TPS > 0 {
+		p.DegradationPct = 100 * (a.TPS - m.TPS) / a.TPS
+	}
+	return p
+}

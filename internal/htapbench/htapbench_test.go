@@ -1,0 +1,102 @@
+package htapbench
+
+import (
+	"testing"
+	"time"
+
+	"htap/internal/ch"
+	"htap/internal/core"
+	"htap/internal/sched"
+)
+
+func smallEngine(t testing.TB) (core.Engine, ch.Scale) {
+	t.Helper()
+	e := core.NewEngineA(core.ConfigA{Schemas: ch.Schemas()})
+	s := ch.SmallScale(1)
+	if _, err := ch.NewGenerator(s).Load(e); err != nil {
+		t.Fatal(err)
+	}
+	return e, s
+}
+
+func TestMixedRunProducesMetrics(t *testing.T) {
+	e, s := smallEngine(t)
+	defer e.Close()
+	res := Run(Config{
+		Engine: e, Scale: s, TPWorkers: 2, APStreams: 1,
+		Duration: 300 * time.Millisecond, QuerySet: []int{1, 6},
+		SyncInterval: 20 * time.Millisecond, Seed: 1,
+	})
+	if res.Txns <= 0 {
+		t.Fatalf("no transactions: %+v", res)
+	}
+	if res.Queries <= 0 {
+		t.Fatalf("no queries: %+v", res)
+	}
+	if res.TpmC <= 0 || res.TPS <= 0 || res.QphH <= 0 {
+		t.Fatalf("rates: %+v", res)
+	}
+	if res.AvgTxnLatency <= 0 || res.AvgQueryLatency <= 0 {
+		t.Fatalf("latencies: %+v", res)
+	}
+}
+
+func TestHTAPBenchPacingLimitsTPS(t *testing.T) {
+	e, s := smallEngine(t)
+	defer e.Close()
+	const target = 600.0 // tpmC -> 10 txn/s
+	res := Run(Config{
+		Engine: e, Scale: s, TPWorkers: 2, APStreams: 0,
+		Duration: 500 * time.Millisecond, TargetTpmC: target, Seed: 2,
+	})
+	// Paced TPS must be near target/60, far below the unthrottled rate.
+	if res.TPS > target/60*3 {
+		t.Fatalf("paced TPS %f exceeds target %f tps", res.TPS, target/60)
+	}
+}
+
+func TestQuerySetFiltering(t *testing.T) {
+	qs := pickQueries(nil)
+	if len(qs) != 22 {
+		t.Fatalf("default query set = %d", len(qs))
+	}
+	qs = pickQueries([]int{1, 6, 99})
+	if len(qs) != 2 {
+		t.Fatalf("filtered query set = %d", len(qs))
+	}
+}
+
+func TestIsolationProbe(t *testing.T) {
+	e, s := smallEngine(t)
+	defer e.Close()
+	p := RunIsolationProbe(Config{
+		Engine: e, Scale: s, TPWorkers: 2, APStreams: 2,
+		Duration: 250 * time.Millisecond, QuerySet: []int{5}, Seed: 3,
+	})
+	if p.BaselineTPS <= 0 || p.MixedTPS <= 0 {
+		t.Fatalf("probe rates: %+v", p)
+	}
+	// On a single core, co-running OLAP must cost OLTP something.
+	if p.DegradationPct < 0 {
+		// A negative value can only come from noise; allow a little.
+		if p.DegradationPct < -30 {
+			t.Fatalf("degradation %f%% is nonsensical", p.DegradationPct)
+		}
+	}
+}
+
+func TestFreshnessSamplesCollected(t *testing.T) {
+	e, s := smallEngine(t)
+	defer e.Close()
+	// Isolated mode: the analytical view only advances on syncs, so
+	// staleness accumulates measurably.
+	e.SetMode(sched.Isolated)
+	res := Run(Config{
+		Engine: e, Scale: s, TPWorkers: 2, APStreams: 0,
+		Duration: 300 * time.Millisecond, Seed: 4,
+	})
+	// No syncs ran, so staleness accumulates.
+	if res.FreshMaxLagTS == 0 {
+		t.Fatalf("no staleness observed: %+v", res)
+	}
+}

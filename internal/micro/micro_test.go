@@ -1,0 +1,93 @@
+package micro
+
+import "testing"
+
+func TestDatasetLayoutsAgree(t *testing.T) {
+	d := NewDataset(5000, 8, 1)
+	row := d.RunScan(RowLayout, 4, 1.0)
+	col := d.RunScan(ColLayout, 4, 1.0)
+	hyb := d.RunScan(HybridLayout, 4, 1.0)
+	if row.Sum != col.Sum || col.Sum != hyb.Sum {
+		t.Fatalf("layout checksums diverge: row=%d col=%d hybrid=%d", row.Sum, col.Sum, hyb.Sum)
+	}
+	if row.Sum == 0 {
+		t.Fatal("empty checksum")
+	}
+}
+
+func TestSelectiveScanAgrees(t *testing.T) {
+	d := NewDataset(5000, 8, 1)
+	row := d.RunScan(RowLayout, 2, 0.1)
+	col := d.RunScan(ColLayout, 2, 0.1)
+	if row.Sum != col.Sum {
+		t.Fatalf("selective checksums diverge: %d vs %d", row.Sum, col.Sum)
+	}
+}
+
+func TestColumnBeatsRowOnNarrowScan(t *testing.T) {
+	d := NewDataset(100_000, 16, 1)
+	// Warm both paths once.
+	d.RunScan(RowLayout, 1, 1.0)
+	d.RunScan(ColLayout, 1, 1.0)
+	row := d.RunScan(RowLayout, 1, 1.0)
+	col := d.RunScan(ColLayout, 1, 1.0)
+	if col.Duration >= row.Duration {
+		t.Fatalf("narrow projection: column %v !< row %v", col.Duration, row.Duration)
+	}
+}
+
+func TestRowBeatsColumnOnPointOps(t *testing.T) {
+	d := NewDataset(100_000, 16, 1)
+	rowT := d.RunPoints(RowLayout, 5000, 7)
+	colT := d.RunPoints(ColLayout, 5000, 7)
+	// Column point reads materialize whole rows from 16 vectors; the row
+	// store's B+-tree lookup must win.
+	if rowT >= colT {
+		t.Fatalf("point ops: row %v !< column %v", rowT, colT)
+	}
+}
+
+func TestUpdatesApply(t *testing.T) {
+	d := NewDataset(1000, 4, 1)
+	before := d.RunScan(ColLayout, 4, 1.0).Sum
+	d.RunUpdates(ColLayout, 200, 9)
+	after := d.RunScan(ColLayout, 4, 1.0).Sum
+	if before == after {
+		t.Fatal("column updates had no effect")
+	}
+	rBefore := d.RunScan(RowLayout, 4, 1.0).Sum
+	d.RunUpdates(RowLayout, 200, 9)
+	rAfter := d.RunScan(RowLayout, 4, 1.0).Sum
+	if rBefore == rAfter {
+		t.Fatal("row updates had no effect")
+	}
+}
+
+func TestRunADAPTShape(t *testing.T) {
+	pts := RunADAPT(20_000, 8, []float64{0.125, 1.0}, 500)
+	if len(pts) != 6 {
+		t.Fatalf("points = %d, want 2 projectivities x 3 layouts", len(pts))
+	}
+	byKey := map[[2]interface{}]ADAPTPoint{}
+	for _, p := range pts {
+		byKey[[2]interface{}{p.Projectivity, p.Layout}] = p
+	}
+	// Hybrid point ops track the row layout (both use the row store).
+	h := byKey[[2]interface{}{1.0, HybridLayout}]
+	r := byKey[[2]interface{}{1.0, RowLayout}]
+	if h.PointTime > r.PointTime*10 {
+		t.Fatalf("hybrid point time %v way above row %v", h.PointTime, r.PointTime)
+	}
+}
+
+func TestRunHAPShape(t *testing.T) {
+	pts := RunHAP(2000, 8, 30, []float64{0.0, 1.0})
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.OpsPerSec <= 0 {
+			t.Fatalf("non-positive throughput: %+v", p)
+		}
+	}
+}

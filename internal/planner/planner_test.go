@@ -1,0 +1,120 @@
+package planner
+
+import "testing"
+
+func base() TableInput {
+	return TableInput{
+		Rows: 100_000, Cols: 10, NeedCols: 10,
+		Selectivity: 1.0, HasColumn: true,
+	}
+}
+
+func TestWideScanPrefersColumn(t *testing.T) {
+	p := DefaultCostParams()
+	in := base()
+	in.NeedCols = 2 // narrow projection over all rows
+	d := p.Choose(in)
+	if d.Path != ColPath {
+		t.Fatalf("wide scan chose %s (%s)", d.Path, d.Explain())
+	}
+}
+
+func TestSelectiveKeyRangePrefersRowIndex(t *testing.T) {
+	p := DefaultCostParams()
+	in := base()
+	in.KeyRange = true
+	in.Selectivity = 0.0001 // a handful of rows via the B+-tree
+	d := p.Choose(in)
+	if d.Path != RowPath {
+		t.Fatalf("point-ish lookup chose %s (%s)", d.Path, d.Explain())
+	}
+}
+
+func TestNoColumnCopyForcesRowPath(t *testing.T) {
+	p := DefaultCostParams()
+	in := base()
+	in.HasColumn = false
+	d := p.Choose(in)
+	if d.Path != RowPath {
+		t.Fatalf("missing columnar copy chose %s", d.Path)
+	}
+}
+
+func TestDiskResidencyShiftsTowardColumn(t *testing.T) {
+	p := DefaultCostParams()
+	in := base()
+	in.KeyRange = true
+	in.Selectivity = 0.08
+	in.NeedCols = 2
+	mem := p.Choose(in)
+	in.RowOnDisk = true
+	dsk := p.Choose(in)
+	if dsk.RowCost <= mem.RowCost {
+		t.Fatal("disk residency did not raise row cost")
+	}
+	// At this selectivity the in-memory index scan wins but the disk one
+	// loses: exactly Heatwave's motivation for pushdown.
+	if mem.Path != RowPath || dsk.Path != ColPath {
+		t.Fatalf("mem=%s disk=%s", mem.Explain(), dsk.Explain())
+	}
+}
+
+func TestDeltaBacklogTaxesColumnPath(t *testing.T) {
+	p := DefaultCostParams()
+	in := base()
+	clean := p.Choose(in)
+	in.DeltaRows = 10_000_000
+	dirty := p.Choose(in)
+	if dirty.ColCost <= clean.ColCost {
+		t.Fatal("delta backlog did not raise column cost")
+	}
+	if dirty.Path != RowPath {
+		t.Fatalf("huge backlog still chose %s", dirty.Path)
+	}
+}
+
+func TestZoneMapPruningDiscountsColumn(t *testing.T) {
+	p := DefaultCostParams()
+	in := base()
+	in.Selectivity = 0.01
+	noZone := p.ColCost(in)
+	in.ZoneMapped = true
+	zone := p.ColCost(in)
+	if zone >= noZone {
+		t.Fatalf("zone maps did not discount: %f >= %f", zone, noZone)
+	}
+	// The floor keeps the estimate sane at absurd selectivities.
+	in.Selectivity = 1e-12
+	if p.ColCost(in) <= 0 {
+		t.Fatal("pruning floor violated")
+	}
+}
+
+func TestHybridSPJ(t *testing.T) {
+	p := DefaultCostParams()
+	// Left: selective key-range lookup (orders of one customer).
+	left := base()
+	left.KeyRange = true
+	left.Selectivity = 0.0005
+	// Right: full scan of a wide fact table projecting 3 of 12 columns.
+	right := base()
+	right.Rows = 1_000_000
+	right.Cols = 12
+	right.NeedCols = 3
+	ld, rd := p.ChooseSPJ(left, right)
+	if ld.Path != RowPath || rd.Path != ColPath {
+		t.Fatalf("SPJ = (%s, %s), want hybrid row+column", ld.Path, rd.Path)
+	}
+}
+
+func TestSelectivityClamp(t *testing.T) {
+	if clampSel(-1) <= 0 || clampSel(2) != 1 {
+		t.Fatal("clamp broken")
+	}
+	p := DefaultCostParams()
+	in := base()
+	in.NeedCols = 0 // degenerate projection falls back to all columns
+	if p.ColCost(in) <= 0 {
+		t.Fatal("degenerate projection mispriced")
+	}
+}

@@ -1,0 +1,156 @@
+package raft
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Network is an in-process transport connecting the nodes of one Raft
+// group. It substitutes for a real wire (DESIGN.md "Substitutions"):
+// messages are delivered asynchronously with configurable latency and loss,
+// which is enough to exercise elections, retries and learner lag.
+type Network struct {
+	mu       sync.RWMutex
+	nodes    map[int]*Node
+	latency  time.Duration
+	dropRate float64
+	rng      *rand.Rand
+	rngMu    sync.Mutex
+	isolated map[int]bool
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(latency time.Duration, dropRate float64) *Network {
+	return &Network{
+		nodes:    make(map[int]*Node),
+		latency:  latency,
+		dropRate: dropRate,
+		rng:      rand.New(rand.NewSource(42)),
+		isolated: make(map[int]bool),
+	}
+}
+
+// Register attaches a node to the network.
+func (nw *Network) Register(n *Node) {
+	nw.mu.Lock()
+	nw.nodes[n.cfg.ID] = n
+	nw.mu.Unlock()
+}
+
+// Isolate cuts a node off (both directions); pass false to heal.
+func (nw *Network) Isolate(id int, cut bool) {
+	nw.mu.Lock()
+	nw.isolated[id] = cut
+	nw.mu.Unlock()
+}
+
+// Send implements Transport.
+func (nw *Network) Send(msg Message) {
+	nw.mu.RLock()
+	dst := nw.nodes[msg.To]
+	cut := nw.isolated[msg.From] || nw.isolated[msg.To]
+	nw.mu.RUnlock()
+	if dst == nil || cut {
+		return
+	}
+	if nw.dropRate > 0 {
+		nw.rngMu.Lock()
+		drop := nw.rng.Float64() < nw.dropRate
+		nw.rngMu.Unlock()
+		if drop {
+			return
+		}
+	}
+	if nw.latency > 0 {
+		go func() {
+			time.Sleep(nw.latency)
+			dst.Step(msg)
+		}()
+		return
+	}
+	dst.Step(msg)
+}
+
+// Group is a convenience bundle: a network plus its nodes, used by tests
+// and by the distributed engine.
+type Group struct {
+	Net   *Network
+	Nodes map[int]*Node
+}
+
+// NewLocalGroup builds and starts a Raft group with voter IDs 0..voters-1
+// and learner IDs voters..voters+learners-1. apply receives committed
+// entries per node.
+func NewLocalGroup(voters, learners int, latency time.Duration, apply func(nodeID int, e Entry)) *Group {
+	return NewLocalGroupWith(voters, learners, latency, Config{}, apply)
+}
+
+// NewLocalGroupWith is NewLocalGroup with a configuration template: the
+// template's timing and compaction knobs apply to every node.
+func NewLocalGroupWith(voters, learners int, latency time.Duration, tmpl Config, apply func(nodeID int, e Entry)) *Group {
+	nw := NewNetwork(latency, 0)
+	var voterIDs, learnerIDs []int
+	for i := 0; i < voters; i++ {
+		voterIDs = append(voterIDs, i)
+	}
+	for i := voters; i < voters+learners; i++ {
+		learnerIDs = append(learnerIDs, i)
+	}
+	g := &Group{Net: nw, Nodes: make(map[int]*Node)}
+	for _, id := range append(append([]int{}, voterIDs...), learnerIDs...) {
+		id := id
+		cfg := tmpl
+		cfg.ID = id
+		cfg.Voters = voterIDs
+		cfg.Learners = learnerIDs
+		cfg.Transport = nw
+		if cfg.ProposeTimeout == 0 {
+			cfg.ProposeTimeout = 500 * time.Millisecond
+		}
+		if apply != nil {
+			cfg.Apply = func(e Entry) { apply(id, e) }
+		}
+		n := NewNode(cfg)
+		nw.Register(n)
+		g.Nodes[id] = n
+	}
+	for _, n := range g.Nodes {
+		n.Start()
+	}
+	return g
+}
+
+// WaitLeader blocks until some voter is leader, returning it.
+func (g *Group) WaitLeader(timeout time.Duration) *Node {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, n := range g.Nodes {
+			if n.IsLeader() {
+				return n
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}
+
+// Leader returns the current leader, or nil. After a partition heals there
+// can briefly be two claimants; the higher term is the real leader.
+func (g *Group) Leader() *Node {
+	var best *Node
+	var bestTerm uint64
+	for _, n := range g.Nodes {
+		if st := n.Status(); st.Role == Leader && st.Term >= bestTerm {
+			best, bestTerm = n, st.Term
+		}
+	}
+	return best
+}
+
+// Stop shuts down every node.
+func (g *Group) Stop() {
+	for _, n := range g.Nodes {
+		n.Stop()
+	}
+}

@@ -1,0 +1,706 @@
+// Package raft implements the Raft consensus protocol: randomized leader
+// election, log replication, quorum commit — and learner (non-voting)
+// replicas, which are the key to architecture B.
+//
+// TiDB's HTAP design (paper §2.1(b), §2.2(1)) replicates the Raft log from
+// the leader to followers holding row-store replicas, and also ships it to
+// learner nodes that apply the same log into columnar replicas: "The logs
+// are also sent to learner nodes that store the data in columnar format."
+// Learners receive AppendEntries and apply committed commands but neither
+// vote nor count toward the commit quorum, so analytical replicas can lag
+// without stalling transactions — high isolation, reduced freshness,
+// exactly the trade-off Table 1 records for this architecture.
+//
+// Scope: logs are in-memory (engines journal payloads in their own WAL),
+// and membership is fixed at construction. Snapshots and log compaction are
+// out of scope for bounded benchmark runs.
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Command is an opaque state-machine command.
+type Command []byte
+
+// Entry is one replicated log entry. Index is 1-based.
+type Entry struct {
+	Term  uint64
+	Index uint64
+	Cmd   Command
+}
+
+// Role is a node's current role.
+type Role uint8
+
+// Node roles. Learners never leave RoleLearner.
+const (
+	Follower Role = iota + 1
+	Candidate
+	Leader
+	RoleLearner
+)
+
+func (r Role) String() string {
+	return [...]string{"?", "follower", "candidate", "leader", "learner"}[r]
+}
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+// Protocol messages.
+const (
+	MsgVoteReq MsgType = iota + 1
+	MsgVoteResp
+	MsgAppendReq
+	MsgAppendResp
+)
+
+// Message is a Raft RPC. A single struct covers all four message kinds.
+type Message struct {
+	Type MsgType
+	From int
+	To   int
+	Term uint64
+
+	// Vote request/response.
+	LastLogIndex uint64
+	LastLogTerm  uint64
+	Granted      bool
+
+	// Append request/response.
+	PrevLogIndex uint64
+	PrevLogTerm  uint64
+	Entries      []Entry
+	LeaderCommit uint64
+	Success      bool
+	MatchIndex   uint64
+	// CompactBelow tells followers which prefix every replica already
+	// holds, so they may truncate it too.
+	CompactBelow uint64
+}
+
+// Transport delivers messages between nodes. Send must not block
+// indefinitely; best-effort delivery is sufficient (Raft tolerates loss).
+type Transport interface {
+	Send(msg Message)
+}
+
+// Config configures a node.
+type Config struct {
+	ID       int
+	Voters   []int // including self when the node votes
+	Learners []int
+	Transport
+	// Apply is invoked, in log order, for every committed entry, on voters
+	// and learners alike. It runs on the node's apply goroutine.
+	Apply func(Entry)
+
+	HeartbeatInterval  time.Duration
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+	// ProposeTimeout bounds how long Propose waits for commit+apply. A
+	// deposed-but-unaware leader would otherwise block proposals forever.
+	// Commands must therefore be idempotent under retry; every command in
+	// this repository is (row upserts carry their commit timestamp, and the
+	// 2PC state machine tolerates duplicate prepare/commit/abort).
+	ProposeTimeout time.Duration
+	// CompactEvery truncates the in-memory log once more than this many
+	// applied entries are held AND every peer (learners included) has
+	// matched them. Zero disables compaction. Entries are only dropped
+	// when no replica can still need them, so no snapshot transfer is
+	// required; a long-partitioned peer simply pins the log.
+	CompactEvery int
+}
+
+func (c *Config) defaults() {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 10 * time.Millisecond
+	}
+	if c.ElectionTimeoutMin == 0 {
+		c.ElectionTimeoutMin = 60 * time.Millisecond
+	}
+	if c.ElectionTimeoutMax == 0 {
+		c.ElectionTimeoutMax = 120 * time.Millisecond
+	}
+	if c.ProposeTimeout == 0 {
+		c.ProposeTimeout = 2 * time.Second
+	}
+}
+
+// ErrNotLeader is returned by Propose on a non-leader.
+var ErrNotLeader = errors.New("raft: not leader")
+
+// ErrStopped is returned when the node has shut down.
+var ErrStopped = errors.New("raft: stopped")
+
+// ErrTimeout is returned when a proposal does not commit within the
+// configured ProposeTimeout (typically because this replica lost
+// leadership without learning it).
+var ErrTimeout = errors.New("raft: proposal timed out")
+
+type proposal struct {
+	cmd   Command
+	reply chan proposeResult
+}
+
+type proposeResult struct {
+	index uint64
+	term  uint64
+	err   error
+}
+
+type waiter struct {
+	term uint64
+	ch   chan error
+}
+
+// Node is one Raft participant.
+type Node struct {
+	cfg     Config
+	learner bool
+
+	mu          sync.Mutex
+	role        Role
+	term        uint64
+	votedFor    int
+	log         []Entry // log[0] is a sentinel at index logStart
+	logStart    uint64  // index of the compacted prefix boundary
+	commitIndex uint64
+	applied     uint64
+	leaderHint  int
+	votes       map[int]bool
+	nextIndex   map[int]uint64
+	matchIndex  map[int]uint64
+	waiters     map[uint64]waiter
+	electionDue time.Time
+
+	inbox    chan Message
+	proposes chan proposal
+	applyC   chan struct{}
+	stopC    chan struct{}
+	done     sync.WaitGroup
+	rng      *rand.Rand
+}
+
+// NewNode constructs a node; call Start to run it.
+func NewNode(cfg Config) *Node {
+	cfg.defaults()
+	n := &Node{
+		cfg:        cfg,
+		role:       Follower,
+		votedFor:   -1,
+		log:        make([]Entry, 1),
+		waiters:    make(map[uint64]waiter),
+		inbox:      make(chan Message, 1024),
+		proposes:   make(chan proposal, 256),
+		applyC:     make(chan struct{}, 1),
+		stopC:      make(chan struct{}),
+		rng:        rand.New(rand.NewSource(int64(cfg.ID)*7919 + time.Now().UnixNano())),
+		leaderHint: -1,
+	}
+	for _, l := range cfg.Learners {
+		if l == cfg.ID {
+			n.learner = true
+			n.role = RoleLearner
+		}
+	}
+	return n
+}
+
+// Start launches the node's event and apply loops.
+func (n *Node) Start() {
+	n.mu.Lock()
+	n.resetElectionTimer()
+	n.mu.Unlock()
+	n.done.Add(2)
+	go n.run()
+	go n.applyLoop()
+}
+
+// Stop terminates the node.
+func (n *Node) Stop() {
+	close(n.stopC)
+	n.done.Wait()
+}
+
+// Step delivers a message to the node (called by the transport).
+func (n *Node) Step(msg Message) {
+	select {
+	case n.inbox <- msg:
+	case <-n.stopC:
+	}
+}
+
+// Propose submits a command; it returns once the command is committed and
+// applied, or fails with ErrNotLeader / ErrStopped.
+func (n *Node) Propose(cmd Command) (uint64, error) {
+	p := proposal{cmd: cmd, reply: make(chan proposeResult, 1)}
+	select {
+	case n.proposes <- p:
+	case <-n.stopC:
+		return 0, ErrStopped
+	}
+	var res proposeResult
+	select {
+	case res = <-p.reply:
+	case <-n.stopC:
+		return 0, ErrStopped
+	}
+	return res.index, res.err
+}
+
+// IsLeader reports whether the node currently believes it is leader.
+func (n *Node) IsLeader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == Leader
+}
+
+// Status summarizes the node state for tests and monitoring.
+type Status struct {
+	ID          int
+	Role        Role
+	Term        uint64
+	CommitIndex uint64
+	Applied     uint64
+	LogLen      int    // entries physically held (after compaction)
+	LogStart    uint64 // compacted prefix boundary
+}
+
+// Status returns a snapshot of node state.
+func (n *Node) Status() Status {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return Status{
+		ID: n.cfg.ID, Role: n.role, Term: n.term,
+		CommitIndex: n.commitIndex, Applied: n.applied,
+		LogLen: len(n.log) - 1, LogStart: n.logStart,
+	}
+}
+
+func (n *Node) resetElectionTimer() {
+	span := n.cfg.ElectionTimeoutMax - n.cfg.ElectionTimeoutMin
+	d := n.cfg.ElectionTimeoutMin + time.Duration(n.rng.Int63n(int64(span)+1))
+	n.electionDue = time.Now().Add(d)
+}
+
+func (n *Node) lastLog() (uint64, uint64) {
+	e := n.log[len(n.log)-1]
+	return e.Index, e.Term
+}
+
+// entryAt returns the entry with logical index i (i > logStart).
+func (n *Node) entryAt(i uint64) Entry { return n.log[i-n.logStart] }
+
+// termAt returns the term of logical index i (valid for i >= logStart;
+// the sentinel carries the compacted boundary's term).
+func (n *Node) termAt(i uint64) uint64 { return n.log[i-n.logStart].Term }
+
+// holds reports whether logical index i is still in the log (sentinel
+// included).
+func (n *Node) holds(i uint64) bool {
+	return i >= n.logStart && i-n.logStart < uint64(len(n.log))
+}
+
+// compactToLocked drops entries at or below idx, keeping a sentinel.
+func (n *Node) compactToLocked(idx uint64) {
+	if idx <= n.logStart {
+		return
+	}
+	last, _ := n.lastLog()
+	if idx > last {
+		idx = last
+	}
+	cut := idx - n.logStart
+	rest := n.log[cut:] // rest[0] becomes the new sentinel
+	nl := make([]Entry, len(rest))
+	copy(nl, rest)
+	nl[0].Cmd = nil // the sentinel carries only (Index, Term)
+	n.log = nl
+	n.logStart = idx
+}
+
+// maybeCompactLocked truncates the applied prefix once it exceeds the
+// configured bound and every peer has replicated it. Followers compact to
+// the leader-advertised safe bound instead (see handleAppendReqLocked).
+func (n *Node) maybeCompactLocked() {
+	if n.cfg.CompactEvery <= 0 || n.role != Leader {
+		return
+	}
+	if n.applied <= n.logStart || n.applied-n.logStart < uint64(n.cfg.CompactEvery) {
+		return
+	}
+	safe := n.applied
+	for _, id := range n.peers() {
+		if m := n.matchIndex[id]; m < safe {
+			safe = m
+		}
+	}
+	n.compactToLocked(safe)
+}
+
+func (n *Node) quorum() int { return len(n.cfg.Voters)/2 + 1 }
+
+// peers returns every other node, voters and learners alike.
+func (n *Node) peers() []int {
+	out := make([]int, 0, len(n.cfg.Voters)+len(n.cfg.Learners))
+	for _, id := range n.cfg.Voters {
+		if id != n.cfg.ID {
+			out = append(out, id)
+		}
+	}
+	for _, id := range n.cfg.Learners {
+		if id != n.cfg.ID {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (n *Node) run() {
+	defer n.done.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatInterval / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopC:
+			n.failAllWaiters(ErrStopped)
+			return
+		case msg := <-n.inbox:
+			n.handle(msg)
+		case p := <-n.proposes:
+			n.handlePropose(p)
+		case <-ticker.C:
+			n.tick()
+		}
+	}
+}
+
+func (n *Node) tick() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch n.role {
+	case Leader:
+		n.maybeCompactLocked() // peers may have caught up since the last apply
+		n.broadcastAppendLocked()
+	case Follower, Candidate:
+		if time.Now().After(n.electionDue) {
+			n.startElectionLocked()
+		}
+	}
+}
+
+func (n *Node) startElectionLocked() {
+	n.role = Candidate
+	n.term++
+	n.votedFor = n.cfg.ID
+	n.votes = map[int]bool{n.cfg.ID: true}
+	n.resetElectionTimer()
+	lastIdx, lastTerm := n.lastLog()
+	for _, id := range n.cfg.Voters {
+		if id == n.cfg.ID {
+			continue
+		}
+		n.cfg.Send(Message{
+			Type: MsgVoteReq, From: n.cfg.ID, To: id, Term: n.term,
+			LastLogIndex: lastIdx, LastLogTerm: lastTerm,
+		})
+	}
+	if len(n.cfg.Voters) == 1 {
+		n.becomeLeaderLocked()
+	}
+}
+
+func (n *Node) becomeLeaderLocked() {
+	n.role = Leader
+	n.leaderHint = n.cfg.ID
+	n.nextIndex = make(map[int]uint64)
+	n.matchIndex = make(map[int]uint64)
+	lastIdx, _ := n.lastLog()
+	for _, id := range n.peers() {
+		n.nextIndex[id] = lastIdx + 1
+		n.matchIndex[id] = 0
+	}
+	n.broadcastAppendLocked()
+}
+
+func (n *Node) stepDownLocked(term uint64) {
+	if term > n.term {
+		n.term = term
+		n.votedFor = -1
+	}
+	if !n.learner {
+		n.role = Follower
+	}
+	n.resetElectionTimer()
+}
+
+func (n *Node) handle(msg Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if msg.Term > n.term {
+		n.stepDownLocked(msg.Term)
+	}
+	switch msg.Type {
+	case MsgVoteReq:
+		n.handleVoteReqLocked(msg)
+	case MsgVoteResp:
+		n.handleVoteRespLocked(msg)
+	case MsgAppendReq:
+		n.handleAppendReqLocked(msg)
+	case MsgAppendResp:
+		n.handleAppendRespLocked(msg)
+	}
+}
+
+func (n *Node) handleVoteReqLocked(msg Message) {
+	granted := false
+	if !n.learner && msg.Term >= n.term && (n.votedFor == -1 || n.votedFor == msg.From) {
+		lastIdx, lastTerm := n.lastLog()
+		upToDate := msg.LastLogTerm > lastTerm ||
+			(msg.LastLogTerm == lastTerm && msg.LastLogIndex >= lastIdx)
+		if upToDate {
+			granted = true
+			n.votedFor = msg.From
+			n.resetElectionTimer()
+		}
+	}
+	n.cfg.Send(Message{Type: MsgVoteResp, From: n.cfg.ID, To: msg.From, Term: n.term, Granted: granted})
+}
+
+func (n *Node) handleVoteRespLocked(msg Message) {
+	if n.role != Candidate || msg.Term != n.term || !msg.Granted {
+		return
+	}
+	n.votes[msg.From] = true
+	if len(n.votes) >= n.quorum() {
+		n.becomeLeaderLocked()
+	}
+}
+
+func (n *Node) handleAppendReqLocked(msg Message) {
+	resp := Message{Type: MsgAppendResp, From: n.cfg.ID, To: msg.From, Term: n.term}
+	if msg.Term < n.term {
+		n.cfg.Send(resp)
+		return
+	}
+	// Valid leader for this term.
+	if !n.learner {
+		n.role = Follower
+	}
+	n.leaderHint = msg.From
+	n.resetElectionTimer()
+
+	// Log-matching check. A PrevLogIndex below our compacted prefix can
+	// only reference committed entries we already hold; acknowledge them.
+	if msg.PrevLogIndex < n.logStart {
+		resp.Success = true
+		resp.MatchIndex = n.logStart
+		n.cfg.Send(resp)
+		return
+	}
+	if msg.PrevLogIndex > 0 {
+		if !n.holds(msg.PrevLogIndex) || n.termAt(msg.PrevLogIndex) != msg.PrevLogTerm {
+			n.cfg.Send(resp) // Success=false; leader will back off
+			return
+		}
+	}
+	// Append, truncating conflicts.
+	for _, e := range msg.Entries {
+		if e.Index <= n.logStart {
+			continue // already compacted, therefore committed and matching
+		}
+		if n.holds(e.Index) {
+			if n.termAt(e.Index) != e.Term {
+				n.log = n.log[:e.Index-n.logStart]
+				n.log = append(n.log, e)
+			}
+		} else {
+			n.log = append(n.log, e)
+		}
+	}
+	if msg.CompactBelow > 0 {
+		bound := msg.CompactBelow
+		if bound > n.applied {
+			bound = n.applied
+		}
+		n.compactToLocked(bound)
+	}
+	lastNew := msg.PrevLogIndex + uint64(len(msg.Entries))
+	if msg.LeaderCommit > n.commitIndex {
+		ci := msg.LeaderCommit
+		if lastNew < ci {
+			ci = lastNew
+		}
+		if ci > n.commitIndex {
+			n.commitIndex = ci
+			n.kickApply()
+		}
+	}
+	resp.Success = true
+	resp.MatchIndex = lastNew
+	n.cfg.Send(resp)
+}
+
+func (n *Node) handleAppendRespLocked(msg Message) {
+	if n.role != Leader || msg.Term != n.term {
+		return
+	}
+	if msg.Success {
+		if msg.MatchIndex > n.matchIndex[msg.From] {
+			n.matchIndex[msg.From] = msg.MatchIndex
+			n.nextIndex[msg.From] = msg.MatchIndex + 1
+			n.advanceCommitLocked()
+		}
+		return
+	}
+	// Back off and retry.
+	if n.nextIndex[msg.From] > 1 {
+		n.nextIndex[msg.From]--
+	}
+	n.sendAppendLocked(msg.From)
+}
+
+// advanceCommitLocked commits the highest index replicated on a quorum of
+// voters in the current term. Learners never count.
+func (n *Node) advanceCommitLocked() {
+	lastIdx, _ := n.lastLog()
+	for idx := lastIdx; idx > n.commitIndex; idx-- {
+		if n.termAt(idx) != n.term {
+			break // only current-term entries commit by counting (Raft §5.4.2)
+		}
+		count := 1 // self
+		for _, id := range n.cfg.Voters {
+			if id != n.cfg.ID && n.matchIndex[id] >= idx {
+				count++
+			}
+		}
+		if count >= n.quorum() {
+			n.commitIndex = idx
+			n.kickApply()
+			break
+		}
+	}
+}
+
+func (n *Node) sendAppendLocked(to int) {
+	next := n.nextIndex[to]
+	if next <= n.logStart {
+		next = n.logStart + 1
+	}
+	prevIdx := next - 1
+	var prevTerm uint64
+	if n.holds(prevIdx) {
+		prevTerm = n.termAt(prevIdx)
+	}
+	var entries []Entry
+	last, _ := n.lastLog()
+	if next <= last {
+		entries = append(entries, n.log[next-n.logStart:]...)
+	}
+	var compactBelow uint64
+	if n.cfg.CompactEvery > 0 && n.role == Leader {
+		compactBelow = n.logStart
+	}
+	n.cfg.Send(Message{
+		Type: MsgAppendReq, From: n.cfg.ID, To: to, Term: n.term,
+		PrevLogIndex: prevIdx, PrevLogTerm: prevTerm,
+		Entries: entries, LeaderCommit: n.commitIndex,
+		CompactBelow: compactBelow,
+	})
+}
+
+func (n *Node) broadcastAppendLocked() {
+	for _, id := range n.peers() {
+		n.sendAppendLocked(id)
+	}
+}
+
+func (n *Node) handlePropose(p proposal) {
+	n.mu.Lock()
+	if n.role != Leader {
+		n.mu.Unlock()
+		p.reply <- proposeResult{err: fmt.Errorf("%w (hint: node %d)", ErrNotLeader, n.leaderHint)}
+		return
+	}
+	lastIdx, _ := n.lastLog()
+	e := Entry{Term: n.term, Index: lastIdx + 1, Cmd: p.cmd}
+	n.log = append(n.log, e)
+	n.waiters[e.Index] = waiter{term: e.Term, ch: make(chan error, 1)}
+	w := n.waiters[e.Index]
+	n.broadcastAppendLocked()
+	if len(n.cfg.Voters) == 1 {
+		n.commitIndex = e.Index
+		n.kickApply()
+	}
+	n.mu.Unlock()
+	// Wait for apply outside the lock, bounded by the propose timeout.
+	timeout := n.cfg.ProposeTimeout
+	go func() {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		select {
+		case err := <-w.ch:
+			p.reply <- proposeResult{index: e.Index, term: e.Term, err: err}
+		case <-timer.C:
+			p.reply <- proposeResult{index: e.Index, term: e.Term, err: ErrTimeout}
+		}
+	}()
+}
+
+func (n *Node) failAllWaiters(err error) {
+	n.mu.Lock()
+	for idx, w := range n.waiters {
+		w.ch <- err
+		delete(n.waiters, idx)
+	}
+	n.mu.Unlock()
+}
+
+func (n *Node) kickApply() {
+	select {
+	case n.applyC <- struct{}{}:
+	default:
+	}
+}
+
+func (n *Node) applyLoop() {
+	defer n.done.Done()
+	for {
+		select {
+		case <-n.stopC:
+			return
+		case <-n.applyC:
+		}
+		for {
+			n.mu.Lock()
+			if n.applied >= n.commitIndex {
+				n.maybeCompactLocked()
+				n.mu.Unlock()
+				break
+			}
+			n.applied++
+			e := n.entryAt(n.applied)
+			w, hasWaiter := n.waiters[e.Index]
+			if hasWaiter {
+				delete(n.waiters, e.Index)
+			}
+			n.mu.Unlock()
+			if n.cfg.Apply != nil {
+				n.cfg.Apply(e)
+			}
+			if hasWaiter {
+				if w.term == e.Term {
+					w.ch <- nil
+				} else {
+					w.ch <- ErrNotLeader // entry was overwritten by a new leader
+				}
+			}
+		}
+	}
+}

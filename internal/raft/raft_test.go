@@ -1,0 +1,264 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// applyRecorder tracks applied entries per node.
+type applyRecorder struct {
+	mu   sync.Mutex
+	byID map[int][]string
+}
+
+func newRecorder() *applyRecorder { return &applyRecorder{byID: make(map[int][]string)} }
+
+func (r *applyRecorder) apply(id int, e Entry) {
+	r.mu.Lock()
+	r.byID[id] = append(r.byID[id], string(e.Cmd))
+	r.mu.Unlock()
+}
+
+func (r *applyRecorder) get(id int) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.byID[id]...)
+}
+
+func (r *applyRecorder) waitLen(id, n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if len(r.get(id)) >= n {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+func TestElectsSingleLeader(t *testing.T) {
+	g := NewLocalGroup(3, 0, 0, nil)
+	defer g.Stop()
+	if g.WaitLeader(3*time.Second) == nil {
+		t.Fatal("no leader elected")
+	}
+	time.Sleep(50 * time.Millisecond)
+	leaders := 0
+	for _, n := range g.Nodes {
+		if n.IsLeader() {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders = %d", leaders)
+	}
+}
+
+func TestProposeReplicatesToAll(t *testing.T) {
+	rec := newRecorder()
+	g := NewLocalGroup(3, 0, 0, rec.apply)
+	defer g.Stop()
+	l := g.WaitLeader(3 * time.Second)
+	if l == nil {
+		t.Fatal("no leader")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Propose(Command(fmt.Sprintf("cmd%d", i))); err != nil {
+			t.Fatalf("propose %d: %v", i, err)
+		}
+	}
+	for id := 0; id < 3; id++ {
+		if !rec.waitLen(id, 5, 3*time.Second) {
+			t.Fatalf("node %d applied %v", id, rec.get(id))
+		}
+		got := rec.get(id)
+		for i := 0; i < 5; i++ {
+			if got[i] != fmt.Sprintf("cmd%d", i) {
+				t.Fatalf("node %d order: %v", id, got)
+			}
+		}
+	}
+}
+
+func TestProposeOnFollowerFails(t *testing.T) {
+	g := NewLocalGroup(3, 0, 0, nil)
+	defer g.Stop()
+	l := g.WaitLeader(3 * time.Second)
+	if l == nil {
+		t.Fatal("no leader")
+	}
+	for _, n := range g.Nodes {
+		if n == l {
+			continue
+		}
+		if _, err := n.Propose(Command("x")); !errors.Is(err, ErrNotLeader) {
+			t.Fatalf("follower propose: %v", err)
+		}
+		break
+	}
+}
+
+func TestLearnerReceivesButDoesNotVote(t *testing.T) {
+	rec := newRecorder()
+	g := NewLocalGroup(3, 1, 0, rec.apply)
+	defer g.Stop()
+	l := g.WaitLeader(3 * time.Second)
+	if l == nil {
+		t.Fatal("no leader")
+	}
+	if _, err := l.Propose(Command("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Learner (id 3) applies the committed entry.
+	if !rec.waitLen(3, 1, 3*time.Second) {
+		t.Fatal("learner did not apply")
+	}
+	if st := g.Nodes[3].Status(); st.Role != RoleLearner {
+		t.Fatalf("learner role = %v", st.Role)
+	}
+}
+
+func TestCommitNotBlockedByLearnerLag(t *testing.T) {
+	rec := newRecorder()
+	g := NewLocalGroup(3, 1, 0, rec.apply)
+	defer g.Stop()
+	l := g.WaitLeader(3 * time.Second)
+	if l == nil {
+		t.Fatal("no leader")
+	}
+	// Cut the learner off entirely: proposals must still commit on the
+	// voter quorum (this is the isolation property of architecture B).
+	g.Net.Isolate(3, true)
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Propose(Command("y"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("propose with lagging learner: %v", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("commit blocked by learner")
+	}
+	// Heal: the learner catches up.
+	g.Net.Isolate(3, false)
+	if !rec.waitLen(3, 1, 3*time.Second) {
+		t.Fatal("learner never caught up")
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	rec := newRecorder()
+	g := NewLocalGroup(3, 0, 0, rec.apply)
+	defer g.Stop()
+	l := g.WaitLeader(3 * time.Second)
+	if l == nil {
+		t.Fatal("no leader")
+	}
+	if _, err := l.Propose(Command("before")); err != nil {
+		t.Fatal(err)
+	}
+	g.Net.Isolate(l.cfg.ID, true)
+	// A new leader emerges among the remaining voters.
+	var nl *Node
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, n := range g.Nodes {
+			if n != l && n.IsLeader() {
+				nl = n
+			}
+		}
+		if nl != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if nl == nil {
+		t.Fatal("no new leader after isolation")
+	}
+	if _, err := nl.Propose(Command("after")); err != nil {
+		t.Fatalf("propose on new leader: %v", err)
+	}
+	// Heal the old leader; it must step down and converge on the same log.
+	g.Net.Isolate(l.cfg.ID, false)
+	if !rec.waitLen(l.cfg.ID, 2, 5*time.Second) {
+		t.Fatalf("old leader log: %v", rec.get(l.cfg.ID))
+	}
+	got := rec.get(l.cfg.ID)
+	if got[0] != "before" || got[1] != "after" {
+		t.Fatalf("old leader applied %v", got)
+	}
+}
+
+func TestSingleVoterCommitsImmediately(t *testing.T) {
+	rec := newRecorder()
+	g := NewLocalGroup(1, 1, 0, rec.apply)
+	defer g.Stop()
+	l := g.WaitLeader(3 * time.Second)
+	if l == nil {
+		t.Fatal("single voter did not become leader")
+	}
+	if _, err := l.Propose(Command("solo")); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.waitLen(0, 1, time.Second) {
+		t.Fatal("not applied on voter")
+	}
+	if !rec.waitLen(1, 1, 3*time.Second) {
+		t.Fatal("not applied on learner")
+	}
+}
+
+func TestConvergenceUnderMessageLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lossy-network test is slow")
+	}
+	rec := newRecorder()
+	nw := NewNetwork(0, 0.2)
+	voterIDs := []int{0, 1, 2}
+	g := &Group{Net: nw, Nodes: make(map[int]*Node)}
+	for _, id := range voterIDs {
+		id := id
+		n := NewNode(Config{
+			ID: id, Voters: voterIDs, Transport: nw,
+			Apply: func(e Entry) { rec.apply(id, e) },
+		})
+		nw.Register(n)
+		g.Nodes[id] = n
+		n.Start()
+	}
+	defer g.Stop()
+
+	committed := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for committed < 10 && time.Now().Before(deadline) {
+		l := g.Leader()
+		if l == nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		if _, err := l.Propose(Command(fmt.Sprintf("c%d", committed))); err == nil {
+			committed++
+		}
+	}
+	if committed < 10 {
+		t.Fatalf("only %d commits under 20%% loss", committed)
+	}
+	for id := range g.Nodes {
+		if !rec.waitLen(id, 10, 5*time.Second) {
+			t.Fatalf("node %d applied only %d", id, len(rec.get(id)))
+		}
+	}
+	// Logs must be identical prefixes.
+	a, b, c := rec.get(0)[:10], rec.get(1)[:10], rec.get(2)[:10]
+	for i := 0; i < 10; i++ {
+		if a[i] != b[i] || a[i] != c[i] {
+			t.Fatalf("divergent logs at %d: %q %q %q", i, a[i], b[i], c[i])
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package rowstore
+
+import (
+	"fmt"
+	"sync"
+
+	"htap/internal/btree"
+	"htap/internal/types"
+)
+
+// SecondaryIndex maps a derived int64 key (for example a hashed customer
+// last name) to the set of primary keys whose *latest committed version*
+// produces it. The paper's §2.2 closes by pointing at HTAP indexing as a
+// related technique; this is the minimal multi-version-aware form: the
+// index tracks current images only, and readers re-validate hits against
+// their snapshot, so a stale pointer can produce a false miss for old
+// snapshots but never a wrong row.
+type SecondaryIndex struct {
+	Name string
+	Key  func(types.Row) int64
+
+	mu   sync.RWMutex
+	tree *btree.Tree[map[int64]struct{}]
+}
+
+// AddIndex registers a secondary index and back-fills it from the current
+// committed state. Further maintenance happens inside Apply and Load.
+func (s *Store) AddIndex(name string, key func(types.Row) int64) *SecondaryIndex {
+	idx := &SecondaryIndex{Name: name, Key: key, tree: btree.New[map[int64]struct{}]()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, existing := range s.indexes {
+		if existing.Name == name {
+			panic(fmt.Sprintf("rowstore: duplicate index %q", name))
+		}
+	}
+	s.idx.Ascend(func(pk int64, c *chain) bool {
+		if c.head != nil && !c.head.deleted {
+			idx.insert(key(c.head.row), pk)
+		}
+		return true
+	})
+	s.indexes = append(s.indexes, idx)
+	return idx
+}
+
+func (ix *SecondaryIndex) insert(k, pk int64) {
+	ix.mu.Lock()
+	set, ok := ix.tree.Get(k)
+	if !ok {
+		set = make(map[int64]struct{}, 1)
+		ix.tree.Put(k, set)
+	}
+	set[pk] = struct{}{}
+	ix.mu.Unlock()
+}
+
+func (ix *SecondaryIndex) remove(k, pk int64) {
+	ix.mu.Lock()
+	if set, ok := ix.tree.Get(k); ok {
+		delete(set, pk)
+		if len(set) == 0 {
+			ix.tree.Delete(k)
+		}
+	}
+	ix.mu.Unlock()
+}
+
+// update maintains the index across one applied write. oldRow is the
+// previous live image (nil if none), newRow the new one (nil on delete).
+func (ix *SecondaryIndex) update(pk int64, oldRow, newRow types.Row) {
+	var oldK, newK int64
+	hasOld, hasNew := oldRow != nil, newRow != nil
+	if hasOld {
+		oldK = ix.Key(oldRow)
+	}
+	if hasNew {
+		newK = ix.Key(newRow)
+	}
+	if hasOld && hasNew && oldK == newK {
+		return
+	}
+	if hasOld {
+		ix.remove(oldK, pk)
+	}
+	if hasNew {
+		ix.insert(newK, pk)
+	}
+}
+
+// Lookup returns the primary keys currently indexed under k, in ascending
+// order. Callers re-read each primary key at their snapshot.
+func (ix *SecondaryIndex) Lookup(k int64) []int64 {
+	ix.mu.RLock()
+	set, ok := ix.tree.Get(k)
+	var out []int64
+	if ok {
+		out = make([]int64, 0, len(set))
+		for pk := range set {
+			out = append(out, pk)
+		}
+	}
+	ix.mu.RUnlock()
+	sortInt64s(out)
+	return out
+}
+
+// LookupRange returns primary keys for derived keys in [lo, hi].
+func (ix *SecondaryIndex) LookupRange(lo, hi int64) []int64 {
+	var out []int64
+	ix.mu.RLock()
+	ix.tree.AscendRange(lo, hi, func(_ int64, set map[int64]struct{}) bool {
+		for pk := range set {
+			out = append(out, pk)
+		}
+		return true
+	})
+	ix.mu.RUnlock()
+	sortInt64s(out)
+	return out
+}
+
+// Len reports the number of distinct derived keys.
+func (ix *SecondaryIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tree.Len()
+}
+
+func sortInt64s(a []int64) {
+	// Insertion sort: result sets are small (index hits per key).
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// HashString folds a string into a derived index key; workloads index
+// strings (customer last names) through it.
+func HashString(s string) int64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return int64(h >> 1) // keep it non-negative for readability
+}

@@ -1,0 +1,140 @@
+package rowstore
+
+import (
+	"testing"
+
+	"htap/internal/txn"
+	"htap/internal/types"
+)
+
+var idxSchema = types.NewSchema("cust", 0,
+	types.Column{Name: "id", Type: types.Int},
+	types.Column{Name: "last", Type: types.String},
+	types.Column{Name: "bal", Type: types.Float},
+)
+
+func cust(id int64, last string, bal float64) types.Row {
+	return types.Row{types.NewInt(id), types.NewString(last), types.NewFloat(bal)}
+}
+
+func lastNameKey(r types.Row) int64 { return HashString(r[1].Str()) }
+
+func TestIndexBackfillAndLookup(t *testing.T) {
+	s := New(1, idxSchema)
+	s.Load(cust(1, "SMITH", 0))
+	s.Load(cust(2, "JONES", 0))
+	s.Load(cust(3, "SMITH", 0))
+	ix := s.AddIndex("by-last", lastNameKey)
+
+	got := ix.Lookup(HashString("SMITH"))
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("SMITH -> %v", got)
+	}
+	if got := ix.Lookup(HashString("NOBODY")); len(got) != 0 {
+		t.Fatalf("NOBODY -> %v", got)
+	}
+	if ix.Len() != 2 {
+		t.Fatalf("distinct keys = %d", ix.Len())
+	}
+}
+
+func TestIndexMaintainedAcrossWrites(t *testing.T) {
+	m := txn.NewManager()
+	s := New(1, idxSchema)
+	ix := s.AddIndex("by-last", lastNameKey)
+
+	commit := func(fn func(tx *txn.Txn) error) {
+		t.Helper()
+		tx := m.Begin()
+		if err := fn(tx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.Commit(func(ts uint64, ws []txn.Write) error {
+			s.Apply(ts, ws)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	commit(func(tx *txn.Txn) error { return s.Insert(tx, cust(1, "SMITH", 0)) })
+	if got := ix.Lookup(HashString("SMITH")); len(got) != 1 {
+		t.Fatalf("after insert: %v", got)
+	}
+	// An update that changes the indexed value moves the entry.
+	commit(func(tx *txn.Txn) error { return s.Update(tx, cust(1, "JONES", 0)) })
+	if got := ix.Lookup(HashString("SMITH")); len(got) != 0 {
+		t.Fatalf("stale SMITH entry: %v", got)
+	}
+	if got := ix.Lookup(HashString("JONES")); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("JONES: %v", got)
+	}
+	// An update that keeps the indexed value leaves it in place.
+	commit(func(tx *txn.Txn) error { return s.Update(tx, cust(1, "JONES", 99)) })
+	if got := ix.Lookup(HashString("JONES")); len(got) != 1 {
+		t.Fatalf("JONES after balance update: %v", got)
+	}
+	// Deletes drop the entry.
+	commit(func(tx *txn.Txn) error { return s.Delete(tx, 1) })
+	if got := ix.Lookup(HashString("JONES")); len(got) != 0 {
+		t.Fatalf("JONES after delete: %v", got)
+	}
+}
+
+func TestIndexLookupRange(t *testing.T) {
+	s := New(1, idxSchema)
+	byBal := s.AddIndex("by-bal", func(r types.Row) int64 { return int64(r[2].Float()) })
+	for i := int64(0); i < 10; i++ {
+		s.Load(cust(i, "X", float64(i*10)))
+	}
+	got := byBal.LookupRange(20, 50)
+	if len(got) != 4 { // balances 20,30,40,50 -> ids 2,3,4,5
+		t.Fatalf("range -> %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("unsorted: %v", got)
+		}
+	}
+}
+
+func TestDuplicateIndexPanics(t *testing.T) {
+	s := New(1, idxSchema)
+	s.AddIndex("x", lastNameKey)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate index name should panic")
+		}
+	}()
+	s.AddIndex("x", lastNameKey)
+}
+
+// The ablation the index exists for: point-ish access through the index vs
+// a full snapshot scan.
+func BenchmarkIndexLookupVsScan(b *testing.B) {
+	m := txn.NewManager()
+	s := New(1, idxSchema)
+	const n = 50_000
+	for i := int64(0); i < n; i++ {
+		s.Load(cust(i, "L"+string(rune('A'+i%26)), float64(i)))
+	}
+	ix := s.AddIndex("by-last", lastNameKey)
+	target := HashString("LM")
+	ts := m.Oracle().Watermark()
+
+	b.Run("index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, pk := range ix.Lookup(target) {
+				s.GetAt(ts, pk)
+			}
+		}
+	})
+	b.Run("full-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Scan(ts, func(_ int64, r types.Row) bool {
+				_ = r[1].Str() == "LM"
+				return true
+			})
+		}
+	})
+}

@@ -1,0 +1,364 @@
+// Package rowstore implements the MVCC row store used as the OLTP side of
+// every architecture in the paper's Figure 1.
+//
+// Rows live in version chains hung off a B+-tree primary-key index; each
+// version carries a begin timestamp, matching §2.2(1): "An update creates a
+// new version of a row with a new lifetime of a begin timestamp and an end
+// timestamp" (the end timestamp is implicit here: a version ends where the
+// next newer one begins, and deletions install tombstone versions). The
+// store can be memory-resident (architectures A, B, D) or disk-backed
+// (architecture C's "Disk Row Store", which charges simulated I/O per row
+// access).
+package rowstore
+
+import (
+	"errors"
+	"sync"
+
+	"htap/internal/btree"
+	"htap/internal/disk"
+	"htap/internal/txn"
+	"htap/internal/types"
+	"htap/internal/wal"
+)
+
+// Errors returned by transactional operations.
+var (
+	ErrDuplicate = errors.New("rowstore: duplicate primary key")
+	ErrNotFound  = errors.New("rowstore: key not found")
+)
+
+type version struct {
+	begin   uint64
+	deleted bool
+	row     types.Row
+	next    *version
+}
+
+type chain struct{ head *version } // newest first
+
+// visible returns the newest version with begin <= ts.
+func (c *chain) visible(ts uint64) *version {
+	for v := c.head; v != nil; v = v.next {
+		if v.begin <= ts {
+			return v
+		}
+	}
+	return nil
+}
+
+// Store is an MVCC row store for one table.
+type Store struct {
+	ID     uint32
+	Schema *types.Schema
+
+	mu  sync.RWMutex
+	idx *btree.Tree[*chain]
+
+	// Disk mode: when dev is non-nil every row read/written charges I/O
+	// proportional to the row's estimated byte size.
+	dev *disk.Device
+
+	indexes  []*SecondaryIndex
+	versions int64
+}
+
+// New returns a memory-resident store.
+func New(id uint32, schema *types.Schema) *Store {
+	return &Store{ID: id, Schema: schema, idx: btree.New[*chain]()}
+}
+
+// NewDiskBacked returns a store whose row accesses charge I/O on dev.
+func NewDiskBacked(id uint32, schema *types.Schema, dev *disk.Device) *Store {
+	s := New(id, schema)
+	s.dev = dev
+	return s
+}
+
+// rowBytes estimates the stored size of a row for I/O accounting.
+func (s *Store) rowBytes(r types.Row) int {
+	n := 8
+	for _, d := range r {
+		n += 16 + len(d.S)
+	}
+	return n
+}
+
+func (s *Store) chargeRead(r types.Row) {
+	if s.dev != nil && r != nil {
+		s.dev.ChargeRead(s.rowBytes(r))
+	}
+}
+
+func (s *Store) chargeWrite(r types.Row) {
+	if s.dev != nil {
+		s.dev.ChargeWrite(s.rowBytes(r))
+	}
+}
+
+// latest returns the chain and the commit TS of its newest version.
+func (s *Store) latest(key int64) (*chain, uint64) {
+	c, ok := s.idx.Get(key)
+	if !ok || c.head == nil {
+		return c, 0
+	}
+	return c, c.head.begin
+}
+
+// LatestVersion returns the commit timestamp of the newest version of key
+// (including tombstones), or 0 if the key was never written. Distributed
+// prepare validation uses it.
+func (s *Store) LatestVersion(key int64) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ts := s.latest(key)
+	return ts
+}
+
+// Get returns the row visible to tx (honoring its own writes), or
+// ErrNotFound.
+func (s *Store) Get(tx *txn.Txn, key int64) (types.Row, error) {
+	if w, ok := tx.GetWrite(s.ID, key); ok {
+		if w.Op == txn.OpDelete {
+			return nil, ErrNotFound
+		}
+		return w.Row, nil
+	}
+	return s.GetAt(tx.ReadTS, key)
+}
+
+// GetAt returns the row visible at snapshot ts, or ErrNotFound.
+func (s *Store) GetAt(ts uint64, key int64) (types.Row, error) {
+	s.mu.RLock()
+	c, ok := s.idx.Get(key)
+	var v *version
+	if ok {
+		v = c.visible(ts)
+	}
+	s.mu.RUnlock()
+	if v == nil || v.deleted {
+		return nil, ErrNotFound
+	}
+	s.chargeRead(v.row)
+	return v.row, nil
+}
+
+// Insert buffers an insert in tx. It fails with ErrDuplicate if a live row
+// is visible at the transaction snapshot (or buffered by the transaction).
+func (s *Store) Insert(tx *txn.Txn, row types.Row) error {
+	if err := s.Schema.Validate(row); err != nil {
+		return err
+	}
+	key := s.Schema.Key(row)
+	if w, ok := tx.GetWrite(s.ID, key); ok {
+		if w.Op != txn.OpDelete {
+			return ErrDuplicate
+		}
+		// The transaction deleted this key itself; re-inserting replaces it.
+		return tx.Write(s.ID, key, txn.OpInsert, row, 0)
+	}
+	s.mu.RLock()
+	c, latestTS := s.latest(key)
+	live := c != nil && func() bool { v := c.visible(tx.ReadTS); return v != nil && !v.deleted }()
+	s.mu.RUnlock()
+	if live {
+		return ErrDuplicate
+	}
+	return tx.Write(s.ID, key, txn.OpInsert, row, latestTS)
+}
+
+// Update buffers an update of the full row image in tx.
+func (s *Store) Update(tx *txn.Txn, row types.Row) error {
+	if err := s.Schema.Validate(row); err != nil {
+		return err
+	}
+	key := s.Schema.Key(row)
+	if w, ok := tx.GetWrite(s.ID, key); ok {
+		if w.Op == txn.OpDelete {
+			return ErrNotFound
+		}
+		return tx.Write(s.ID, key, txn.OpUpdate, row, 0)
+	}
+	s.mu.RLock()
+	c, latestTS := s.latest(key)
+	live := c != nil && func() bool { v := c.visible(tx.ReadTS); return v != nil && !v.deleted }()
+	s.mu.RUnlock()
+	if !live {
+		return ErrNotFound
+	}
+	return tx.Write(s.ID, key, txn.OpUpdate, row, latestTS)
+}
+
+// Delete buffers a delete in tx.
+func (s *Store) Delete(tx *txn.Txn, key int64) error {
+	if w, ok := tx.GetWrite(s.ID, key); ok {
+		if w.Op == txn.OpDelete {
+			return ErrNotFound
+		}
+		return tx.Write(s.ID, key, txn.OpDelete, nil, 0)
+	}
+	s.mu.RLock()
+	c, latestTS := s.latest(key)
+	live := c != nil && func() bool { v := c.visible(tx.ReadTS); return v != nil && !v.deleted }()
+	s.mu.RUnlock()
+	if !live {
+		return ErrNotFound
+	}
+	return tx.Write(s.ID, key, txn.OpDelete, nil, latestTS)
+}
+
+// Apply installs the subset of writes belonging to this table at commitTS.
+// Engines call it from the txn.Commit apply callback.
+func (s *Store) Apply(commitTS uint64, writes []txn.Write) {
+	s.mu.Lock()
+	for _, w := range writes {
+		if w.Table != s.ID {
+			continue
+		}
+		c, ok := s.idx.Get(w.Key)
+		if !ok {
+			c = &chain{}
+			s.idx.Put(w.Key, c)
+		}
+		var oldRow types.Row
+		if c.head != nil && !c.head.deleted {
+			oldRow = c.head.row
+		}
+		v := &version{begin: commitTS, next: c.head}
+		switch w.Op {
+		case txn.OpDelete:
+			v.deleted = true
+		default:
+			v.row = w.Row
+		}
+		c.head = v
+		s.versions++
+		for _, ix := range s.indexes {
+			ix.update(w.Key, oldRow, v.row)
+		}
+		s.chargeWrite(w.Row)
+	}
+	s.mu.Unlock()
+}
+
+// LogWrites appends redo records for this table's writes to l.
+func (s *Store) LogWrites(l *wal.Log, txnID uint64, writes []txn.Write) error {
+	for _, w := range writes {
+		if w.Table != s.ID {
+			continue
+		}
+		var rt wal.RecType
+		switch w.Op {
+		case txn.OpInsert:
+			rt = wal.RecInsert
+		case txn.OpUpdate:
+			rt = wal.RecUpdate
+		case txn.OpDelete:
+			rt = wal.RecDelete
+		}
+		if _, err := l.Append(wal.Record{Txn: txnID, Type: rt, Table: s.ID, Key: w.Key, Row: w.Row}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load installs a row visible to every snapshot, bypassing transactions.
+// Bulk loaders use it.
+func (s *Store) Load(row types.Row) error {
+	if err := s.Schema.Validate(row); err != nil {
+		return err
+	}
+	key := s.Schema.Key(row)
+	s.mu.Lock()
+	c, ok := s.idx.Get(key)
+	if !ok {
+		c = &chain{}
+		s.idx.Put(key, c)
+	}
+	var oldRow types.Row
+	if c.head != nil && !c.head.deleted {
+		oldRow = c.head.row
+	}
+	c.head = &version{begin: 0, row: row, next: c.head}
+	s.versions++
+	for _, ix := range s.indexes {
+		ix.update(key, oldRow, row)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Scan calls fn for every live row visible at ts, in key order, until fn
+// returns false. Disk-backed stores charge one read per scanned row.
+func (s *Store) Scan(ts uint64, fn func(key int64, row types.Row) bool) {
+	s.ScanRange(ts, -1<<63, 1<<63-1, fn)
+}
+
+// ScanRange is Scan restricted to keys in [lo, hi].
+func (s *Store) ScanRange(ts uint64, lo, hi int64, fn func(key int64, row types.Row) bool) {
+	type hit struct {
+		key int64
+		row types.Row
+	}
+	// Collect under the read lock, invoke callbacks (which may charge
+	// simulated I/O latency) outside it.
+	var hits []hit
+	s.mu.RLock()
+	s.idx.AscendRange(lo, hi, func(k int64, c *chain) bool {
+		if v := c.visible(ts); v != nil && !v.deleted {
+			hits = append(hits, hit{k, v.row})
+		}
+		return true
+	})
+	s.mu.RUnlock()
+	for _, h := range hits {
+		s.chargeRead(h.row)
+		if !fn(h.key, h.row) {
+			return
+		}
+	}
+}
+
+// Count returns the number of live rows at snapshot ts.
+func (s *Store) Count(ts uint64) int {
+	n := 0
+	s.mu.RLock()
+	s.idx.Ascend(func(_ int64, c *chain) bool {
+		if v := c.visible(ts); v != nil && !v.deleted {
+			n++
+		}
+		return true
+	})
+	s.mu.RUnlock()
+	return n
+}
+
+// Versions returns the total number of row versions ever installed.
+func (s *Store) Versions() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.versions
+}
+
+// GC drops versions older than ts that are shadowed by a newer version,
+// returning how many were reclaimed. Visibility at or after ts is
+// unaffected.
+func (s *Store) GC(ts uint64) int64 {
+	reclaimed := int64(0)
+	s.mu.Lock()
+	s.idx.Ascend(func(_ int64, c *chain) bool {
+		v := c.visible(ts)
+		if v == nil {
+			return true
+		}
+		for v.next != nil {
+			v.next = v.next.next
+			reclaimed++
+			s.versions--
+		}
+		return true
+	})
+	s.mu.Unlock()
+	return reclaimed
+}

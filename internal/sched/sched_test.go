@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkloadDrivenShiftsTowardPressure(t *testing.T) {
+	c := WorkloadDriven{Total: 8}
+	d := c.Decide(Signals{}, Decision{})
+	if d.TPWorkers != 4 || d.APWorkers != 4 {
+		t.Fatalf("initial split = %d/%d", d.TPWorkers, d.APWorkers)
+	}
+	// Heavy TP backlog pulls a worker from AP.
+	d = c.Decide(Signals{TPDemand: 1000, TPCompleted: 10, APDemand: 1, APCompleted: 10}, d)
+	if d.TPWorkers != 5 || d.APWorkers != 3 {
+		t.Fatalf("after TP pressure: %d/%d", d.TPWorkers, d.APWorkers)
+	}
+	// Heavy AP backlog pulls back.
+	d = c.Decide(Signals{TPDemand: 1, TPCompleted: 10, APDemand: 1000, APCompleted: 10}, d)
+	if d.TPWorkers != 4 || d.APWorkers != 4 {
+		t.Fatalf("after AP pressure: %d/%d", d.TPWorkers, d.APWorkers)
+	}
+	if d.Mode != Isolated || d.SyncNow {
+		t.Fatalf("workload-driven must stay isolated without syncs: %+v", d)
+	}
+}
+
+func TestWorkloadDrivenNeverStarves(t *testing.T) {
+	c := WorkloadDriven{Total: 2}
+	d := Decision{TPWorkers: 1, APWorkers: 1}
+	for i := 0; i < 10; i++ {
+		d = c.Decide(Signals{TPDemand: 1 << 30, TPCompleted: 1}, d)
+	}
+	if d.APWorkers < 1 {
+		t.Fatalf("AP starved: %+v", d)
+	}
+}
+
+func TestFreshnessDrivenModeSwitch(t *testing.T) {
+	c := FreshnessDriven{Total: 8, MaxLag: 100}
+	d := c.Decide(Signals{LagTS: 10}, Decision{})
+	if d.Mode != Isolated || d.SyncNow {
+		t.Fatalf("low lag: %+v", d)
+	}
+	d = c.Decide(Signals{LagTS: 150}, d)
+	if d.Mode != Shared || !d.SyncNow {
+		t.Fatalf("high lag must switch to shared+sync: %+v", d)
+	}
+	d = c.Decide(Signals{LagTS: 0}, d)
+	if d.Mode != Isolated {
+		t.Fatalf("recovered lag must switch back: %+v", d)
+	}
+}
+
+func TestAdaptiveCombinesBoth(t *testing.T) {
+	c := Adaptive{Total: 8, MaxLag: 100}
+	d := c.Decide(Signals{TPDemand: 1000, TPCompleted: 10, APCompleted: 10, LagTS: 150}, Decision{})
+	if !d.SyncNow {
+		t.Fatal("adaptive ignored freshness")
+	}
+	if d.TPWorkers <= d.APWorkers-1 {
+		t.Fatalf("adaptive ignored workload: %+v", d)
+	}
+	if d.Mode != Isolated {
+		t.Fatalf("adaptive should restore freshness via merge, not shared reads: %+v", d)
+	}
+	// Extreme lag lends a worker to the AP/merge side.
+	d2 := c.Decide(Signals{LagTS: 500}, Decision{TPWorkers: 4, APWorkers: 4})
+	if d2.APWorkers < 4 {
+		t.Fatalf("extreme lag should not shrink AP: %+v", d2)
+	}
+}
+
+func TestPoolResizeAndCounters(t *testing.T) {
+	var tpWork, apWork atomic.Int64
+	p := NewPool(
+		func() bool { tpWork.Add(1); return true },
+		func() bool { apWork.Add(1); return true },
+	)
+	defer p.Stop()
+	p.Resize(2, 1)
+	tp, ap := p.Counts()
+	if tp != 2 || ap != 1 {
+		t.Fatalf("counts = %d/%d", tp, ap)
+	}
+	time.Sleep(20 * time.Millisecond)
+	ctp, cap := p.Completed()
+	if ctp == 0 || cap == 0 {
+		t.Fatalf("completed = %d/%d", ctp, cap)
+	}
+	// Drain semantics: immediately querying again yields near-zero.
+	p.Resize(0, 0)
+	time.Sleep(5 * time.Millisecond)
+	p.Completed()
+	time.Sleep(5 * time.Millisecond)
+	ctp, cap = p.Completed()
+	if ctp != 0 || cap != 0 {
+		t.Fatalf("workers survived resize(0,0): %d/%d", ctp, cap)
+	}
+}
+
+func TestPoolIdleBackoff(t *testing.T) {
+	p := NewPool(func() bool { return false }, func() bool { return false })
+	defer p.Stop()
+	p.Resize(1, 1)
+	time.Sleep(10 * time.Millisecond)
+	tp, ap := p.Completed()
+	if tp != 0 || ap != 0 {
+		t.Fatalf("idle tasks completed work: %d/%d", tp, ap)
+	}
+}
+
+func TestPoolStopTerminates(t *testing.T) {
+	p := NewPool(func() bool { return true }, func() bool { return true })
+	p.Resize(4, 4)
+	done := make(chan struct{})
+	go func() { p.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not terminate")
+	}
+}

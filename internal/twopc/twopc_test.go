@@ -1,0 +1,285 @@
+package twopc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"htap/internal/cluster"
+	"htap/internal/txn"
+	"htap/internal/types"
+)
+
+// memStorage is a deterministic map-backed Storage.
+type memStorage struct {
+	mu       sync.Mutex
+	rows     map[int64]types.Row
+	versions map[int64]uint64
+}
+
+func newMemStorage() *memStorage {
+	return &memStorage{rows: make(map[int64]types.Row), versions: make(map[int64]uint64)}
+}
+
+func (s *memStorage) LatestVersion(table uint32, key int64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.versions[key]
+}
+
+func (s *memStorage) ApplyMutations(commitTS uint64, muts []cluster.Mutation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range muts {
+		s.versions[m.Key] = commitTS
+		if m.Op == txn.OpDelete {
+			delete(s.rows, m.Key)
+		} else {
+			s.rows[m.Key] = m.Row
+		}
+	}
+}
+
+func (s *memStorage) get(key int64) (types.Row, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rows[key]
+	return r, ok
+}
+
+// harness wires a cluster whose every replica owns a participant.
+type harness struct {
+	c            *cluster.Cluster
+	coord        *Coordinator
+	oracle       *txn.Oracle
+	participants map[int]map[int]*Participant // part -> node -> participant
+	stores       map[int]map[int]*memStorage
+	mu           sync.Mutex
+}
+
+func TestParticipantPrepareCommit(t *testing.T) {
+	st := newMemStorage()
+	p := NewParticipant(st)
+
+	muts := []cluster.Mutation{{Table: 1, Key: 1, Op: txn.OpUpdate, Row: types.Row{types.NewInt(1)}}}
+	p.Apply(EncodePrepare(Prepare{TxnID: 7, StartTS: 0, Muts: muts}))
+	if err, ok := p.Verdict(7); !ok || err != nil {
+		t.Fatalf("verdict = (%v, %v)", err, ok)
+	}
+	if p.LockCount() != 1 {
+		t.Fatalf("locks = %d", p.LockCount())
+	}
+	p.Apply(EncodeCommit(7, 5))
+	if p.LockCount() != 0 {
+		t.Fatal("locks not released")
+	}
+	if r, ok := st.get(1); !ok || r[0].Int() != 1 {
+		t.Fatalf("row = %v %v", r, ok)
+	}
+	if p.AppliedTS() != 5 {
+		t.Fatalf("applied = %d", p.AppliedTS())
+	}
+}
+
+func TestParticipantConflicts(t *testing.T) {
+	st := newMemStorage()
+	p := NewParticipant(st)
+	muts := func(key int64) []cluster.Mutation {
+		return []cluster.Mutation{{Table: 1, Key: key, Op: txn.OpUpdate, Row: types.Row{types.NewInt(key)}}}
+	}
+	// Lock conflict.
+	p.Apply(EncodePrepare(Prepare{TxnID: 1, StartTS: 0, Muts: muts(9)}))
+	p.Apply(EncodePrepare(Prepare{TxnID: 2, StartTS: 0, Muts: muts(9)}))
+	if err, _ := p.Verdict(2); !errors.Is(err, ErrConflict) {
+		t.Fatalf("lock conflict verdict = %v", err)
+	}
+	p.Apply(EncodeAbort(1))
+	if p.LockCount() != 0 {
+		t.Fatal("abort did not release lock")
+	}
+	// Version conflict: commit at ts 10, then prepare with snapshot 5.
+	p.Apply(EncodePrepare(Prepare{TxnID: 3, StartTS: 0, Muts: muts(9)}))
+	p.Apply(EncodeCommit(3, 10))
+	p.Apply(EncodePrepare(Prepare{TxnID: 4, StartTS: 5, Muts: muts(9)}))
+	if err, _ := p.Verdict(4); !errors.Is(err, ErrConflict) {
+		t.Fatalf("version conflict verdict = %v", err)
+	}
+	// Snapshot at/after the version is fine.
+	p.Apply(EncodePrepare(Prepare{TxnID: 5, StartTS: 10, Muts: muts(9)}))
+	if err, _ := p.Verdict(5); err != nil {
+		t.Fatalf("fresh snapshot rejected: %v", err)
+	}
+}
+
+func TestParticipantOneShot(t *testing.T) {
+	st := newMemStorage()
+	p := NewParticipant(st)
+	muts := []cluster.Mutation{{Table: 1, Key: 2, Op: txn.OpUpdate, Row: types.Row{types.NewInt(2)}}}
+	p.Apply(EncodeOneShot(11, 0, 7, muts))
+	if r, ok := st.get(2); !ok || r[0].Int() != 2 {
+		t.Fatalf("one-shot row = %v %v", r, ok)
+	}
+	if p.LockCount() != 0 {
+		t.Fatal("one-shot left locks")
+	}
+	// A conflicting one-shot self-aborts.
+	p.Apply(EncodePrepare(Prepare{TxnID: 12, StartTS: 7, Muts: muts}))
+	p.Apply(EncodeOneShot(13, 7, 9, muts))
+	if _, ok := st.get(2); !ok {
+		t.Fatal("row vanished")
+	}
+	if st.versions[2] != 7 {
+		t.Fatalf("conflicting one-shot applied: version = %d", st.versions[2])
+	}
+}
+
+func TestParticipantIdempotentCommit(t *testing.T) {
+	st := newMemStorage()
+	p := NewParticipant(st)
+	muts := []cluster.Mutation{{Table: 1, Key: 3, Op: txn.OpUpdate, Row: types.Row{types.NewInt(3)}}}
+	p.Apply(EncodePrepare(Prepare{TxnID: 1, StartTS: 0, Muts: muts}))
+	p.Apply(EncodeCommit(1, 4))
+	p.Apply(EncodeCommit(1, 4)) // duplicate: must be a no-op
+	p.Apply(EncodeAbort(99))    // unknown txn: no-op
+	if st.versions[3] != 4 {
+		t.Fatalf("version = %d", st.versions[3])
+	}
+}
+
+func TestParticipantDeterminism(t *testing.T) {
+	// Two replicas fed the same command sequence converge exactly.
+	cmds := [][]byte{
+		EncodePrepare(Prepare{TxnID: 1, StartTS: 0, Muts: []cluster.Mutation{
+			{Table: 1, Key: 1, Op: txn.OpUpdate, Row: types.Row{types.NewInt(10)}}}}),
+		EncodeCommit(1, 2),
+		EncodePrepare(Prepare{TxnID: 2, StartTS: 1, Muts: []cluster.Mutation{
+			{Table: 1, Key: 1, Op: txn.OpUpdate, Row: types.Row{types.NewInt(20)}}}}),
+		EncodeAbort(2), // conflicted on version, coordinator aborts
+		EncodePrepare(Prepare{TxnID: 3, StartTS: 2, Muts: []cluster.Mutation{
+			{Table: 1, Key: 1, Op: txn.OpDelete}}}),
+		EncodeCommit(3, 5),
+	}
+	a, b := newMemStorage(), newMemStorage()
+	pa, pb := NewParticipant(a), NewParticipant(b)
+	for _, c := range cmds {
+		pa.Apply(c)
+		pb.Apply(c)
+	}
+	if len(a.rows) != len(b.rows) || a.versions[1] != b.versions[1] {
+		t.Fatalf("replicas diverged: %v vs %v", a.rows, b.rows)
+	}
+	if _, ok := a.get(1); ok {
+		t.Fatal("delete not applied")
+	}
+}
+
+func TestCoordinatorSinglePartitionFastPath(t *testing.T) {
+	h := newHarnessWithApply(t, 1)
+	ts, err := h.coord.Commit(0, []cluster.Mutation{
+		{Table: 1, Key: 4, Op: txn.OpUpdate, Row: types.Row{types.NewInt(4)}},
+	})
+	if err != nil || ts == 0 {
+		t.Fatalf("commit = (%d, %v)", ts, err)
+	}
+	h.waitApplied(t, 0, 4)
+}
+
+func TestCoordinatorCrossPartition(t *testing.T) {
+	h := newHarnessWithApply(t, 2)
+	ts, err := h.coord.Commit(0, []cluster.Mutation{
+		{Table: 1, Key: 0, Op: txn.OpUpdate, Row: types.Row{types.NewInt(100)}},
+		{Table: 1, Key: 1, Op: txn.OpUpdate, Row: types.Row{types.NewInt(101)}},
+	})
+	if err != nil || ts == 0 {
+		t.Fatalf("commit = (%d, %v)", ts, err)
+	}
+	h.waitApplied(t, 0, 0)
+	h.waitApplied(t, 1, 1)
+}
+
+func TestCoordinatorConflictAborts(t *testing.T) {
+	h := newHarnessWithApply(t, 2)
+	if _, err := h.coord.Commit(0, []cluster.Mutation{
+		{Table: 1, Key: 0, Op: txn.OpUpdate, Row: types.Row{types.NewInt(1)}},
+		{Table: 1, Key: 1, Op: txn.OpUpdate, Row: types.Row{types.NewInt(1)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Stale snapshot (0) against the now-committed versions must abort.
+	_, err := h.coord.Commit(0, []cluster.Mutation{
+		{Table: 1, Key: 0, Op: txn.OpUpdate, Row: types.Row{types.NewInt(2)}},
+		{Table: 1, Key: 1, Op: txn.OpUpdate, Row: types.Row{types.NewInt(2)}},
+	})
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale cross-partition commit = %v, want conflict", err)
+	}
+	// Locks must be fully released so a fresh transaction succeeds.
+	fresh := h.oracle.Watermark()
+	if _, err := h.coord.Commit(fresh, []cluster.Mutation{
+		{Table: 1, Key: 0, Op: txn.OpUpdate, Row: types.Row{types.NewInt(3)}},
+	}); err != nil {
+		t.Fatalf("post-abort commit: %v", err)
+	}
+}
+
+// newHarnessWithApply builds a cluster whose Raft groups feed participants.
+func newHarnessWithApply(t *testing.T, partitions int) *harness {
+	t.Helper()
+	h := &harness{
+		oracle:       &txn.Oracle{},
+		participants: make(map[int]map[int]*Participant),
+		stores:       make(map[int]map[int]*memStorage),
+	}
+	const voters = 3
+	for p := 0; p < partitions; p++ {
+		h.participants[p] = make(map[int]*Participant)
+		h.stores[p] = make(map[int]*memStorage)
+		for n := 0; n < voters; n++ {
+			st := newMemStorage()
+			h.stores[p][n] = st
+			h.participants[p][n] = NewParticipant(st)
+		}
+	}
+	h.c = cluster.New(cluster.Config{
+		Partitions: partitions, VotersPer: voters,
+		Route: func(table uint32, key int64) int {
+			return int(uint64(key) % uint64(partitions))
+		},
+		ApplyRaw: func(part, nodeID int, learner bool, cmd []byte) {
+			h.mu.Lock()
+			p := h.participants[part][nodeID]
+			h.mu.Unlock()
+			if p != nil {
+				p.Apply(cmd)
+			}
+		},
+	})
+	t.Cleanup(h.c.Stop)
+	if err := h.c.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h.coord = NewCoordinator(h.c, h.oracle, func(part int) *Participant {
+		l := h.c.Partitions[part].Leader()
+		return h.participants[part][l.Status().ID]
+	})
+	return h
+}
+
+func (h *harness) waitApplied(t *testing.T, part int, key int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, st := range h.stores[part] {
+			if _, found := st.get(key); !found {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("key %d not applied on all replicas of partition %d", key, part)
+}

@@ -1,0 +1,266 @@
+// Package txn provides the transaction substrate shared by all engines:
+// a timestamp oracle, snapshot-isolated transactions with buffered write
+// sets, and a striped lock table for write-write conflict detection.
+//
+// This is the "MVCC" half of the paper's "MVCC + logging" TP technique
+// (Table 2): an update "creates a new version of a row with a new lifetime
+// of a begin timestamp", readers run against a consistent snapshot, and the
+// first writer of a key wins. The manager is storage-agnostic — engines pass
+// an apply callback to Commit that installs the buffered writes into their
+// stores (row store, delta store, Raft log, …) under the commit timestamp.
+package txn
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"htap/internal/types"
+)
+
+// Op is the kind of a buffered write.
+type Op uint8
+
+// Write operations.
+const (
+	OpInsert Op = iota + 1
+	OpUpdate
+	OpDelete
+)
+
+// Write is one buffered mutation of a transaction.
+type Write struct {
+	Table uint32
+	Key   int64
+	Op    Op
+	Row   types.Row
+}
+
+// Common transaction errors.
+var (
+	ErrConflict  = errors.New("txn: write-write conflict")
+	ErrFinished  = errors.New("txn: transaction already finished")
+	ErrReadStale = errors.New("txn: key modified after snapshot")
+)
+
+const lockShards = 64
+
+type lockKey struct {
+	table uint32
+	key   int64
+}
+
+type lockShard struct {
+	mu    sync.Mutex
+	locks map[lockKey]uint64 // -> holder txn id
+}
+
+// Oracle hands out monotonically increasing timestamps and tracks the read
+// watermark: the highest timestamp whose transaction is fully applied.
+type Oracle struct {
+	ts        atomic.Uint64
+	watermark atomic.Uint64
+}
+
+// Next returns the next timestamp.
+func (o *Oracle) Next() uint64 { return o.ts.Add(1) }
+
+// Current returns the most recently issued timestamp.
+func (o *Oracle) Current() uint64 { return o.ts.Load() }
+
+// Watermark returns the snapshot timestamp new readers should use.
+func (o *Oracle) Watermark() uint64 { return o.watermark.Load() }
+
+// Advance raises the read watermark to ts if it is higher.
+func (o *Oracle) Advance(ts uint64) {
+	for {
+		cur := o.watermark.Load()
+		if ts <= cur || o.watermark.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// Stats summarizes manager activity.
+type Stats struct {
+	Commits   int64
+	Aborts    int64
+	Conflicts int64
+}
+
+// Manager coordinates transactions.
+type Manager struct {
+	oracle  Oracle
+	nextTxn atomic.Uint64
+	shards  [lockShards]lockShard
+
+	commitMu  sync.Mutex
+	commits   atomic.Int64
+	aborts    atomic.Int64
+	conflicts atomic.Int64
+}
+
+// NewManager returns a ready manager.
+func NewManager() *Manager {
+	m := &Manager{}
+	for i := range m.shards {
+		m.shards[i].locks = make(map[lockKey]uint64)
+	}
+	return m
+}
+
+// Oracle exposes the manager's timestamp oracle.
+func (m *Manager) Oracle() *Oracle { return &m.oracle }
+
+// Stats returns a snapshot of counters.
+func (m *Manager) Stats() Stats {
+	return Stats{Commits: m.commits.Load(), Aborts: m.aborts.Load(), Conflicts: m.conflicts.Load()}
+}
+
+// Txn is a snapshot-isolated transaction. Not safe for concurrent use.
+type Txn struct {
+	mgr    *Manager
+	ID     uint64
+	ReadTS uint64
+
+	writes   []Write
+	writeIdx map[lockKey]int
+	locked   []lockKey
+	done     bool
+}
+
+// Begin starts a transaction reading at the current watermark.
+func (m *Manager) Begin() *Txn {
+	return &Txn{
+		mgr:      m,
+		ID:       m.nextTxn.Add(1),
+		ReadTS:   m.oracle.Watermark(),
+		writeIdx: make(map[lockKey]int),
+	}
+}
+
+func (m *Manager) shard(k lockKey) *lockShard {
+	h := (uint64(k.table)*0x9e3779b97f4a7c15 ^ uint64(k.key)) * 0xbf58476d1ce4e5b9
+	return &m.shards[h%lockShards]
+}
+
+// lock acquires the write lock for k on behalf of tx. Re-acquiring a lock
+// the transaction already holds succeeds.
+func (m *Manager) lock(tx *Txn, k lockKey) error {
+	s := m.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if holder, held := s.locks[k]; held {
+		if holder == tx.ID {
+			return nil
+		}
+		m.conflicts.Add(1)
+		return ErrConflict
+	}
+	s.locks[k] = tx.ID
+	tx.locked = append(tx.locked, k)
+	return nil
+}
+
+func (m *Manager) unlockAll(tx *Txn) {
+	for _, k := range tx.locked {
+		s := m.shard(k)
+		s.mu.Lock()
+		if s.locks[k] == tx.ID {
+			delete(s.locks, k)
+		}
+		s.mu.Unlock()
+	}
+	tx.locked = nil
+}
+
+// Write buffers a mutation, acquiring its write lock. latestVersion is the
+// commit timestamp of the newest committed version the caller observed for
+// the key (0 if none); a version newer than the snapshot aborts the
+// transaction with ErrReadStale (first-committer-wins snapshot isolation).
+func (tx *Txn) Write(table uint32, key int64, op Op, row types.Row, latestVersion uint64) error {
+	if tx.done {
+		return ErrFinished
+	}
+	if latestVersion > tx.ReadTS {
+		tx.mgr.conflicts.Add(1)
+		return ErrReadStale
+	}
+	k := lockKey{table, key}
+	if err := tx.mgr.lock(tx, k); err != nil {
+		return err
+	}
+	if i, ok := tx.writeIdx[k]; ok {
+		// Collapse repeated writes to the same key, keeping first-op semantics:
+		// INSERT then UPDATE stays an INSERT of the new image.
+		prev := tx.writes[i].Op
+		tx.writes[i].Row = row
+		if prev == OpInsert && op != OpDelete {
+			tx.writes[i].Op = OpInsert
+		} else {
+			tx.writes[i].Op = op
+		}
+		return nil
+	}
+	tx.writeIdx[k] = len(tx.writes)
+	tx.writes = append(tx.writes, Write{Table: table, Key: key, Op: op, Row: row})
+	return nil
+}
+
+// GetWrite returns the transaction's own buffered write for (table, key),
+// so stores can serve read-your-own-writes.
+func (tx *Txn) GetWrite(table uint32, key int64) (Write, bool) {
+	if i, ok := tx.writeIdx[lockKey{table, key}]; ok {
+		return tx.writes[i], true
+	}
+	return Write{}, false
+}
+
+// Writes returns the buffered write set in insertion order.
+func (tx *Txn) Writes() []Write { return tx.writes }
+
+// Pending reports the number of buffered writes.
+func (tx *Txn) Pending() int { return len(tx.writes) }
+
+// Commit assigns a commit timestamp, invokes apply with the write set, and
+// advances the read watermark. The apply callback installs the writes into
+// the engine's stores and logs; if it fails, the transaction aborts.
+//
+// Commits serialize on a short critical section. This models the single
+// timestamp authority of the centralized engines (architectures A/C/D); the
+// distributed engine (B) pays 2PC+Raft instead and bypasses this path.
+func (tx *Txn) Commit(apply func(commitTS uint64, writes []Write) error) (uint64, error) {
+	if tx.done {
+		return 0, ErrFinished
+	}
+	tx.done = true
+	defer tx.mgr.unlockAll(tx)
+	if len(tx.writes) == 0 {
+		tx.mgr.commits.Add(1)
+		return tx.ReadTS, nil
+	}
+	m := tx.mgr
+	m.commitMu.Lock()
+	commitTS := m.oracle.Next()
+	if apply != nil {
+		if err := apply(commitTS, tx.writes); err != nil {
+			m.commitMu.Unlock()
+			m.aborts.Add(1)
+			return 0, err
+		}
+	}
+	m.oracle.Advance(commitTS)
+	m.commitMu.Unlock()
+	m.commits.Add(1)
+	return commitTS, nil
+}
+
+// Abort releases the transaction's locks and discards its writes.
+func (tx *Txn) Abort() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.mgr.unlockAll(tx)
+	tx.mgr.aborts.Add(1)
+}

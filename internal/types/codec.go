@@ -1,0 +1,79 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Row wire format: uvarint column count, then per column a kind byte
+// followed by the value (varint for INT, 8-byte float bits for FLOAT,
+// uvarint length + bytes for STRING; NULL is just the kind byte 0).
+// The WAL, Raft log, and log-based delta files all use this encoding.
+
+// AppendRow appends the wire encoding of r to dst and returns the result.
+func AppendRow(dst []byte, r Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r)))
+	for _, d := range r {
+		dst = append(dst, byte(d.Kind))
+		switch d.Kind {
+		case 0: // NULL
+		case Int:
+			dst = binary.AppendVarint(dst, d.I)
+		case Float:
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(d.Float()))
+		case String:
+			dst = binary.AppendUvarint(dst, uint64(len(d.S)))
+			dst = append(dst, d.S...)
+		default:
+			panic(fmt.Sprintf("types: encoding unknown kind %d", d.Kind))
+		}
+	}
+	return dst
+}
+
+// DecodeRow decodes one row from b, returning the row and the number of
+// bytes consumed.
+func DecodeRow(b []byte) (Row, int, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("types: bad row header")
+	}
+	pos := sz
+	r := make(Row, n)
+	for i := range r {
+		if pos >= len(b) {
+			return nil, 0, fmt.Errorf("types: truncated row")
+		}
+		kind := ColType(b[pos])
+		pos++
+		switch kind {
+		case 0:
+			r[i] = Null
+		case Int:
+			v, sz := binary.Varint(b[pos:])
+			if sz <= 0 {
+				return nil, 0, fmt.Errorf("types: bad int datum")
+			}
+			pos += sz
+			r[i] = NewInt(v)
+		case Float:
+			if pos+8 > len(b) {
+				return nil, 0, fmt.Errorf("types: truncated float datum")
+			}
+			r[i] = NewFloat(math.Float64frombits(binary.BigEndian.Uint64(b[pos:])))
+			pos += 8
+		case String:
+			l, sz := binary.Uvarint(b[pos:])
+			if sz <= 0 || pos+sz+int(l) > len(b) {
+				return nil, 0, fmt.Errorf("types: bad string datum")
+			}
+			pos += sz
+			r[i] = NewString(string(b[pos : pos+int(l)]))
+			pos += int(l)
+		default:
+			return nil, 0, fmt.Errorf("types: unknown datum kind %d", kind)
+		}
+	}
+	return r, pos, nil
+}

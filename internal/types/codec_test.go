@@ -1,0 +1,78 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTripArbitraryRows(t *testing.T) {
+	f := func(ints []int64, floats []float64, strs []string, nulls uint8) bool {
+		var r Row
+		for _, v := range ints {
+			r = append(r, NewInt(v))
+		}
+		for _, v := range floats {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			r = append(r, NewFloat(v))
+		}
+		for _, s := range strs {
+			r = append(r, NewString(s))
+		}
+		for i := 0; i < int(nulls%4); i++ {
+			r = append(r, Null)
+		}
+		enc := AppendRow(nil, r)
+		dec, n, err := DecodeRow(enc)
+		if err != nil || n != len(enc) || len(dec) != len(r) {
+			return false
+		}
+		for i := range r {
+			if r[i].IsNull() != dec[i].IsNull() {
+				return false
+			}
+			if !r[i].IsNull() && !r[i].Equal(dec[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecConcatenatedRows(t *testing.T) {
+	a := Row{NewInt(1), NewString("x")}
+	b := Row{NewFloat(2.5)}
+	enc := AppendRow(AppendRow(nil, a), b)
+	da, n, err := DecodeRow(enc)
+	if err != nil || len(da) != 2 {
+		t.Fatalf("first decode: %v %v", da, err)
+	}
+	db, m, err := DecodeRow(enc[n:])
+	if err != nil || len(db) != 1 || n+m != len(enc) {
+		t.Fatalf("second decode: %v %v", db, err)
+	}
+	if db[0].Float() != 2.5 {
+		t.Fatalf("value = %v", db[0])
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},                         // empty
+		{0xff},                     // bad header
+		{2, byte(Int)},             // truncated int
+		{1, byte(Float)},           // truncated float
+		{1, byte(String), 10, 'a'}, // string length past end
+		{1, 99},                    // unknown kind
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeRow(c); err == nil {
+			t.Errorf("case %d decoded garbage", i)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDatumKinds(t *testing.T) {
+	if d := NewInt(42); d.Int() != 42 || d.Kind != Int || d.IsNull() {
+		t.Fatalf("NewInt broken: %+v", d)
+	}
+	if d := NewFloat(3.5); d.Float() != 3.5 || d.Kind != Float {
+		t.Fatalf("NewFloat broken: %+v", d)
+	}
+	if d := NewString("abc"); d.Str() != "abc" || d.Kind != String {
+		t.Fatalf("NewString broken: %+v", d)
+	}
+	if !Null.IsNull() {
+		t.Fatal("Null must be null")
+	}
+}
+
+func TestIntWidensToFloat(t *testing.T) {
+	if got := NewInt(7).Float(); got != 7.0 {
+		t.Fatalf("Int.Float() = %v, want 7", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewInt(2), -1},
+		{NewInt(2), NewFloat(1.5), 1},
+		{NewFloat(2), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareMixedStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("comparing INT with STRING should panic")
+		}
+	}()
+	NewInt(1).Compare(NewString("x"))
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := NewInt(a), NewInt(b)
+		return x.Compare(y) == -y.Compare(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashEqualValuesEqualHashes(t *testing.T) {
+	f := func(v int64, seed uint64) bool {
+		// Int/Float numeric equality implies hash equality for integral floats
+		// representable as float64.
+		if v > 1<<52 || v < -(1<<52) {
+			v %= 1 << 52
+		}
+		a := NewInt(v).Hash(seed)
+		b := NewFloat(float64(v)).Hash(seed)
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashDistinguishes(t *testing.T) {
+	h1 := NewString("ab").Hash(1)
+	h2 := NewString("ba").Hash(1)
+	if h1 == h2 {
+		t.Fatal("hash should distinguish permuted strings (vanishingly unlikely collision)")
+	}
+}
+
+func TestRowCloneIndependent(t *testing.T) {
+	r := Row{NewInt(1), NewString("x")}
+	c := r.Clone()
+	c[0] = NewInt(9)
+	if r[0].Int() != 1 {
+		t.Fatal("Clone must not alias the original")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := NewSchema("t", 0,
+		Column{"id", Int}, Column{"name", String}, Column{"amt", Float})
+	if err := s.Validate(Row{NewInt(1), NewString("a"), NewFloat(2)}); err != nil {
+		t.Fatalf("valid row rejected: %v", err)
+	}
+	if err := s.Validate(Row{NewInt(1), NewString("a")}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if err := s.Validate(Row{NewInt(1), NewInt(2), NewFloat(2)}); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	if err := s.Validate(Row{Null, NewString("a"), NewFloat(2)}); err == nil {
+		t.Fatal("NULL key accepted")
+	}
+	if err := s.Validate(Row{NewInt(1), Null, NewFloat(2)}); err != nil {
+		t.Fatalf("NULL non-key rejected: %v", err)
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := NewSchema("t", 0, Column{"id", Int}, Column{"v", Float})
+	if s.ColIndex("v") != 1 || s.ColIndex("nope") != -1 {
+		t.Fatal("ColIndex broken")
+	}
+	if s.MustCol("id") != 0 {
+		t.Fatal("MustCol broken")
+	}
+	if s.Key(Row{NewInt(77), NewFloat(0)}) != 77 {
+		t.Fatal("Key broken")
+	}
+}
+
+func TestSchemaMustColPanics(t *testing.T) {
+	s := NewSchema("t", 0, Column{"id", Int})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCol on missing column should panic")
+		}
+	}()
+	s.MustCol("missing")
+}
+
+func TestNewSchemaRejectsBadKey(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-INT key column should panic")
+		}
+	}()
+	NewSchema("t", 0, Column{"name", String})
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		return NewFloat(v).Float() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+package wal
+
+// Ablation: group commit vs per-record flushing, the design choice behind
+// the log's FlushOnCommit default.
+
+import (
+	"testing"
+
+	"htap/internal/disk"
+	"htap/internal/types"
+)
+
+func benchTxn(b *testing.B, group bool) {
+	dev := disk.New(disk.DefaultConfig())
+	l := New(dev, "wal")
+	l.FlushOnCommit = true
+	row := types.Row{types.NewInt(1), types.NewInt(2)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < 10; r++ {
+			l.Append(Record{Txn: uint64(i), Type: RecInsert, Table: 1, Key: int64(r), Row: row})
+			if !group {
+				l.Flush() // per-record durability: one device write each
+			}
+		}
+		l.Append(Record{Txn: uint64(i), Type: RecCommit})
+	}
+	b.StopTimer()
+	st := dev.Stats()
+	b.ReportMetric(float64(st.WriteOps)/float64(b.N), "device-writes/txn")
+}
+
+// BenchmarkAblationGroupCommit amortizes ten DML records into one flush.
+func BenchmarkAblationGroupCommit(b *testing.B) {
+	b.Run("group", func(b *testing.B) { benchTxn(b, true) })
+	b.Run("per-record", func(b *testing.B) { benchTxn(b, false) })
+}
