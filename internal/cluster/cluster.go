@@ -119,8 +119,12 @@ func (p *Partition) Leader() *raft.Node {
 
 // Propose replicates a command through the partition's Raft group,
 // retrying through elections until it commits or the timeout expires.
+// Retries back off exponentially (1ms doubling to a 50ms cap): failures
+// here mean an election is in flight, and hammering the group on a fixed
+// short period only adds contention while it converges.
 func (p *Partition) Propose(cmd raft.Command) error {
 	deadline := time.Now().Add(10 * time.Second)
+	backoff := time.Millisecond
 	for {
 		l := p.Leader()
 		if l != nil {
@@ -131,7 +135,10 @@ func (p *Partition) Propose(cmd raft.Command) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("cluster: partition %d: proposal timed out", p.ID)
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 50*time.Millisecond {
+			backoff = 50 * time.Millisecond
+		}
 	}
 }
 

@@ -194,14 +194,15 @@ func (t *txA) Commit() error {
 	e := t.e
 	ts, err := t.tx.Commit(func(commitTS uint64, writes []txn.Write) error {
 		// MVCC + logging (§2.2(1)(i)): redo first, then install, then the
-		// delta store.
+		// delta store. A WAL failure (an injected fault, a crashed device)
+		// aborts the transaction before anything is installed.
 		for _, s := range e.rows {
 			if err := s.LogWrites(e.wal, t.tx.ID, writes); err != nil {
-				return err
+				return fmt.Errorf("core: wal append: %w", err)
 			}
 		}
 		if _, err := e.wal.Append(wal.Record{Txn: t.tx.ID, Type: wal.RecCommit}); err != nil {
-			return err
+			return fmt.Errorf("core: wal commit: %w", err)
 		}
 		byTable := groupWrites(writes)
 		for id, ws := range byTable {

@@ -173,9 +173,27 @@ func (t *txC) Delete(table string, key int64) error {
 func (t *txC) Commit() error {
 	e := t.e
 	ts, err := t.tx.Commit(func(commitTS uint64, writes []txn.Write) error {
-		for id, ws := range groupWrites(writes) {
-			if err := e.rows[id].LogWrites(e.wal, t.tx.ID, ws); err != nil {
-				return err
+		// Write-ahead for real: every redo record plus the COMMIT must be
+		// durable before any write is installed, or a failed WAL flush
+		// would leave an aborted transaction visible in the row store.
+		// Iterate tables in id order, not map order: the byte layout of the
+		// log must be deterministic so a seeded fault plan tears it at the
+		// same record boundary on every run.
+		byTable := groupWrites(writes)
+		for id := range e.rows {
+			if ws := byTable[uint32(id)]; len(ws) > 0 {
+				if err := e.rows[id].LogWrites(e.wal, t.tx.ID, ws); err != nil {
+					return fmt.Errorf("core: wal append: %w", err)
+				}
+			}
+		}
+		if _, err := e.wal.Append(wal.Record{Txn: t.tx.ID, Type: wal.RecCommit}); err != nil {
+			return fmt.Errorf("core: wal commit: %w", err)
+		}
+		for id := range e.rows {
+			ws := byTable[uint32(id)]
+			if len(ws) == 0 {
+				continue
 			}
 			e.rows[id].Apply(commitTS, ws)
 			// Changes propagate to the IMCS only for loaded tables.
@@ -183,8 +201,7 @@ func (t *txC) Commit() error {
 				e.imcs[id].delta.Append(commitTS, ws)
 			}
 		}
-		_, err := e.wal.Append(wal.Record{Txn: t.tx.ID, Type: wal.RecCommit})
-		return err
+		return nil
 	})
 	if err != nil {
 		return wrapTxnErr(err)

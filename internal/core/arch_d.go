@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -180,11 +181,11 @@ func (t *txD) Commit() error {
 	ts, err := t.tx.Commit(func(commitTS uint64, writes []txn.Write) error {
 		for id := range e.layers {
 			if err := logWritesFor(e.wal, uint32(id), t.tx.ID, writes); err != nil {
-				return err
+				return fmt.Errorf("core: wal append: %w", err)
 			}
 		}
 		if _, err := e.wal.Append(wal.Record{Txn: t.tx.ID, Type: wal.RecCommit}); err != nil {
-			return err
+			return fmt.Errorf("core: wal commit: %w", err)
 		}
 		e.verMu.Lock()
 		for _, w := range writes {

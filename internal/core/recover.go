@@ -8,28 +8,32 @@ import (
 	"htap/internal/wal"
 )
 
-// RecoverEngineA rebuilds an architecture-A engine from the redo log on
-// dev (the device a previous instance wrote its WAL to). Only transactions
-// whose COMMIT record is durable are replayed — the group-commit tail that
-// never reached the device is lost, exactly as §2.2(1)'s "MVCC + logging"
-// promises. Each replayed transaction receives a fresh commit timestamp in
-// log order, so post-recovery snapshots observe the original commit order.
-func RecoverEngineA(cfg ConfigA, dev *disk.Device) (*EngineA, error) {
-	e := NewEngineA(cfg)
-	// Adopt the existing device and log so new commits append after the
-	// recovered history.
-	e.walDev = dev
-	e.wal = wal.New(dev, "wal-a")
+// replaySummary is what one redo pass learned about the log.
+type replaySummary struct {
+	wal.ReplayResult
+	maxTxn uint64 // highest transaction id seen, committed or not
+}
 
+// replayLog drives one ARIES-style redo pass over a WAL: DML records are
+// staged per transaction and installed (via install) when their COMMIT
+// record appears; transactions without a durable COMMIT — including any torn
+// group-commit tail the log discarded — are dropped, exactly as §2.2(1)'s
+// "MVCC + logging" promises. It returns the replay summary so callers can
+// resume LSN and transaction-id assignment after the recovered history.
+func replayLog(l *wal.Log, install func(recs []wal.Record) error) (replaySummary, error) {
+	var sum replaySummary
 	pending := make(map[uint64][]wal.Record)
-	replayErr := e.wal.Replay(func(r wal.Record) error {
+	res, err := l.Replay(func(r wal.Record) error {
+		if r.Txn > sum.maxTxn {
+			sum.maxTxn = r.Txn
+		}
 		switch r.Type {
 		case wal.RecInsert, wal.RecUpdate, wal.RecDelete:
 			pending[r.Txn] = append(pending[r.Txn], r)
 		case wal.RecCommit:
 			recs := pending[r.Txn]
 			delete(pending, r.Txn)
-			if err := e.replayTxn(recs); err != nil {
+			if err := install(recs); err != nil {
 				return fmt.Errorf("core: replaying txn %d: %w", r.Txn, err)
 			}
 		case wal.RecAbort:
@@ -37,27 +41,29 @@ func RecoverEngineA(cfg ConfigA, dev *disk.Device) (*EngineA, error) {
 		}
 		return nil
 	})
-	if replayErr != nil {
-		return nil, replayErr
+	sum.ReplayResult = res
+	if err != nil {
+		return sum, err
 	}
-	// Transactions left in pending never committed; they are dropped.
-	// The recovered state is fully merged into row stores; make the
-	// analytical side current too.
-	e.Sync()
-	return e, nil
+	// Transactions left in pending never committed; they are dropped. A
+	// torn tail is amputated from the device so post-recovery commits
+	// append at a clean record boundary — otherwise every later replay
+	// would stop at the tear and lose them.
+	if res.DiscardedBytes > 0 {
+		if terr := l.DiscardTornTail(res.DiscardedBytes); terr != nil {
+			return sum, fmt.Errorf("core: repairing torn log tail: %w", terr)
+		}
+	}
+	return sum, nil
 }
 
-// replayTxn installs one committed transaction's records at a fresh
-// timestamp.
-func (e *EngineA) replayTxn(recs []wal.Record) error {
-	if len(recs) == 0 {
-		return nil
-	}
-	commitTS := e.mgr.Oracle().Next()
+// walWrites converts one committed transaction's redo records into a write
+// set, validating table ids against the recovered schema set.
+func walWrites(nTables int, recs []wal.Record) ([]txn.Write, error) {
 	writes := make([]txn.Write, 0, len(recs))
 	for _, r := range recs {
-		if int(r.Table) >= len(e.rows) {
-			return fmt.Errorf("unknown table id %d", r.Table)
+		if int(r.Table) >= nTables {
+			return nil, fmt.Errorf("unknown table id %d", r.Table)
 		}
 		var op txn.Op
 		switch r.Type {
@@ -70,6 +76,45 @@ func (e *EngineA) replayTxn(recs []wal.Record) error {
 		}
 		writes = append(writes, txn.Write{Table: r.Table, Key: r.Key, Op: op, Row: r.Row})
 	}
+	return writes, nil
+}
+
+// RecoverEngineA rebuilds an architecture-A engine from the redo log on
+// dev (the device a previous instance wrote its WAL to). Only transactions
+// whose COMMIT record is durable are replayed — the group-commit tail that
+// never reached the device is lost. Each replayed transaction receives a
+// fresh commit timestamp in log order, so post-recovery snapshots observe
+// the original commit order, and LSN assignment resumes past the replayed
+// history.
+func RecoverEngineA(cfg ConfigA, dev *disk.Device) (*EngineA, error) {
+	e := NewEngineA(cfg)
+	// Adopt the existing device and log so new commits append after the
+	// recovered history.
+	e.walDev = dev
+	e.wal = wal.New(dev, "wal-a")
+	res, err := replayLog(e.wal, e.replayTxn)
+	if err != nil {
+		return nil, err
+	}
+	e.wal.SetNextLSN(res.MaxLSN + 1)
+	e.mgr.AdvanceTxnID(res.maxTxn)
+	// The recovered state is fully merged into row stores; make the
+	// analytical side current too.
+	e.Sync()
+	return e, nil
+}
+
+// replayTxn installs one committed transaction's records at a fresh
+// timestamp.
+func (e *EngineA) replayTxn(recs []wal.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	writes, err := walWrites(len(e.rows), recs)
+	if err != nil {
+		return err
+	}
+	commitTS := e.mgr.Oracle().Next()
 	for id, ws := range groupWrites(writes) {
 		e.rows[id].Apply(commitTS, ws)
 		e.deltas[id].Append(commitTS, ws)
@@ -79,6 +124,93 @@ func (e *EngineA) replayTxn(recs []wal.Record) error {
 	return nil
 }
 
+// RecoverEngineC is RecoverEngineA for architecture C: committed
+// transactions are reinstalled into the disk row store. The in-memory
+// column store starts cold (no projections are loaded) — as after a real
+// Heatwave restart — and is repopulated by the next LoadColumns/Reselect.
+func RecoverEngineC(cfg ConfigC, dev *disk.Device) (*EngineC, error) {
+	e := NewEngineC(cfg)
+	e.walDev = dev
+	e.wal = wal.New(dev, "wal-c")
+	res, err := replayLog(e.wal, e.replayTxn)
+	if err != nil {
+		return nil, err
+	}
+	e.wal.SetNextLSN(res.MaxLSN + 1)
+	e.mgr.AdvanceTxnID(res.maxTxn)
+	e.Sync()
+	return e, nil
+}
+
+// replayTxn installs one committed transaction's records at a fresh
+// timestamp.
+func (e *EngineC) replayTxn(recs []wal.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	writes, err := walWrites(len(e.rows), recs)
+	if err != nil {
+		return err
+	}
+	commitTS := e.mgr.Oracle().Next()
+	for id, ws := range groupWrites(writes) {
+		e.rows[id].Apply(commitTS, ws)
+		if e.imcs[id].isLoaded() {
+			e.imcs[id].delta.Append(commitTS, ws)
+		}
+	}
+	e.mgr.Oracle().Advance(commitTS)
+	e.tracker.Committed(commitTS)
+	return nil
+}
+
+// RecoverEngineD is RecoverEngineA for architecture D: committed
+// transactions are reinstalled through the layered store's L1-delta (the
+// same path live commits take), then Sync folds them down into Main.
+func RecoverEngineD(cfg ConfigD, dev *disk.Device) (*EngineD, error) {
+	e := NewEngineD(cfg)
+	e.walDev = dev
+	e.wal = wal.New(dev, "wal-d")
+	res, err := replayLog(e.wal, e.replayTxn)
+	if err != nil {
+		return nil, err
+	}
+	e.wal.SetNextLSN(res.MaxLSN + 1)
+	e.mgr.AdvanceTxnID(res.maxTxn)
+	e.Sync()
+	return e, nil
+}
+
+// replayTxn installs one committed transaction's records at a fresh
+// timestamp.
+func (e *EngineD) replayTxn(recs []wal.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	writes, err := walWrites(len(e.layers), recs)
+	if err != nil {
+		return err
+	}
+	commitTS := e.mgr.Oracle().Next()
+	e.verMu.Lock()
+	for _, w := range writes {
+		e.versions[w.Table][w.Key] = commitTS
+	}
+	e.verMu.Unlock()
+	for id, ws := range groupWrites(writes) {
+		e.layers[id].Append(commitTS, ws)
+	}
+	e.mgr.Oracle().Advance(commitTS)
+	e.tracker.Committed(commitTS)
+	return nil
+}
+
 // WALDevice exposes the engine's redo-log device so callers can simulate a
-// crash-restart cycle (tests, examples).
+// crash-restart cycle (tests, chaos harness, examples).
 func (e *EngineA) WALDevice() *disk.Device { return e.walDev }
+
+// WALDevice exposes the engine's redo-log device.
+func (e *EngineC) WALDevice() *disk.Device { return e.walDev }
+
+// WALDevice exposes the engine's redo-log device.
+func (e *EngineD) WALDevice() *disk.Device { return e.walDev }

@@ -50,6 +50,11 @@ type Device struct {
 	// device instead banks charges and sleeps in >=2ms chunks, keeping the
 	// long-run total faithful to the cost model.
 	pending atomic.Int64 // nanoseconds owed
+
+	// fault, when armed via SetFaultPlan, injects write errors, torn
+	// appends, and crashes (fault.go).
+	faultMu sync.Mutex
+	fault   *faultState
 }
 
 type file struct {
@@ -113,12 +118,27 @@ func (d *Device) charge(lat time.Duration, ops int) {
 }
 
 // Append appends p to the named file (creating it), charging write latency.
-// It returns the offset at which p was written.
+// It returns the offset at which p was written. An armed fault plan may fail
+// the call: with ErrInjected nothing is persisted; with ErrTorn or
+// ErrCrashed a prefix of p may have reached the file.
 func (d *Device) Append(name string, p []byte) (int64, error) {
-	f, err := d.file(name, true)
-	if err != nil {
-		return 0, err
+	if fs := d.faultState(); fs != nil {
+		keep, ferr := fs.onWrite(name, len(p))
+		if ferr != nil {
+			if keep > 0 {
+				d.appendRaw(name, p[:keep])
+			}
+			return 0, ferr
+		}
 	}
+	off := d.appendRaw(name, p)
+	return off, nil
+}
+
+// appendRaw persists p and charges latency, bypassing fault checks; torn
+// writes use it to land their surviving prefix.
+func (d *Device) appendRaw(name string, p []byte) int64 {
+	f, _ := d.file(name, true)
 	f.mu.Lock()
 	off := int64(len(f.data))
 	f.data = append(f.data, p...)
@@ -127,12 +147,15 @@ func (d *Device) Append(name string, p []byte) (int64, error) {
 	d.writes.Add(int64(n))
 	d.writeBytes.Add(int64(len(p)))
 	d.charge(d.cfg.WriteLatency, n)
-	return off, nil
+	return off
 }
 
 // ReadAt reads len(p) bytes at off from the named file, charging read
-// latency.
+// latency. A crashed device fails all reads until Revive.
 func (d *Device) ReadAt(name string, p []byte, off int64) error {
+	if fs := d.faultState(); fs != nil && fs.isCrashed() {
+		return ErrCrashed
+	}
 	f, err := d.file(name, false)
 	if err != nil {
 		return err
@@ -183,14 +206,47 @@ func (d *Device) Size(name string) int64 {
 	return int64(len(f.data))
 }
 
-// Truncate resets the named file to empty, charging one write.
-func (d *Device) Truncate(name string) {
-	f, _ := d.file(name, true)
+// Truncate resets the named file to empty, charging one write. It fails
+// with ErrCrashed on a crashed device.
+func (d *Device) Truncate(name string) error {
+	if fs := d.faultState(); fs != nil && fs.isCrashed() {
+		return ErrCrashed
+	}
+	f, err := d.file(name, true)
+	if err != nil {
+		return err
+	}
 	f.mu.Lock()
 	f.data = f.data[:0]
 	f.mu.Unlock()
 	d.writes.Add(1)
 	d.charge(d.cfg.WriteLatency, 1)
+	return nil
+}
+
+// TruncateTo shrinks the named file to size bytes, charging one write.
+// Recovery uses it to cut a torn tail off a log so new appends extend a
+// clean record boundary. Growing a file is not supported; a size at or
+// beyond the current length is a no-op.
+func (d *Device) TruncateTo(name string, size int64) error {
+	if fs := d.faultState(); fs != nil && fs.isCrashed() {
+		return ErrCrashed
+	}
+	f, err := d.file(name, false)
+	if err != nil {
+		return err
+	}
+	if size < 0 {
+		size = 0
+	}
+	f.mu.Lock()
+	if size < int64(len(f.data)) {
+		f.data = f.data[:size]
+	}
+	f.mu.Unlock()
+	d.writes.Add(1)
+	d.charge(d.cfg.WriteLatency, 1)
+	return nil
 }
 
 // Remove deletes the named file without charging latency.

@@ -1,0 +1,144 @@
+// Fault injection for the simulated device.
+//
+// The HTAP survey's durability claims (Table 2 pairs every TP technique with
+// "logging") are only meaningful if recovery is exercised under failures; a
+// device that cannot fail makes every WAL a formality. A FaultPlan arms a
+// device with three failure modes:
+//
+//   - injected write errors: an Append fails cleanly, persisting nothing
+//     (a transient EIO);
+//   - torn writes: an Append persists only a prefix of the payload before
+//     failing (a partial sector flush at power loss);
+//   - crash-after-N-writes: a deterministic trigger — the Nth Append tears
+//     and the device enters the crashed state, after which every read and
+//     write fails with ErrCrashed until Revive.
+//
+// All randomness is drawn from one seeded generator, so a fixed plan plus a
+// fixed operation sequence reproduces the exact same failure — chaos tests
+// stay deterministic. Revive models a restart: the machine comes back, the
+// media (including any torn tail) survives, the plan is disarmed.
+package disk
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// Fault errors. ErrInjected is a clean failure (nothing persisted, safe to
+// retry); ErrTorn and ErrCrashed leave a prefix of the write on the media.
+var (
+	ErrInjected = errors.New("disk: injected write error")
+	ErrTorn     = errors.New("disk: torn write")
+	ErrCrashed  = errors.New("disk: device crashed")
+)
+
+// FaultRule applies failure rates to one file (or every file when File is
+// empty). The first matching rule wins.
+type FaultRule struct {
+	File         string  // exact file name; "" matches every file
+	WriteErrRate float64 // probability an Append fails with ErrInjected
+	TornRate     float64 // probability an Append persists a prefix and fails with ErrTorn
+}
+
+// FaultPlan arms a device with reproducible failures.
+type FaultPlan struct {
+	Seed  int64
+	Rules []FaultRule
+	// CrashAfterWrites, when > 0, crashes the device on the Nth Append
+	// (counting every file): that write persists only a seeded-random
+	// prefix, the call fails with ErrCrashed, and all subsequent reads and
+	// writes fail with ErrCrashed until Revive.
+	CrashAfterWrites int64
+}
+
+// faultState is the armed runtime of a plan.
+type faultState struct {
+	mu      sync.Mutex
+	plan    FaultPlan
+	rng     *rand.Rand
+	writes  int64
+	crashed bool
+}
+
+// rule returns the first rule matching name, or nil.
+func (fs *faultState) rule(name string) *FaultRule {
+	for i := range fs.plan.Rules {
+		if fs.plan.Rules[i].File == "" || fs.plan.Rules[i].File == name {
+			return &fs.plan.Rules[i]
+		}
+	}
+	return nil
+}
+
+// onWrite decides the fate of an n-byte Append to name. It returns
+// keep == -1 for a healthy write; otherwise the write fails with err after
+// persisting p[:keep].
+func (fs *faultState) onWrite(name string, n int) (keep int, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return 0, ErrCrashed
+	}
+	fs.writes++
+	if fs.plan.CrashAfterWrites > 0 && fs.writes >= fs.plan.CrashAfterWrites {
+		fs.crashed = true
+		return fs.tornPrefix(n), ErrCrashed
+	}
+	if r := fs.rule(name); r != nil {
+		if r.WriteErrRate > 0 && fs.rng.Float64() < r.WriteErrRate {
+			return 0, ErrInjected
+		}
+		if r.TornRate > 0 && fs.rng.Float64() < r.TornRate {
+			return fs.tornPrefix(n), ErrTorn
+		}
+	}
+	return -1, nil
+}
+
+// tornPrefix picks how many bytes of an n-byte write survive a tear.
+func (fs *faultState) tornPrefix(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return fs.rng.Intn(n) // strictly less than n: the write never completes
+}
+
+func (fs *faultState) isCrashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// SetFaultPlan arms the device with plan (nil disarms). Arming resets the
+// write counter and the crashed state.
+func (d *Device) SetFaultPlan(p *FaultPlan) {
+	d.faultMu.Lock()
+	defer d.faultMu.Unlock()
+	if p == nil {
+		d.fault = nil
+		return
+	}
+	d.fault = &faultState{plan: *p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Crashed reports whether the device is in the crashed state.
+func (d *Device) Crashed() bool {
+	fs := d.faultState()
+	return fs != nil && fs.isCrashed()
+}
+
+// Revive models a restart after a crash: the stored bytes (including any
+// torn tail) survive, the fault plan is disarmed, and the device serves
+// reads and writes again. Recovery paths call it before replaying logs.
+func (d *Device) Revive() {
+	d.faultMu.Lock()
+	d.fault = nil
+	d.faultMu.Unlock()
+}
+
+func (d *Device) faultState() *faultState {
+	d.faultMu.Lock()
+	defer d.faultMu.Unlock()
+	return d.fault
+}

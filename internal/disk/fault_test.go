@@ -1,0 +1,98 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFaultWriteErrorPersistsNothing(t *testing.T) {
+	d := New(MemConfig())
+	d.SetFaultPlan(&FaultPlan{Seed: 1, Rules: []FaultRule{{File: "log", WriteErrRate: 1.0}}})
+	if _, err := d.Append("log", []byte("hello")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n := d.Size("log"); n != 0 {
+		t.Fatalf("injected error persisted %d bytes", n)
+	}
+	// Other files are untouched by the per-file rule.
+	if _, err := d.Append("other", []byte("ok")); err != nil {
+		t.Fatalf("unmatched file failed: %v", err)
+	}
+}
+
+func TestFaultTornWriteKeepsPrefix(t *testing.T) {
+	d := New(MemConfig())
+	d.SetFaultPlan(&FaultPlan{Seed: 7, Rules: []FaultRule{{TornRate: 1.0}}})
+	payload := bytes.Repeat([]byte("x"), 100)
+	if _, err := d.Append("f", payload); !errors.Is(err, ErrTorn) {
+		t.Fatalf("err = %v, want ErrTorn", err)
+	}
+	if n := d.Size("f"); n >= 100 {
+		t.Fatalf("torn write persisted all %d bytes", n)
+	}
+	// The device survives a torn write; disarming heals it.
+	d.SetFaultPlan(nil)
+	if _, err := d.Append("f", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultCrashAfterNWritesIsDeterministic(t *testing.T) {
+	run := func() (int64, error, int64) {
+		d := New(MemConfig())
+		d.SetFaultPlan(&FaultPlan{Seed: 42, CrashAfterWrites: 3})
+		var lastErr error
+		ok := int64(0)
+		for i := 0; i < 5; i++ {
+			if _, err := d.Append("f", []byte("0123456789")); err != nil {
+				lastErr = err
+				break
+			}
+			ok++
+		}
+		return ok, lastErr, d.Size("f")
+	}
+	ok1, err1, size1 := run()
+	ok2, err2, size2 := run()
+	if ok1 != 2 || !errors.Is(err1, ErrCrashed) {
+		t.Fatalf("crashed after %d ok writes (err %v), want 2", ok1, err1)
+	}
+	if ok1 != ok2 || !errors.Is(err2, ErrCrashed) || size1 != size2 {
+		t.Fatalf("non-deterministic crash: (%d,%v,%d) vs (%d,%v,%d)", ok1, err1, size1, ok2, err2, size2)
+	}
+	if size1 >= 30 {
+		t.Fatalf("crashing write persisted fully: size %d", size1)
+	}
+}
+
+func TestCrashedDeviceFailsUntilRevive(t *testing.T) {
+	d := New(MemConfig())
+	if _, err := d.Append("f", []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaultPlan(&FaultPlan{Seed: 3, CrashAfterWrites: 1})
+	if _, err := d.Append("f", []byte("boom")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if !d.Crashed() {
+		t.Fatal("device should report crashed")
+	}
+	buf := make([]byte, 7)
+	if err := d.ReadAt("f", buf, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read on crashed device: %v, want ErrCrashed", err)
+	}
+	if err := d.Truncate("f"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("truncate on crashed device: %v, want ErrCrashed", err)
+	}
+	d.Revive()
+	if d.Crashed() {
+		t.Fatal("revived device still crashed")
+	}
+	if err := d.ReadAt("f", buf, 0); err != nil || string(buf) != "durable" {
+		t.Fatalf("pre-crash bytes lost: %q, %v", buf, err)
+	}
+	if _, err := d.Append("f", []byte("more")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -18,6 +18,21 @@ type Network struct {
 	rng      *rand.Rand
 	rngMu    sync.Mutex
 	isolated map[int]bool
+
+	// Delayed deliveries share one FIFO queue drained by a single worker
+	// goroutine instead of one goroutine per message: a chatty group under
+	// latency used to fan out thousands of sleeping goroutines, and
+	// per-message goroutines also reordered same-link messages at random.
+	qMu      sync.Mutex
+	queue    []delayed
+	draining bool
+}
+
+// delayed is one in-flight message waiting out its latency.
+type delayed struct {
+	due time.Time
+	dst *Node
+	msg Message
 }
 
 // NewNetwork returns an empty network.
@@ -63,13 +78,45 @@ func (nw *Network) Send(msg Message) {
 		}
 	}
 	if nw.latency > 0 {
-		go func() {
-			time.Sleep(nw.latency)
-			dst.Step(msg)
-		}()
+		nw.enqueue(dst, msg)
 		return
 	}
 	dst.Step(msg)
+}
+
+// enqueue schedules msg for delivery after the network latency, starting the
+// drain worker if one is not already running. All messages share the same
+// latency, so FIFO order is due order and the queue preserves per-link
+// ordering.
+func (nw *Network) enqueue(dst *Node, msg Message) {
+	nw.qMu.Lock()
+	nw.queue = append(nw.queue, delayed{due: time.Now().Add(nw.latency), dst: dst, msg: msg})
+	start := !nw.draining
+	nw.draining = true
+	nw.qMu.Unlock()
+	if start {
+		go nw.drain()
+	}
+}
+
+// drain delivers queued messages in order, sleeping until each is due, and
+// exits when the queue empties.
+func (nw *Network) drain() {
+	for {
+		nw.qMu.Lock()
+		if len(nw.queue) == 0 {
+			nw.draining = false
+			nw.qMu.Unlock()
+			return
+		}
+		d := nw.queue[0]
+		nw.queue = nw.queue[1:]
+		nw.qMu.Unlock()
+		if wait := time.Until(d.due); wait > 0 {
+			time.Sleep(wait)
+		}
+		d.dst.Step(d.msg)
+	}
 }
 
 // Group is a convenience bundle: a network plus its nodes, used by tests

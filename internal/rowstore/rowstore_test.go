@@ -283,7 +283,7 @@ func TestWALRoundTrip(t *testing.T) {
 
 	// Replay into a fresh store simulating restart recovery.
 	s2 := New(1, testSchema)
-	err = l.Replay(func(r wal.Record) error {
+	_, err = l.Replay(func(r wal.Record) error {
 		switch r.Type {
 		case wal.RecInsert:
 			return s2.Load(r.Row)

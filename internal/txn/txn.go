@@ -112,6 +112,21 @@ func NewManager() *Manager {
 // Oracle exposes the manager's timestamp oracle.
 func (m *Manager) Oracle() *Oracle { return &m.oracle }
 
+// AdvanceTxnID ensures every future Begin hands out an id greater than id.
+// Recovery calls it with the highest transaction id seen in the replayed
+// log: a WAL can hold complete DML records of a transaction that never
+// committed (a torn group-commit tail), and if a post-recovery transaction
+// reused that id, the next replay would merge the dead records into the new
+// transaction's commit.
+func (m *Manager) AdvanceTxnID(id uint64) {
+	for {
+		cur := m.nextTxn.Load()
+		if id <= cur || m.nextTxn.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}
+
 // Stats returns a snapshot of counters.
 func (m *Manager) Stats() Stats {
 	return Stats{Commits: m.commits.Load(), Aborts: m.aborts.Load(), Conflicts: m.conflicts.Load()}

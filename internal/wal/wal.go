@@ -11,6 +11,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sync"
@@ -69,6 +70,10 @@ type Log struct {
 	buf     []byte
 	flushes int64
 	records int64
+	// failed is the sticky error after a torn flush: the device may hold a
+	// partial record, so further appends could never be distinguished from
+	// garbage. Only recovery (a new Log over the revived device) clears it.
+	failed error
 	// FlushOnCommit controls group commit: when true (default), appending a
 	// COMMIT record flushes the buffer, making the transaction durable.
 	FlushOnCommit bool
@@ -84,10 +89,15 @@ func New(dev *disk.Device, name string) *Log {
 
 // Append encodes rec, assigns it the next LSN, and buffers it. It returns
 // the assigned LSN. COMMIT records trigger a flush when FlushOnCommit is
-// set.
+// set; if that flush fails, the COMMIT record is rolled back out of the
+// buffer (so a later flush cannot make the aborted transaction durable) and
+// the error is returned — the caller must treat the transaction as aborted.
 func (l *Log) Append(rec Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.failed != nil {
+		return 0, l.failed
+	}
 	rec.LSN = l.nextLSN
 	l.nextLSN++
 	payload := make([]byte, 0, 64)
@@ -102,15 +112,46 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	var hdr [8]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	start := len(l.buf)
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, payload...)
 	l.records++
 	if rec.Type == RecCommit && l.FlushOnCommit {
 		if err := l.flushLocked(); err != nil {
+			// The commit never became durable: un-buffer its record and
+			// release the LSN (nothing with this LSN ever reached the
+			// device).
+			l.buf = l.buf[:start]
+			l.records--
+			l.nextLSN--
 			return 0, err
 		}
 	}
 	return rec.LSN, nil
+}
+
+// DiscardTornTail cuts n trailing bytes off the durable log file. Recovery
+// calls it with ReplayResult.DiscardedBytes after a torn-tail replay:
+// appending new records after a partial one would make them unreachable to
+// every future replay, so the tear must be amputated first.
+func (l *Log) DiscardTornTail(n int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 {
+		return nil
+	}
+	return l.dev.TruncateTo(l.name, l.dev.Size(l.name)-n)
+}
+
+// SetNextLSN raises the next LSN to assign; recovery calls it with one past
+// the highest replayed LSN so post-recovery appends extend the history
+// instead of reusing LSNs.
+func (l *Log) SetNextLSN(lsn uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn > l.nextLSN {
+		l.nextLSN = lsn
+	}
 }
 
 // Flush writes all buffered records to the device.
@@ -121,11 +162,23 @@ func (l *Log) Flush() error {
 }
 
 func (l *Log) flushLocked() error {
+	if l.failed != nil {
+		return l.failed
+	}
 	if len(l.buf) == 0 {
 		return nil
 	}
 	if _, err := l.dev.Append(l.name, l.buf); err != nil {
-		return err
+		if errors.Is(err, disk.ErrInjected) {
+			// Clean failure: nothing reached the device, the buffer is
+			// intact, and a later flush may succeed.
+			return err
+		}
+		// Torn or crashed: an unknown prefix of the buffer is on the
+		// device. Re-flushing would append records after a partial one,
+		// making them unreachable to replay — poison the log instead.
+		l.failed = fmt.Errorf("wal: log failed: %w", err)
+		return l.failed
 	}
 	l.buf = l.buf[:0]
 	l.flushes++
@@ -146,40 +199,60 @@ func (l *Log) Stats() Stats {
 	return Stats{Records: l.records, Flushes: l.flushes, NextLSN: l.nextLSN}
 }
 
+// ReplayResult summarizes one Replay pass.
+type ReplayResult struct {
+	Records        int    // complete records delivered to fn
+	MaxLSN         uint64 // highest LSN replayed (0 when the log is empty)
+	DiscardedBytes int64  // torn-tail bytes dropped after the last good record
+}
+
 // Replay reads the durable portion of the log from the device and calls fn
 // for each record in LSN order. Buffered-but-unflushed records are lost,
 // exactly as a crash would lose them.
-func (l *Log) Replay(fn func(Record) error) error {
+//
+// A torn tail — a record whose header or payload is cut short, or whose
+// checksum fails — ends the replay (ARIES-style): everything before it is
+// recovered, the tail is discarded and reported via DiscardedBytes, and no
+// error is returned. A crash tears at most the final flush, so the first
+// bad record provably marks the end of durable history.
+func (l *Log) Replay(fn func(Record) error) (ReplayResult, error) {
+	var res ReplayResult
 	size := l.dev.Size(l.name)
 	if size == 0 {
-		return nil
+		return res, nil
 	}
 	data := make([]byte, size)
 	if err := l.dev.ReadAt(l.name, data, 0); err != nil {
-		return err
+		return res, err
 	}
 	pos := 0
 	for pos+8 <= len(data) {
 		length := int(binary.BigEndian.Uint32(data[pos : pos+4]))
 		sum := binary.BigEndian.Uint32(data[pos+4 : pos+8])
-		pos += 8
-		if pos+length > len(data) {
-			return fmt.Errorf("wal: truncated record at %d", pos)
+		if pos+8+length > len(data) {
+			break // record cut short mid-payload
 		}
-		payload := data[pos : pos+length]
-		pos += length
+		payload := data[pos+8 : pos+8+length]
 		if crc32.ChecksumIEEE(payload) != sum {
-			return fmt.Errorf("wal: checksum mismatch at %d", pos)
+			break // record torn inside a sector (or corrupted)
 		}
 		rec, err := decodePayload(payload)
 		if err != nil {
-			return err
+			// The checksum passed but the payload is malformed: this is
+			// not a torn tail, it is an encoding bug. Fail loudly.
+			return res, fmt.Errorf("wal: record at %d: %w", pos, err)
 		}
+		pos += 8 + length
 		if err := fn(rec); err != nil {
-			return err
+			return res, err
+		}
+		res.Records++
+		if rec.LSN > res.MaxLSN {
+			res.MaxLSN = rec.LSN
 		}
 	}
-	return nil
+	res.DiscardedBytes = int64(len(data) - pos)
+	return res, nil
 }
 
 func decodePayload(p []byte) (Record, error) {

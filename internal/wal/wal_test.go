@@ -34,11 +34,15 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 		}
 	}
 	var got []Record
-	if err := l.Replay(func(r Record) error { got = append(got, r); return nil }); err != nil {
+	res, err := l.Replay(func(r Record) error { got = append(got, r); return nil })
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != len(recs) {
 		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	if res.Records != len(recs) || res.MaxLSN != uint64(len(recs)) || res.DiscardedBytes != 0 {
+		t.Fatalf("replay result = %+v", res)
 	}
 	for i, r := range got {
 		want := recs[i]
@@ -81,7 +85,7 @@ func TestUnflushedRecordsLostOnReplay(t *testing.T) {
 	l.Append(Record{Txn: 2, Type: RecInsert, Table: 1, Key: 2, Row: row(2)})
 	// Txn 2 never commits and never flushes: a crash here loses it.
 	n := 0
-	if err := l.Replay(func(r Record) error { n++; return nil }); err != nil {
+	if _, err := l.Replay(func(r Record) error { n++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if n != 2 {
@@ -113,19 +117,167 @@ func TestExplicitFlush(t *testing.T) {
 	}
 }
 
-func TestReplayDetectsCorruption(t *testing.T) {
+func TestReplayStopsAtCorruptedTail(t *testing.T) {
 	dev := disk.New(disk.MemConfig())
 	l := New(dev, "wal")
+	l.Append(Record{Txn: 1, Type: RecInsert, Table: 1, Key: 1, Row: row(1)})
 	l.Append(Record{Txn: 1, Type: RecCommit})
-	// Corrupt a payload byte on the device.
+	intact := dev.Size("wal")
+	l.Append(Record{Txn: 2, Type: RecInsert, Table: 1, Key: 2, Row: row(2)})
+	l.Append(Record{Txn: 2, Type: RecCommit})
+	// Corrupt a byte inside the final commit record: the durable prefix
+	// (txn 1) must replay, the tail (txn 2) must be discarded.
 	size := dev.Size("wal")
 	buf := make([]byte, size)
 	dev.ReadAt("wal", buf, 0)
 	buf[len(buf)-1] ^= 0xff
 	dev.Truncate("wal")
 	dev.Append("wal", buf)
-	if err := l.Replay(func(Record) error { return nil }); err == nil {
-		t.Fatal("corrupted log replayed without error")
+	n := 0
+	res, err := l.Replay(func(Record) error { n++; return nil })
+	if err != nil {
+		t.Fatalf("torn-tail replay errored: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("replayed %d records, want 3 (txn 2's commit discarded)", n)
+	}
+	if res.DiscardedBytes == 0 || res.DiscardedBytes > size-intact {
+		t.Fatalf("discarded %d bytes, want in (0, %d]", res.DiscardedBytes, size-intact)
+	}
+}
+
+func TestReplayStopsAtTruncatedTail(t *testing.T) {
+	dev := disk.New(disk.MemConfig())
+	l := New(dev, "wal")
+	l.Append(Record{Txn: 1, Type: RecInsert, Table: 1, Key: 1, Row: row(1)})
+	l.Append(Record{Txn: 1, Type: RecCommit})
+	intact := dev.Size("wal")
+	l.Append(Record{Txn: 2, Type: RecInsert, Table: 1, Key: 2, Row: row(2)})
+	l.Append(Record{Txn: 2, Type: RecCommit})
+	// Tear the final flush mid-record, as a crash during the device write
+	// would: keep the intact prefix plus a few bytes of txn 2.
+	size := dev.Size("wal")
+	buf := make([]byte, size)
+	dev.ReadAt("wal", buf, 0)
+	cut := intact + 5
+	dev.Truncate("wal")
+	dev.Append("wal", buf[:cut])
+	n := 0
+	maxTxn := uint64(0)
+	res, err := l.Replay(func(r Record) error {
+		n++
+		if r.Txn > maxTxn {
+			maxTxn = r.Txn
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("truncated-tail replay errored: %v", err)
+	}
+	if n != 2 || maxTxn != 1 {
+		t.Fatalf("replayed %d records (max txn %d), want txn 1 only", n, maxTxn)
+	}
+	if res.DiscardedBytes != 5 {
+		t.Fatalf("discarded %d bytes, want 5", res.DiscardedBytes)
+	}
+	if res.MaxLSN != 2 {
+		t.Fatalf("max LSN = %d, want 2", res.MaxLSN)
+	}
+}
+
+func TestCommitFlushErrorRollsBackCommitRecord(t *testing.T) {
+	dev := disk.New(disk.MemConfig())
+	l := New(dev, "wal")
+	// Durable txn 1 first.
+	l.Append(Record{Txn: 1, Type: RecInsert, Table: 1, Key: 1, Row: row(1)})
+	if _, err := l.Append(Record{Txn: 1, Type: RecCommit}); err != nil {
+		t.Fatal(err)
+	}
+	// Txn 2's commit flush fails cleanly (nothing persisted).
+	l.Append(Record{Txn: 2, Type: RecInsert, Table: 1, Key: 2, Row: row(2)})
+	dev.SetFaultPlan(&disk.FaultPlan{Seed: 1, Rules: []disk.FaultRule{{WriteErrRate: 1.0}}})
+	if _, err := l.Append(Record{Txn: 2, Type: RecCommit}); err == nil {
+		t.Fatal("commit flush should have failed")
+	}
+	dev.SetFaultPlan(nil)
+	// Txn 3 commits after the fault clears; its flush must not smuggle txn
+	// 2's rolled-back commit record to the device.
+	l.Append(Record{Txn: 3, Type: RecInsert, Table: 1, Key: 3, Row: row(3)})
+	if _, err := l.Append(Record{Txn: 3, Type: RecCommit}); err != nil {
+		t.Fatal(err)
+	}
+	committed := map[uint64]bool{}
+	if _, err := l.Replay(func(r Record) error {
+		if r.Type == RecCommit {
+			committed[r.Txn] = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !committed[1] || committed[2] || !committed[3] {
+		t.Fatalf("committed txns = %v, want {1, 3}", committed)
+	}
+}
+
+func TestTornFlushPoisonsLog(t *testing.T) {
+	dev := disk.New(disk.MemConfig())
+	l := New(dev, "wal")
+	l.Append(Record{Txn: 1, Type: RecInsert, Table: 1, Key: 1, Row: row(1)})
+	dev.SetFaultPlan(&disk.FaultPlan{Seed: 9, Rules: []disk.FaultRule{{TornRate: 1.0}}})
+	if _, err := l.Append(Record{Txn: 1, Type: RecCommit}); err == nil {
+		t.Fatal("torn flush should fail the commit")
+	}
+	dev.SetFaultPlan(nil)
+	// The device may now hold a partial record; the log must refuse further
+	// work rather than append after garbage.
+	if _, err := l.Append(Record{Txn: 2, Type: RecInsert, Table: 1, Key: 2, Row: row(2)}); err == nil {
+		t.Fatal("poisoned log accepted an append")
+	}
+	if err := l.Flush(); err == nil {
+		t.Fatal("poisoned log flushed")
+	}
+	// A fresh log over the same device sees at most torn fragments of the
+	// never-acknowledged flush — and in no case its COMMIT record, which was
+	// the last byte range of the torn write.
+	commits := 0
+	if _, err := New(dev, "wal").Replay(func(r Record) error {
+		if r.Type == RecCommit {
+			commits++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if commits != 0 {
+		t.Fatal("torn flush made the commit durable")
+	}
+}
+
+func TestSetNextLSNResumesNumbering(t *testing.T) {
+	dev := disk.New(disk.MemConfig())
+	l := New(dev, "wal")
+	l.Append(Record{Txn: 1, Type: RecInsert, Table: 1, Key: 1, Row: row(1)})
+	l.Append(Record{Txn: 1, Type: RecCommit})
+	// Restart: a fresh log would reuse LSN 1; SetNextLSN resumes after the
+	// replayed history.
+	l2 := New(dev, "wal")
+	res, err := l2.Replay(func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.SetNextLSN(res.MaxLSN + 1)
+	lsn, err := l2.Append(Record{Txn: 2, Type: RecCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 3 {
+		t.Fatalf("post-recovery LSN = %d, want 3", lsn)
+	}
+	// SetNextLSN never lowers the counter.
+	l2.SetNextLSN(1)
+	if lsn, _ := l2.Append(Record{Txn: 3, Type: RecCommit}); lsn != 4 {
+		t.Fatalf("LSN after no-op SetNextLSN = %d, want 4", lsn)
 	}
 }
 
