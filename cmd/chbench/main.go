@@ -18,6 +18,7 @@ import (
 	"htap/internal/core"
 	"htap/internal/experiments"
 	"htap/internal/htapbench"
+	"htap/internal/obs"
 )
 
 func main() {
@@ -30,8 +31,19 @@ func main() {
 		target     = flag.Float64("target-tpmc", 0, "HTAPBench rule: pace OLTP to this tpmC (0 = unthrottled)")
 		syncEvery  = flag.Duration("sync", 50*time.Millisecond, "background sync interval (0 = none)")
 		seed       = flag.Int64("seed", 42, "seed")
+		metrics    = flag.String("metrics", "", "serve /metrics, /spans and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		srv, err := obs.Serve(*metrics, nil, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr())
+	}
 
 	var a core.Arch
 	switch strings.ToLower(*arch) {
@@ -83,7 +95,21 @@ func main() {
 	fmt.Printf("%-22s %12s\n", "avg query latency", res.AvgQueryLatency.Round(time.Microsecond))
 	fmt.Printf("%-22s %12.1f\n", "avg freshness lag", res.FreshAvgLagTS)
 	fmt.Printf("%-22s %12s\n", "max freshness lag", res.FreshMaxLagTime.Round(time.Millisecond))
+	printClasses("transaction class", res.TxnClasses)
+	printClasses("query class", res.QueryClasses)
 	st := e.Stats()
 	fmt.Printf("\nengine: commits=%d aborts=%d conflicts=%d merges=%d colBytes=%d\n",
 		st.Commits, st.Aborts, st.Conflicts, st.Merges, st.ColBytes)
+}
+
+// printClasses renders one per-class latency-percentile table.
+func printClasses(title string, classes []htapbench.ClassLatency) {
+	if len(classes) == 0 {
+		return
+	}
+	fmt.Printf("\n%-14s %10s %12s %12s %12s\n", title, "count", "p50", "p95", "p99")
+	for _, c := range classes {
+		fmt.Printf("%-14s %10d %12s %12s %12s\n", c.Class, c.Count,
+			c.P50.Round(time.Microsecond), c.P95.Round(time.Microsecond), c.P99.Round(time.Microsecond))
+	}
 }

@@ -14,11 +14,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"htap/internal/experiments"
 	"htap/internal/micro"
+	"htap/internal/obs"
 )
 
 func main() {
@@ -27,9 +31,27 @@ func main() {
 		warehouses = flag.Int("warehouses", 4, "CH-benCHmark warehouses")
 		duration   = flag.Duration("duration", 400*time.Millisecond, "measurement window per data point")
 		seed       = flag.Int64("seed", 42, "workload seed")
+		metrics    = flag.String("metrics", "", "serve /metrics, /spans and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		selfcheck  = flag.Bool("metrics-selfcheck", false, "after the run, scrape own /metrics and fail on empty, malformed, or all-zero output (requires -metrics); CI smoke uses this")
 	)
 	flag.Parse()
 	o := experiments.Opts{Warehouses: *warehouses, Duration: *duration, Seed: *seed}
+
+	var srv *obs.Server
+	if *metrics != "" {
+		var err error
+		srv, err = obs.Serve(*metrics, nil, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr())
+	}
+	if *selfcheck && srv == nil {
+		fmt.Fprintln(os.Stderr, "-metrics-selfcheck requires -metrics")
+		os.Exit(2)
+	}
 
 	run := map[string]func(experiments.Opts){
 		"fig1":       fig1,
@@ -64,6 +86,53 @@ func main() {
 		}
 		fn(o)
 	}
+
+	if *selfcheck {
+		if err := metricsSelfCheck(srv.Addr()); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics selfcheck failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println("metrics selfcheck: ok")
+	}
+}
+
+// metricsSelfCheck scrapes the process's own /metrics endpoint and verifies
+// the exposition parses and records real engine activity. It is the CI
+// smoke gate: a refactor that silently disconnects instrumentation fails
+// here rather than producing an empty-but-200 scrape forever.
+func metricsSelfCheck(addr string) error {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics returned status %d", resp.StatusCode)
+	}
+	n, err := obs.ValidateExposition(body)
+	if err != nil {
+		return err
+	}
+	// At least one architecture must have committed transactions: the
+	// counter survives engine teardown, unlike the per-engine gauges.
+	committed := false
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "htap_engine_txn_commits_total") {
+			continue
+		}
+		if i := strings.LastIndexByte(line, ' '); i >= 0 && strings.TrimSpace(line[i+1:]) != "0" {
+			committed = true
+			break
+		}
+	}
+	if !committed {
+		return fmt.Errorf("no non-zero htap_engine_txn_commits_total series in %d samples", n)
+	}
+	return nil
 }
 
 func header(title, expect string) {

@@ -119,6 +119,14 @@ func (d *Driver) NewOrders() int64 { return d.counts[NewOrderTxn].Load() }
 
 // RunOne executes one transaction drawn from the standard mix.
 func (d *Driver) RunOne(rng *rand.Rand) error {
+	_, err := d.RunOneTyped(rng)
+	return err
+}
+
+// RunOneTyped executes one transaction drawn from the standard mix and
+// reports which class ran, so callers can keep per-class latency
+// distributions.
+func (d *Driver) RunOneTyped(rng *rand.Rand) (TxnType, error) {
 	t := Mix(rng)
 	var err error
 	switch t {
@@ -136,7 +144,7 @@ func (d *Driver) RunOne(rng *rand.Rand) error {
 	if err == nil {
 		d.counts[t].Add(1)
 	}
-	return err
+	return t, err
 }
 
 func (d *Driver) pickWD(rng *rand.Rand) (int64, int64) {

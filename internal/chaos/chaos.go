@@ -124,6 +124,9 @@ type Report struct {
 	Aborted  int64 // voluntary aborts before the crash
 	CrashSeq int64 // sequence number of the transaction in flight at the crash
 	CrashErr error // the fault that killed it
+	// Disk is the WAL device's counters snapshotted at the crash: the fault
+	// ledger (crashes, torn writes, discarded bytes) a run can assert on.
+	Disk disk.Stats
 }
 
 // model is the oracle state: what the database must contain if every
@@ -210,6 +213,7 @@ func Run(sub Subject, cfg Config) (Report, error) {
 	if err := oneTxn(e, seq+1, 0); err == nil {
 		return rep, errors.New("chaos: commit acknowledged on a crashed device")
 	}
+	rep.Disk = dev.Stats()
 	e.Close()
 
 	// Restart: the machine comes back, the media survives.

@@ -28,6 +28,16 @@ func TestCrashRecoveryEveryArchitecture(t *testing.T) {
 			if !errors.Is(rep.CrashErr, disk.ErrCrashed) {
 				t.Fatalf("crash error = %v, want ErrCrashed", rep.CrashErr)
 			}
+			// The device's fault ledger must agree with the report: exactly
+			// one crash, whose tear is also counted as a torn write, after a
+			// healthy write for every acknowledged commit (plus the seed).
+			if d := rep.Disk; d.Crashes != 1 || d.TornWrites != 1 || d.FaultsInjected != 0 {
+				t.Fatalf("disk fault counters = %+v, want exactly one crash/tear", d)
+			}
+			if rep.Disk.WriteOps <= rep.Acked {
+				t.Fatalf("WriteOps = %d with %d acked commits; successful flushes missing from the ledger",
+					rep.Disk.WriteOps, rep.Acked)
+			}
 		})
 	}
 }

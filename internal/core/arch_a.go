@@ -13,6 +13,7 @@ import (
 	"htap/internal/disk"
 	"htap/internal/exec"
 	"htap/internal/freshness"
+	"htap/internal/obs"
 	"htap/internal/rowstore"
 	"htap/internal/sched"
 	"htap/internal/txn"
@@ -56,6 +57,8 @@ type EngineA struct {
 	tracker *freshness.Tracker
 	mode    atomic.Uint32
 	cfg     ConfigA
+	om      archMetrics
+	obsFns  []*obs.FuncHandle
 
 	syncMu sync.Mutex
 	stop   chan struct{}
@@ -76,6 +79,7 @@ func NewEngineA(cfg ConfigA) *EngineA {
 		walDev:  disk.New(disk.DefaultConfig()),
 		tracker: freshness.NewTracker(),
 		cfg:     cfg,
+		om:      newArchMetrics(ArchA),
 		stop:    make(chan struct{}),
 	}
 	e.wal = wal.New(e.walDev, "wal-a")
@@ -85,6 +89,7 @@ func NewEngineA(cfg ConfigA) *EngineA {
 		e.deltas = append(e.deltas, delta.NewMem())
 	}
 	e.mode.Store(uint32(sched.Shared))
+	e.obsFns = registerEngineFuncs(ArchA, e.Freshness, e.walDev.Stats)
 	if cfg.SyncInterval > 0 {
 		e.wg.Add(1)
 		go e.syncLoop()
@@ -140,7 +145,10 @@ type txA struct {
 }
 
 // Begin implements Engine.
-func (e *EngineA) Begin() Tx { return &txA{e: e, tx: e.mgr.Begin()} }
+func (e *EngineA) Begin() Tx {
+	e.om.begins.Inc()
+	return &txA{e: e, tx: e.mgr.Begin()}
+}
 
 func (t *txA) store(table string) (*rowstore.Store, error) {
 	id, err := t.e.ts.id(table)
@@ -192,6 +200,7 @@ func (t *txA) Delete(table string, key int64) error {
 
 func (t *txA) Commit() error {
 	e := t.e
+	start := time.Now()
 	ts, err := t.tx.Commit(func(commitTS uint64, writes []txn.Write) error {
 		// MVCC + logging (§2.2(1)(i)): redo first, then install, then the
 		// delta store. A WAL failure (an injected fault, a crashed device)
@@ -212,15 +221,21 @@ func (t *txA) Commit() error {
 		return nil
 	})
 	if err != nil {
+		e.om.aborts.Inc()
 		return wrapTxnErr(err)
 	}
+	e.om.commits.Inc()
+	e.om.commitLat.Since(start)
 	if t.tx.Pending() > 0 {
 		e.tracker.Committed(ts)
 	}
 	return nil
 }
 
-func (t *txA) Abort() { t.tx.Abort() }
+func (t *txA) Abort() {
+	t.e.om.aborts.Inc()
+	t.tx.Abort()
+}
 
 // Load implements Engine.
 func (e *EngineA) Load(table string, row types.Row) error {
@@ -249,6 +264,7 @@ func (e *EngineA) Source(table string, cols []string, pred *exec.ScanPred) exec.
 
 // Query implements Engine.
 func (e *EngineA) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+	e.om.queries.Inc()
 	return exec.From(e.Source(table, cols, pred))
 }
 
@@ -256,15 +272,24 @@ func (e *EngineA) Query(table string, cols []string, pred *exec.ScanPred) *exec.
 func (e *EngineA) Sync() {
 	e.syncMu.Lock()
 	defer e.syncMu.Unlock()
+	start := time.Now()
+	sp := syncSpan(ArchA)
 	upTo := e.mgr.Oracle().Watermark()
 	for i := range e.cols {
 		if e.cfg.Strategy == SyncRebuild {
+			child := sp.Child("rebuild").AttrInt("table", int64(i))
 			datasync.Rebuild(e.cols[i], e.rows[i], e.deltas[i], upTo)
+			child.End()
 		} else {
+			child := sp.Child("merge").AttrInt("table", int64(i))
 			datasync.MergeDelta(e.cols[i], e.deltas[i], upTo)
+			child.End()
 		}
 	}
 	e.tracker.Applied(upTo)
+	sp.End()
+	e.om.syncs.Inc()
+	e.om.syncLat.Since(start)
 }
 
 // GC reclaims row versions older than the current watermark that are
@@ -311,6 +336,7 @@ func (e *EngineA) Stats() Stats {
 func (e *EngineA) Close() {
 	close(e.stop)
 	e.wg.Wait()
+	unregisterEngineFuncs(e.obsFns)
 }
 
 // groupWrites splits a write set by table id.

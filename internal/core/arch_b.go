@@ -14,6 +14,7 @@ import (
 	"htap/internal/disk"
 	"htap/internal/exec"
 	"htap/internal/freshness"
+	"htap/internal/obs"
 	"htap/internal/rowstore"
 	"htap/internal/sched"
 	"htap/internal/twopc"
@@ -119,6 +120,8 @@ type EngineB struct {
 	mode    atomic.Uint32
 	commits atomic.Int64
 	aborts  atomic.Int64
+	om      archMetrics
+	obsFns  []*obs.FuncHandle
 	// lastCommit tracks, per partition, the highest commit timestamp that
 	// touched it; learners that applied up to it are fully caught up.
 	lastCommit []atomic.Uint64
@@ -147,6 +150,7 @@ func NewEngineB(cfg ConfigB) *EngineB {
 		learners: make(map[int]map[int]*learnerStorage),
 		parts:    make(map[int]map[int]*twopc.Participant),
 		tracker:  freshness.NewTracker(),
+		om:       newArchMetrics(ArchB),
 		stop:     make(chan struct{}),
 	}
 	e.lastCommit = make([]atomic.Uint64, cfg.Partitions)
@@ -183,6 +187,7 @@ func NewEngineB(cfg ConfigB) *EngineB {
 		return e.parts[part][l.Status().ID]
 	})
 	e.mode.Store(uint32(sched.Shared))
+	e.obsFns = registerEngineFuncs(ArchB, e.Freshness, func() disk.Stats { return e.Stats().Disk })
 	if cfg.MergeInterval > 0 {
 		e.wg.Add(1)
 		go e.mergeLoop()
@@ -237,6 +242,7 @@ type txB struct {
 
 // Begin implements Engine.
 func (e *EngineB) Begin() Tx {
+	e.om.begins.Inc()
 	return &txB{e: e, readTS: e.oracle.Watermark(), idx: make(map[[2]int64]int)}
 }
 
@@ -328,19 +334,24 @@ func (t *txB) Commit() error {
 		return txn.ErrFinished
 	}
 	t.done = true
+	start := time.Now()
 	if len(t.muts) == 0 {
 		t.e.commits.Add(1)
+		t.e.om.commits.Inc()
 		return nil
 	}
 	ts, err := t.e.coord.Commit(t.readTS, t.muts)
 	if err != nil {
 		t.e.aborts.Add(1)
+		t.e.om.aborts.Inc()
 		if errors.Is(err, twopc.ErrConflict) {
 			return errors.Join(errRetry, err)
 		}
 		return err
 	}
 	t.e.commits.Add(1)
+	t.e.om.commits.Inc()
+	t.e.om.commitLat.Since(start)
 	seen := make(map[int]bool)
 	for _, m := range t.muts {
 		pid := t.e.c.Route(m.Table, m.Key).ID
@@ -364,6 +375,7 @@ func (t *txB) Abort() {
 	if !t.done {
 		t.done = true
 		t.e.aborts.Add(1)
+		t.e.om.aborts.Inc()
 	}
 }
 
@@ -412,6 +424,7 @@ func (e *EngineB) Source(table string, cols []string, pred *exec.ScanPred) exec.
 
 // Query implements Engine.
 func (e *EngineB) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+	e.om.queries.Inc()
 	return exec.From(e.Source(table, cols, pred))
 }
 
@@ -420,15 +433,22 @@ func (e *EngineB) Query(table string, cols []string, pred *exec.ScanPred) *exec.
 func (e *EngineB) Sync() {
 	e.syncMu.Lock()
 	defer e.syncMu.Unlock()
+	start := time.Now()
+	sp := syncSpan(ArchB)
 	for pid := 0; pid < e.cfg.Partitions; pid++ {
 		for n, ls := range e.learners[pid] {
+			child := sp.Child("learner").AttrInt("partition", int64(pid)).AttrInt("node", int64(n))
 			upTo := e.parts[pid][n].AppliedTS()
 			for tid := range ls.cols {
 				datasync.MergeDelta(ls.cols[tid], ls.deltas[tid], upTo)
 			}
+			child.End()
 		}
 	}
 	e.tracker.Applied(e.minColApplied())
+	sp.End()
+	e.om.syncs.Inc()
+	e.om.syncLat.Since(start)
 }
 
 // minColApplied is the freshness watermark of the analytical view: per
@@ -523,4 +543,5 @@ func (e *EngineB) Close() {
 	close(e.stop)
 	e.wg.Wait()
 	e.c.Stop()
+	unregisterEngineFuncs(e.obsFns)
 }

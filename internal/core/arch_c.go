@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"htap/internal/colsel"
 	"htap/internal/colstore"
@@ -12,6 +13,7 @@ import (
 	"htap/internal/disk"
 	"htap/internal/exec"
 	"htap/internal/freshness"
+	"htap/internal/obs"
 	"htap/internal/planner"
 	"htap/internal/rowstore"
 	"htap/internal/sched"
@@ -67,6 +69,8 @@ type EngineC struct {
 	cfg     ConfigC
 	tracker *freshness.Tracker
 	mode    atomic.Uint32
+	om      archMetrics
+	obsFns  []*obs.FuncHandle
 
 	syncMu    sync.Mutex
 	pushdowns atomic.Int64
@@ -98,6 +102,7 @@ func NewEngineC(cfg ConfigC) *EngineC {
 		advisor: colsel.NewAdvisor(cfg.Policy, 0.8),
 		cfg:     cfg,
 		tracker: freshness.NewTracker(),
+		om:      newArchMetrics(ArchC),
 	}
 	e.wal = wal.New(e.walDev, "wal-c")
 	for i, s := range cfg.Schemas {
@@ -105,6 +110,9 @@ func NewEngineC(cfg ConfigC) *EngineC {
 		e.imcs = append(e.imcs, &imcsTable{loaded: make(map[string]bool), delta: delta.NewMem()})
 	}
 	e.mode.Store(uint32(sched.Shared))
+	// The analytical cost model charges the row device; export it (the WAL
+	// device is already covered by htap_wal_* series).
+	e.obsFns = registerEngineFuncs(ArchC, e.Freshness, e.rowDev.Stats)
 	return e
 }
 
@@ -128,7 +136,10 @@ type txC struct {
 }
 
 // Begin implements Engine.
-func (e *EngineC) Begin() Tx { return &txC{e: e, tx: e.mgr.Begin()} }
+func (e *EngineC) Begin() Tx {
+	e.om.begins.Inc()
+	return &txC{e: e, tx: e.mgr.Begin()}
+}
 
 func (t *txC) Get(table string, key int64) (types.Row, error) {
 	id, err := t.e.ts.id(table)
@@ -172,6 +183,7 @@ func (t *txC) Delete(table string, key int64) error {
 
 func (t *txC) Commit() error {
 	e := t.e
+	start := time.Now()
 	ts, err := t.tx.Commit(func(commitTS uint64, writes []txn.Write) error {
 		// Write-ahead for real: every redo record plus the COMMIT must be
 		// durable before any write is installed, or a failed WAL flush
@@ -204,15 +216,21 @@ func (t *txC) Commit() error {
 		return nil
 	})
 	if err != nil {
+		e.om.aborts.Inc()
 		return wrapTxnErr(err)
 	}
+	e.om.commits.Inc()
+	e.om.commitLat.Since(start)
 	if t.tx.Pending() > 0 {
 		e.tracker.Committed(ts)
 	}
 	return nil
 }
 
-func (t *txC) Abort() { t.tx.Abort() }
+func (t *txC) Abort() {
+	t.e.om.aborts.Inc()
+	t.tx.Abort()
+}
 
 // Load implements Engine.
 func (e *EngineC) Load(table string, row types.Row) error {
@@ -433,6 +451,7 @@ func (e *EngineC) imcsSource(id uint32, cols []string, pred *exec.ScanPred) exec
 
 // Query implements Engine.
 func (e *EngineC) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+	e.om.queries.Inc()
 	return exec.From(e.Source(table, cols, pred))
 }
 
@@ -464,6 +483,8 @@ func selEstimate(pred *exec.ScanPred) float64 {
 func (e *EngineC) Sync() {
 	e.syncMu.Lock()
 	defer e.syncMu.Unlock()
+	start := time.Now()
+	sp := syncSpan(ArchC)
 	upTo := e.mgr.Oracle().Watermark()
 	for id := range e.imcs {
 		it := e.imcs[id]
@@ -473,9 +494,14 @@ func (e *EngineC) Sync() {
 		if !loaded {
 			continue
 		}
+		child := sp.Child("merge_imcs").AttrInt("table", int64(id))
 		e.mergeIMCS(uint32(id), upTo)
+		child.End()
 	}
 	e.tracker.Applied(upTo)
+	sp.End()
+	e.om.syncs.Inc()
+	e.om.syncLat.Since(start)
 }
 
 func (e *EngineC) mergeIMCS(id uint32, upTo uint64) {
@@ -561,7 +587,7 @@ func (e *EngineC) Stats() Stats {
 }
 
 // Close implements Engine.
-func (e *EngineC) Close() {}
+func (e *EngineC) Close() { unregisterEngineFuncs(e.obsFns) }
 
 // AddIndex implements Indexer.
 func (e *EngineC) AddIndex(table, name string, key func(types.Row) int64) error {

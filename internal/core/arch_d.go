@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"htap/internal/datasync"
 	"htap/internal/disk"
 	"htap/internal/exec"
 	"htap/internal/freshness"
+	"htap/internal/obs"
 	"htap/internal/sched"
 	"htap/internal/txn"
 	"htap/internal/types"
@@ -38,6 +40,8 @@ type EngineD struct {
 	layers  []*datasync.Layered
 	tracker *freshness.Tracker
 	mode    atomic.Uint32
+	om      archMetrics
+	obsFns  []*obs.FuncHandle
 
 	// versions tracks the latest committed version per key for conflict
 	// checks: the layered store has no version chains of its own.
@@ -60,6 +64,7 @@ func NewEngineD(cfg ConfigD) *EngineD {
 		mgr:     txn.NewManager(),
 		walDev:  disk.New(disk.DefaultConfig()),
 		tracker: freshness.NewTracker(),
+		om:      newArchMetrics(ArchD),
 	}
 	e.wal = wal.New(e.walDev, "wal-d")
 	for _, s := range cfg.Schemas {
@@ -67,6 +72,7 @@ func NewEngineD(cfg ConfigD) *EngineD {
 		e.versions = append(e.versions, make(map[int64]uint64))
 	}
 	e.mode.Store(uint32(sched.Shared))
+	e.obsFns = registerEngineFuncs(ArchD, e.Freshness, e.walDev.Stats)
 	return e
 }
 
@@ -110,7 +116,10 @@ type txD struct {
 }
 
 // Begin implements Engine.
-func (e *EngineD) Begin() Tx { return &txD{e: e, tx: e.mgr.Begin()} }
+func (e *EngineD) Begin() Tx {
+	e.om.begins.Inc()
+	return &txD{e: e, tx: e.mgr.Begin()}
+}
 
 func (t *txD) Get(table string, key int64) (types.Row, error) {
 	id, err := t.e.ts.id(table)
@@ -178,6 +187,7 @@ func (t *txD) Delete(table string, key int64) error {
 
 func (t *txD) Commit() error {
 	e := t.e
+	start := time.Now()
 	ts, err := t.tx.Commit(func(commitTS uint64, writes []txn.Write) error {
 		for id := range e.layers {
 			if err := logWritesFor(e.wal, uint32(id), t.tx.ID, writes); err != nil {
@@ -198,8 +208,11 @@ func (t *txD) Commit() error {
 		return nil
 	})
 	if err != nil {
+		e.om.aborts.Inc()
 		return wrapTxnErr(err)
 	}
+	e.om.commits.Inc()
+	e.om.commitLat.Since(start)
 	if t.tx.Pending() > 0 {
 		e.tracker.Committed(ts)
 		// Layer maintenance happens on the commit path, which is precisely
@@ -223,7 +236,10 @@ func (t *txD) Commit() error {
 	return nil
 }
 
-func (t *txD) Abort() { t.tx.Abort() }
+func (t *txD) Abort() {
+	t.e.om.aborts.Inc()
+	t.tx.Abort()
+}
 
 // Load implements Engine.
 func (e *EngineD) Load(table string, row types.Row) error {
@@ -258,6 +274,7 @@ func (e *EngineD) Source(table string, cols []string, pred *exec.ScanPred) exec.
 
 // Query implements Engine.
 func (e *EngineD) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+	e.om.queries.Inc()
 	return exec.From(e.Source(table, cols, pred))
 }
 
@@ -266,15 +283,24 @@ func (e *EngineD) Query(table string, cols []string, pred *exec.ScanPred) *exec.
 func (e *EngineD) Sync() {
 	e.syncMu.Lock()
 	defer e.syncMu.Unlock()
+	start := time.Now()
+	sp := syncSpan(ArchD)
 	upTo := e.mgr.Oracle().Watermark()
-	for _, l := range e.layers {
+	for i, l := range e.layers {
+		child := sp.Child("promote_l1").AttrInt("table", int64(i))
 		l.PromoteL1(upTo)
+		child.End()
+		child = sp.Child("merge_l2").AttrInt("table", int64(i))
 		l.MergeL2()
+		child.End()
 		if upTo > l.Main.Applied() {
 			l.Main.SetApplied(upTo)
 		}
 	}
 	e.tracker.Applied(upTo)
+	sp.End()
+	e.om.syncs.Inc()
+	e.om.syncLat.Since(start)
 }
 
 // SetMode implements Engine.
@@ -303,7 +329,7 @@ func (e *EngineD) Stats() Stats {
 }
 
 // Close implements Engine.
-func (e *EngineD) Close() {}
+func (e *EngineD) Close() { unregisterEngineFuncs(e.obsFns) }
 
 // logWritesFor appends redo records for one table's writes.
 func logWritesFor(l *wal.Log, table uint32, txnID uint64, writes []txn.Write) error {

@@ -1,0 +1,107 @@
+// Engine observability: every architecture exports the same htap_engine_*
+// series (labeled arch="A".."D"), so one scrape compares the four designs
+// side by side — the per-architecture view of the paper's Table 1 trade-offs.
+// Scrape-time callbacks (freshness lag, device counters) are registered per
+// live engine and handed over when an experiment rebuilds one.
+package core
+
+import (
+	"htap/internal/disk"
+	"htap/internal/freshness"
+	"htap/internal/obs"
+)
+
+// Label returns the short arch value used in metric labels.
+func (a Arch) Label() string {
+	switch a {
+	case ArchA:
+		return "A"
+	case ArchB:
+		return "B"
+	case ArchC:
+		return "C"
+	case ArchD:
+		return "D"
+	default:
+		return "?"
+	}
+}
+
+// archMetrics holds the hot-path handles of one architecture. Engines of the
+// same architecture share the series (registry get-or-create), so counters
+// survive engine rebuilds within a run.
+type archMetrics struct {
+	begins    *obs.Counter   // htap_engine_txn_begins_total
+	commits   *obs.Counter   // htap_engine_txn_commits_total
+	aborts    *obs.Counter   // htap_engine_txn_aborts_total
+	commitLat *obs.Histogram // htap_engine_commit_duration_ns
+	queries   *obs.Counter   // htap_engine_queries_total
+	syncs     *obs.Counter   // htap_engine_syncs_total
+	syncLat   *obs.Histogram // htap_engine_sync_duration_ns
+}
+
+func newArchMetrics(a Arch) archMetrics {
+	l := obs.L("arch", a.Label())
+	return archMetrics{
+		begins:    obs.Default.Counter("htap_engine_txn_begins_total", l),
+		commits:   obs.Default.Counter("htap_engine_txn_commits_total", l),
+		aborts:    obs.Default.Counter("htap_engine_txn_aborts_total", l),
+		commitLat: obs.Default.Histogram("htap_engine_commit_duration_ns", l),
+		queries:   obs.Default.Counter("htap_engine_queries_total", l),
+		syncs:     obs.Default.Counter("htap_engine_syncs_total", l),
+		syncLat:   obs.Default.Histogram("htap_engine_sync_duration_ns", l),
+	}
+}
+
+// registerEngineFuncs exports scrape-time callbacks for one live engine: the
+// freshness lag gauges every architecture must expose, and (when dev is
+// non-nil) the engine's device counters re-labeled by architecture.
+// Rebuilding an engine of the same architecture transfers series ownership
+// to the newest instance; Close unregisters only what it still owns.
+func registerEngineFuncs(a Arch, fresh func() freshness.Snapshot, dev func() disk.Stats) []*obs.FuncHandle {
+	l := obs.L("arch", a.Label())
+	hs := []*obs.FuncHandle{
+		obs.Default.RegisterFunc("htap_freshness_lag_ts", l, obs.KindGauge, func() float64 {
+			return float64(fresh().LagTS)
+		}),
+		obs.Default.RegisterFunc("htap_freshness_lag_seconds", l, obs.KindGauge, func() float64 {
+			return fresh().LagTime.Seconds()
+		}),
+	}
+	if dev == nil {
+		return hs
+	}
+	for _, c := range []struct {
+		name string
+		get  func(disk.Stats) int64
+	}{
+		{"htap_disk_read_ops", func(s disk.Stats) int64 { return s.ReadOps }},
+		{"htap_disk_write_ops", func(s disk.Stats) int64 { return s.WriteOps }},
+		{"htap_disk_read_bytes", func(s disk.Stats) int64 { return s.ReadBytes }},
+		{"htap_disk_write_bytes", func(s disk.Stats) int64 { return s.WriteBytes }},
+		{"htap_disk_faults_injected", func(s disk.Stats) int64 { return s.FaultsInjected }},
+		{"htap_disk_torn_writes", func(s disk.Stats) int64 { return s.TornWrites }},
+		{"htap_disk_torn_bytes_discarded", func(s disk.Stats) int64 { return s.TornBytesDiscarded }},
+		{"htap_disk_crashes", func(s disk.Stats) int64 { return s.Crashes }},
+	} {
+		get := c.get
+		hs = append(hs, obs.Default.RegisterFunc(c.name, l, obs.KindCounter, func() float64 {
+			return float64(get(dev()))
+		}))
+	}
+	return hs
+}
+
+// unregisterEngineFuncs releases the callbacks an engine registered, keeping
+// any series a newer engine has since taken over.
+func unregisterEngineFuncs(hs []*obs.FuncHandle) {
+	for _, h := range hs {
+		obs.Default.Unregister(h)
+	}
+}
+
+// syncSpan opens the root trace span of one synchronization round; callers
+// hang one child per table (or per learner) under it.
+func syncSpan(a Arch) *obs.Span {
+	return obs.Trace.Start("sync").Attr("arch", a.Label())
+}

@@ -23,10 +23,43 @@ import (
 
 	"htap/internal/colstore"
 	"htap/internal/delta"
+	"htap/internal/obs"
 	"htap/internal/rowstore"
 	"htap/internal/txn"
 	"htap/internal/types"
 )
+
+// syncMetrics bundles the per-technique observability series
+// (htap_datasync_*, labeled by technique). Handles resolve once at package
+// init; the merge paths pay only atomic updates.
+type syncMetrics struct {
+	batches *obs.Counter   // htap_datasync_batches_total
+	entries *obs.Histogram // htap_datasync_batch_entries: delta entries (or rows) per batch
+	dur     *obs.Histogram // htap_datasync_duration_ns: propagation latency
+}
+
+func newSyncMetrics(technique string) syncMetrics {
+	l := obs.L("technique", technique)
+	return syncMetrics{
+		batches: obs.Default.Counter("htap_datasync_batches_total", l),
+		entries: obs.Default.Histogram("htap_datasync_batch_entries", l),
+		dur:     obs.Default.Histogram("htap_datasync_duration_ns", l),
+	}
+}
+
+var (
+	mMerge     = newSyncMetrics("merge")
+	mRebuild   = newSyncMetrics("rebuild")
+	mPromoteL1 = newSyncMetrics("promote_l1")
+	mMergeL2   = newSyncMetrics("merge_l2")
+)
+
+// note records one completed batch of size n.
+func (m syncMetrics) note(n int, d time.Duration) {
+	m.batches.Inc()
+	m.entries.Observe(int64(n))
+	m.dur.ObserveDuration(d)
+}
 
 // Result describes one synchronization action.
 type Result struct {
@@ -86,6 +119,7 @@ func MergeDelta(tbl *colstore.Table, d delta.Store, upTo uint64) Result {
 	tbl.NoteMerge()
 	d.MarkMerged(upTo)
 	res.Duration = time.Since(start)
+	mMerge.note(res.Entries, res.Duration)
 	return res
 }
 
@@ -108,7 +142,9 @@ func Rebuild(tbl *colstore.Table, rs *rowstore.Store, d delta.Store, ts uint64) 
 	if d != nil {
 		d.MarkMerged(ts) // the rebuild subsumes all earlier delta entries
 	}
-	return Result{Inserted: n, Duration: time.Since(start)}
+	res := Result{Inserted: n, Duration: time.Since(start)}
+	mRebuild.note(res.Inserted, res.Duration)
+	return res
 }
 
 // Threshold is the threshold-based change-propagation policy of §2.2(3):
@@ -217,6 +253,7 @@ func (l *Layered) PromoteL1(upTo uint64) Result {
 	l.L2.SetApplied(maxTS)
 	l.L1.MarkMerged(upTo)
 	res.Duration = time.Since(start)
+	mPromoteL1.note(res.Entries, res.Duration)
 	return res
 }
 
@@ -241,7 +278,9 @@ func (l *Layered) MergeL2() Result {
 		l.Main.SetApplied(applied)
 	}
 	l.Main.NoteMerge()
-	return Result{Inserted: len(rows), Duration: time.Since(start)}
+	res := Result{Inserted: len(rows), Duration: time.Since(start)}
+	mMergeL2.note(res.Inserted, res.Duration)
+	return res
 }
 
 // Applied returns the watermark covered by Main and L2 together.

@@ -45,6 +45,14 @@ type Device struct {
 	readBytes  atomic.Int64
 	writeBytes atomic.Int64
 
+	// Fault-injection counters (fault.go): how often the armed plan fired,
+	// what it destroyed. The chaos harness asserts on these instead of
+	// reverse-engineering the damage from file sizes.
+	faultsInjected atomic.Int64 // clean ErrInjected write failures
+	tornWrites     atomic.Int64 // appends that persisted only a prefix
+	tornBytes      atomic.Int64 // payload bytes discarded by tears
+	crashes        atomic.Int64 // transitions into the crashed state
+
 	// pending accumulates charged latency. The host's sleep granularity is
 	// ~1ms, so per-op sub-millisecond sleeps would overcharge by 50x; the
 	// device instead banks charges and sleeps in >=2ms chunks, keeping the
@@ -123,8 +131,19 @@ func (d *Device) charge(lat time.Duration, ops int) {
 // ErrCrashed a prefix of p may have reached the file.
 func (d *Device) Append(name string, p []byte) (int64, error) {
 	if fs := d.faultState(); fs != nil {
-		keep, ferr := fs.onWrite(name, len(p))
+		keep, evt, ferr := fs.onWrite(name, len(p))
 		if ferr != nil {
+			switch evt {
+			case faultInjected:
+				d.faultsInjected.Add(1)
+			case faultTorn:
+				d.tornWrites.Add(1)
+				d.tornBytes.Add(int64(len(p) - keep))
+			case faultCrash:
+				d.crashes.Add(1)
+				d.tornWrites.Add(1)
+				d.tornBytes.Add(int64(len(p) - keep))
+			}
 			if keep > 0 {
 				d.appendRaw(name, p[:keep])
 			}
@@ -260,14 +279,24 @@ func (d *Device) Remove(name string) {
 type Stats struct {
 	ReadOps, WriteOps     int64
 	ReadBytes, WriteBytes int64
+
+	// Fault-injection outcomes (zero on a device that was never armed).
+	FaultsInjected     int64 // clean ErrInjected write failures
+	TornWrites         int64 // appends that persisted only a prefix (incl. the crash tear)
+	TornBytesDiscarded int64 // payload bytes those tears destroyed
+	Crashes            int64 // transitions into the crashed state
 }
 
 // Stats returns the accumulated counters.
 func (d *Device) Stats() Stats {
 	return Stats{
-		ReadOps:    d.reads.Load(),
-		WriteOps:   d.writes.Load(),
-		ReadBytes:  d.readBytes.Load(),
-		WriteBytes: d.writeBytes.Load(),
+		ReadOps:            d.reads.Load(),
+		WriteOps:           d.writes.Load(),
+		ReadBytes:          d.readBytes.Load(),
+		WriteBytes:         d.writeBytes.Load(),
+		FaultsInjected:     d.faultsInjected.Load(),
+		TornWrites:         d.tornWrites.Load(),
+		TornBytesDiscarded: d.tornBytes.Load(),
+		Crashes:            d.crashes.Load(),
 	}
 }

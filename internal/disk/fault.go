@@ -71,29 +71,41 @@ func (fs *faultState) rule(name string) *FaultRule {
 	return nil
 }
 
+// faultEvent classifies what onWrite did, so Device.Append can bump the
+// matching counter. A crash is counted once, at the transition; writes
+// rejected because the device is already dead are not new faults.
+type faultEvent int
+
+const (
+	faultNone     faultEvent = iota // healthy write, or already-crashed rejection
+	faultInjected                   // clean ErrInjected failure
+	faultTorn                       // torn append (prefix persisted)
+	faultCrash                      // the transition into the crashed state
+)
+
 // onWrite decides the fate of an n-byte Append to name. It returns
 // keep == -1 for a healthy write; otherwise the write fails with err after
-// persisting p[:keep].
-func (fs *faultState) onWrite(name string, n int) (keep int, err error) {
+// persisting p[:keep]. evt classifies the failure for the fault counters.
+func (fs *faultState) onWrite(name string, n int) (keep int, evt faultEvent, err error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.crashed {
-		return 0, ErrCrashed
+		return 0, faultNone, ErrCrashed
 	}
 	fs.writes++
 	if fs.plan.CrashAfterWrites > 0 && fs.writes >= fs.plan.CrashAfterWrites {
 		fs.crashed = true
-		return fs.tornPrefix(n), ErrCrashed
+		return fs.tornPrefix(n), faultCrash, ErrCrashed
 	}
 	if r := fs.rule(name); r != nil {
 		if r.WriteErrRate > 0 && fs.rng.Float64() < r.WriteErrRate {
-			return 0, ErrInjected
+			return 0, faultInjected, ErrInjected
 		}
 		if r.TornRate > 0 && fs.rng.Float64() < r.TornRate {
-			return fs.tornPrefix(n), ErrTorn
+			return fs.tornPrefix(n), faultTorn, ErrTorn
 		}
 	}
-	return -1, nil
+	return -1, faultNone, nil
 }
 
 // tornPrefix picks how many bytes of an n-byte write survive a tear.

@@ -66,6 +66,48 @@ func TestFaultCrashAfterNWritesIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestFaultCounters verifies each failure mode bumps exactly its counter:
+// a clean injected error, a torn write (with discarded-byte accounting), the
+// crash transition (counted once, and also as a tear), and already-crashed
+// rejections (counted never — the device is dead, not failing anew).
+func TestFaultCounters(t *testing.T) {
+	d := New(MemConfig())
+
+	d.SetFaultPlan(&FaultPlan{Seed: 1, Rules: []FaultRule{{WriteErrRate: 1.0}}})
+	if _, err := d.Append("f", []byte("abc")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if s := d.Stats(); s.FaultsInjected != 1 || s.TornWrites != 0 || s.TornBytesDiscarded != 0 || s.Crashes != 0 {
+		t.Fatalf("after injected error: %+v", s)
+	}
+
+	d.SetFaultPlan(&FaultPlan{Seed: 7, Rules: []FaultRule{{TornRate: 1.0}}})
+	if _, err := d.Append("f", bytes.Repeat([]byte("x"), 100)); !errors.Is(err, ErrTorn) {
+		t.Fatalf("err = %v, want ErrTorn", err)
+	}
+	s := d.Stats()
+	if s.TornWrites != 1 || s.TornBytesDiscarded < 1 || s.Crashes != 0 {
+		t.Fatalf("after torn write: %+v", s)
+	}
+	// The injected error persisted nothing, so the media holds exactly the
+	// torn prefix: discarded + kept must cover the 100-byte payload.
+	if kept := d.Size("f"); s.TornBytesDiscarded != 100-kept {
+		t.Fatalf("discarded %d bytes but media kept %d of 100", s.TornBytesDiscarded, kept)
+	}
+
+	d.SetFaultPlan(&FaultPlan{Seed: 3, CrashAfterWrites: 1})
+	if _, err := d.Append("f", []byte("boom")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if _, err := d.Append("f", []byte("still dead")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	s = d.Stats()
+	if s.Crashes != 1 || s.TornWrites != 2 || s.FaultsInjected != 1 {
+		t.Fatalf("after crash + rejected write: %+v", s)
+	}
+}
+
 func TestCrashedDeviceFailsUntilRevive(t *testing.T) {
 	d := New(MemConfig())
 	if _, err := d.Append("f", []byte("durable")); err != nil {

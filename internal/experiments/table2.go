@@ -599,6 +599,7 @@ func runScheduled(o Opts, ctrl sched.Controller) RSRow {
 	var lagSum float64
 	var lagN int64
 	decision := ctrl.Decide(sched.Signals{}, sched.Decision{})
+	sched.ObserveDecision(ctrl.Name(), sched.Signals{}, decision)
 	pool.Resize(decision.TPWorkers, decision.APWorkers)
 	e.SetMode(decision.Mode)
 
@@ -616,11 +617,13 @@ func runScheduled(o Opts, ctrl sched.Controller) RSRow {
 		snap := e.Freshness()
 		lagSum += float64(snap.LagTS)
 		lagN++
-		decision = ctrl.Decide(sched.Signals{
+		sig := sched.Signals{
 			TPCompleted: tpDone, APCompleted: apDone,
 			TPDemand: tpDone + 1, APDemand: apDone + 1,
 			LagTS: snap.LagTS, LagTime: snap.LagTime,
-		}, decision)
+		}
+		decision = ctrl.Decide(sig, decision)
+		sched.ObserveDecision(ctrl.Name(), sig, decision)
 		pool.Resize(decision.TPWorkers, decision.APWorkers)
 		e.SetMode(decision.Mode)
 		if decision.SyncNow {

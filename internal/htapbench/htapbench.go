@@ -18,6 +18,7 @@
 package htapbench
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,7 @@ import (
 
 	"htap/internal/ch"
 	"htap/internal/core"
+	"htap/internal/obs"
 )
 
 // Config parameterizes a mixed run.
@@ -61,11 +63,54 @@ type Result struct {
 	AvgTxnLatency   time.Duration
 	AvgQueryLatency time.Duration
 
+	// Per-class latency distributions: one entry per TPC-C transaction
+	// class that ran and one per CH query (Q1..Q22) in the query set.
+	TxnClasses   []ClassLatency
+	QueryClasses []ClassLatency
+
 	// Freshness samples (staleness of the analytical view).
 	FreshAvgLagTS   float64
 	FreshMaxLagTS   uint64
 	FreshAvgLagTime time.Duration
 	FreshMaxLagTime time.Duration
+}
+
+// ClassLatency is the latency distribution of one workload class within a
+// run (percentiles are histogram estimates, ~3% relative error).
+type ClassLatency struct {
+	Class string
+	Count int64
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// classHist records one class's latencies twice: into a run-local histogram
+// (the Result percentiles must cover this run only) and into the registered
+// htap_bench_* series (cumulative across runs, scraped via -metrics).
+type classHist struct {
+	local *obs.Histogram
+	reg   *obs.Histogram
+}
+
+func newClassHist(metric, arch, class string) *classHist {
+	return &classHist{
+		local: obs.NewHistogram(),
+		reg:   obs.Default.Histogram(metric, obs.L("arch", arch, "class", class)),
+	}
+}
+
+func (c *classHist) observe(d time.Duration) {
+	c.local.ObserveDuration(d)
+	c.reg.ObserveDuration(d)
+}
+
+func (c *classHist) latency(class string) ClassLatency {
+	qs := c.local.Quantiles(0.5, 0.95, 0.99)
+	return ClassLatency{
+		Class: class, Count: int64(c.local.Count()),
+		P50: time.Duration(qs[0]), P95: time.Duration(qs[1]), P99: time.Duration(qs[2]),
+	}
 }
 
 // Run executes the mixed workload and reports metrics.
@@ -75,6 +120,18 @@ func Run(cfg Config) Result {
 	}
 	driver := ch.NewDriver(cfg.Engine, cfg.Scale)
 	queries := pickQueries(cfg.QuerySet)
+
+	// Per-class histograms, keyed by TPC-C class and CH query number. The
+	// maps are built before the workers start and only read concurrently.
+	archL := cfg.Engine.Arch().Label()
+	txnHists := make(map[ch.TxnType]*classHist, 5)
+	for t := ch.NewOrderTxn; t <= ch.StockLevelTxn; t++ {
+		txnHists[t] = newClassHist("htap_bench_txn_duration_ns", archL, t.String())
+	}
+	queryHists := make(map[int]*classHist, len(queries))
+	for _, q := range queries {
+		queryHists[q.num] = newClassHist("htap_bench_query_duration_ns", archL, fmt.Sprintf("q%d", q.num))
+	}
 
 	var (
 		stop       atomic.Bool
@@ -119,10 +176,13 @@ func Run(cfg Config) Result {
 					}
 				}
 				start := time.Now()
-				if err := driver.RunOne(rng); err != nil {
+				t, err := driver.RunOneTyped(rng)
+				if err != nil {
 					txnErrs.Add(1)
 				} else {
-					txnNanos.Add(int64(time.Since(start)))
+					el := time.Since(start)
+					txnNanos.Add(int64(el))
+					txnHists[t].observe(el)
 				}
 			}
 		}(int64(w))
@@ -136,9 +196,11 @@ func Run(cfg Config) Result {
 			for !stop.Load() {
 				q := queries[rng.Intn(len(queries))]
 				start := time.Now()
-				q(cfg.Engine)
-				queryNanos.Add(int64(time.Since(start)))
+				q.fn(cfg.Engine)
+				el := time.Since(start)
+				queryNanos.Add(int64(el))
 				queryCount.Add(1)
+				queryHists[q.num].observe(el)
 			}
 		}(int64(s))
 	}
@@ -214,6 +276,16 @@ func Run(cfg Config) Result {
 	}
 	res.FreshMaxLagTS = lagMaxTS
 	res.FreshMaxLagTime = lagMaxTime
+	for t := ch.NewOrderTxn; t <= ch.StockLevelTxn; t++ {
+		if h := txnHists[t]; h.local.Count() > 0 {
+			res.TxnClasses = append(res.TxnClasses, h.latency(t.String()))
+		}
+	}
+	for _, q := range queries {
+		if h := queryHists[q.num]; h.local.Count() > 0 {
+			res.QueryClasses = append(res.QueryClasses, h.latency(fmt.Sprintf("q%d", q.num)))
+		}
+	}
 	return res
 }
 
@@ -224,19 +296,26 @@ func max64(a, b int64) int64 {
 	return b
 }
 
-func pickQueries(set []int) []ch.QueryFunc {
+// numberedQuery pairs a CH query with its number, so per-class metrics can
+// label latencies q1..q22.
+type numberedQuery struct {
+	num int
+	fn  ch.QueryFunc
+}
+
+func pickQueries(set []int) []numberedQuery {
 	all := ch.Queries()
 	if len(set) == 0 {
-		out := make([]ch.QueryFunc, 0, len(all))
+		out := make([]numberedQuery, 0, len(all))
 		for i := 1; i <= 22; i++ {
-			out = append(out, all[i])
+			out = append(out, numberedQuery{num: i, fn: all[i]})
 		}
 		return out
 	}
-	out := make([]ch.QueryFunc, 0, len(set))
+	out := make([]numberedQuery, 0, len(set))
 	for _, i := range set {
 		if q, ok := all[i]; ok {
-			out = append(out, q)
+			out = append(out, numberedQuery{num: i, fn: q})
 		}
 	}
 	return out

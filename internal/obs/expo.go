@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// quantilesExposed are the summary quantiles written for every histogram.
+var quantilesExposed = []float64{0.5, 0.95, 0.99}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format. Histograms are written as summaries: {quantile="..."} series plus
+// _sum and _count, which keeps a scrape compact and the paper's p50/p95/p99
+// cells directly readable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	entries := r.snapshot()
+	lastName := ""
+	for _, e := range entries {
+		if e.name != lastName {
+			typ := "gauge"
+			switch e.kind {
+			case KindCounter:
+				typ = "counter"
+			case KindHistogram:
+				typ = "summary"
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.name, typ)
+			lastName = e.name
+		}
+		switch {
+		case e.fn != nil:
+			writeSample(bw, e.name, e.labels, e.fn())
+		case e.kind == KindCounter:
+			writeSample(bw, e.name, e.labels, float64(e.c.Value()))
+		case e.kind == KindGauge:
+			writeSample(bw, e.name, e.labels, e.g.Value())
+		case e.kind == KindHistogram:
+			qs := e.h.Quantiles(quantilesExposed...)
+			for i, q := range quantilesExposed {
+				ql := fmt.Sprintf("quantile=%q", strconv.FormatFloat(q, 'g', -1, 64))
+				labels := ql
+				if e.labels != "" {
+					labels = e.labels + "," + ql
+				}
+				writeSample(bw, e.name, labels, qs[i])
+			}
+			writeSample(bw, e.name+"_sum", e.labels, float64(e.h.Sum()))
+			writeSample(bw, e.name+"_count", e.labels, float64(e.h.Count()))
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(v))
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ValidateExposition checks that b parses as Prometheus text format and
+// returns the number of samples. The CI smoke test and cmd/repro's
+// -metrics-selfcheck use it to fail on an empty or malformed scrape.
+func ValidateExposition(b []byte) (samples int, err error) {
+	lines := strings.Split(string(b), "\n")
+	for i, line := range lines {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# TYPE ") && !strings.HasPrefix(line, "# HELP ") {
+				return samples, fmt.Errorf("line %d: malformed comment %q", i+1, line)
+			}
+			continue
+		}
+		var name, rest string
+		if open := strings.IndexByte(line, '{'); open >= 0 {
+			end := strings.LastIndexByte(line, '}')
+			if end < open {
+				return samples, fmt.Errorf("line %d: unterminated label set in %q", i+1, line)
+			}
+			name, rest = line[:open], strings.TrimSpace(line[end+1:])
+		} else if sp := strings.IndexByte(line, ' '); sp >= 0 {
+			name, rest = line[:sp], strings.TrimSpace(line[sp+1:])
+		} else {
+			name = line
+		}
+		if !validMetricName(name) {
+			return samples, fmt.Errorf("line %d: invalid metric name %q", i+1, name)
+		}
+		if rest == "" {
+			return samples, fmt.Errorf("line %d: missing value in %q", i+1, line)
+		}
+		// A timestamp may follow the value; only the value is required.
+		val := rest
+		if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+			val = rest[:sp]
+		}
+		if _, ferr := strconv.ParseFloat(val, 64); ferr != nil {
+			return samples, fmt.Errorf("line %d: bad value %q: %v", i+1, val, ferr)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("exposition contains no samples")
+	}
+	return samples, nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

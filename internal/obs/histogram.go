@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: values 0..15 get exact buckets; beyond that each
+// power-of-two octave is split into 16 linear sub-buckets (4 mantissa bits),
+// HdrHistogram-style. The relative quantization error is therefore bounded
+// by 1/16 of the value (~3% at the bucket midpoint), which is ample for
+// latency percentiles, at a fixed cost of 976 buckets (~8 KB) per series.
+const (
+	histExact   = 16 // exact buckets for 0..15
+	histSub     = 16 // sub-buckets per octave
+	histOctaves = 60 // bit lengths 5..64
+	histBuckets = histExact + histOctaves*histSub
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histExact {
+		return int(v)
+	}
+	l := bits.Len64(v)          // >= 5 here
+	mant := int(v >> uint(l-5)) // top 5 bits: [16, 31]
+	return histExact + (l-5)*histSub + (mant - histExact)
+}
+
+// bucketBounds returns the [low, high] value range of a bucket.
+func bucketBounds(idx int) (low, high uint64) {
+	if idx < histExact {
+		return uint64(idx), uint64(idx)
+	}
+	oct := uint((idx - histExact) / histSub)
+	sub := uint64((idx - histExact) % histSub)
+	low = (histExact + sub) << oct
+	return low, low + (uint64(1)<<oct - 1)
+}
+
+// bucketMid returns the midpoint used as the bucket's representative value.
+func bucketMid(idx int) float64 {
+	low, high := bucketBounds(idx)
+	return (float64(low) + float64(high)) / 2
+}
+
+// Histogram is a concurrent log-bucketed histogram of non-negative int64
+// values (latencies in nanoseconds, batch sizes, byte counts). Observing is
+// lock-free: one bucket Add plus count/sum Adds. Readers see a racy but
+// self-consistent-enough view; quantiles are estimates bounded by bucket
+// width.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// NewHistogram returns an empty standalone histogram. Registry.Histogram is
+// the registered equivalent.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records v (negative values clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Since records the time elapsed from start, and is the idiomatic hot-path
+// call: defer-free, one clock read.
+func (h *Histogram) Since(start time.Time) { h.ObserveDuration(time.Since(start)) }
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Quantile estimates the p-quantile (p in [0,1]) of the observed values.
+func (h *Histogram) Quantile(p float64) float64 {
+	return h.Quantiles(p)[0]
+}
+
+// Quantiles estimates several quantiles in one pass over the buckets.
+func (h *Histogram) Quantiles(ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return out
+	}
+	for pi, p := range ps {
+		if math.IsNaN(p) {
+			out[pi] = math.NaN()
+			continue
+		}
+		target := uint64(math.Ceil(p * float64(total)))
+		if target < 1 {
+			target = 1
+		}
+		if target > total {
+			target = total
+		}
+		var cum uint64
+		for i := range counts {
+			cum += counts[i]
+			if cum >= target {
+				out[pi] = bucketMid(i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of observed values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}

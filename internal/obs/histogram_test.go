@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exactQuantile computes the quantile the histogram is approximating: the
+// ceil(p*n)-th smallest sample.
+func exactQuantile(sorted []int64, p float64) int64 {
+	n := len(sorted)
+	rank := int(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileAgainstExactSamples drives several distributions through the
+// histogram and checks every estimated quantile against the exact sorted
+// sample, within the bucket quantization bound (1/16 relative, since each
+// octave has 16 sub-buckets) plus half a bucket of slack for midpointing.
+func TestQuantileAgainstExactSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	distributions := map[string]func() int64{
+		"uniform":     func() int64 { return rng.Int63n(1_000_000) },
+		"exponential": func() int64 { return int64(rng.ExpFloat64() * 50_000) },
+		"lognormal":   func() int64 { return int64(math.Exp(rng.NormFloat64()*2 + 8)) },
+		"small-ints":  func() int64 { return rng.Int63n(20) },
+		"constant":    func() int64 { return 12345 },
+	}
+	quantiles := []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}
+	for name, gen := range distributions {
+		h := NewHistogram()
+		samples := make([]int64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			v := gen()
+			samples = append(samples, v)
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, p := range quantiles {
+			want := float64(exactQuantile(samples, p))
+			got := h.Quantile(p)
+			// Bucket width is at most value/16; the midpoint is within half
+			// a width of any sample in the bucket.
+			tol := want/16 + 1
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s: q%.2f = %.1f, want %.1f ± %.1f", name, p, got, want, tol)
+			}
+		}
+		if h.Count() != 20000 {
+			t.Errorf("%s: count = %d, want 20000", name, h.Count())
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(-5) // clamps to 0
+	h.Observe(0)
+	if h.Count() != 2 || h.Sum() != 0 {
+		t.Fatalf("count=%d sum=%d after clamped observes", h.Count(), h.Sum())
+	}
+	if got := h.Quantile(1.0); got != 0 {
+		t.Fatalf("all-zero quantile = %v, want 0", got)
+	}
+	h.Observe(math.MaxInt64) // top octave must not panic or misindex
+	if got := h.Max(); got != math.MaxInt64 {
+		t.Fatalf("max = %d", got)
+	}
+	if q := h.Quantile(1.0); q <= 0 {
+		t.Fatalf("q1.0 after MaxInt64 observe = %v", q)
+	}
+}
+
+// TestBucketIndexMonotonic verifies the bucket mapping is monotone and that
+// bounds invert the index correctly.
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 15, 16, 17, 31, 32, 63, 64, 100, 1 << 20, 1<<20 + 1, 1 << 40, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, idx, prev)
+		}
+		prev = idx
+		low, high := bucketBounds(idx)
+		if v < low || v > high {
+			t.Fatalf("value %d outside its bucket [%d, %d]", v, low, high)
+		}
+	}
+	// Exhaustive over a small range: every value lands inside its bounds.
+	for v := uint64(0); v < 4096; v++ {
+		low, high := bucketBounds(bucketIndex(v))
+		if v < low || v > high {
+			t.Fatalf("value %d outside bucket [%d, %d]", v, low, high)
+		}
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveDuration(3 * time.Millisecond)
+	if h.Sum() != int64(3*time.Millisecond) {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if got := h.Mean(); got != float64(3*time.Millisecond) {
+		t.Fatalf("mean = %v", got)
+	}
+}

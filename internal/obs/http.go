@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server exposes a registry and tracer over HTTP:
+//
+//	/metrics       Prometheus text exposition
+//	/spans         recent finished spans as JSON, oldest first
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// cmd/repro and cmd/chbench start one behind their -metrics flag, so the
+// paper's cells can be scraped live while a benchmark runs.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" picks a free port). Nil reg
+// and tr default to the package-level Default registry and Trace tracer.
+func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	if reg == nil {
+		reg = Default
+	}
+	if tr == nil {
+		tr = Trace
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		type jsonAttr struct {
+			Key string      `json:"key"`
+			Val interface{} `json:"val"`
+		}
+		type jsonSpan struct {
+			ID     uint64     `json:"id"`
+			Parent uint64     `json:"parent,omitempty"`
+			Name   string     `json:"name"`
+			Start  time.Time  `json:"start"`
+			DurNS  int64      `json:"dur_ns"`
+			Attrs  []jsonAttr `json:"attrs,omitempty"`
+		}
+		spans := tr.Spans()
+		out := make([]jsonSpan, 0, len(spans))
+		for _, s := range spans {
+			js := jsonSpan{ID: s.ID, Parent: s.Parent, Name: s.Name, Start: s.Start, DurNS: int64(s.Dur)}
+			for _, a := range s.Attrs {
+				if a.IsInt {
+					js.Attrs = append(js.Attrs, jsonAttr{Key: a.Key, Val: a.Int})
+				} else {
+					js.Attrs = append(js.Attrs, jsonAttr{Key: a.Key, Val: a.Str})
+				}
+			}
+			out = append(out, js)
+		}
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,254 @@
+// Package obs is the repository's observability substrate: a
+// zero-dependency metrics registry, lightweight span tracing, and
+// Prometheus-text exposition over HTTP.
+//
+// The paper's empirical artifacts — Table 1's throughput/freshness/isolation
+// cells and the §2.3(2) isolation-versus-freshness practice — were computed
+// post-hoc by internal/experiments; this package turns each of them into a
+// live signal. Every subsystem registers metrics under one naming scheme,
+// htap_<subsystem>_<metric>, against the shared Default registry, so a
+// single /metrics scrape during a benchmark reads the paper's cells as they
+// form: per-architecture transaction and query histograms, the freshness-lag
+// gauge, WAL and device counters, merge batch sizes, scheduler shares, Raft
+// traffic.
+//
+// Everything on the hot path is a single atomic operation: counters and
+// gauges are one Add/Store, histograms are two Adds plus a bucket Add.
+// Nothing allocates after metric creation, and creation is get-or-create so
+// engines built repeatedly by the experiment harness share series instead of
+// colliding. Spans are retained in a fixed ring (trace.go), so tracing a hot
+// loop cannot grow memory without bound.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// Labels is an ordered label set.
+type Labels []Label
+
+// L builds a label set from alternating key, value strings:
+// L("arch", "A", "class", "q1").
+func L(kv ...string) Labels {
+	if len(kv)%2 != 0 {
+		panic("obs: L requires an even number of strings")
+	}
+	ls := make(Labels, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ls = append(ls, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return ls
+}
+
+// canonical renders the label set sorted by key, for series identity and
+// exposition. Empty for no labels.
+func (ls Labels) canonical() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	s := make(Labels, len(ls))
+	copy(s, ls)
+	sort.Slice(s, func(i, j int) bool { return s[i].Key < s[j].Key })
+	var b strings.Builder
+	for i, l := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Kind classifies a metric for exposition.
+type Kind uint8
+
+// Metric kinds. Histograms are exposed as Prometheus summaries
+// (pre-computed quantiles) to keep scrapes compact.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the series to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// FuncHandle identifies one registered callback metric, so the owner can
+// unregister exactly what it registered (a later registration under the same
+// series silently takes ownership; see RegisterFunc).
+type FuncHandle struct {
+	key string
+}
+
+// entry is one registered series.
+type entry struct {
+	name   string
+	labels string // canonical label string
+	kind   Kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+	owner  *FuncHandle // for func metrics: the current registrant
+}
+
+// Registry holds metric series. The zero value is not usable; use
+// NewRegistry or the package-level Default.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// Default is the shared registry every subsystem registers into.
+var Default = NewRegistry()
+
+// Trace is the shared span tracer (trace.go).
+var Trace = NewTracer(4096)
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+func seriesKey(name, labels string) string { return name + "\x00" + labels }
+
+// lookup returns the series, creating it with mk when absent. It panics on a
+// kind mismatch: two subsystems claiming one series as different kinds is a
+// programming error, not a runtime condition.
+func (r *Registry) lookup(name string, labels Labels, kind Kind, mk func(*entry)) *entry {
+	canon := labels.canonical()
+	key := seriesKey(name, canon)
+	r.mu.RLock()
+	e := r.entries[key]
+	r.mu.RUnlock()
+	if e == nil {
+		r.mu.Lock()
+		if e = r.entries[key]; e == nil {
+			e = &entry{name: name, labels: canon, kind: kind}
+			mk(e)
+			r.entries[key] = e
+		}
+		r.mu.Unlock()
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("obs: series %s{%s} registered as kind %d, requested as %d", name, canon, e.kind, kind))
+	}
+	return e
+}
+
+// Counter returns the counter series name{labels}, creating it on first use.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	return r.lookup(name, labels, KindCounter, func(e *entry) { e.c = &Counter{} }).c
+}
+
+// Gauge returns the gauge series name{labels}, creating it on first use.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	return r.lookup(name, labels, KindGauge, func(e *entry) { e.g = &Gauge{} }).g
+}
+
+// Histogram returns the histogram series name{labels}, creating it on first
+// use.
+func (r *Registry) Histogram(name string, labels Labels) *Histogram {
+	return r.lookup(name, labels, KindHistogram, func(e *entry) { e.h = NewHistogram() }).h
+}
+
+// RegisterFunc registers a callback evaluated at scrape time — the natural
+// fit for state that lives elsewhere (an engine's freshness tracker, a
+// device's counters). Registering an existing series replaces its callback
+// and transfers ownership: experiment harnesses build and close engines of
+// the same architecture repeatedly, and the latest live engine is the one
+// whose state the scrape should report.
+func (r *Registry) RegisterFunc(name string, labels Labels, kind Kind, fn func() float64) *FuncHandle {
+	if kind != KindCounter && kind != KindGauge {
+		panic("obs: RegisterFunc supports counter and gauge kinds only")
+	}
+	canon := labels.canonical()
+	key := seriesKey(name, canon)
+	h := &FuncHandle{key: key}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.entries[key]
+	if e == nil {
+		e = &entry{name: name, labels: canon, kind: kind}
+		r.entries[key] = e
+	}
+	e.fn = fn
+	e.owner = h
+	return h
+}
+
+// Unregister removes the callback series h registered, unless a later
+// RegisterFunc already took the series over.
+func (r *Registry) Unregister(h *FuncHandle) {
+	if h == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.entries[h.key]; e != nil && e.owner == h {
+		delete(r.entries, h.key)
+	}
+}
+
+// snapshot returns the entries sorted by name then labels, for exposition.
+func (r *Registry) snapshot() []*entry {
+	r.mu.RLock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryReadWhileWrite scrapes the registry continuously while many
+// goroutines create and update metrics; the race detector is the assertion.
+func TestRegistryReadWhileWrite(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("htap_test_warm_total", nil).Inc() // scrapes are never empty
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("htap_test_ops_total", L("worker", fmt.Sprint(w)))
+			g := r.Gauge("htap_test_depth", L("worker", fmt.Sprint(w)))
+			h := r.Histogram("htap_test_latency_ns", L("worker", fmt.Sprint(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.SetInt(int64(i % 100))
+				h.Observe(int64(i % 100000))
+				if i%1000 == 0 {
+					// Churn func metrics too: register/replace/unregister.
+					fh := r.RegisterFunc("htap_test_func", L("worker", fmt.Sprint(w)), KindGauge, func() float64 { return float64(i) })
+					r.Unregister(fh)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		if _, err := ValidateExposition(buf.Bytes()); err != nil && i > 0 {
+			t.Fatalf("scrape %d malformed: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestGetOrCreateSharesSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("htap_x_total", L("arch", "A"))
+	b := r.Counter("htap_x_total", L("arch", "A"))
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c := r.Counter("htap_x_total", L("arch", "B"))
+	if a == c {
+		t.Fatal("different labels returned the same counter")
+	}
+	a.Add(3)
+	if b.Value() != 3 {
+		t.Fatalf("shared counter = %d, want 3", b.Value())
+	}
+}
+
+func TestFuncOwnership(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.RegisterFunc("htap_owned", L("arch", "A"), KindGauge, func() float64 { return 1 })
+	h2 := r.RegisterFunc("htap_owned", L("arch", "A"), KindGauge, func() float64 { return 2 })
+	// h1's unregister must be a no-op: h2 took the series over.
+	r.Unregister(h1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `htap_owned{arch="A"} 2`) {
+		t.Fatalf("series lost or stale after replaced registration:\n%s", buf.String())
+	}
+	r.Unregister(h2)
+	buf.Reset()
+	_ = r.WritePrometheus(&buf)
+	if strings.Contains(buf.String(), "htap_owned") {
+		t.Fatalf("series survived owner unregister:\n%s", buf.String())
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("htap_c_total", L("arch", "A")).Add(7)
+	r.Gauge("htap_g", nil).Set(2.5)
+	h := r.Histogram("htap_h_ns", L("class", "q1"))
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE htap_c_total counter",
+		`htap_c_total{arch="A"} 7`,
+		"# TYPE htap_g gauge",
+		"htap_g 2.5",
+		"# TYPE htap_h_ns summary",
+		`htap_h_ns{class="q1",quantile="0.5"}`,
+		`htap_h_ns_count{class="q1"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	n, err := ValidateExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("self-validation failed: %v", err)
+	}
+	if n < 7 {
+		t.Fatalf("validated %d samples, want >= 7", n)
+	}
+}
+
+func TestValidateExpositionRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"just words without a value structure {",
+		"1leading_digit 5",
+		"name_no_value",
+		`name{unterminated="x" 5`,
+		"name five",
+	} {
+		if _, err := ValidateExposition([]byte(bad)); err == nil {
+			t.Errorf("ValidateExposition(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestHTTPServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("htap_http_test_total", nil).Inc()
+	tr := NewTracer(16)
+	s := tr.Start("root")
+	s.Child("leaf").End()
+	s.End()
+
+	srv, err := Serve("127.0.0.1:0", r, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if n, err := ValidateExposition(body); err != nil || n == 0 {
+		t.Fatalf("scrape invalid (n=%d): %v\n%s", n, err, body)
+	}
+	if !strings.Contains(string(body), "htap_http_test_total 1") {
+		t.Fatalf("scrape missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"name":"leaf"`) {
+		t.Fatalf("/spans missing span:\n%s", body)
+	}
+}

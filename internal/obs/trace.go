@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span attribute. Int carries numeric values; Str carries the
+// rest (exactly one is meaningful, selected by IsInt).
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// SpanData is one finished span as retained by the tracer.
+type SpanData struct {
+	ID     uint64
+	Parent uint64 // 0 for roots
+	Name   string
+	Start  time.Time
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// Tracer retains finished spans in a fixed-capacity ring: starting and
+// ending spans on a hot path can never grow tracer memory beyond the ring,
+// the oldest spans are simply overwritten.
+type Tracer struct {
+	ids atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []SpanData
+	next  int
+	total uint64 // spans ever finished (wraps are total - len(ring))
+}
+
+// NewTracer returns a tracer retaining the last capacity finished spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Tracer{ring: make([]SpanData, 0, capacity)}
+}
+
+// Span is one in-flight span. End it exactly once; Child spans link to it by
+// ID and may outlive it.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	attrs  []Attr
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *Span {
+	return &Span{tr: t, id: t.ids.Add(1), name: name, start: time.Now()}
+}
+
+// Child opens a span parented to s.
+func (s *Span) Child(name string) *Span {
+	return &Span{tr: s.tr, id: s.tr.ids.Add(1), parent: s.id, name: name, start: time.Now()}
+}
+
+// Attr attaches a string attribute and returns s for chaining.
+func (s *Span) Attr(key, val string) *Span {
+	s.attrs = append(s.attrs, Attr{Key: key, Str: val})
+	return s
+}
+
+// AttrInt attaches an integer attribute and returns s for chaining.
+func (s *Span) AttrInt(key string, val int64) *Span {
+	s.attrs = append(s.attrs, Attr{Key: key, Int: val, IsInt: true})
+	return s
+}
+
+// End finishes the span and retains it in the tracer's ring.
+func (s *Span) End() {
+	d := SpanData{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start,
+		Dur:    time.Since(s.start),
+		Attrs:  s.attrs,
+	}
+	t := s.tr
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, d)
+	} else {
+		t.ring[t.next] = d
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		out = append(out, t.ring...)
+		return out
+	}
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Total returns how many spans have ever finished (retained or overwritten).
+func (t *Tracer) Total() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSpanParentChildIntegrity builds a three-level tree and verifies every
+// retained child's parent is present, IDs are unique, and child intervals
+// nest inside their parents.
+func TestSpanParentChildIntegrity(t *testing.T) {
+	tr := NewTracer(256)
+	root := tr.Start("sync").Attr("arch", "A")
+	for i := 0; i < 3; i++ {
+		child := root.Child("merge").AttrInt("table", int64(i))
+		for j := 0; j < 2; j++ {
+			leaf := child.Child("segment")
+			leaf.End()
+		}
+		child.End()
+	}
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 10 {
+		t.Fatalf("retained %d spans, want 10", len(spans))
+	}
+	byID := make(map[uint64]SpanData, len(spans))
+	for _, s := range spans {
+		if _, dup := byID[s.ID]; dup {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		byID[s.ID] = s
+	}
+	roots := 0
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots++
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			t.Fatalf("span %d (%s) has unknown parent %d", s.ID, s.Name, s.Parent)
+		}
+		if s.Start.Before(p.Start) {
+			t.Errorf("child %s started before parent %s", s.Name, p.Name)
+		}
+		if end, pend := s.Start.Add(s.Dur), p.Start.Add(p.Dur); end.After(pend) {
+			t.Errorf("child %s ended after parent %s", s.Name, p.Name)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("found %d roots, want 1", roots)
+	}
+	// Attributes survived.
+	rootData := byID[spans[len(spans)-1].ID] // root ends last
+	if len(rootData.Attrs) != 1 || rootData.Attrs[0].Str != "A" {
+		t.Fatalf("root attrs = %+v", rootData.Attrs)
+	}
+}
+
+// TestTracerRingBounds floods the tracer past capacity and checks retention
+// stays bounded with the newest spans kept in order.
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 100; i++ {
+		tr.Start(fmt.Sprintf("s%d", i)).End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("retained %d spans, want 8", len(spans))
+	}
+	for i, s := range spans {
+		if want := fmt.Sprintf("s%d", 92+i); s.Name != want {
+			t.Fatalf("spans[%d] = %s, want %s (oldest-first order)", i, s.Name, want)
+		}
+	}
+	if tr.Total() != 100 {
+		t.Fatalf("total = %d, want 100", tr.Total())
+	}
+}
+
+// TestTracerConcurrent exercises concurrent span creation under -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s := tr.Start("op")
+				s.Child("inner").End()
+				s.End()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Spans()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if tr.Total() != 8*500*2 {
+		t.Fatalf("total = %d, want %d", tr.Total(), 8*500*2)
+	}
+}

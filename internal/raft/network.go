@@ -4,6 +4,15 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"htap/internal/obs"
+)
+
+// Transport observability: deliveries held back by simulated latency and
+// messages the loss model discarded.
+var (
+	mDelayedSends = obs.Default.Counter("htap_raft_delayed_sends_total", nil)
+	mDroppedMsgs  = obs.Default.Counter("htap_raft_dropped_messages_total", nil)
 )
 
 // Network is an in-process transport connecting the nodes of one Raft
@@ -74,6 +83,7 @@ func (nw *Network) Send(msg Message) {
 		drop := nw.rng.Float64() < nw.dropRate
 		nw.rngMu.Unlock()
 		if drop {
+			mDroppedMsgs.Inc()
 			return
 		}
 	}
@@ -89,6 +99,7 @@ func (nw *Network) Send(msg Message) {
 // latency, so FIFO order is due order and the queue preserves per-link
 // ordering.
 func (nw *Network) enqueue(dst *Node, msg Message) {
+	mDelayedSends.Inc()
 	nw.qMu.Lock()
 	nw.queue = append(nw.queue, delayed{due: time.Now().Add(nw.latency), dst: dst, msg: msg})
 	start := !nw.draining

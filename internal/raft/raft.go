@@ -22,6 +22,17 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"htap/internal/obs"
+)
+
+// Process-wide Raft observability (htap_raft_*). Every node in every group
+// shares these series: experiments run one group at a time, and what the
+// scrape answers is "how much consensus work is this process doing".
+var (
+	mProposals    = obs.Default.Counter("htap_raft_proposals_total", nil)
+	mProposalErrs = obs.Default.Counter("htap_raft_proposal_failures_total", nil)
+	mElections    = obs.Default.Counter("htap_raft_elections_total", nil)
 )
 
 // Command is an opaque state-machine command.
@@ -239,17 +250,23 @@ func (n *Node) Step(msg Message) {
 // Propose submits a command; it returns once the command is committed and
 // applied, or fails with ErrNotLeader / ErrStopped.
 func (n *Node) Propose(cmd Command) (uint64, error) {
+	mProposals.Inc()
 	p := proposal{cmd: cmd, reply: make(chan proposeResult, 1)}
 	select {
 	case n.proposes <- p:
 	case <-n.stopC:
+		mProposalErrs.Inc()
 		return 0, ErrStopped
 	}
 	var res proposeResult
 	select {
 	case res = <-p.reply:
 	case <-n.stopC:
+		mProposalErrs.Inc()
 		return 0, ErrStopped
+	}
+	if res.err != nil {
+		mProposalErrs.Inc()
 	}
 	return res.index, res.err
 }
@@ -396,6 +413,7 @@ func (n *Node) tick() {
 }
 
 func (n *Node) startElectionLocked() {
+	mElections.Inc()
 	n.role = Candidate
 	n.term++
 	n.votedFor = n.cfg.ID

@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"htap/internal/obs"
 )
 
 // Mode is the execution mode of the OLAP side.
@@ -168,6 +170,28 @@ func (a Adaptive) Decide(s Signals, prev Decision) Decision {
 	return d
 }
 
+// ObserveDecision exports a controller's epoch signals and its resulting
+// allocation as gauges (htap_sched_*, labeled by controller), plus a counter
+// of forced syncs. Engines call it after each Decide so a scrape shows the
+// scheduler's live view: queue demand per side and the OLTP/OLAP split.
+func ObserveDecision(controller string, s Signals, d Decision) {
+	l := obs.L("controller", controller)
+	obs.Default.Gauge("htap_sched_tp_demand", l).SetInt(s.TPDemand)
+	obs.Default.Gauge("htap_sched_ap_demand", l).SetInt(s.APDemand)
+	obs.Default.Gauge("htap_sched_tp_share", l).Set(share(d.TPWorkers, d.APWorkers))
+	obs.Default.Gauge("htap_sched_mode", l).SetInt(int64(d.Mode))
+	if d.SyncNow {
+		obs.Default.Counter("htap_sched_forced_syncs_total", l).Inc()
+	}
+}
+
+func share(tp, ap int) float64 {
+	if tp+ap == 0 {
+		return 0
+	}
+	return float64(tp) / float64(tp+ap)
+}
+
 // --- worker pool ---
 
 // Pool runs two resizable worker sets over unit-of-work callbacks. The TP
@@ -180,7 +204,7 @@ type Pool struct {
 
 // NewPool builds a pool; tasks run until Stop.
 func NewPool(tpTask, apTask func() bool) *Pool {
-	return &Pool{tp: newWorkerSet(tpTask), ap: newWorkerSet(apTask)}
+	return &Pool{tp: newWorkerSet(tpTask, "oltp"), ap: newWorkerSet(apTask, "olap")}
 }
 
 // Resize sets the worker counts.
@@ -215,16 +239,29 @@ type workerSet struct {
 
 	completed atomic.Int64
 	wg        sync.WaitGroup
+
+	// Observability: htap_sched_workers{side} mirrors live, and
+	// htap_sched_completed_total{side} counts units of work. Both sides of
+	// every pool in the process share these series — experiments run engines
+	// one at a time, so the gauges read as "the current pool".
+	mWorkers *obs.Gauge
+	mDone    *obs.Counter
 }
 
-func newWorkerSet(task func() bool) *workerSet {
-	return &workerSet{task: task}
+func newWorkerSet(task func() bool, side string) *workerSet {
+	l := obs.L("side", side)
+	return &workerSet{
+		task:     task,
+		mWorkers: obs.Default.Gauge("htap_sched_workers", l),
+		mDone:    obs.Default.Counter("htap_sched_completed_total", l),
+	}
 }
 
 func (w *workerSet) resize(n int) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.target = n
+	w.mWorkers.SetInt(int64(n))
 	for w.live < n {
 		stop := make(chan struct{})
 		w.gen = append(w.gen, stop)
@@ -250,6 +287,7 @@ func (w *workerSet) run(stop chan struct{}) {
 		}
 		if w.task() {
 			w.completed.Add(1)
+			w.mDone.Inc()
 			// Yield between units so TP and AP workers share cores fairly
 			// even on GOMAXPROCS=1 hosts; without this a hot worker set can
 			// starve the other side for whole scheduler slices.

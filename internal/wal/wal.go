@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
 
 	"htap/internal/disk"
+	"htap/internal/obs"
 	"htap/internal/types"
 )
 
@@ -77,11 +79,29 @@ type Log struct {
 	// FlushOnCommit controls group commit: when true (default), appending a
 	// COMMIT record flushes the buffer, making the transaction durable.
 	FlushOnCommit bool
+
+	// Observability (htap_wal_*, labeled by log name). Handles are resolved
+	// once at New; the hot path pays only atomic adds.
+	mRecords    *obs.Counter
+	mAppendLat  *obs.Histogram
+	mFlushLat   *obs.Histogram
+	mFlushed    *obs.Counter
+	mBytes      *obs.Counter
+	mPoisonings *obs.Counter
 }
 
 // New returns a log writing to the named file on dev.
 func New(dev *disk.Device, name string) *Log {
-	return &Log{dev: dev, name: name, nextLSN: 1, FlushOnCommit: true}
+	l := obs.L("log", name)
+	return &Log{
+		dev: dev, name: name, nextLSN: 1, FlushOnCommit: true,
+		mRecords:    obs.Default.Counter("htap_wal_records_total", l),
+		mAppendLat:  obs.Default.Histogram("htap_wal_append_duration_ns", l),
+		mFlushLat:   obs.Default.Histogram("htap_wal_flush_duration_ns", l),
+		mFlushed:    obs.Default.Counter("htap_wal_flushes_total", l),
+		mBytes:      obs.Default.Counter("htap_wal_flushed_bytes_total", l),
+		mPoisonings: obs.Default.Counter("htap_wal_poisonings_total", l),
+	}
 }
 
 // encode: uint32 length | uint32 crc | payload
@@ -93,6 +113,8 @@ func New(dev *disk.Device, name string) *Log {
 // buffer (so a later flush cannot make the aborted transaction durable) and
 // the error is returned — the caller must treat the transaction as aborted.
 func (l *Log) Append(rec Record) (uint64, error) {
+	appendStart := time.Now()
+	defer func() { l.mAppendLat.Since(appendStart) }()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.failed != nil {
@@ -127,6 +149,7 @@ func (l *Log) Append(rec Record) (uint64, error) {
 			return 0, err
 		}
 	}
+	l.mRecords.Inc()
 	return rec.LSN, nil
 }
 
@@ -168,6 +191,8 @@ func (l *Log) flushLocked() error {
 	if len(l.buf) == 0 {
 		return nil
 	}
+	n := len(l.buf)
+	start := time.Now()
 	if _, err := l.dev.Append(l.name, l.buf); err != nil {
 		if errors.Is(err, disk.ErrInjected) {
 			// Clean failure: nothing reached the device, the buffer is
@@ -178,8 +203,12 @@ func (l *Log) flushLocked() error {
 		// device. Re-flushing would append records after a partial one,
 		// making them unreachable to replay — poison the log instead.
 		l.failed = fmt.Errorf("wal: log failed: %w", err)
+		l.mPoisonings.Inc()
 		return l.failed
 	}
+	l.mFlushLat.Since(start)
+	l.mFlushed.Inc()
+	l.mBytes.Add(int64(n))
 	l.buf = l.buf[:0]
 	l.flushes++
 	return nil
