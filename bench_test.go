@@ -9,6 +9,7 @@
 package htap_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -241,7 +242,7 @@ func BenchmarkCHQueries(b *testing.B) {
 		q := qs[i]
 		b.Run(fmt.Sprintf("Q%02d", i), func(b *testing.B) {
 			for n := 0; n < b.N; n++ {
-				q(e)
+				q(ch.Bind(context.Background(), e))
 			}
 		})
 	}
@@ -253,7 +254,7 @@ func BenchmarkTPCC(b *testing.B) {
 	defer e.Close()
 	d := ch.NewDriver(e, s)
 	rng := rand.New(rand.NewSource(1))
-	cases := map[string]func(*rand.Rand) error{
+	cases := map[string]func(context.Context, *rand.Rand) error{
 		"new-order":    d.NewOrder,
 		"payment":      d.Payment,
 		"order-status": d.OrderStatus,
@@ -264,7 +265,7 @@ func BenchmarkTPCC(b *testing.B) {
 		fn := fn
 		b.Run(name, func(b *testing.B) {
 			for n := 0; n < b.N; n++ {
-				if err := fn(rng); err != nil {
+				if err := fn(context.Background(), rng); err != nil {
 					b.Fatal(err)
 				}
 			}

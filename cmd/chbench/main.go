@@ -1,13 +1,18 @@
 // Command chbench runs the CH-benCHmark (or the HTAPBench pacing rule)
-// against any of the four architectures:
+// against any of the four architectures, in-process or over the network:
 //
 //	chbench -arch a -warehouses 4 -tp 4 -ap 2 -duration 5s
 //	chbench -arch b -target-tpmc 6000 -duration 10s   # HTAPBench rule
+//	chbench -remote 127.0.0.1:4466 -duration 5s       # against htapd
 //
-// It prints tpmC, QphH, latencies and freshness, the metrics of §2.3.
+// In remote mode the dataset scale comes from the server's handshake;
+// analytical queries execute server-side and only their results cross
+// the wire. It prints tpmC, QphH, latencies and freshness, the metrics
+// of §2.3.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +20,7 @@ import (
 	"time"
 
 	"htap/internal/ch"
+	"htap/internal/client"
 	"htap/internal/core"
 	"htap/internal/experiments"
 	"htap/internal/htapbench"
@@ -32,6 +38,7 @@ func main() {
 		syncEvery  = flag.Duration("sync", 50*time.Millisecond, "background sync interval (0 = none)")
 		seed       = flag.Int64("seed", 42, "seed")
 		metrics    = flag.String("metrics", "", "serve /metrics, /spans and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+		remote     = flag.String("remote", "", "run against an htapd server at this address instead of in-process")
 	)
 	flag.Parse()
 
@@ -45,37 +52,64 @@ func main() {
 		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr())
 	}
 
-	var a core.Arch
-	switch strings.ToLower(*arch) {
-	case "a":
-		a = core.ArchA
-	case "b":
-		a = core.ArchB
-	case "c":
-		a = core.ArchC
-	case "d":
-		a = core.ArchD
-	default:
-		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
-		os.Exit(2)
-	}
+	var engine htapbench.Engine
+	var scale ch.Scale
+	var local core.Engine
+	archName := ""
 
-	e := experiments.NewEngine(a)
-	defer e.Close()
-	scale := ch.SmallScale(*warehouses)
-	scale.Customers = 100
-	scale.Orders = 100
-	scale.Items = 500
-	fmt.Printf("loading CH-benCHmark data (%d warehouses) into %s...\n", *warehouses, e.Name())
-	n, err := ch.NewGenerator(scale).Load(e)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *remote != "" {
+		r, err := client.Connect(context.Background(), *remote, client.Options{Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer r.Close()
+		meta := r.Meta()
+		scale = ch.Scale{
+			Warehouses: int(meta["warehouses"]), Districts: int(meta["districts"]),
+			Customers: int(meta["customers"]), Orders: int(meta["orders"]),
+			Items: int(meta["items"]), Suppliers: int(meta["suppliers"]),
+			Seed: meta["seed"], Skew: float64(meta["skew_milli"]) / 1000,
+		}
+		// Keep client-side Payment history keys clear of the server's
+		// generated rows.
+		ch.BumpHistoryKey(meta["hkey"])
+		engine = r
+		archName = fmt.Sprintf("%v at %s", r.Arch(), *remote)
+		fmt.Printf("connected to %s (%d warehouses)\n", archName, scale.Warehouses)
+	} else {
+		var a core.Arch
+		switch strings.ToLower(*arch) {
+		case "a":
+			a = core.ArchA
+		case "b":
+			a = core.ArchB
+		case "c":
+			a = core.ArchC
+		case "d":
+			a = core.ArchD
+		default:
+			fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
+			os.Exit(2)
+		}
+
+		e := experiments.NewEngine(a)
+		defer e.Close()
+		scale = ch.BenchScale(*warehouses)
+		fmt.Printf("loading CH-benCHmark data (%d warehouses) into %s...\n", *warehouses, e.Name())
+		n, err := ch.NewGenerator(scale).Load(e)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %d rows\n", n)
+		engine = e
+		local = e
+		archName = fmt.Sprintf("%v (%s)", a, e.Name())
 	}
-	fmt.Printf("loaded %d rows\n", n)
 
 	res := htapbench.Run(htapbench.Config{
-		Engine: e, Scale: scale,
+		Engine: engine, Scale: scale,
 		TPWorkers: *tp, APStreams: *ap,
 		Duration: *duration, TargetTpmC: *target,
 		SyncInterval: *syncEvery, Seed: *seed,
@@ -85,7 +119,7 @@ func main() {
 	if *target > 0 {
 		rule = fmt.Sprintf("HTAPBench (paced to %.0f tpmC)", *target)
 	}
-	fmt.Printf("\nexecution rule: %s\narchitecture:   %s (%s)\n\n", rule, a, e.Name())
+	fmt.Printf("\nexecution rule: %s\narchitecture:   %s\n\n", rule, archName)
 	fmt.Printf("%-22s %12.0f\n", "tpmC (New-Order/min)", res.TpmC)
 	fmt.Printf("%-22s %12.0f\n", "TPS (all txns/sec)", res.TPS)
 	fmt.Printf("%-22s %12.0f\n", "QphH (queries/hour)", res.QphH)
@@ -97,9 +131,11 @@ func main() {
 	fmt.Printf("%-22s %12s\n", "max freshness lag", res.FreshMaxLagTime.Round(time.Millisecond))
 	printClasses("transaction class", res.TxnClasses)
 	printClasses("query class", res.QueryClasses)
-	st := e.Stats()
-	fmt.Printf("\nengine: commits=%d aborts=%d conflicts=%d merges=%d colBytes=%d\n",
-		st.Commits, st.Aborts, st.Conflicts, st.Merges, st.ColBytes)
+	if local != nil {
+		st := local.Stats()
+		fmt.Printf("\nengine: commits=%d aborts=%d conflicts=%d merges=%d colBytes=%d\n",
+			st.Commits, st.Aborts, st.Conflicts, st.Merges, st.ColBytes)
+	}
 }
 
 // printClasses renders one per-class latency-percentile table.

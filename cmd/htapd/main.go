@@ -1,0 +1,122 @@
+// Command htapd serves one HTAP storage architecture over the wire
+// protocol. It loads the CH-benCHmark dataset, listens for remote
+// drivers (cmd/chbench -remote), and drains gracefully on SIGTERM:
+// workload listener first, metrics endpoint last, so the final counter
+// values stay scrapeable while connections wind down.
+//
+//	htapd -arch a -warehouses 2 -addr 127.0.0.1:4466 -metrics 127.0.0.1:9090
+//	htapd -arch b -olap-rate 50          # shed OLAP bursts beyond 50 qps
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"htap/internal/ch"
+	"htap/internal/core"
+	"htap/internal/experiments"
+	"htap/internal/obs"
+	"htap/internal/server"
+)
+
+func main() {
+	var (
+		arch       = flag.String("arch", "a", "architecture: a|b|c|d")
+		addr       = flag.String("addr", "127.0.0.1:4466", "listen address (port 0 picks a free port)")
+		warehouses = flag.Int("warehouses", 2, "warehouses")
+		oltpRate   = flag.Float64("oltp-rate", 0, "OLTP admissions/sec (0 = unlimited)")
+		olapRate   = flag.Float64("olap-rate", 0, "OLAP admissions/sec (0 = unlimited)")
+		maxWait    = flag.Duration("max-wait", 100*time.Millisecond, "admission queue bound; longer waits shed")
+		drainWait  = flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM")
+		seed       = flag.Int64("seed", 42, "seed")
+		metrics    = flag.String("metrics", "", "serve /metrics, /spans and /debug/pprof on this address")
+	)
+	flag.Parse()
+
+	var mSrv *obs.Server
+	if *metrics != "" {
+		var err error
+		mSrv, err = obs.Serve(*metrics, nil, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: http://%s/metrics\n", mSrv.Addr())
+	}
+
+	var a core.Arch
+	switch strings.ToLower(*arch) {
+	case "a":
+		a = core.ArchA
+	case "b":
+		a = core.ArchB
+	case "c":
+		a = core.ArchC
+	case "d":
+		a = core.ArchD
+	default:
+		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
+		os.Exit(2)
+	}
+
+	e := experiments.NewEngine(a) // closed by the drain sequence below
+	scale := ch.BenchScale(*warehouses)
+	scale.Seed = *seed
+	fmt.Printf("loading CH-benCHmark data (%d warehouses) into %s...\n", *warehouses, e.Name())
+	n, err := ch.NewGenerator(scale).Load(e)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded %d rows\n", n)
+
+	// The handshake advertises the dataset scale and the history-key
+	// watermark: remote drivers rebuild their client-side directories from
+	// the scale and allocate Payment history keys above the watermark.
+	meta := map[string]int64{
+		"warehouses": int64(scale.Warehouses),
+		"districts":  int64(scale.Districts),
+		"customers":  int64(scale.Customers),
+		"orders":     int64(scale.Orders),
+		"items":      int64(scale.Items),
+		"suppliers":  int64(scale.Suppliers),
+		"seed":       scale.Seed,
+		"skew_milli": int64(scale.Skew * 1000),
+		"hkey":       ch.HistoryKeyWatermark(),
+	}
+
+	srv, err := server.Serve(*addr, server.Config{
+		Engine: e, Meta: meta,
+		OLTPRate: *oltpRate, OLAPRate: *olapRate, MaxWait: *maxWait,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving %s on %s\n", e.Name(), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+
+	// Drain sequence: stop accepting and finish in-flight requests, close
+	// the engine, and only then stop the metrics endpoint — its last
+	// scrape shows the completed drain.
+	fmt.Println("draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+	}
+	e.Close()
+	if mSrv != nil {
+		_ = mSrv.Shutdown(ctx)
+	}
+	fmt.Println("bye")
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -49,7 +50,7 @@ func main() {
 				if err := roguePayment(engine, 40+rng.Float64()); err != nil {
 					log.Fatalf("rogue payment: %v", err)
 				}
-			} else if err := driver.RunOne(rng); err != nil {
+			} else if err := driver.RunOne(context.Background(), rng); err != nil {
 				log.Fatalf("payment stream: %v", err)
 			}
 		}
@@ -57,7 +58,7 @@ func main() {
 
 	// The detector scans learner replicas every 150ms.
 	detector := func(round int) {
-		rows := engine.Query("history", []string{"h_c_key", "h_amount"}, nil).
+		rows := engine.Query(context.Background(), "history", []string{"h_c_key", "h_amount"}, nil).
 			Agg([]string{"h_c_key"},
 				htap.Agg{Kind: htap.Count, Name: "payments"},
 				htap.Agg{Kind: htap.Sum, Expr: htap.Col("h_amount"), Name: "total"},
@@ -87,7 +88,7 @@ func main() {
 // customer (warehouse 1, district 1, customer 7) through the public API.
 func roguePayment(e htap.Engine, amount float64) error {
 	cKey := htap.CHCustomerKey(1, 1, 7)
-	return htap.Exec(e, func(tx htap.Tx) error {
+	return htap.Exec(context.Background(), e, func(tx htap.Tx) error {
 		c, err := tx.Get("customer", cKey)
 		if err != nil {
 			return err

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	// OLTP: insert a few orders transactionally.
 	for i := int64(1); i <= 5; i++ {
 		i := i
-		err := htap.Exec(engine, func(tx htap.Tx) error {
+		err := htap.Exec(context.Background(), engine, func(tx htap.Tx) error {
 			return tx.Insert("orders", htap.Row{
 				htap.Int(i), htap.Int(i % 2), htap.Float(float64(i) * 10), htap.String("widget"),
 			})
@@ -36,7 +37,7 @@ func main() {
 	}
 
 	// A transactional read-modify-write with automatic conflict retries.
-	err := htap.Exec(engine, func(tx htap.Tx) error {
+	err := htap.Exec(context.Background(), engine, func(tx htap.Tx) error {
 		r, err := tx.Get("orders", 3)
 		if err != nil {
 			return err
@@ -51,7 +52,7 @@ func main() {
 
 	// OLAP: aggregate over the live data. The in-memory delta + column
 	// scan sees the commits above immediately — freshness without ETL.
-	rows := engine.Query("orders", []string{"customer", "amount"}, nil).
+	rows := engine.Query(context.Background(), "orders", []string{"customer", "amount"}, nil).
 		Agg([]string{"customer"},
 			htap.Agg{Kind: htap.Sum, Expr: htap.Col("amount"), Name: "revenue"},
 			htap.Agg{Kind: htap.Count, Name: "n"},

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -38,7 +39,7 @@ func main() {
 	// Sales trend: revenue and units per item over all order lines,
 	// expressed once and re-run against live data.
 	trend := func() {
-		rows := engine.Query("orderline", []string{"ol_i_id", "ol_amount", "ol_quantity"}, nil).
+		rows := engine.Query(context.Background(), "orderline", []string{"ol_i_id", "ol_amount", "ol_quantity"}, nil).
 			Agg([]string{"ol_i_id"},
 				htap.Agg{Kind: htap.Sum, Expr: htap.Col("ol_amount"), Name: "revenue"},
 				htap.Agg{Kind: htap.Sum, Expr: htap.Col("ol_quantity"), Name: "units"},
@@ -53,7 +54,7 @@ func main() {
 	}
 
 	districts := func() {
-		rows := engine.Query("district", []string{"d_w_id", "d_ytd"}, nil).
+		rows := engine.Query(context.Background(), "district", []string{"d_w_id", "d_ytd"}, nil).
 			Agg([]string{"d_w_id"},
 				htap.Agg{Kind: htap.Sum, Expr: htap.Col("d_ytd"), Name: "ytd"},
 			).
@@ -69,7 +70,7 @@ func main() {
 		start := time.Now()
 		txns := 0
 		for time.Since(start) < 300*time.Millisecond {
-			if err := driver.RunOne(rng); err != nil {
+			if err := driver.RunOne(context.Background(), rng); err != nil {
 				log.Fatalf("transaction failed: %v", err)
 			}
 			txns++

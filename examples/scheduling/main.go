@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -54,12 +55,12 @@ func run(ctrl sched.Controller) (tps, qps, avgLag float64, syncs int64) {
 	pool := sched.NewPool(
 		func() bool {
 			r := <-rngs
-			err := driver.RunOne(r)
+			err := driver.RunOne(context.Background(), r)
 			rngs <- r
 			return err == nil
 		},
 		func() bool {
-			queries[6](engine)
+			queries[6](ch.Bind(context.Background(), engine))
 			return true
 		},
 	)

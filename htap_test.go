@@ -1,11 +1,13 @@
 package htap_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
 
 	"htap"
+	"htap/internal/ch"
 )
 
 // TestFacadeEndToEnd exercises the public API exactly as README shows it.
@@ -20,11 +22,11 @@ func TestFacadeEndToEnd(t *testing.T) {
 		driver := htap.NewCHDriver(engine, scale)
 		rng := rand.New(rand.NewSource(1))
 		for i := 0; i < 20; i++ {
-			if err := driver.RunOne(rng); err != nil {
+			if err := driver.RunOne(context.Background(), rng); err != nil {
 				t.Fatalf("%v: txn: %v", arch, err)
 			}
 		}
-		rows := htap.CHQueries()[1](engine)
+		rows := htap.CHQueries()[1](ch.Bind(context.Background(), engine))
 		if len(rows) == 0 {
 			t.Fatalf("%v: Q1 empty", arch)
 		}
@@ -47,12 +49,12 @@ func TestFacadeCustomSchema(t *testing.T) {
 	)
 	e := htap.New(htap.ArchA, []*htap.Schema{s})
 	defer e.Close()
-	if err := htap.Exec(e, func(tx htap.Tx) error {
+	if err := htap.Exec(context.Background(), e, func(tx htap.Tx) error {
 		return tx.Insert("kv", htap.Row{htap.Int(1), htap.String("x")})
 	}); err != nil {
 		t.Fatal(err)
 	}
-	got := e.Query("kv", nil, nil).
+	got := e.Query(context.Background(), "kv", nil, nil).
 		Filter(htap.Cmp(htap.EQ, htap.Col("k"), htap.ConstInt(1))).Run()
 	if len(got) != 1 || got[0][1].Str() != "x" {
 		t.Fatalf("query = %v", got)

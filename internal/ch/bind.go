@@ -1,0 +1,56 @@
+package ch
+
+import (
+	"context"
+	"fmt"
+
+	"htap/internal/core"
+	"htap/internal/exec"
+	"htap/internal/types"
+)
+
+// Engine is the engine surface the CH-benCHmark workload needs: a
+// transactional entry point for the five TPC-C transactions and a
+// context-threaded analytical access path for the 22 queries. core.Engine
+// satisfies it, and so does the network client's remote engine — the same
+// driver code runs in-process and over the wire.
+type Engine interface {
+	core.Beginner
+	Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan
+}
+
+// boundQueryer fixes a context onto an Engine so the context-free Queryer
+// surface the 22 query functions are written against stays unchanged: every
+// scan the query issues inherits the bound context, which is how
+// cancellation reaches column scans deep inside a multi-join plan.
+type boundQueryer struct {
+	ctx context.Context
+	e   Engine
+}
+
+func (b boundQueryer) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+	return b.e.Query(b.ctx, table, cols, pred)
+}
+
+// Bind adapts an Engine to the Queryer interface under ctx. Queries run
+// through the returned Queryer stop scanning when ctx is cancelled; use
+// RunQuery to also surface the context error.
+func Bind(ctx context.Context, e Engine) Queryer {
+	return boundQueryer{ctx: ctx, e: e}
+}
+
+// RunQuery executes CH query n (1..22) against e under ctx. When ctx is
+// cancelled or times out mid-query, the scans abandon their remaining
+// segments and RunQuery returns the context error (context.Canceled or
+// context.DeadlineExceeded) with nil rows — partial results never escape.
+func RunQuery(ctx context.Context, e Engine, n int) ([]types.Row, error) {
+	q := Queries()[n]
+	if q == nil {
+		return nil, fmt.Errorf("ch: no such query Q%d", n)
+	}
+	rows := q(Bind(ctx, e))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,112 @@
+package ch
+
+// Cancellation regression tests: a cancelled context must stop a CH query
+// mid-scan — abandoning the remaining batches — and surface the context
+// error instead of partial rows. This is the engine-level half of the
+// guarantee; internal/server tests the network half (client disconnect ->
+// server cancels the scan).
+//
+// The scans observe cancellation by polling ctx.Err() batch-granularly, so
+// the tests drive them with a context whose Err() flips after a fixed
+// number of polls. That makes "cancelled mid-scan" deterministic on any
+// GOMAXPROCS — no timers racing a busy scan loop.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pollCtx counts Err() polls and reports context.Canceled once the count
+// exceeds trip (trip < 0 never cancels). Scans in this repo poll Err()
+// rather than select on Done(), so flipping Err() is exactly the signal a
+// cancelled parent context would deliver.
+type pollCtx struct {
+	context.Context
+	polls atomic.Int64
+	trip  int64
+}
+
+func (c *pollCtx) Err() error {
+	if n := c.polls.Add(1); c.trip >= 0 && n > c.trip {
+		return context.Canceled
+	}
+	return c.Context.Err()
+}
+
+func loadQ1Engine(t testing.TB) Engine {
+	t.Helper()
+	e := newEngineA()
+	t.Cleanup(func() { e.Close() })
+	s := SmallScale(2)
+	s.Customers = 1500 // Orders is clamped to Customers; ~90k order lines
+	s.Orders = 1500
+	if _, err := NewGenerator(s).Load(e); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestRunQueryCancelledMidScan(t *testing.T) {
+	e := loadQ1Engine(t)
+
+	// Baseline: count how often a full uncancelled Q1 polls the context.
+	// The dataset is sized so the order_line scan spans many batches.
+	base := &pollCtx{Context: context.Background(), trip: -1}
+	rows, err := RunQuery(base, e, 1)
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("baseline Q1: rows=%d err=%v", len(rows), err)
+	}
+	full := base.polls.Load()
+	if full < 40 {
+		t.Fatalf("baseline Q1 polled ctx only %d times; dataset too small to observe mid-scan cancellation", full)
+	}
+
+	// Cancel after 1/20 of the baseline polls: the scan must abandon its
+	// remaining batches, not run to completion.
+	cc := &pollCtx{Context: context.Background(), trip: full / 20}
+	rows, err = RunQuery(cc, e, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Q1: err = %v, want context.Canceled", err)
+	}
+	if rows != nil {
+		t.Fatalf("cancelled Q1 leaked %d partial rows", len(rows))
+	}
+	// Every source checks Err() at most once more after tripping, so a
+	// scan that honors cancellation stops well short of the full poll
+	// count. A scan that ignores it would poll ~full times again.
+	if got := cc.polls.Load(); got > full/2 {
+		t.Fatalf("cancelled Q1 still polled %d/%d times; scan did not stop early", got, full)
+	}
+}
+
+func TestRunQueryPreCancelledReturnsImmediately(t *testing.T) {
+	e := loadQ1Engine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	_, err := RunQuery(ctx, e, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if took := time.Since(t0); took > time.Second {
+		t.Fatalf("pre-cancelled Q1 still ran for %v", took)
+	}
+}
+
+func TestRunQueryDeadlineSurfaces(t *testing.T) {
+	e := loadQ1Engine(t)
+	// A deadline already in the past cancels synchronously at creation —
+	// no timer involved, so this is deterministic even on GOMAXPROCS=1.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	rows, err := RunQuery(ctx, e, 1)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if rows != nil {
+		t.Fatalf("expired deadline leaked %d rows", len(rows))
+	}
+}

@@ -1,6 +1,7 @@
 package ch
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -65,18 +66,18 @@ func TestGeneratorCardinalities(t *testing.T) {
 		TRegion:    len(regionNames),
 	}
 	for table, want := range counts {
-		if got := e.Query(table, nil, nil).Count(); got != want {
+		if got := e.Query(context.Background(), table, nil, nil).Count(); got != want {
 			t.Errorf("%s: %d rows, want %d", table, got, want)
 		}
 	}
 	// A third of initial orders are undelivered.
-	no := e.Query(TNewOrder, nil, nil).Count()
+	no := e.Query(context.Background(), TNewOrder, nil, nil).Count()
 	wantNO := s.Warehouses * s.Districts * (s.Orders - s.Orders*2/3)
 	if no != wantNO {
 		t.Errorf("neworder: %d rows, want %d", no, wantNO)
 	}
 	// Order lines: 5..15 per order.
-	ol := e.Query(TOrderLine, nil, nil).Count()
+	ol := e.Query(context.Background(), TOrderLine, nil, nil).Count()
 	orders := s.Warehouses * s.Districts * s.Orders
 	if ol < orders*5 || ol > orders*15 {
 		t.Errorf("orderline count %d outside [%d, %d]", ol, orders*5, orders*15)
@@ -88,7 +89,7 @@ func TestGeneratorDeterministic(t *testing.T) {
 		e := newEngineA()
 		defer e.Close()
 		loadSmall(t, e, 1)
-		rows := e.Query(TOrderLine, []string{"ol_amount"}, nil).
+		rows := e.Query(context.Background(), TOrderLine, []string{"ol_amount"}, nil).
 			Agg(nil, exec.Agg{Kind: exec.Sum, Expr: exec.ColName("ol_amount"), Name: "s"}).Run()
 		return rows[0][0].Float()
 	}
@@ -104,20 +105,20 @@ func TestNewOrderTransaction(t *testing.T) {
 	d := NewDriver(e, s)
 	rng := rand.New(rand.NewSource(1))
 
-	before := e.Query(TOrders, nil, nil).Count()
+	before := e.Query(context.Background(), TOrders, nil, nil).Count()
 	for i := 0; i < 20; i++ {
-		if err := d.NewOrder(rng); err != nil {
+		if err := d.NewOrder(context.Background(), rng); err != nil {
 			t.Fatalf("new-order %d: %v", i, err)
 		}
 	}
 	e.Sync()
-	after := e.Query(TOrders, nil, nil).Count()
+	after := e.Query(context.Background(), TOrders, nil, nil).Count()
 	// Up to 20 new orders (1% user aborts may subtract a few).
 	if after <= before || after > before+20 {
 		t.Fatalf("orders %d -> %d", before, after)
 	}
 	// District next_o_id advanced.
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	defer tx.Abort()
 	dr, err := tx.Get(TDistrict, DistrictKey(1, 1))
 	if err != nil {
@@ -137,7 +138,7 @@ func TestPaymentMaintainsBalances(t *testing.T) {
 
 	ytdBefore := warehouseYTD(t, e)
 	for i := 0; i < 10; i++ {
-		if err := d.Payment(rng); err != nil {
+		if err := d.Payment(context.Background(), rng); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -147,7 +148,7 @@ func TestPaymentMaintainsBalances(t *testing.T) {
 	}
 	// History rows recorded.
 	e.Sync()
-	h := e.Query(THistory, nil, nil).
+	h := e.Query(context.Background(), THistory, nil, nil).
 		Filter(exec.Cmp(exec.EQ, exec.ColName("h_data"), exec.ConstStr("payment"))).Count()
 	if h != 10 {
 		t.Fatalf("history payments = %d", h)
@@ -156,7 +157,7 @@ func TestPaymentMaintainsBalances(t *testing.T) {
 
 func warehouseYTD(t *testing.T, e core.Engine) float64 {
 	t.Helper()
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	defer tx.Abort()
 	r, err := tx.Get(TWarehouse, WarehouseKey(1))
 	if err != nil {
@@ -173,19 +174,19 @@ func TestDeliveryClearsNewOrders(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 
 	e.Sync()
-	before := e.Query(TNewOrder, nil, nil).Count()
+	before := e.Query(context.Background(), TNewOrder, nil, nil).Count()
 	if before == 0 {
 		t.Fatal("no undelivered orders generated")
 	}
 	delivered := 0
 	for i := 0; i < 30 && delivered < 5; i++ {
-		if err := d.Delivery(rng); err != nil {
+		if err := d.Delivery(context.Background(), rng); err != nil {
 			t.Fatal(err)
 		}
 		delivered++
 	}
 	e.Sync()
-	after := e.Query(TNewOrder, nil, nil).Count()
+	after := e.Query(context.Background(), TNewOrder, nil, nil).Count()
 	if after >= before {
 		t.Fatalf("neworder rows %d -> %d, want fewer", before, after)
 	}
@@ -198,10 +199,10 @@ func TestOrderStatusAndStockLevel(t *testing.T) {
 	d := NewDriver(e, s)
 	rng := rand.New(rand.NewSource(4))
 	for i := 0; i < 10; i++ {
-		if err := d.OrderStatus(rng); err != nil {
+		if err := d.OrderStatus(context.Background(), rng); err != nil {
 			t.Fatalf("order-status: %v", err)
 		}
-		if err := d.StockLevel(rng); err != nil {
+		if err := d.StockLevel(context.Background(), rng); err != nil {
 			t.Fatalf("stock-level: %v", err)
 		}
 	}
@@ -235,7 +236,7 @@ func TestDriverRunOneCounts(t *testing.T) {
 	d := NewDriver(e, s)
 	rng := rand.New(rand.NewSource(6))
 	for i := 0; i < 50; i++ {
-		if err := d.RunOne(rng); err != nil {
+		if err := d.RunOne(context.Background(), rng); err != nil {
 			t.Fatalf("run %d: %v", i, err)
 		}
 	}
@@ -256,14 +257,14 @@ func TestAll22QueriesRun(t *testing.T) {
 	d := NewDriver(e, s)
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 30; i++ {
-		if err := d.RunOne(rng); err != nil {
+		if err := d.RunOne(context.Background(), rng); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i, q := range Queries() {
 		i, q := i, q
 		t.Run(fmt.Sprintf("Q%02d", i), func(t *testing.T) {
-			rows := q(e)
+			rows := q(Bind(context.Background(), e))
 			switch i {
 			case 1:
 				if len(rows) == 0 {
@@ -317,7 +318,7 @@ func TestQueryConsistencyAcrossArchitectures(t *testing.T) {
 			t.Fatal(err)
 		}
 		e.Sync()
-		results[name] = Q1(e)
+		results[name] = Q1(Bind(context.Background(), e))
 		e.Close()
 	}
 	want := results["A"]

@@ -14,6 +14,7 @@ package ch
 //     over the live order-line data inside the New-Order flow.
 
 import (
+	"context"
 	"math/rand"
 
 	"htap/internal/core"
@@ -56,7 +57,7 @@ func (d *Driver) pickItem(rng *rand.Rand) int64 {
 // engine's analytical view and applies a popularity surcharge. This is the
 // "In-Process HTAP" transaction shape of §2.4 — OLTP and OLAP woven into
 // one business task.
-func (d *Driver) AnalyticalNewOrder(rng *rand.Rand) error {
+func (d *Driver) AnalyticalNewOrder(ctx context.Context, rng *rand.Rand) error {
 	w, dist := d.pickWD(rng)
 	c := d.pickCustomer(rng)
 	olCnt := int64(5 + rng.Intn(11))
@@ -69,7 +70,7 @@ func (d *Driver) AnalyticalNewOrder(rng *rand.Rand) error {
 
 	// Analytical operation: per-item units sold, from the columnar view.
 	popularity := make(map[int64]int64, len(items))
-	rows := d.E.Query(TOrderLine, []string{"ol_i_id", "ol_quantity"}, nil).
+	rows := d.E.Query(ctx, TOrderLine, []string{"ol_i_id", "ol_quantity"}, nil).
 		Filter(exec.InInts(exec.ColName("ol_i_id"), items...)).
 		Agg([]string{"ol_i_id"},
 			exec.Agg{Kind: exec.Sum, Expr: exec.ColName("ol_quantity"), Name: "sold"}).
@@ -79,7 +80,7 @@ func (d *Driver) AnalyticalNewOrder(rng *rand.Rand) error {
 	}
 
 	var oKey int64
-	err := core.Exec(d.E, func(tx core.Tx) error {
+	err := core.Exec(ctx, d.E, func(tx core.Tx) error {
 		drow, err := tx.Get(TDistrict, DistrictKey(w, dist))
 		if err != nil {
 			return err

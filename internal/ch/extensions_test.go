@@ -1,6 +1,7 @@
 package ch
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestSkewedGeneratorCorrelatesNations(t *testing.T) {
 		t.Fatal(err)
 	}
 	// All customers of warehouse 1 share one nation under skew.
-	rows := e.Query(TCustomer, []string{"c_w_id", "c_n_nationkey"}, nil).
+	rows := e.Query(context.Background(), TCustomer, []string{"c_w_id", "c_n_nationkey"}, nil).
 		Filter(exec.Cmp(exec.EQ, exec.ColName("c_w_id"), exec.ConstInt(1))).
 		Project(exec.NamedExpr{Name: "n", Expr: exec.ColName("c_n_nationkey")}).
 		Distinct().Run()
@@ -61,21 +62,21 @@ func TestAnalyticalNewOrder(t *testing.T) {
 	s := loadSmall(t, e, 1)
 	d := NewDriver(e, s)
 	rng := rand.New(rand.NewSource(2))
-	before := e.Query(TOrders, nil, nil).Count()
+	before := e.Query(context.Background(), TOrders, nil, nil).Count()
 	for i := 0; i < 10; i++ {
-		if err := d.AnalyticalNewOrder(rng); err != nil {
+		if err := d.AnalyticalNewOrder(context.Background(), rng); err != nil {
 			t.Fatalf("analytical new-order %d: %v", i, err)
 		}
 	}
 	e.Sync()
-	after := e.Query(TOrders, nil, nil).Count()
+	after := e.Query(context.Background(), TOrders, nil, nil).Count()
 	if after != before+10 {
 		t.Fatalf("orders %d -> %d, want +10", before, after)
 	}
 	// Popular items carry the surcharge: compare a line amount against the
 	// base price times quantity for a popular item. Indirect check: at
 	// least the transaction completed with consistent order-line counts.
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	defer tx.Abort()
 	dr, err := tx.Get(TDistrict, DistrictKey(1, 1))
 	if err != nil {
@@ -96,14 +97,14 @@ func TestAnalyticalNewOrderAppliesSurcharge(t *testing.T) {
 	}
 	d := NewDriver(e, s)
 	rng := rand.New(rand.NewSource(3))
-	if err := d.AnalyticalNewOrder(rng); err != nil {
+	if err := d.AnalyticalNewOrder(context.Background(), rng); err != nil {
 		t.Fatal(err)
 	}
 	e.Sync()
 	// The newest order's line amounts must be price*qty*1.05 for popular
 	// items; verify at least one line carries a non-integer multiple of
 	// its base price (the 5% surcharge).
-	rows := e.Query(TOrderLine, []string{"ol_o_id", "ol_i_id", "ol_quantity", "ol_amount"}, nil).
+	rows := e.Query(context.Background(), TOrderLine, []string{"ol_o_id", "ol_i_id", "ol_quantity", "ol_amount"}, nil).
 		Filter(exec.Cmp(exec.GT, exec.ColName("ol_o_id"), exec.ConstInt(int64(s.Orders)))).Run()
 	if len(rows) == 0 {
 		t.Fatal("no lines for the new order")
@@ -111,7 +112,7 @@ func TestAnalyticalNewOrderAppliesSurcharge(t *testing.T) {
 	surcharged := 0
 	for _, r := range rows {
 		item, qty, amount := r[1].Int(), r[2].Int(), r[3].Float()
-		tx := e.Begin()
+		tx := e.Begin(context.Background())
 		irow, err := tx.Get(TItem, ItemKey(item))
 		tx.Abort()
 		if err != nil {
@@ -141,7 +142,7 @@ func TestByLastNameSelectionUsesIndex(t *testing.T) {
 	if len(pks) == 0 {
 		t.Fatalf("no customers under last name %q", last)
 	}
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	defer tx.Abort()
 	r, err := tx.Get(TCustomer, pks[0])
 	if err != nil || r[4].Str() != last {
@@ -150,7 +151,7 @@ func TestByLastNameSelectionUsesIndex(t *testing.T) {
 	// Payments keep working with by-last-name selection in the mix.
 	rng := rand.New(rand.NewSource(9))
 	for i := 0; i < 30; i++ {
-		if err := d.Payment(rng); err != nil {
+		if err := d.Payment(context.Background(), rng); err != nil {
 			t.Fatalf("payment %d: %v", i, err)
 		}
 	}
@@ -170,7 +171,7 @@ func TestDriverWithoutIndexerFallsBack(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(10))
 	for i := 0; i < 20; i++ {
-		if err := d.Payment(rng); err != nil {
+		if err := d.Payment(context.Background(), rng); err != nil {
 			t.Fatalf("payment %d: %v", i, err)
 		}
 	}

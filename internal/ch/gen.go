@@ -86,6 +86,36 @@ var hKey atomic.Int64
 // it.
 func NextHistoryKey() int64 { return hKey.Add(1) }
 
+// HistoryKeyWatermark reports the highest history key allocated so far. A
+// server loading CH data advertises it to remote drivers so their Payment
+// transactions do not collide with generated history rows.
+func HistoryKeyWatermark() int64 { return hKey.Load() }
+
+// BumpHistoryKey raises the history-key allocator to at least n. Remote
+// benchmark drivers call it with the server's advertised watermark before
+// running Payments.
+func BumpHistoryKey(n int64) {
+	for {
+		cur := hKey.Load()
+		if cur >= n || hKey.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// BenchScale is the dataset cmd/chbench and cmd/htapd share: SmallScale
+// with the per-district cardinalities the in-process benchmark has always
+// used. Server and remote driver must agree on it, since the driver's
+// client-side directories (last order per customer, undelivered queues)
+// are derived from the scale rather than read back from the engine.
+func BenchScale(warehouses int) Scale {
+	s := SmallScale(warehouses)
+	s.Customers = 100
+	s.Orders = 100
+	s.Items = 500
+	return s
+}
+
 // Generator produces a deterministic CH dataset.
 type Generator struct {
 	Scale Scale

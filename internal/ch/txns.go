@@ -1,6 +1,7 @@
 package ch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -51,7 +52,7 @@ func Mix(rng *rand.Rand) TxnType {
 // customer, undelivered-order queues) so that OrderStatus and Delivery
 // need no secondary indexes.
 type Driver struct {
-	E     core.Engine
+	E     Engine
 	Scale Scale
 
 	mu          sync.Mutex
@@ -72,8 +73,10 @@ type Driver struct {
 const CustomerLastIndex = "customer-by-last"
 
 // NewDriver builds a driver whose directories match a dataset freshly
-// produced by NewGenerator(scale).Load.
-func NewDriver(e core.Engine, scale Scale) *Driver {
+// produced by NewGenerator(scale).Load. The engine may be local
+// (core.Engine) or remote (the network client): the driver only needs the
+// ch.Engine surface.
+func NewDriver(e Engine, scale Scale) *Driver {
 	scale = scale.normalize()
 	d := &Driver{
 		E: e, Scale: scale,
@@ -118,28 +121,28 @@ func (d *Driver) Counts() map[TxnType]int64 {
 func (d *Driver) NewOrders() int64 { return d.counts[NewOrderTxn].Load() }
 
 // RunOne executes one transaction drawn from the standard mix.
-func (d *Driver) RunOne(rng *rand.Rand) error {
-	_, err := d.RunOneTyped(rng)
+func (d *Driver) RunOne(ctx context.Context, rng *rand.Rand) error {
+	_, err := d.RunOneTyped(ctx, rng)
 	return err
 }
 
 // RunOneTyped executes one transaction drawn from the standard mix and
 // reports which class ran, so callers can keep per-class latency
 // distributions.
-func (d *Driver) RunOneTyped(rng *rand.Rand) (TxnType, error) {
+func (d *Driver) RunOneTyped(ctx context.Context, rng *rand.Rand) (TxnType, error) {
 	t := Mix(rng)
 	var err error
 	switch t {
 	case NewOrderTxn:
-		err = d.NewOrder(rng)
+		err = d.NewOrder(ctx, rng)
 	case PaymentTxn:
-		err = d.Payment(rng)
+		err = d.Payment(ctx, rng)
 	case OrderStatusTxn:
-		err = d.OrderStatus(rng)
+		err = d.OrderStatus(ctx, rng)
 	case DeliveryTxn:
-		err = d.Delivery(rng)
+		err = d.Delivery(ctx, rng)
 	default:
-		err = d.StockLevel(rng)
+		err = d.StockLevel(ctx, rng)
 	}
 	if err == nil {
 		d.counts[t].Add(1)
@@ -176,7 +179,7 @@ func (d *Driver) pickCustomerKey(rng *rand.Rand, w, dist int64) int64 {
 // the order id, read the customer, insert the order, new-order and its
 // lines, updating stock per line. 1% of attempts roll back at the last
 // line, as the specification requires.
-func (d *Driver) NewOrder(rng *rand.Rand) error {
+func (d *Driver) NewOrder(ctx context.Context, rng *rand.Rand) error {
 	w, dist := d.pickWD(rng)
 	c := d.pickCustomer(rng)
 	olCnt := int64(5 + rng.Intn(11))
@@ -188,7 +191,7 @@ func (d *Driver) NewOrder(rng *rand.Rand) error {
 		qtys[i] = int64(1 + rng.Intn(10))
 	}
 	var oKey int64
-	err := core.Exec(d.E, func(tx core.Tx) error {
+	err := core.Exec(ctx, d.E, func(tx core.Tx) error {
 		drow, err := tx.Get(TDistrict, DistrictKey(w, dist))
 		if err != nil {
 			return err
@@ -270,11 +273,11 @@ var errUserAbort = errors.New("ch: simulated user abort")
 
 // Payment updates warehouse and district YTD, the customer's balance, and
 // records a history row.
-func (d *Driver) Payment(rng *rand.Rand) error {
+func (d *Driver) Payment(ctx context.Context, rng *rand.Rand) error {
 	w, dist := d.pickWD(rng)
 	cKey := d.pickCustomerKey(rng, w, dist)
 	amount := 1 + float64(rng.Intn(5000))/1.0
-	return core.Exec(d.E, func(tx core.Tx) error {
+	return core.Exec(ctx, d.E, func(tx core.Tx) error {
 		wrow, err := tx.Get(TWarehouse, WarehouseKey(w))
 		if err != nil {
 			return err
@@ -314,13 +317,13 @@ func (d *Driver) Payment(rng *rand.Rand) error {
 
 // OrderStatus reads a customer's balance and the lines of their most
 // recent order.
-func (d *Driver) OrderStatus(rng *rand.Rand) error {
+func (d *Driver) OrderStatus(ctx context.Context, rng *rand.Rand) error {
 	w, dist := d.pickWD(rng)
 	cKey := d.pickCustomerKey(rng, w, dist)
 	d.mu.Lock()
 	oKey, has := d.lastOrder[cKey]
 	d.mu.Unlock()
-	return core.Exec(d.E, func(tx core.Tx) error {
+	return core.Exec(ctx, d.E, func(tx core.Tx) error {
 		if _, err := tx.Get(TCustomer, cKey); err != nil {
 			return err
 		}
@@ -345,7 +348,7 @@ func (d *Driver) OrderStatus(rng *rand.Rand) error {
 // Delivery pops the oldest undelivered order of one district, deletes its
 // new-order row, stamps the carrier and delivery dates, and credits the
 // customer.
-func (d *Driver) Delivery(rng *rand.Rand) error {
+func (d *Driver) Delivery(ctx context.Context, rng *rand.Rand) error {
 	w, dist := d.pickWD(rng)
 	dk := DistrictKey(w, dist)
 	d.mu.Lock()
@@ -358,7 +361,7 @@ func (d *Driver) Delivery(rng *rand.Rand) error {
 	d.undelivered[dk] = queue[1:]
 	d.mu.Unlock()
 
-	err := core.Exec(d.E, func(tx core.Tx) error {
+	err := core.Exec(ctx, d.E, func(tx core.Tx) error {
 		orow, err := tx.Get(TOrders, oKey)
 		if err != nil {
 			return err
@@ -405,10 +408,10 @@ func (d *Driver) Delivery(rng *rand.Rand) error {
 }
 
 // StockLevel counts recently sold items whose stock is below a threshold.
-func (d *Driver) StockLevel(rng *rand.Rand) error {
+func (d *Driver) StockLevel(ctx context.Context, rng *rand.Rand) error {
 	w, dist := d.pickWD(rng)
 	threshold := int64(10 + rng.Intn(11))
-	return core.Exec(d.E, func(tx core.Tx) error {
+	return core.Exec(ctx, d.E, func(tx core.Tx) error {
 		drow, err := tx.Get(TDistrict, DistrictKey(w, dist))
 		if err != nil {
 			return err

@@ -20,6 +20,7 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -180,7 +181,7 @@ func Run(sub Subject, cfg Config) (Report, error) {
 	// transaction: Engine.Load bypasses the WAL, and rows recovery cannot
 	// see would fail the verifier for the wrong reason. The fault plan is
 	// armed only after the baseline is durable.
-	if err := core.Exec(e, func(tx core.Tx) error {
+	if err := core.Exec(context.Background(), e, func(tx core.Tx) error {
 		for k := int64(0); k < int64(cfg.Accounts); k++ {
 			if err := tx.Insert("acct", acctRow(k, 0, 0)); err != nil {
 				return err
@@ -256,7 +257,7 @@ func Run(sub Subject, cfg Config) (Report, error) {
 // died on an injected device fault.
 func (m *model) step(e core.Engine, rng *rand.Rand, seq, abortEvery int64, rep *Report) (crashed bool, err error) {
 	k := int64(rng.Intn(len(m.bal)))
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	cur, err := tx.Get("acct", k)
 	if err != nil {
 		tx.Abort()
@@ -291,7 +292,7 @@ func (m *model) step(e core.Engine, rng *rand.Rand, seq, abortEvery int64, rep *
 
 // oneTxn attempts a single throwaway commit (used to probe a dead device).
 func oneTxn(e core.Engine, seq, k int64) error {
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	cur, err := tx.Get("acct", k)
 	if err != nil {
 		tx.Abort()
@@ -309,7 +310,7 @@ func oneTxn(e core.Engine, seq, k int64) error {
 // the only non-acked transaction allowed to be absent-or-present — and even
 // it may never be half-present.
 func (m *model) verify(e core.Engine, inflight int64) error {
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	defer tx.Abort()
 
 	// Invariant 1+2: every acked transaction is fully present — its hist
@@ -355,10 +356,10 @@ func (m *model) verify(e core.Engine, inflight int64) error {
 	// Invariant 4: after Sync, the analytical path sees exactly the
 	// transactional state.
 	e.Sync()
-	if got := e.Query("hist", nil, nil).Count(); got != len(m.acked) {
+	if got := e.Query(context.Background(), "hist", nil, nil).Count(); got != len(m.acked) {
 		return fmt.Errorf("analytical hist count = %d, want %d acked", got, len(m.acked))
 	}
-	rows := e.Query("acct", []string{"id", "ver", "bal"}, nil).Run()
+	rows := e.Query(context.Background(), "acct", []string{"id", "ver", "bal"}, nil).Run()
 	if len(rows) != len(m.bal) {
 		return fmt.Errorf("analytical acct count = %d, want %d", len(rows), len(m.bal))
 	}

@@ -1,0 +1,638 @@
+// Package client is the wire protocol's client side: a connection pool
+// with per-request deadlines, retry with jittered exponential backoff on
+// retryable errors only, and a Remote engine that satisfies the same
+// benchmark-facing surface as an in-process core.Engine — the CH driver
+// and htapbench harness run unchanged against a server across the
+// network.
+//
+// Cancellation is physical: cancelling a request's context closes the
+// underlying connection, which the server's read watchdog observes and
+// converts into scan cancellation mid-batch. The broken connection is
+// discarded, not pooled.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"htap/internal/core"
+	"htap/internal/exec"
+	"htap/internal/freshness"
+	"htap/internal/obs"
+	"htap/internal/types"
+	"htap/internal/wire"
+)
+
+// TransportError wraps connection-level failures (dial refused, reset,
+// EOF mid-frame). It is retryable: the pool dials a fresh connection and
+// the request — or for transaction ops, core.Exec's whole-transaction
+// loop — tries again.
+type TransportError struct {
+	Err error
+}
+
+func (e *TransportError) Error() string { return "client: transport: " + e.Err.Error() }
+
+// Unwrap exposes the underlying network error.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Retryable marks transport failures safe to retry.
+func (e *TransportError) Retryable() bool { return true }
+
+// Options tunes the client.
+type Options struct {
+	// PoolSize caps idle pooled connections (default 8).
+	PoolSize int
+	// Retries is the retry budget per request (default 4 attempts after
+	// the first).
+	Retries int
+	// Backoff is the first retry delay (default 2ms), doubling per
+	// attempt with ±50% jitter up to MaxBackoff (default 100ms).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Seed makes the jitter deterministic in tests; 0 seeds from 1.
+	Seed int64
+	// Reg receives the htap_client_* series; nil uses obs.Default.
+	Reg *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolSize == 0 {
+		o.PoolSize = 8
+	}
+	if o.Retries == 0 {
+		o.Retries = 4
+	}
+	if o.Backoff == 0 {
+		o.Backoff = 2 * time.Millisecond
+	}
+	if o.MaxBackoff == 0 {
+		o.MaxBackoff = 100 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Reg == nil {
+		o.Reg = obs.Default
+	}
+	return o
+}
+
+// conn is one established, handshaken connection.
+type conn struct {
+	nc     net.Conn
+	hello  wire.ServerHello
+	broken bool
+}
+
+// Remote is a network-backed engine. It implements the ch.Engine and
+// htapbench.Engine surfaces (Begin/Query/Arch/Sync/Freshness) plus a
+// server-side CH query path, so benchmark code cannot tell it from a
+// local engine.
+type Remote struct {
+	addr  string
+	opt   Options
+	rng   *rand.Rand // jitter; guarded by rngMu
+	rngMu sync.Mutex
+
+	mu     sync.Mutex
+	idle   []*conn
+	closed bool
+
+	arch core.Arch
+	meta map[string]int64
+
+	mReq     map[string]*obs.Counter
+	mRetries map[string]*obs.Counter
+	mLatNS   map[string]*obs.Histogram
+	mDials   *obs.Counter
+	mConnErr *obs.Counter
+}
+
+// Connect dials addr, performs the handshake, and returns a Remote
+// engine. The handshake connection is pooled for reuse.
+func Connect(ctx context.Context, addr string, opt Options) (*Remote, error) {
+	opt = opt.withDefaults()
+	r := &Remote{
+		addr:     addr,
+		opt:      opt,
+		rng:      rand.New(rand.NewSource(opt.Seed)),
+		mReq:     map[string]*obs.Counter{},
+		mRetries: map[string]*obs.Counter{},
+		mLatNS:   map[string]*obs.Histogram{},
+		mDials:   opt.Reg.Counter("htap_client_dials_total", nil),
+		mConnErr: opt.Reg.Counter("htap_client_conn_errors_total", nil),
+	}
+	for _, class := range []string{wire.ClassOLTP, wire.ClassOLAP} {
+		lbl := obs.L("class", class)
+		r.mReq[class] = opt.Reg.Counter("htap_client_requests_total", lbl)
+		r.mRetries[class] = opt.Reg.Counter("htap_client_retries_total", lbl)
+		r.mLatNS[class] = opt.Reg.Histogram("htap_client_request_ns", lbl)
+	}
+	c, err := r.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r.arch = core.Arch(c.hello.Arch)
+	r.meta = c.hello.Meta
+	r.put(c)
+	return r, nil
+}
+
+// Arch reports the served engine's architecture.
+func (r *Remote) Arch() core.Arch { return r.arch }
+
+// Meta returns the server's handshake metadata (dataset scale,
+// history-key watermark).
+func (r *Remote) Meta() map[string]int64 { return r.meta }
+
+// Close discards all pooled connections.
+func (r *Remote) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	for _, c := range r.idle {
+		_ = c.nc.Close()
+	}
+	r.idle = nil
+}
+
+func (r *Remote) dial(ctx context.Context) (*conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", r.addr)
+	if err != nil {
+		r.mConnErr.Inc()
+		return nil, &TransportError{Err: err}
+	}
+	r.mDials.Inc()
+	c := &conn{nc: nc}
+	if err := wire.WriteFrame(nc, wire.MsgHello, wire.Hello{Version: wire.Version}.Encode(nil)); err != nil {
+		_ = nc.Close()
+		r.mConnErr.Inc()
+		return nil, &TransportError{Err: err}
+	}
+	typ, payload, err := wire.ReadFrame(nc)
+	if err != nil {
+		_ = nc.Close()
+		r.mConnErr.Inc()
+		return nil, &TransportError{Err: err}
+	}
+	switch typ {
+	case wire.MsgServerHello:
+		h, err := wire.DecodeServerHello(payload)
+		if err != nil {
+			_ = nc.Close()
+			return nil, err
+		}
+		c.hello = h
+		return c, nil
+	case wire.MsgError:
+		_ = nc.Close()
+		return nil, wire.DecodeError(payload)
+	default:
+		_ = nc.Close()
+		return nil, fmt.Errorf("client: unexpected handshake frame %d", typ)
+	}
+}
+
+// get returns a pooled or fresh connection.
+func (r *Remote) get(ctx context.Context) (*conn, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, errors.New("client: closed")
+	}
+	if n := len(r.idle); n > 0 {
+		c := r.idle[n-1]
+		r.idle = r.idle[:n-1]
+		r.mu.Unlock()
+		return c, nil
+	}
+	r.mu.Unlock()
+	return r.dial(ctx)
+}
+
+// put returns a healthy connection to the pool and closes broken or
+// surplus ones.
+func (r *Remote) put(c *conn) {
+	if c == nil {
+		return
+	}
+	if c.broken {
+		_ = c.nc.Close()
+		return
+	}
+	r.mu.Lock()
+	if r.closed || len(r.idle) >= r.opt.PoolSize {
+		r.mu.Unlock()
+		_ = c.nc.Close()
+		return
+	}
+	r.idle = append(r.idle, c)
+	r.mu.Unlock()
+}
+
+// roundTrip sends one request frame and reads the response, honouring
+// ctx: cancellation closes the connection, which both unblocks local I/O
+// and tells the server to stop working on the request.
+func (c *conn) roundTrip(ctx context.Context, typ byte, payload []byte) (byte, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	stop := watchCtx(ctx, c)
+	defer stop()
+	if err := wire.WriteFrame(c.nc, typ, payload); err != nil {
+		c.broken = true
+		return 0, nil, ctxOrTransport(ctx, err)
+	}
+	rt, resp, err := wire.ReadFrame(c.nc)
+	if err != nil {
+		c.broken = true
+		return 0, nil, ctxOrTransport(ctx, err)
+	}
+	return rt, resp, nil
+}
+
+// readFrame reads a follow-up stream frame under the same ctx discipline.
+func (c *conn) readFrame(ctx context.Context) (byte, []byte, error) {
+	stop := watchCtx(ctx, c)
+	defer stop()
+	rt, resp, err := wire.ReadFrame(c.nc)
+	if err != nil {
+		c.broken = true
+		return 0, nil, ctxOrTransport(ctx, err)
+	}
+	return rt, resp, nil
+}
+
+// watchCtx closes the connection when ctx ends before stop is called.
+// Closing is the cancellation signal: the server's watchdog sees EOF and
+// abandons the scan.
+func watchCtx(ctx context.Context, c *conn) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.broken = true
+			_ = c.nc.Close()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// ctxOrTransport prefers the context error when the failure was caused
+// by our own cancellation close.
+func ctxOrTransport(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return &TransportError{Err: err}
+}
+
+// retryable reports whether a request-level failure is worth a fresh
+// attempt: transport failures and self-declared retryable wire errors
+// (conflict, overloaded, shutdown). Context errors never retry.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var r interface{ Retryable() bool }
+	return errors.As(err, &r) && r.Retryable()
+}
+
+// do runs fn with a connection, retrying retryable failures with
+// jittered exponential backoff. fn must be idempotent — queries, sync,
+// freshness; transaction ops go through Begin's pinned connection and
+// rely on core.Exec for whole-transaction retry instead.
+func (r *Remote) do(ctx context.Context, class string, fn func(*conn) error) error {
+	start := time.Now()
+	defer func() { r.mLatNS[class].Since(start) }()
+	delay := r.opt.Backoff
+	var err error
+	for attempt := 0; attempt <= r.opt.Retries; attempt++ {
+		if attempt > 0 {
+			r.mRetries[class].Inc()
+			if serr := r.sleep(ctx, r.jitter(delay)); serr != nil {
+				return serr
+			}
+			if delay *= 2; delay > r.opt.MaxBackoff {
+				delay = r.opt.MaxBackoff
+			}
+		}
+		var c *conn
+		c, err = r.get(ctx)
+		if err == nil {
+			r.mReq[class].Inc()
+			err = fn(c)
+			r.put(c)
+		}
+		if err == nil {
+			return nil
+		}
+		if !retryable(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("client: gave up after %d attempts: %w", r.opt.Retries+1, err)
+}
+
+// jitter spreads a delay to 50–150% so synchronized retries desynchronize.
+func (r *Remote) jitter(d time.Duration) time.Duration {
+	r.rngMu.Lock()
+	f := 0.5 + r.rng.Float64()
+	r.rngMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+func (r *Remote) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// deadlineOf extracts ctx's absolute deadline for the wire (0 = none).
+func deadlineOf(ctx context.Context) int64 {
+	if dl, ok := ctx.Deadline(); ok {
+		return dl.UnixNano()
+	}
+	return 0
+}
+
+// expectOK consumes a response that should be MsgOK.
+func expectOK(typ byte, payload []byte) error {
+	switch typ {
+	case wire.MsgOK:
+		return nil
+	case wire.MsgError:
+		return wire.DecodeError(payload)
+	default:
+		return fmt.Errorf("client: unexpected frame %d", typ)
+	}
+}
+
+// readStream consumes a schema + batches + EOS stream.
+func readStream(ctx context.Context, c *conn, typ byte, payload []byte) ([]types.Column, []types.Row, error) {
+	if typ == wire.MsgError {
+		return nil, nil, wire.DecodeError(payload)
+	}
+	if typ != wire.MsgSchema {
+		return nil, nil, fmt.Errorf("client: expected schema frame, got %d", typ)
+	}
+	sch, err := wire.DecodeSchema(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []types.Row
+	for {
+		typ, payload, err := c.readFrame(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch typ {
+		case wire.MsgBatch:
+			b, err := wire.DecodeBatch(payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, b.Rows...)
+		case wire.MsgEOS:
+			eos, err := wire.DecodeEOS(payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			if int64(len(rows)) != eos.Rows {
+				return nil, nil, fmt.Errorf("client: stream lost rows: got %d, server sent %d", len(rows), eos.Rows)
+			}
+			return sch.Cols, rows, nil
+		case wire.MsgError:
+			return nil, nil, wire.DecodeError(payload)
+		default:
+			return nil, nil, fmt.Errorf("client: unexpected stream frame %d", typ)
+		}
+	}
+}
+
+// Query satisfies the engine Query surface by materializing a remote
+// table scan into an exec plan. Cancellation aborts the stream and the
+// server-side scan.
+func (r *Remote) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+	m := wire.Scan{Deadline: deadlineOf(ctx), Table: table, Cols: cols}
+	if pred != nil {
+		m.HasPred, m.PredCol, m.PredLo, m.PredHi = true, pred.Col, pred.Lo, pred.Hi
+	}
+	var sch []types.Column
+	var rows []types.Row
+	err := r.do(ctx, wire.ClassOLAP, func(c *conn) error {
+		typ, payload, err := c.roundTrip(ctx, wire.MsgScan, m.Encode(nil))
+		if err != nil {
+			return err
+		}
+		sch, rows, err = readStream(ctx, c, typ, payload)
+		return err
+	})
+	if err != nil {
+		// The Plan surface has no error channel; an empty source plus the
+		// caller's ctx check (ch.RunQuery, Plan.RunCtx) reports it.
+		return exec.From(exec.NewMemSource(nil, nil))
+	}
+	return exec.From(exec.NewMemSource(sch, rows))
+}
+
+// RunCH runs CH query n server-side and returns its rows. htapbench
+// prefers this over client-side query assembly when the engine provides
+// it: one round trip carries only the (small, aggregated) result set.
+func (r *Remote) RunCH(ctx context.Context, n int) ([]types.Row, error) {
+	m := wire.Query{Deadline: deadlineOf(ctx), N: uint32(n)}
+	var rows []types.Row
+	err := r.do(ctx, wire.ClassOLAP, func(c *conn) error {
+		typ, payload, err := c.roundTrip(ctx, wire.MsgQuery, m.Encode(nil))
+		if err != nil {
+			return err
+		}
+		_, rows, err = readStream(ctx, c, typ, payload)
+		return err
+	})
+	return rows, err
+}
+
+// Sync forces a server-side data-synchronization round.
+func (r *Remote) Sync() {
+	_ = r.do(context.Background(), wire.ClassOLAP, func(c *conn) error {
+		typ, payload, err := c.roundTrip(context.Background(), wire.MsgSync, nil)
+		if err != nil {
+			return err
+		}
+		return expectOK(typ, payload)
+	})
+}
+
+// Freshness reports the server's OLTP-vs-OLAP watermark gap.
+func (r *Remote) Freshness() freshness.Snapshot {
+	var snap freshness.Snapshot
+	_ = r.do(context.Background(), wire.ClassOLAP, func(c *conn) error {
+		typ, payload, err := c.roundTrip(context.Background(), wire.MsgFreshness, nil)
+		if err != nil {
+			return err
+		}
+		if typ == wire.MsgError {
+			return wire.DecodeError(payload)
+		}
+		if typ != wire.MsgFreshnessInfo {
+			return fmt.Errorf("client: unexpected frame %d", typ)
+		}
+		f, err := wire.DecodeFreshness(payload)
+		if err != nil {
+			return err
+		}
+		snap = freshness.Snapshot{
+			CommitTS: f.CommitTS, AppliedTS: f.AppliedTS,
+			LagTS: f.LagTS, LagTime: time.Duration(f.LagNS),
+		}
+		return nil
+	})
+	return snap
+}
+
+// Begin starts a remote transaction pinned to one connection. A failed
+// begin (overload, drain, transport) returns a stub transaction whose
+// operations all report the failure — core.Tx has no error return, and
+// core.Exec's retry loop picks the error up from the first operation.
+func (r *Remote) Begin(ctx context.Context) core.Tx {
+	c, err := r.get(ctx)
+	if err != nil {
+		return &failedTx{err: err}
+	}
+	typ, payload, err := c.roundTrip(ctx, wire.MsgBegin, wire.Begin{Deadline: deadlineOf(ctx)}.Encode(nil))
+	if err == nil {
+		err = expectOK(typ, payload)
+	}
+	if err != nil {
+		r.put(c)
+		return &failedTx{err: err}
+	}
+	r.mReq[wire.ClassOLTP].Inc()
+	return &remoteTx{r: r, c: c, ctx: ctx, start: time.Now()}
+}
+
+// failedTx reports a begin-time failure from every operation.
+type failedTx struct{ err error }
+
+func (t *failedTx) Get(string, int64) (types.Row, error) { return nil, t.err }
+func (t *failedTx) Insert(string, types.Row) error       { return t.err }
+func (t *failedTx) Update(string, types.Row) error       { return t.err }
+func (t *failedTx) Delete(string, int64) error           { return t.err }
+func (t *failedTx) Commit() error                        { return t.err }
+func (t *failedTx) Abort()                               {}
+
+// remoteTx speaks the transaction ops over its pinned connection.
+type remoteTx struct {
+	r     *Remote
+	c     *conn
+	ctx   context.Context
+	start time.Time
+	done  bool
+}
+
+// finish returns the connection to the pool once.
+func (t *remoteTx) finish() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.r.mLatNS[wire.ClassOLTP].Since(t.start)
+	t.r.put(t.c)
+	t.c = nil
+}
+
+func (t *remoteTx) op(typ byte, payload []byte) (byte, []byte, error) {
+	if t.done {
+		return 0, nil, errors.New("client: transaction finished")
+	}
+	rt, resp, err := t.c.roundTrip(t.ctx, typ, payload)
+	if err != nil {
+		// Transport failure mid-transaction: the server aborts on
+		// disconnect; release the broken conn now.
+		t.finish()
+	}
+	return rt, resp, err
+}
+
+func (t *remoteTx) Get(table string, key int64) (types.Row, error) {
+	typ, payload, err := t.op(wire.MsgGet, wire.KeyReq{Table: table, Key: key}.Encode(nil))
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case wire.MsgRow:
+		b, err := wire.DecodeBatch(payload)
+		if err != nil || len(b.Rows) != 1 {
+			return nil, fmt.Errorf("client: bad row frame: %v", err)
+		}
+		return b.Rows[0], nil
+	case wire.MsgError:
+		we := wire.DecodeError(payload)
+		if we.Code == wire.CodeNotFound {
+			return nil, core.ErrNotFound
+		}
+		return nil, we
+	default:
+		return nil, fmt.Errorf("client: unexpected frame %d", typ)
+	}
+}
+
+func (t *remoteTx) write(typ byte, payload []byte) error {
+	rt, resp, err := t.op(typ, payload)
+	if err != nil {
+		return err
+	}
+	return expectOK(rt, resp)
+}
+
+func (t *remoteTx) Insert(table string, row types.Row) error {
+	return t.write(wire.MsgInsert, wire.RowReq{Table: table, Row: row}.Encode(nil))
+}
+
+func (t *remoteTx) Update(table string, row types.Row) error {
+	return t.write(wire.MsgUpdate, wire.RowReq{Table: table, Row: row}.Encode(nil))
+}
+
+func (t *remoteTx) Delete(table string, key int64) error {
+	return t.write(wire.MsgDelete, wire.KeyReq{Table: table, Key: key}.Encode(nil))
+}
+
+func (t *remoteTx) Commit() error {
+	if t.done {
+		return errors.New("client: transaction finished")
+	}
+	typ, payload, err := t.c.roundTrip(t.ctx, wire.MsgCommit, nil)
+	t.finish()
+	if err != nil {
+		return err
+	}
+	return expectOK(typ, payload)
+}
+
+func (t *remoteTx) Abort() {
+	if t.done {
+		return
+	}
+	typ, payload, err := t.c.roundTrip(t.ctx, wire.MsgAbort, nil)
+	t.finish()
+	if err == nil {
+		_ = expectOK(typ, payload)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -140,14 +141,15 @@ func (e *EngineA) shouldSync() bool {
 
 // txA is the architecture-A transaction.
 type txA struct {
-	e  *EngineA
-	tx *txn.Txn
+	e   *EngineA
+	ctx context.Context
+	tx  *txn.Txn
 }
 
 // Begin implements Engine.
-func (e *EngineA) Begin() Tx {
+func (e *EngineA) Begin(ctx context.Context) Tx {
 	e.om.begins.Inc()
-	return &txA{e: e, tx: e.mgr.Begin()}
+	return &txA{e: e, ctx: ctxOrBackground(ctx), tx: e.mgr.Begin()}
 }
 
 func (t *txA) store(table string) (*rowstore.Store, error) {
@@ -200,6 +202,10 @@ func (t *txA) Delete(table string, key int64) error {
 
 func (t *txA) Commit() error {
 	e := t.e
+	if err := t.ctx.Err(); err != nil {
+		t.Abort()
+		return err
+	}
 	start := time.Now()
 	ts, err := t.tx.Commit(func(commitTS uint64, writes []txn.Write) error {
 		// MVCC + logging (§2.2(1)(i)): redo first, then install, then the
@@ -253,19 +259,19 @@ func (e *EngineA) Load(table string, row types.Row) error {
 // Source implements Engine: the in-memory delta + column scan of
 // §2.2(2)(i). In Isolated mode the delta is skipped (stale but
 // interference-free), which is what freshness-driven scheduling toggles.
-func (e *EngineA) Source(table string, cols []string, pred *exec.ScanPred) exec.Source {
+func (e *EngineA) Source(ctx context.Context, table string, cols []string, pred *exec.ScanPred) exec.Source {
 	id := e.ts.mustID(table)
 	var overlay *delta.Overlay
 	if sched.Mode(e.mode.Load()) == sched.Shared {
 		overlay = e.deltas[id].Overlay(e.mgr.Oracle().Watermark())
 	}
-	return exec.NewColScan(e.cols[id], cols, pred, overlay)
+	return exec.NewColScan(ctx, e.cols[id], cols, pred, overlay)
 }
 
 // Query implements Engine.
-func (e *EngineA) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+func (e *EngineA) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return exec.From(e.Source(table, cols, pred))
+	return exec.From(e.Source(ctx, table, cols, pred))
 }
 
 // Sync implements Engine.

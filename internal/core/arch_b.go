@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -234,6 +235,7 @@ func (e *EngineB) leaderStorage(pid int) *voterStorage {
 // snapshot, writes buffer locally and commit through 2PC.
 type txB struct {
 	e      *EngineB
+	ctx    context.Context
 	readTS uint64
 	muts   []cluster.Mutation
 	idx    map[[2]int64]int // (table, key) -> muts index
@@ -241,9 +243,9 @@ type txB struct {
 }
 
 // Begin implements Engine.
-func (e *EngineB) Begin() Tx {
+func (e *EngineB) Begin(ctx context.Context) Tx {
 	e.om.begins.Inc()
-	return &txB{e: e, readTS: e.oracle.Watermark(), idx: make(map[[2]int64]int)}
+	return &txB{e: e, ctx: ctxOrBackground(ctx), readTS: e.oracle.Watermark(), idx: make(map[[2]int64]int)}
 }
 
 func (t *txB) key(table uint32, key int64) [2]int64 { return [2]int64{int64(table), key} }
@@ -333,6 +335,10 @@ func (t *txB) Commit() error {
 	if t.done {
 		return txn.ErrFinished
 	}
+	if err := t.ctx.Err(); err != nil {
+		t.Abort()
+		return err
+	}
 	t.done = true
 	start := time.Now()
 	if len(t.muts) == 0 {
@@ -405,7 +411,7 @@ func (e *EngineB) Load(table string, row types.Row) error {
 // Source implements Engine: the log-based delta + column scan of
 // §2.2(2)(ii), executed in parallel across the per-partition learner
 // replicas. Isolated mode scans only merged columnar data.
-func (e *EngineB) Source(table string, cols []string, pred *exec.ScanPred) exec.Source {
+func (e *EngineB) Source(ctx context.Context, table string, cols []string, pred *exec.ScanPred) exec.Source {
 	id := e.ts.mustID(table)
 	shared := sched.Mode(e.mode.Load()) == sched.Shared
 	var srcs []exec.Source
@@ -415,17 +421,17 @@ func (e *EngineB) Source(table string, cols []string, pred *exec.ScanPred) exec.
 			if shared {
 				overlay = ls.deltas[id].Overlay(e.oracle.Watermark())
 			}
-			srcs = append(srcs, exec.NewColScan(ls.cols[id], cols, pred, overlay))
+			srcs = append(srcs, exec.NewColScan(ctx, ls.cols[id], cols, pred, overlay))
 			break // one learner per partition serves queries
 		}
 	}
-	return exec.NewParallel(srcs...)
+	return exec.NewParallel(ctx, srcs...)
 }
 
 // Query implements Engine.
-func (e *EngineB) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+func (e *EngineB) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return exec.From(e.Source(table, cols, pred))
+	return exec.From(e.Source(ctx, table, cols, pred))
 }
 
 // Sync implements Engine: every learner merges its log-based delta files

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -131,14 +132,15 @@ func (e *EngineC) Schema(table string) *types.Schema { return e.ts.schema(table)
 // txC reuses the MVCC row-store transaction of architecture A; only the
 // storage (disk-backed) and the commit hook differ.
 type txC struct {
-	e  *EngineC
-	tx *txn.Txn
+	e   *EngineC
+	ctx context.Context
+	tx  *txn.Txn
 }
 
 // Begin implements Engine.
-func (e *EngineC) Begin() Tx {
+func (e *EngineC) Begin(ctx context.Context) Tx {
 	e.om.begins.Inc()
-	return &txC{e: e, tx: e.mgr.Begin()}
+	return &txC{e: e, ctx: ctxOrBackground(ctx), tx: e.mgr.Begin()}
 }
 
 func (t *txC) Get(table string, key int64) (types.Row, error) {
@@ -183,6 +185,10 @@ func (t *txC) Delete(table string, key int64) error {
 
 func (t *txC) Commit() error {
 	e := t.e
+	if err := t.ctx.Err(); err != nil {
+		t.Abort()
+		return err
+	}
 	start := time.Now()
 	ts, err := t.tx.Commit(func(commitTS uint64, writes []txn.Write) error {
 		// Write-ahead for real: every redo record plus the COMMIT must be
@@ -383,7 +389,7 @@ func (e *EngineC) PushdownStats() (pushdowns, fallbacks int64) {
 // Source implements Engine: record the access pattern, then push down to
 // the IMCS when the projection covers the query and the cost model prefers
 // the columnar path; otherwise scan the disk row store.
-func (e *EngineC) Source(table string, cols []string, pred *exec.ScanPred) exec.Source {
+func (e *EngineC) Source(ctx context.Context, table string, cols []string, pred *exec.ScanPred) exec.Source {
 	id := e.ts.mustID(table)
 	full := e.ts.schemas[id]
 	qcols := cols
@@ -416,13 +422,13 @@ func (e *EngineC) Source(table string, cols []string, pred *exec.ScanPred) exec.
 	d := e.cfg.Cost.Choose(in)
 	if covered && d.Path == planner.ColPath {
 		e.pushdowns.Add(1)
-		return e.imcsSource(id, qcols, pred)
+		return e.imcsSource(ctx, id, qcols, pred)
 	}
 	e.fallbacks.Add(1)
-	return exec.NewRowScan(e.rows[id], e.mgr.Oracle().Watermark(), qcols, pred)
+	return exec.NewRowScan(ctx, e.rows[id], e.mgr.Oracle().Watermark(), qcols, pred)
 }
 
-func (e *EngineC) imcsSource(id uint32, cols []string, pred *exec.ScanPred) exec.Source {
+func (e *EngineC) imcsSource(ctx context.Context, id uint32, cols []string, pred *exec.ScanPred) exec.Source {
 	it := e.imcs[id]
 	it.mu.RLock()
 	shards := it.shards
@@ -444,32 +450,32 @@ func (e *EngineC) imcsSource(id uint32, cols []string, pred *exec.ScanPred) exec
 		if i > 0 && overlay != nil {
 			o = overlay.MaskOnly() // emit delta rows exactly once
 		}
-		srcs[i] = exec.NewColScan(sh, cols, pred, o)
+		srcs[i] = exec.NewColScan(ctx, sh, cols, pred, o)
 	}
-	return exec.NewParallel(srcs...)
+	return exec.NewParallel(ctx, srcs...)
 }
 
 // Query implements Engine.
-func (e *EngineC) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+func (e *EngineC) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return exec.From(e.Source(table, cols, pred))
+	return exec.From(e.Source(ctx, table, cols, pred))
 }
 
 // RowSource forces the disk row-store access path, bypassing the cost
 // model; the hybrid-scan experiments use it as the row-only baseline.
-func (e *EngineC) RowSource(table string, cols []string, pred *exec.ScanPred) exec.Source {
+func (e *EngineC) RowSource(ctx context.Context, table string, cols []string, pred *exec.ScanPred) exec.Source {
 	id := e.ts.mustID(table)
-	return exec.NewRowScan(e.rows[id], e.mgr.Oracle().Watermark(), cols, pred)
+	return exec.NewRowScan(ctx, e.rows[id], e.mgr.Oracle().Watermark(), cols, pred)
 }
 
 // ColSource forces the IMCS access path, bypassing the cost model; the
 // requested columns must be loaded.
-func (e *EngineC) ColSource(table string, cols []string, pred *exec.ScanPred) exec.Source {
+func (e *EngineC) ColSource(ctx context.Context, table string, cols []string, pred *exec.ScanPred) exec.Source {
 	id := e.ts.mustID(table)
 	if !e.imcs[id].covers(cols) {
 		panic(fmt.Sprintf("core: ColSource(%s): columns not loaded", table))
 	}
-	return e.imcsSource(id, cols, pred)
+	return e.imcsSource(ctx, id, cols, pred)
 }
 
 func selEstimate(pred *exec.ScanPred) float64 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -111,14 +112,15 @@ func (e *EngineD) latestVersion(id uint32, key int64) uint64 {
 
 // txD is the architecture-D transaction.
 type txD struct {
-	e  *EngineD
-	tx *txn.Txn
+	e   *EngineD
+	ctx context.Context
+	tx  *txn.Txn
 }
 
 // Begin implements Engine.
-func (e *EngineD) Begin() Tx {
+func (e *EngineD) Begin(ctx context.Context) Tx {
 	e.om.begins.Inc()
-	return &txD{e: e, tx: e.mgr.Begin()}
+	return &txD{e: e, ctx: ctxOrBackground(ctx), tx: e.mgr.Begin()}
 }
 
 func (t *txD) Get(table string, key int64) (types.Row, error) {
@@ -187,6 +189,10 @@ func (t *txD) Delete(table string, key int64) error {
 
 func (t *txD) Commit() error {
 	e := t.e
+	if err := t.ctx.Err(); err != nil {
+		t.Abort()
+		return err
+	}
 	start := time.Now()
 	ts, err := t.tx.Commit(func(commitTS uint64, writes []txn.Write) error {
 		for id := range e.layers {
@@ -256,26 +262,26 @@ func (e *EngineD) Load(table string, row types.Row) error {
 
 // Source implements Engine: Main + L2 scans with the L1 overlay applied
 // exactly once. Isolated mode skips the L1 overlay.
-func (e *EngineD) Source(table string, cols []string, pred *exec.ScanPred) exec.Source {
+func (e *EngineD) Source(ctx context.Context, table string, cols []string, pred *exec.ScanPred) exec.Source {
 	id := e.ts.mustID(table)
 	l := e.layers[id]
 	if sched.Mode(e.mode.Load()) == sched.Shared {
 		o := l.L1.Overlay(e.mgr.Oracle().Watermark())
 		return exec.NewUnion(
-			exec.NewColScan(l.Main, cols, pred, o),
-			exec.NewColScan(l.L2, cols, pred, o.MaskOnly()),
+			exec.NewColScan(ctx, l.Main, cols, pred, o),
+			exec.NewColScan(ctx, l.L2, cols, pred, o.MaskOnly()),
 		)
 	}
 	return exec.NewUnion(
-		exec.NewColScan(l.Main, cols, pred, nil),
-		exec.NewColScan(l.L2, cols, pred, nil),
+		exec.NewColScan(ctx, l.Main, cols, pred, nil),
+		exec.NewColScan(ctx, l.L2, cols, pred, nil),
 	)
 }
 
 // Query implements Engine.
-func (e *EngineD) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+func (e *EngineD) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return exec.From(e.Source(table, cols, pred))
+	return exec.From(e.Source(ctx, table, cols, pred))
 }
 
 // Sync implements Engine: promote every L1 and merge every L2 down to

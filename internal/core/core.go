@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -85,6 +86,17 @@ type Stats struct {
 	Disk      disk.Stats
 }
 
+// Beginner is the transactional entry point shared by local engines and
+// the network client's remote engine: anything that can start an OLTP
+// transaction under a context. Exec and the CH driver depend only on this.
+type Beginner interface {
+	// Begin starts an OLTP transaction. The context is bound to the
+	// transaction: a cancelled or expired context fails Commit, so a
+	// disconnected network session cannot publish writes after its client
+	// has given up.
+	Begin(ctx context.Context) Tx
+}
+
 // Engine is one storage architecture.
 type Engine interface {
 	Name() string
@@ -92,17 +104,19 @@ type Engine interface {
 	Tables() []*types.Schema
 	Schema(table string) *types.Schema
 
-	// Begin starts an OLTP transaction.
-	Begin() Tx
+	// Begin starts an OLTP transaction bound to ctx (see Beginner).
+	Begin(ctx context.Context) Tx
 	// Load bulk-loads a row outside transactions (benchmark setup). The
 	// row lands in both stores so experiments start synchronized.
 	Load(table string, row types.Row) error
 
 	// Source returns the analytical access path for a table under the
 	// engine's AP technique, at the engine's current snapshot and mode.
-	Source(table string, cols []string, pred *exec.ScanPred) exec.Source
+	// The scan polls ctx between batches: cancelling it (client
+	// disconnect, deadline) abandons the remaining segments mid-scan.
+	Source(ctx context.Context, table string, cols []string, pred *exec.ScanPred) exec.Source
 	// Query is shorthand for exec.From(Source(...)).
-	Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan
+	Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan
 
 	// Sync forces one data-synchronization round (delta merge / rebuild).
 	Sync()
@@ -128,11 +142,15 @@ type Indexer interface {
 }
 
 // Exec runs fn in a transaction with bounded conflict retries, the loop
-// every benchmark driver needs.
-func Exec(e Engine, fn func(Tx) error) error {
+// every benchmark driver needs. The retry loop stops as soon as ctx is
+// cancelled, returning the context error.
+func Exec(ctx context.Context, e Beginner, fn func(Tx) error) error {
 	var last error
 	for attempt := 0; attempt < 64; attempt++ {
-		tx := e.Begin()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tx := e.Begin(ctx)
 		if err := fn(tx); err != nil {
 			tx.Abort()
 			if retryable(err) {
@@ -155,7 +173,19 @@ func Exec(e Engine, fn func(Tx) error) error {
 	return fmt.Errorf("core: transaction gave up after retries: %w", last)
 }
 
+// IsRetryable reports whether err is a transient failure a caller should
+// retry (conflicts, stale reads, self-declared retryable errors). The
+// network server uses it to map engine errors onto wire error codes.
+func IsRetryable(err error) bool { return retryable(err) }
+
 func retryable(err error) bool {
+	// Errors may declare themselves retryable — the wire protocol's typed
+	// errors (conflict, overloaded) cross the network this way without core
+	// depending on the wire package.
+	var r interface{ Retryable() bool }
+	if errors.As(err, &r) {
+		return r.Retryable()
+	}
 	return errors.Is(err, errRetry) ||
 		errors.Is(err, txn.ErrConflict) ||
 		errors.Is(err, txn.ErrReadStale) ||
@@ -164,6 +194,14 @@ func retryable(err error) bool {
 
 // errRetry is wrapped around engine-internal transient failures.
 var errRetry = errors.New("core: transient conflict")
+
+// ctxOrBackground guards engine entry points against nil contexts.
+func ctxOrBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
 
 func backoff(attempt int) {
 	if attempt > 2 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -73,37 +74,37 @@ func TestEngineMetadata(t *testing.T) {
 func TestCRUDLifecycle(t *testing.T) {
 	forAll(t, func(t *testing.T, e Engine) {
 		// Insert.
-		if err := Exec(e, func(tx Tx) error {
+		if err := Exec(context.Background(), e, func(tx Tx) error {
 			return tx.Insert("acct", acct(1, 1, 100))
 		}); err != nil {
 			t.Fatalf("insert: %v", err)
 		}
 		// Read back.
-		tx := e.Begin()
+		tx := e.Begin(context.Background())
 		r, err := tx.Get("acct", 1)
 		if err != nil || r[2].Float() != 100 {
 			t.Fatalf("get: %v %v", r, err)
 		}
 		tx.Abort()
 		// Update.
-		if err := Exec(e, func(tx Tx) error {
+		if err := Exec(context.Background(), e, func(tx Tx) error {
 			return tx.Update("acct", acct(1, 1, 150))
 		}); err != nil {
 			t.Fatalf("update: %v", err)
 		}
 		// Delete.
-		if err := Exec(e, func(tx Tx) error {
+		if err := Exec(context.Background(), e, func(tx Tx) error {
 			return tx.Delete("acct", 1)
 		}); err != nil {
 			t.Fatalf("delete: %v", err)
 		}
-		tx = e.Begin()
+		tx = e.Begin(context.Background())
 		if _, err := tx.Get("acct", 1); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("get after delete: %v", err)
 		}
 		tx.Abort()
 		// Missing-table errors.
-		tx = e.Begin()
+		tx = e.Begin(context.Background())
 		if _, err := tx.Get("nope", 1); !errors.Is(err, ErrNoTable) {
 			t.Fatalf("missing table: %v", err)
 		}
@@ -113,7 +114,7 @@ func TestCRUDLifecycle(t *testing.T) {
 
 func TestReadYourOwnWrites(t *testing.T) {
 	forAll(t, func(t *testing.T, e Engine) {
-		tx := e.Begin()
+		tx := e.Begin(context.Background())
 		if err := tx.Insert("acct", acct(7, 1, 70)); err != nil {
 			t.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func TestReadYourOwnWrites(t *testing.T) {
 		}
 		tx.Abort()
 		// Nothing leaked.
-		tx = e.Begin()
+		tx = e.Begin(context.Background())
 		if _, err := tx.Get("acct", 7); !errors.Is(err, ErrNotFound) {
 			t.Fatalf("aborted write leaked: %v", err)
 		}
@@ -139,10 +140,10 @@ func TestReadYourOwnWrites(t *testing.T) {
 
 func TestDuplicateInsertRejected(t *testing.T) {
 	forAll(t, func(t *testing.T, e Engine) {
-		if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(1, 1, 1)) }); err != nil {
+		if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(1, 1, 1)) }); err != nil {
 			t.Fatal(err)
 		}
-		tx := e.Begin()
+		tx := e.Begin(context.Background())
 		err := tx.Insert("acct", acct(1, 1, 2))
 		tx.Abort()
 		if err == nil {
@@ -159,26 +160,26 @@ func TestAnalyticalScanSeesCommits(t *testing.T) {
 			}
 		}
 		// Loaded rows visible.
-		if got := e.Query("acct", nil, nil).Count(); got != 50 {
+		if got := e.Query(context.Background(), "acct", nil, nil).Count(); got != 50 {
 			t.Fatalf("loaded rows visible = %d", got)
 		}
 		// A committed transaction becomes visible in Shared mode (engine B
 		// needs a merge for replication to land in learner state, but its
 		// Shared mode reads the log delta which is applied asynchronously;
 		// sync first to be deterministic).
-		if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(100, 9, 999)) }); err != nil {
+		if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(100, 9, 999)) }); err != nil {
 			t.Fatal(err)
 		}
 		// Engine B's learner replicas apply asynchronously; sync-and-check
 		// until replication lands.
 		waitFor(t, 5*time.Second, func() bool {
 			e.Sync()
-			rows := e.Query("acct", nil, nil).
+			rows := e.Query(context.Background(), "acct", nil, nil).
 				Filter(exec.Cmp(exec.EQ, exec.ColName("id"), exec.ConstInt(100))).Run()
 			return len(rows) == 1 && rows[0][2].Float() == 999
 		})
 		// Aggregation over the engine source.
-		agg := e.Query("acct", []string{"region", "bal"}, nil).
+		agg := e.Query(context.Background(), "acct", []string{"region", "bal"}, nil).
 			Agg([]string{"region"}, exec.Agg{Kind: exec.Count, Name: "n"}).Run()
 		if len(agg) != 6 { // regions 0..4 plus 9
 			t.Fatalf("groups = %d", len(agg))
@@ -191,17 +192,17 @@ func TestUpdatesAndDeletesReachColumnStore(t *testing.T) {
 		for i := int64(0); i < 10; i++ {
 			e.Load("acct", acct(i, 0, 1))
 		}
-		if err := Exec(e, func(tx Tx) error { return tx.Update("acct", acct(3, 0, 77)) }); err != nil {
+		if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Update("acct", acct(3, 0, 77)) }); err != nil {
 			t.Fatal(err)
 		}
-		if err := Exec(e, func(tx Tx) error { return tx.Delete("acct", 4) }); err != nil {
+		if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Delete("acct", 4) }); err != nil {
 			t.Fatal(err)
 		}
 		waitFor(t, 5*time.Second, func() bool {
 			e.Sync()
-			return e.Query("acct", nil, nil).Count() == 9
+			return e.Query(context.Background(), "acct", nil, nil).Count() == 9
 		})
-		rows := e.Query("acct", nil, nil).Sort(exec.SortKey{Col: "id"}).Run()
+		rows := e.Query(context.Background(), "acct", nil, nil).Sort(exec.SortKey{Col: "id"}).Run()
 		for _, r := range rows {
 			if r[0].Int() == 4 {
 				t.Fatal("deleted row visible in scan")
@@ -223,11 +224,11 @@ func TestIsolatedModeIsStale(t *testing.T) {
 		}
 		e.Sync()
 		e.SetMode(sched.Isolated)
-		if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(2, 1, 2)) }); err != nil {
+		if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(2, 1, 2)) }); err != nil {
 			t.Fatal(err)
 		}
 		// Without a sync, isolated scans miss the new commit...
-		if got := e.Query("acct", nil, nil).Count(); got != 1 {
+		if got := e.Query(context.Background(), "acct", nil, nil).Count(); got != 1 {
 			// Engine D promotes on thresholds; a single row stays in L1, so
 			// all engines should be stale here.
 			t.Fatalf("isolated scan = %d rows, want 1 (stale)", got)
@@ -235,14 +236,14 @@ func TestIsolatedModeIsStale(t *testing.T) {
 		// ...and Shared mode (after replication settles for B) sees it.
 		e.SetMode(sched.Shared)
 		waitFor(t, 3*time.Second, func() bool {
-			return e.Query("acct", nil, nil).Count() == 2
+			return e.Query(context.Background(), "acct", nil, nil).Count() == 2
 		})
 		// Freshness restored by an explicit sync (B needs replication to
 		// deliver first).
 		e.SetMode(sched.Isolated)
 		waitFor(t, 5*time.Second, func() bool {
 			e.Sync()
-			return e.Query("acct", nil, nil).Count() == 2
+			return e.Query(context.Background(), "acct", nil, nil).Count() == 2
 		})
 	})
 }
@@ -262,7 +263,7 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 func TestFreshnessTracksSync(t *testing.T) {
 	forAll(t, func(t *testing.T, e Engine) {
 		for i := int64(0); i < 20; i++ {
-			if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, 0)) }); err != nil {
+			if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, 0)) }); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -283,7 +284,7 @@ func TestWriteConflictRetriedByExec(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				errs <- Exec(e, func(tx Tx) error {
+				errs <- Exec(context.Background(), e, func(tx Tx) error {
 					r, err := tx.Get("acct", 1)
 					if err != nil {
 						return err
@@ -299,7 +300,7 @@ func TestWriteConflictRetriedByExec(t *testing.T) {
 				t.Fatalf("concurrent increment failed: %v", err)
 			}
 		}
-		tx := e.Begin()
+		tx := e.Begin(context.Background())
 		r, err := tx.Get("acct", 1)
 		tx.Abort()
 		if err != nil || r[2].Float() != 8 {
@@ -311,7 +312,7 @@ func TestWriteConflictRetriedByExec(t *testing.T) {
 func TestStatsPopulated(t *testing.T) {
 	forAll(t, func(t *testing.T, e Engine) {
 		for i := int64(0); i < 5; i++ {
-			if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, 0)) }); err != nil {
+			if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, 0)) }); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -336,7 +337,7 @@ func TestEngineCPushdownAndFallback(t *testing.T) {
 		e.Load("acct", acct(i, i%4, float64(i)))
 	}
 	// Not loaded yet: queries fall back to the disk row store.
-	if got := e.Query("acct", []string{"region", "bal"}, nil).Count(); got != 2000 {
+	if got := e.Query(context.Background(), "acct", []string{"region", "bal"}, nil).Count(); got != 2000 {
 		t.Fatalf("fallback scan = %d", got)
 	}
 	_, fb := e.PushdownStats()
@@ -345,7 +346,7 @@ func TestEngineCPushdownAndFallback(t *testing.T) {
 	}
 	// Load the hot columns; wide scans now push down.
 	e.LoadColumns("acct", []string{"region", "bal"})
-	if got := e.Query("acct", []string{"region", "bal"}, nil).Count(); got != 2000 {
+	if got := e.Query(context.Background(), "acct", []string{"region", "bal"}, nil).Count(); got != 2000 {
 		t.Fatalf("pushdown scan = %d", got)
 	}
 	pd, _ := e.PushdownStats()
@@ -356,7 +357,7 @@ func TestEngineCPushdownAndFallback(t *testing.T) {
 	// stays loaded, so a (region, bal) scan is uncovered.
 	e.LoadColumns("acct", []string{"region"})
 	fbBefore := func() int64 { _, f := e.PushdownStats(); return f }()
-	if got := e.Query("acct", []string{"region", "bal"}, nil).Count(); got != 2000 {
+	if got := e.Query(context.Background(), "acct", []string{"region", "bal"}, nil).Count(); got != 2000 {
 		t.Fatalf("uncovered scan = %d", got)
 	}
 	if fbAfter := func() int64 { _, f := e.PushdownStats(); return f }(); fbAfter != fbBefore+1 {
@@ -364,10 +365,10 @@ func TestEngineCPushdownAndFallback(t *testing.T) {
 	}
 	e.LoadColumns("acct", []string{"region", "bal"})
 	// Writes propagate through the IMCS delta.
-	if err := Exec(e, func(tx Tx) error { return tx.Update("acct", acct(5, 0, 999)) }); err != nil {
+	if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Update("acct", acct(5, 0, 999)) }); err != nil {
 		t.Fatal(err)
 	}
-	rows := e.Query("acct", []string{"id", "bal"}, nil).
+	rows := e.Query(context.Background(), "acct", []string{"id", "bal"}, nil).
 		Filter(exec.Cmp(exec.EQ, exec.ColName("id"), exec.ConstInt(5))).Run()
 	if len(rows) != 1 || rows[0][1].Float() != 999 {
 		t.Fatalf("IMCS delta overlay = %v", rows)
@@ -385,11 +386,11 @@ func TestEngineDLayerPromotion(t *testing.T) {
 	defer e.Close()
 	// Enough single-row commits to trip L1 (4 rows) and then L2 (8 rows).
 	for i := int64(0); i < 20; i++ {
-		if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, 1)) }); err != nil {
+		if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, 1)) }); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := e.Query("acct", nil, nil).Count(); got != 20 {
+	if got := e.Query(context.Background(), "acct", nil, nil).Count(); got != 20 {
 		t.Fatalf("layered scan = %d", got)
 	}
 	id := e.ts.mustID("acct")
@@ -406,14 +407,14 @@ func TestEngineBReplicationVisibleOnLearners(t *testing.T) {
 	e := NewEngineB(ConfigB{Schemas: testSchemas(), Partitions: 2, VotersPer: 3, LearnersPer: 1})
 	defer e.Close()
 	for i := int64(0); i < 10; i++ {
-		if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, 1)) }); err != nil {
+		if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, 1)) }); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Learner applies arrive asynchronously; shared-mode scans read the
 	// log-based delta and eventually see all rows.
 	waitFor(t, 5*time.Second, func() bool {
-		return e.Query("acct", nil, nil).Count() == 10
+		return e.Query(context.Background(), "acct", nil, nil).Count() == 10
 	})
 	// Before a merge, learner column stores are empty: rows live in deltas.
 	if e.Stats().DeltaRows == 0 {
@@ -425,7 +426,7 @@ func TestEngineBReplicationVisibleOnLearners(t *testing.T) {
 	}
 	// Isolated scans now see merged data.
 	e.SetMode(sched.Isolated)
-	if got := e.Query("acct", nil, nil).Count(); got != 10 {
+	if got := e.Query(context.Background(), "acct", nil, nil).Count(); got != 10 {
 		t.Fatalf("merged scan = %d", got)
 	}
 }
@@ -434,7 +435,7 @@ func TestEngineBCrossPartitionAtomicity(t *testing.T) {
 	e := NewEngineB(ConfigB{Schemas: testSchemas(), Partitions: 4, VotersPer: 3, LearnersPer: 1})
 	defer e.Close()
 	// One transaction touching many partitions commits atomically.
-	if err := Exec(e, func(tx Tx) error {
+	if err := Exec(context.Background(), e, func(tx Tx) error {
 		for i := int64(0); i < 8; i++ {
 			if err := tx.Insert("acct", acct(i, 0, float64(i))); err != nil {
 				return err
@@ -444,7 +445,7 @@ func TestEngineBCrossPartitionAtomicity(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	defer tx.Abort()
 	for i := int64(0); i < 8; i++ {
 		if _, err := tx.Get("acct", i); err != nil {
@@ -457,7 +458,7 @@ func TestExecGivesUpOnPersistentError(t *testing.T) {
 	e := NewEngineA(ConfigA{Schemas: testSchemas()})
 	defer e.Close()
 	boom := errors.New("boom")
-	if err := Exec(e, func(tx Tx) error { return boom }); !errors.Is(err, boom) {
+	if err := Exec(context.Background(), e, func(tx Tx) error { return boom }); !errors.Is(err, boom) {
 		t.Fatalf("non-retryable error not surfaced: %v", err)
 	}
 }
@@ -466,13 +467,13 @@ func TestEngineASyncStrategies(t *testing.T) {
 	for _, strat := range []SyncStrategy{SyncMerge, SyncRebuild} {
 		e := NewEngineA(ConfigA{Schemas: testSchemas(), Strategy: strat})
 		for i := int64(0); i < 30; i++ {
-			if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, 1)) }); err != nil {
+			if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, 1)) }); err != nil {
 				t.Fatal(err)
 			}
 		}
 		e.Sync()
 		e.SetMode(sched.Isolated)
-		if got := e.Query("acct", nil, nil).Count(); got != 30 {
+		if got := e.Query(context.Background(), "acct", nil, nil).Count(); got != 30 {
 			t.Fatalf("strategy %d: rows = %d", strat, got)
 		}
 		st := e.Stats()
@@ -489,25 +490,25 @@ func TestEngineASyncStrategies(t *testing.T) {
 func TestEngineABackgroundSync(t *testing.T) {
 	e := NewEngineA(ConfigA{Schemas: testSchemas(), SyncInterval: 2 * time.Millisecond})
 	defer e.Close()
-	if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(1, 0, 1)) }); err != nil {
+	if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(1, 0, 1)) }); err != nil {
 		t.Fatal(err)
 	}
 	e.SetMode(sched.Isolated)
 	waitFor(t, 3*time.Second, func() bool {
-		return e.Query("acct", nil, nil).Count() == 1
+		return e.Query(context.Background(), "acct", nil, nil).Count() == 1
 	})
 }
 
 func TestStringColumnRoundTrip(t *testing.T) {
 	forAll(t, func(t *testing.T, e Engine) {
-		if err := Exec(e, func(tx Tx) error {
+		if err := Exec(context.Background(), e, func(tx Tx) error {
 			return tx.Insert("log", types.Row{types.NewInt(1), types.NewString("héllo wörld")})
 		}); err != nil {
 			t.Fatal(err)
 		}
 		waitFor(t, 5*time.Second, func() bool {
 			e.Sync()
-			rows := e.Query("log", nil, nil).Run()
+			rows := e.Query(context.Background(), "log", nil, nil).Run()
 			return len(rows) == 1 && rows[0][1].Str() == "héllo wörld"
 		})
 	})

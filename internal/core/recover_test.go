@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -11,14 +12,14 @@ import (
 func TestRecoverEngineAReplaysCommitted(t *testing.T) {
 	e := NewEngineA(ConfigA{Schemas: testSchemas()})
 	for i := int64(0); i < 10; i++ {
-		if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, float64(i))) }); err != nil {
+		if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, float64(i))) }); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := Exec(e, func(tx Tx) error { return tx.Update("acct", acct(3, 0, 333)) }); err != nil {
+	if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Update("acct", acct(3, 0, 333)) }); err != nil {
 		t.Fatal(err)
 	}
-	if err := Exec(e, func(tx Tx) error { return tx.Delete("acct", 4) }); err != nil {
+	if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Delete("acct", 4) }); err != nil {
 		t.Fatal(err)
 	}
 	dev := e.WALDevice()
@@ -29,7 +30,7 @@ func TestRecoverEngineAReplaysCommitted(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	tx := r.Begin()
+	tx := r.Begin(context.Background())
 	defer tx.Abort()
 	if row, err := tx.Get("acct", 3); err != nil || row[2].Float() != 333 {
 		t.Fatalf("recovered key 3 = %v, %v", row, err)
@@ -37,27 +38,27 @@ func TestRecoverEngineAReplaysCommitted(t *testing.T) {
 	if _, err := tx.Get("acct", 4); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("deleted key survived recovery: %v", err)
 	}
-	if got := r.Query("acct", nil, nil).Count(); got != 9 {
+	if got := r.Query(context.Background(), "acct", nil, nil).Count(); got != 9 {
 		t.Fatalf("recovered rows = %d, want 9", got)
 	}
 	// The recovered engine accepts new transactions and they durably
 	// append after the history.
-	if err := Exec(r, func(tx Tx) error { return tx.Insert("acct", acct(100, 0, 1)) }); err != nil {
+	if err := Exec(context.Background(), r, func(tx Tx) error { return tx.Insert("acct", acct(100, 0, 1)) }); err != nil {
 		t.Fatal(err)
 	}
-	if got := r.Query("acct", nil, nil).Count(); got != 10 {
+	if got := r.Query(context.Background(), "acct", nil, nil).Count(); got != 10 {
 		t.Fatalf("post-recovery insert invisible: %d", got)
 	}
 }
 
 func TestRecoverLosesUncommittedTail(t *testing.T) {
 	e := NewEngineA(ConfigA{Schemas: testSchemas()})
-	if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(1, 0, 1)) }); err != nil {
+	if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(1, 0, 1)) }); err != nil {
 		t.Fatal(err)
 	}
 	// A transaction that buffers writes and never commits: its records
 	// never flush (group commit), so recovery must not see key 2.
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	if err := tx.Insert("acct", acct(2, 0, 2)); err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestRecoverLosesUncommittedTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	rtx := r.Begin()
+	rtx := r.Begin(context.Background())
 	defer rtx.Abort()
 	if _, err := rtx.Get("acct", 1); err != nil {
 		t.Fatalf("committed key lost: %v", err)
@@ -82,9 +83,9 @@ func TestRecoverLosesUncommittedTail(t *testing.T) {
 func TestRecoverPreservesCommitOrder(t *testing.T) {
 	e := NewEngineA(ConfigA{Schemas: testSchemas()})
 	// Two updates to the same key; the later one must win after recovery.
-	Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(7, 0, 1)) })
-	Exec(e, func(tx Tx) error { return tx.Update("acct", acct(7, 0, 2)) })
-	Exec(e, func(tx Tx) error { return tx.Update("acct", acct(7, 0, 3)) })
+	Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(7, 0, 1)) })
+	Exec(context.Background(), e, func(tx Tx) error { return tx.Update("acct", acct(7, 0, 2)) })
+	Exec(context.Background(), e, func(tx Tx) error { return tx.Update("acct", acct(7, 0, 3)) })
 	dev := e.WALDevice()
 	e.Close()
 
@@ -93,7 +94,7 @@ func TestRecoverPreservesCommitOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	rows := r.Query("acct", nil, nil).
+	rows := r.Query(context.Background(), "acct", nil, nil).
 		Filter(exec.Cmp(exec.EQ, exec.ColName("id"), exec.ConstInt(7))).Run()
 	if len(rows) != 1 || rows[0][2].Float() != 3 {
 		t.Fatalf("recovered image = %v, want final balance 3", rows)
@@ -104,14 +105,14 @@ func TestRecoverEngineCReplaysCommitted(t *testing.T) {
 	cfg := ConfigC{Schemas: testSchemas(), Shards: 2, Disk: disk.MemConfig()}
 	e := NewEngineC(cfg)
 	for i := int64(0); i < 10; i++ {
-		if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, float64(i))) }); err != nil {
+		if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, float64(i))) }); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := Exec(e, func(tx Tx) error { return tx.Update("acct", acct(3, 0, 333)) }); err != nil {
+	if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Update("acct", acct(3, 0, 333)) }); err != nil {
 		t.Fatal(err)
 	}
-	if err := Exec(e, func(tx Tx) error { return tx.Delete("acct", 4) }); err != nil {
+	if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Delete("acct", 4) }); err != nil {
 		t.Fatal(err)
 	}
 	dev := e.WALDevice()
@@ -122,7 +123,7 @@ func TestRecoverEngineCReplaysCommitted(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	tx := r.Begin()
+	tx := r.Begin(context.Background())
 	defer tx.Abort()
 	if row, err := tx.Get("acct", 3); err != nil || row[2].Float() != 333 {
 		t.Fatalf("recovered key 3 = %v, %v", row, err)
@@ -130,20 +131,20 @@ func TestRecoverEngineCReplaysCommitted(t *testing.T) {
 	if _, err := tx.Get("acct", 4); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("deleted key survived recovery: %v", err)
 	}
-	if got := r.Query("acct", nil, nil).Count(); got != 9 {
+	if got := r.Query(context.Background(), "acct", nil, nil).Count(); got != 9 {
 		t.Fatalf("recovered rows = %d, want 9", got)
 	}
 	// The IMCS restarts cold; reloading columns serves the recovered data
 	// through the columnar path too.
 	r.LoadColumns("acct", []string{"id", "bal"})
-	if got := r.ColSource("acct", []string{"id"}, nil); got == nil {
+	if got := r.ColSource(context.Background(), "acct", []string{"id"}, nil); got == nil {
 		t.Fatal("recovered IMCS has no source")
 	}
 	// New transactions append after the recovered history.
-	if err := Exec(r, func(tx Tx) error { return tx.Insert("acct", acct(100, 0, 1)) }); err != nil {
+	if err := Exec(context.Background(), r, func(tx Tx) error { return tx.Insert("acct", acct(100, 0, 1)) }); err != nil {
 		t.Fatal(err)
 	}
-	if got := r.Query("acct", nil, nil).Count(); got != 10 {
+	if got := r.Query(context.Background(), "acct", nil, nil).Count(); got != 10 {
 		t.Fatalf("post-recovery insert invisible: %d", got)
 	}
 }
@@ -152,14 +153,14 @@ func TestRecoverEngineDReplaysCommitted(t *testing.T) {
 	cfg := ConfigD{Schemas: testSchemas(), L1Rows: 4, L2Rows: 16}
 	e := NewEngineD(cfg)
 	for i := int64(0); i < 10; i++ {
-		if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, float64(i))) }); err != nil {
+		if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, float64(i))) }); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := Exec(e, func(tx Tx) error { return tx.Update("acct", acct(3, 0, 333)) }); err != nil {
+	if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Update("acct", acct(3, 0, 333)) }); err != nil {
 		t.Fatal(err)
 	}
-	if err := Exec(e, func(tx Tx) error { return tx.Delete("acct", 4) }); err != nil {
+	if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Delete("acct", 4) }); err != nil {
 		t.Fatal(err)
 	}
 	dev := e.WALDevice()
@@ -170,7 +171,7 @@ func TestRecoverEngineDReplaysCommitted(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r.Close()
-	tx := r.Begin()
+	tx := r.Begin(context.Background())
 	defer tx.Abort()
 	if row, err := tx.Get("acct", 3); err != nil || row[2].Float() != 333 {
 		t.Fatalf("recovered key 3 = %v, %v", row, err)
@@ -178,13 +179,13 @@ func TestRecoverEngineDReplaysCommitted(t *testing.T) {
 	if _, err := tx.Get("acct", 4); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("deleted key survived recovery: %v", err)
 	}
-	if got := r.Query("acct", nil, nil).Count(); got != 9 {
+	if got := r.Query(context.Background(), "acct", nil, nil).Count(); got != 9 {
 		t.Fatalf("recovered rows = %d, want 9", got)
 	}
-	if err := Exec(r, func(tx Tx) error { return tx.Insert("acct", acct(100, 0, 1)) }); err != nil {
+	if err := Exec(context.Background(), r, func(tx Tx) error { return tx.Insert("acct", acct(100, 0, 1)) }); err != nil {
 		t.Fatal(err)
 	}
-	if got := r.Query("acct", nil, nil).Count(); got != 10 {
+	if got := r.Query(context.Background(), "acct", nil, nil).Count(); got != 10 {
 		t.Fatalf("post-recovery insert invisible: %d", got)
 	}
 }
@@ -196,7 +197,7 @@ func TestRecoverySurvivesSecondCrash(t *testing.T) {
 	// data and the LSN continuity across two cycles.
 	e := NewEngineA(ConfigA{Schemas: testSchemas()})
 	for i := int64(0); i < 5; i++ {
-		if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, 1)) }); err != nil {
+		if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, 1)) }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -212,7 +213,7 @@ func TestRecoverySurvivesSecondCrash(t *testing.T) {
 		t.Fatalf("recovered NextLSN = %d, want %d (resume, not reset)", got, firstLSN)
 	}
 	for i := int64(5); i < 10; i++ {
-		if err := Exec(r1, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, 1)) }); err != nil {
+		if err := Exec(context.Background(), r1, func(tx Tx) error { return tx.Insert("acct", acct(i, 0, 1)) }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -223,7 +224,7 @@ func TestRecoverySurvivesSecondCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer r2.Close()
-	if got := r2.Query("acct", nil, nil).Count(); got != 10 {
+	if got := r2.Query(context.Background(), "acct", nil, nil).Count(); got != 10 {
 		t.Fatalf("after two cycles rows = %d, want 10", got)
 	}
 }
@@ -239,7 +240,7 @@ func TestWALFaultAbortsTransactionCleanly(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			e := build()
 			defer e.Close()
-			if err := Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(1, 0, 1)) }); err != nil {
+			if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(1, 0, 1)) }); err != nil {
 				t.Fatal(err)
 			}
 			var dev *disk.Device
@@ -252,7 +253,7 @@ func TestWALFaultAbortsTransactionCleanly(t *testing.T) {
 				dev = ee.WALDevice()
 			}
 			dev.SetFaultPlan(&disk.FaultPlan{Seed: 5, Rules: []disk.FaultRule{{WriteErrRate: 1.0}}})
-			tx := e.Begin()
+			tx := e.Begin(context.Background())
 			if err := tx.Insert("acct", acct(2, 0, 2)); err != nil {
 				t.Fatal(err)
 			}
@@ -262,13 +263,13 @@ func TestWALFaultAbortsTransactionCleanly(t *testing.T) {
 			dev.SetFaultPlan(nil)
 			// The aborted write must not be visible anywhere: not to point
 			// reads, not to analytical scans, and not after a sync.
-			rtx := e.Begin()
+			rtx := e.Begin(context.Background())
 			if _, err := rtx.Get("acct", 2); !errors.Is(err, ErrNotFound) {
 				t.Fatalf("aborted write visible to point read: %v", err)
 			}
 			rtx.Abort()
 			e.Sync()
-			if got := e.Query("acct", nil, nil).Count(); got != 1 {
+			if got := e.Query(context.Background(), "acct", nil, nil).Count(); got != 1 {
 				t.Fatalf("aborted write visible to scan: %d rows", got)
 			}
 		})
@@ -278,10 +279,10 @@ func TestWALFaultAbortsTransactionCleanly(t *testing.T) {
 func TestEngineGCReclaimsVersions(t *testing.T) {
 	e := NewEngineA(ConfigA{Schemas: testSchemas()})
 	defer e.Close()
-	Exec(e, func(tx Tx) error { return tx.Insert("acct", acct(1, 0, 0)) })
+	Exec(context.Background(), e, func(tx Tx) error { return tx.Insert("acct", acct(1, 0, 0)) })
 	for i := 0; i < 20; i++ {
 		i := i
-		if err := Exec(e, func(tx Tx) error { return tx.Update("acct", acct(1, 0, float64(i))) }); err != nil {
+		if err := Exec(context.Background(), e, func(tx Tx) error { return tx.Update("acct", acct(1, 0, float64(i))) }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -290,7 +291,7 @@ func TestEngineGCReclaimsVersions(t *testing.T) {
 		t.Fatalf("reclaimed %d versions, want >= 19", reclaimed)
 	}
 	// Current state unaffected.
-	tx := e.Begin()
+	tx := e.Begin(context.Background())
 	defer tx.Abort()
 	r, err := tx.Get("acct", 1)
 	if err != nil || r[2].Float() != 19 {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestParallelDrainsAllSources(t *testing.T) {
 		NewMemSource(salesSchema.Cols, manyRows(1)),
 		NewMemSource(salesSchema.Cols, nil),
 	}
-	rows := From(NewParallel(srcs...)).Run()
+	rows := From(NewParallel(context.Background(), srcs...)).Run()
 	if len(rows) != 2101 {
 		t.Fatalf("parallel union = %d rows", len(rows))
 	}
@@ -63,7 +64,7 @@ func TestParallelDrainsAllSources(t *testing.T) {
 
 func TestParallelSingleSourcePassthrough(t *testing.T) {
 	src := NewMemSource(salesSchema.Cols, manyRows(10))
-	if NewParallel(src) != src {
+	if NewParallel(context.Background(), src) != src {
 		t.Fatal("single-source parallel should be the source itself")
 	}
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,6 +11,14 @@ import (
 	"htap/internal/rowstore"
 	"htap/internal/types"
 )
+
+// orBackground guards against nil contexts from legacy call paths.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
 
 // Source produces batches. Next returns nil when exhausted.
 type Source interface {
@@ -57,8 +66,12 @@ func (s *memSource) Next() *Batch {
 
 // NewRowScan scans the row store at snapshot ts, projecting cols (all
 // columns when nil). This is the row-side access path of the hybrid
-// row/column technique.
-func NewRowScan(st *rowstore.Store, ts uint64, cols []string, pred *ScanPred) Source {
+// row/column technique. The scan materializes eagerly but polls ctx every
+// few hundred rows, so a cancelled query abandons the B+-tree walk instead
+// of finishing it; the truncated result is discarded by Plan.RunCtx, which
+// reports the context error.
+func NewRowScan(ctx context.Context, st *rowstore.Store, ts uint64, cols []string, pred *ScanPred) Source {
+	ctx = orBackground(ctx)
 	schema, idxs := projectSchema(st.Schema, cols)
 	var rows []types.Row
 	lo, hi := int64(-1<<63), int64(1<<63-1)
@@ -67,7 +80,11 @@ func NewRowScan(st *rowstore.Store, ts uint64, cols []string, pred *ScanPred) So
 		// index scan" half of the paper's hybrid SPJ example.
 		lo, hi = pred.Lo, pred.Hi
 	}
+	n := 0
 	st.ScanRange(ts, lo, hi, func(_ int64, r types.Row) bool {
+		if n++; n&255 == 0 && ctx.Err() != nil {
+			return false
+		}
 		out := make(types.Row, len(idxs))
 		for i, c := range idxs {
 			out[i] = r[c]
@@ -99,6 +116,7 @@ func projectSchema(s *types.Schema, cols []string) ([]types.Column, []int) {
 // --- column-store scan ---
 
 type colScan struct {
+	ctx     context.Context
 	tbl     *colstore.Table
 	schema  []types.Column
 	idxs    []int
@@ -116,10 +134,12 @@ type colScan struct {
 // NewColScan scans the column store, merging an optional delta overlay: the
 // paper's "in-memory delta and column scan" when the overlay comes from a
 // Mem delta, its "log-based delta and column scan" when it comes from a Log
-// delta, and its pure "column scan" when the overlay is nil.
-func NewColScan(tbl *colstore.Table, cols []string, pred *ScanPred, overlay *delta.Overlay) Source {
+// delta, and its pure "column scan" when the overlay is nil. The scan polls
+// ctx between batches, so cancelling the context stops a multi-segment scan
+// mid-flight; Plan.RunCtx surfaces the context error.
+func NewColScan(ctx context.Context, tbl *colstore.Table, cols []string, pred *ScanPred, overlay *delta.Overlay) Source {
 	schema, idxs := projectSchema(tbl.Schema, cols)
-	s := &colScan{tbl: tbl, schema: schema, idxs: idxs, pred: pred, predIdx: -1, overlay: overlay}
+	s := &colScan{ctx: orBackground(ctx), tbl: tbl, schema: schema, idxs: idxs, pred: pred, predIdx: -1, overlay: overlay}
 	s.segs = tbl.Segments()
 	if pred != nil {
 		if i := tbl.Schema.ColIndex(pred.Col); i >= 0 && tbl.Schema.Cols[i].Type == types.Int {
@@ -142,6 +162,12 @@ func (s *colScan) Schema() []types.Column { return s.schema }
 
 func (s *colScan) Next() *Batch {
 	if s.done {
+		return nil
+	}
+	if s.ctx.Err() != nil {
+		// Cancelled or past deadline: abandon the remaining segments. The
+		// batch-granular check bounds post-cancel work to one batch.
+		s.done = true
 		return nil
 	}
 	b := NewBatch(s.schema)
@@ -220,6 +246,7 @@ func (s *unionSource) Next() *Batch {
 // --- parallel union ---
 
 type parallelSource struct {
+	ctx    context.Context
 	schema []types.Column
 	ch     chan *Batch
 	once   sync.Once
@@ -230,15 +257,16 @@ type parallelSource struct {
 // multiplexes their batches. Architectures with a *distributed* column
 // store (B's learner replicas, C's IMCS cluster) scan their shards this
 // way; row order is not preserved, which no aggregate in the repository
-// depends on.
-func NewParallel(srcs ...Source) Source {
+// depends on. Cancelling ctx releases the drain goroutines even when the
+// consumer stops pulling batches, so an abandoned query leaks nothing.
+func NewParallel(ctx context.Context, srcs ...Source) Source {
 	if len(srcs) == 1 {
 		return srcs[0]
 	}
 	if len(srcs) == 0 {
 		panic("exec: empty parallel union")
 	}
-	return &parallelSource{schema: srcs[0].Schema(), srcs: srcs, ch: make(chan *Batch, 4)}
+	return &parallelSource{ctx: orBackground(ctx), schema: srcs[0].Schema(), srcs: srcs, ch: make(chan *Batch, 4)}
 }
 
 func (s *parallelSource) Schema() []types.Column { return s.schema }
@@ -254,7 +282,11 @@ func (s *parallelSource) start() {
 				if b == nil {
 					return
 				}
-				s.ch <- b
+				select {
+				case s.ch <- b:
+				case <-s.ctx.Done():
+					return
+				}
 			}
 		}(src)
 	}
@@ -266,7 +298,12 @@ func (s *parallelSource) start() {
 
 func (s *parallelSource) Next() *Batch {
 	s.once.Do(s.start)
-	return <-s.ch
+	select {
+	case b := <-s.ch:
+		return b
+	case <-s.ctx.Done():
+		return nil
+	}
 }
 
 // --- filter ---
@@ -830,11 +867,30 @@ func (p *Plan) Schema() []types.Column { return p.src.Schema() }
 
 // Run executes the plan, materializing all output rows.
 func (p *Plan) Run() []types.Row {
+	rows, _ := p.RunCtx(context.Background())
+	return rows
+}
+
+// RunCtx executes the plan, materializing all output rows. When ctx is
+// cancelled or its deadline passes, execution stops — the context-aware
+// scan sources at the bottom of the pipeline abandon their remaining
+// segments, which unwinds blocking operators (sort, aggregate, join build)
+// as well — and the context error is returned alongside whatever rows were
+// already produced. Callers must treat the rows as incomplete whenever the
+// error is non-nil.
+func (p *Plan) RunCtx(ctx context.Context) ([]types.Row, error) {
+	ctx = orBackground(ctx)
 	var rows []types.Row
 	for {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		b := p.src.Next()
 		if b == nil {
-			return rows
+			// A cancelled scan drains early and looks exhausted; report the
+			// cancellation rather than passing truncated rows off as a
+			// complete result.
+			return rows, ctx.Err()
 		}
 		for i := 0; i < b.N; i++ {
 			rows = append(rows, b.Row(i))
@@ -844,11 +900,22 @@ func (p *Plan) Run() []types.Row {
 
 // Count executes the plan, returning only the row count.
 func (p *Plan) Count() int {
+	n, _ := p.CountCtx(context.Background())
+	return n
+}
+
+// CountCtx executes the plan under ctx, returning the row count; the count
+// is partial whenever the returned error is non-nil.
+func (p *Plan) CountCtx(ctx context.Context) (int, error) {
+	ctx = orBackground(ctx)
 	n := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
 		b := p.src.Next()
 		if b == nil {
-			return n
+			return n, ctx.Err()
 		}
 		n += b.N
 	}

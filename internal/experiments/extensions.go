@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -41,7 +42,7 @@ func Extensions(o Opts) ExtensionsResult {
 			panic(err)
 		}
 		// Volume share of the hottest 1% of items.
-		rows := e.Query(ch.TOrderLine, []string{"ol_i_id", "ol_quantity"}, nil).
+		rows := e.Query(context.Background(), ch.TOrderLine, []string{"ol_i_id", "ol_quantity"}, nil).
 			Agg([]string{"ol_i_id"},
 				exec.Agg{Kind: exec.Sum, Expr: exec.ColName("ol_quantity"), Name: "q"}).
 			Sort(exec.SortKey{Col: "q", Desc: true}).Run()
@@ -61,7 +62,7 @@ func Extensions(o Opts) ExtensionsResult {
 			top1 = 100 * float64(top) / float64(total)
 		}
 		// Nations per warehouse.
-		nrows := e.Query(ch.TCustomer, []string{"c_w_id", "c_n_nationkey"}, nil).
+		nrows := e.Query(context.Background(), ch.TCustomer, []string{"c_w_id", "c_n_nationkey"}, nil).
 			Distinct().
 			Agg([]string{"c_w_id"}, exec.Agg{Kind: exec.Count, Name: "n"}).Run()
 		sum := 0.0
@@ -85,14 +86,14 @@ func Extensions(o Opts) ExtensionsResult {
 		const n = 50
 		start := time.Now()
 		for i := 0; i < n; i++ {
-			if err := d.NewOrder(rng); err != nil {
+			if err := d.NewOrder(context.Background(), rng); err != nil {
 				panic(err)
 			}
 		}
 		res.PlainNewOrderLat = time.Since(start) / n
 		start = time.Now()
 		for i := 0; i < n; i++ {
-			if err := d.AnalyticalNewOrder(rng); err != nil {
+			if err := d.AnalyticalNewOrder(context.Background(), rng); err != nil {
 				panic(err)
 			}
 		}

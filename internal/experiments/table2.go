@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -122,7 +123,7 @@ func Table2AP(o Opts) []APRow {
 		if ov != nil {
 			overlay = ov()
 		}
-		exec.From(exec.NewColScan(tbl, []string{"grp", "val"}, nil, overlay)).
+		exec.From(exec.NewColScan(context.Background(), tbl, []string{"grp", "val"}, nil, overlay)).
 			Agg([]string{"grp"}, exec.Agg{Kind: exec.Sum, Expr: exec.ColName("val"), Name: "s"}).
 			Count()
 		return time.Since(start)
@@ -336,7 +337,7 @@ func Table2QOColSel(o Opts) []ColSelRow {
 			queries := []int{1, 5, 6, 12, 14}
 			all := ch.Queries()
 			for _, qi := range queries {
-				all[qi](e)
+				all[qi](ch.Bind(context.Background(), e))
 			}
 			full := fullFootprint(e)
 			e2 := e // reuse; budget applies at Reselect time
@@ -349,12 +350,12 @@ func Table2QOColSel(o Opts) []ColSelRow {
 				panic(err)
 			}
 			for _, qi := range queries {
-				all[qi](e3)
+				all[qi](ch.Bind(context.Background(), e3))
 			}
 			sel := e3.Reselect()
 			pdBefore, fbBefore := e3.PushdownStats()
 			for _, qi := range queries {
-				all[qi](e3)
+				all[qi](ch.Bind(context.Background(), e3))
 			}
 			pdAfter, fbAfter := e3.PushdownStats()
 			pd, fb := pdAfter-pdBefore, fbAfter-fbBefore
@@ -382,7 +383,7 @@ func policyName(p colsel.Policy) string {
 func fullFootprint(e *core.EngineC) int {
 	total := 0
 	for _, s := range ch.Schemas() {
-		rows := e.Query(s.Name, []string{s.Cols[0].Name}, nil).Count()
+		rows := e.Query(context.Background(), s.Name, []string{s.Cols[0].Name}, nil).Count()
 		for _, c := range s.Cols {
 			w := 8
 			if c.Type == types.String {
@@ -430,7 +431,7 @@ func Table2QOHybrid(o Opts) []HybridRow {
 		start := time.Now()
 		n := exec.From(orders).
 			Filter(filter).
-			Join(exec.From(ec.Source(ch.TOrderLine, []string{"ol_o_key", "ol_amount"}, nil)),
+			Join(exec.From(ec.Source(context.Background(), ch.TOrderLine, []string{"ol_o_key", "ol_amount"}, nil)),
 				[]string{"o_key"}, []string{"ol_o_key"}).
 			Agg([]string{"o_key"}, exec.Agg{Kind: exec.Sum, Expr: exec.ColName("ol_amount"), Name: "rev"}).
 			Count()
@@ -440,10 +441,10 @@ func Table2QOHybrid(o Opts) []HybridRow {
 	var out []HybridRow
 	// Row-only: both sides from the disk row store.
 	{
-		src := ec.RowSource(ch.TOrders, []string{"o_key"}, pred)
+		src := ec.RowSource(context.Background(), ch.TOrders, []string{"o_key"}, pred)
 		lines := time.Now()
 		n := exec.From(src).Filter(filter).
-			Join(exec.From(ec.RowSource(ch.TOrderLine, []string{"ol_o_key", "ol_amount"}, nil)),
+			Join(exec.From(ec.RowSource(context.Background(), ch.TOrderLine, []string{"ol_o_key", "ol_amount"}, nil)),
 				[]string{"o_key"}, []string{"ol_o_key"}).
 			Agg([]string{"o_key"}, exec.Agg{Kind: exec.Sum, Expr: exec.ColName("ol_amount"), Name: "rev"}).
 			Count()
@@ -452,8 +453,8 @@ func Table2QOHybrid(o Opts) []HybridRow {
 	// Column-only: both sides from the IMCS.
 	{
 		start := time.Now()
-		n := exec.From(ec.ColSource(ch.TOrders, []string{"o_key"}, pred)).Filter(filter).
-			Join(exec.From(ec.ColSource(ch.TOrderLine, []string{"ol_o_key", "ol_amount"}, nil)),
+		n := exec.From(ec.ColSource(context.Background(), ch.TOrders, []string{"o_key"}, pred)).Filter(filter).
+			Join(exec.From(ec.ColSource(context.Background(), ch.TOrderLine, []string{"ol_o_key", "ol_amount"}, nil)),
 				[]string{"o_key"}, []string{"ol_o_key"}).
 			Agg([]string{"o_key"}, exec.Agg{Kind: exec.Sum, Expr: exec.ColName("ol_amount"), Name: "rev"}).
 			Count()
@@ -462,7 +463,7 @@ func Table2QOHybrid(o Opts) []HybridRow {
 	// Hybrid: the planner picks per side (row index for the selective
 	// side, column scan for the wide side).
 	{
-		n, lat := run(e.Source(ch.TOrders, []string{"o_key"}, pred))
+		n, lat := run(e.Source(context.Background(), ch.TOrders, []string{"o_key"}, pred))
 		out = append(out, HybridRow{Plan: "hybrid(cost-based)", Latency: lat, Rows: n})
 	}
 	return out
@@ -582,7 +583,7 @@ func runScheduled(o Opts, ctrl sched.Controller) RSRow {
 	pool := sched.NewPool(
 		func() bool {
 			rng := <-rngPool
-			err := driver.RunOne(rng)
+			err := driver.RunOne(context.Background(), rng)
 			rngPool <- rng
 			return err == nil
 		},
@@ -590,7 +591,7 @@ func runScheduled(o Opts, ctrl sched.Controller) RSRow {
 			rng := <-rngPool
 			qi := qset[rng.Intn(len(qset))]
 			rngPool <- rng
-			queries[qi](e)
+			queries[qi](ch.Bind(context.Background(), e))
 			return true
 		},
 	)

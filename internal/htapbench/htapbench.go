@@ -18,6 +18,7 @@
 package htapbench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -26,12 +27,35 @@ import (
 
 	"htap/internal/ch"
 	"htap/internal/core"
+	"htap/internal/exec"
+	"htap/internal/freshness"
 	"htap/internal/obs"
+	"htap/internal/types"
 )
+
+// Engine is what a mixed run drives: the CH workload surface plus the
+// sync and freshness hooks the harness samples. core.Engine satisfies it;
+// so does the network client's remote engine, which is how cmd/chbench
+// -remote reuses this harness unchanged over the wire.
+type Engine interface {
+	ch.Engine
+	Arch() core.Arch
+	Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan
+	Sync()
+	Freshness() freshness.Snapshot
+}
+
+// CHRunner is an optional Engine refinement: execute CH query n where the
+// data lives and return only the result rows. The network client provides
+// it so AP streams ship one small aggregated result per query instead of
+// pulling whole tables through client-side joins.
+type CHRunner interface {
+	RunCH(ctx context.Context, n int) ([]types.Row, error)
+}
 
 // Config parameterizes a mixed run.
 type Config struct {
-	Engine    core.Engine
+	Engine    Engine
 	Scale     ch.Scale
 	TPWorkers int
 	APStreams int
@@ -44,6 +68,9 @@ type Config struct {
 	// SyncInterval runs engine.Sync in the background (0 = none).
 	SyncInterval time.Duration
 	Seed         int64
+	// Ctx, when non-nil, bounds the whole run: cancelling it stops the
+	// workers early, and in-flight queries abandon their scans.
+	Ctx context.Context
 }
 
 // Result reports the metrics of one run.
@@ -118,6 +145,15 @@ func Run(cfg Config) Result {
 	if cfg.Duration <= 0 {
 		cfg.Duration = time.Second
 	}
+	root := cfg.Ctx
+	if root == nil {
+		root = context.Background()
+	}
+	// The run context is cancelled when the measurement window closes, so
+	// in-flight transactions and queries stop scanning instead of
+	// overrunning the window.
+	ctx, cancel := context.WithCancel(root)
+	defer cancel()
 	driver := ch.NewDriver(cfg.Engine, cfg.Scale)
 	queries := pickQueries(cfg.QuerySet)
 
@@ -176,8 +212,11 @@ func Run(cfg Config) Result {
 					}
 				}
 				start := time.Now()
-				t, err := driver.RunOneTyped(rng)
+				t, err := driver.RunOneTyped(ctx, rng)
 				if err != nil {
+					if ctx.Err() != nil {
+						return // window closed mid-transaction: not an error
+					}
 					txnErrs.Add(1)
 				} else {
 					el := time.Since(start)
@@ -193,10 +232,19 @@ func Run(cfg Config) Result {
 		go func(seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed*7777 + seed))
+			bound := ch.Bind(ctx, cfg.Engine)
+			runner, _ := cfg.Engine.(CHRunner)
 			for !stop.Load() {
 				q := queries[rng.Intn(len(queries))]
 				start := time.Now()
-				q.fn(cfg.Engine)
+				if runner != nil {
+					_, _ = runner.RunCH(ctx, q.num)
+				} else {
+					q.fn(bound)
+				}
+				if ctx.Err() != nil {
+					return // window closed mid-query: the result is partial
+				}
 				el := time.Since(start)
 				queryNanos.Add(int64(el))
 				queryCount.Add(1)
@@ -243,8 +291,12 @@ func Run(cfg Config) Result {
 	}()
 
 	start := time.Now()
-	time.Sleep(cfg.Duration)
+	select {
+	case <-time.After(cfg.Duration):
+	case <-ctx.Done():
+	}
 	stop.Store(true)
+	cancel()
 	wg.Wait()
 	elapsed := time.Since(start)
 

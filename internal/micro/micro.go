@@ -11,6 +11,7 @@
 package micro
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -95,9 +96,9 @@ func (d *Dataset) projection(n int) []string {
 // source builds the scan source for a layout.
 func (d *Dataset) source(l Layout, cols []string, pred *exec.ScanPred) exec.Source {
 	if l == RowLayout {
-		return exec.NewRowScan(d.Row, d.Mgr.Oracle().Watermark(), cols, pred)
+		return exec.NewRowScan(context.Background(), d.Row, d.Mgr.Oracle().Watermark(), cols, pred)
 	}
-	return exec.NewColScan(d.Col, cols, pred, nil)
+	return exec.NewColScan(context.Background(), d.Col, cols, pred, nil)
 }
 
 // ScanResult reports one scan measurement.

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -82,5 +83,11 @@ func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
+// Close shuts the server down immediately, severing in-flight scrapes.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops the server gracefully: the listener closes at once but
+// in-flight scrapes finish (until ctx expires). Drain paths call it last,
+// after the workload listeners, so the final state of the htap_* series
+// stays scrapeable while the rest of the process winds down.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"htap/internal/wire"
+)
+
+// Limiter is a GCRA rate limiter with a bounded wait queue, one per
+// workload class. GCRA tracks a single theoretical-arrival-time (TAT)
+// under CAS, so admission is lock-free on the fast path: a request whose
+// arrival is at or ahead of TAT minus the burst allowance passes
+// immediately; one that would have to wait longer than MaxWait is shed
+// with wire.ErrOverloaded *before* queueing, which keeps the wait queue
+// from building the unbounded backlog that turns overload into collapse
+// (the paper's isolation story, applied to the service layer: an OLAP
+// burst sheds instead of queueing in front of OLTP).
+type Limiter struct {
+	tat      atomic.Int64 // theoretical arrival time, unix nanos
+	interval int64        // nanos between admissions at the sustained rate
+	burst    int64        // immediate-admission allowance, in requests
+	maxWait  int64        // nanos a request may queue before shedding
+	waiting  atomic.Int64 // current queue depth, for the gauge
+}
+
+// NewLimiter builds a limiter admitting ratePerSec requests per second
+// sustained, with the given burst, shedding requests that would wait
+// longer than maxWait. ratePerSec <= 0 disables limiting.
+func NewLimiter(ratePerSec float64, burst int, maxWait time.Duration) *Limiter {
+	if ratePerSec <= 0 {
+		return &Limiter{}
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{
+		interval: int64(float64(time.Second) / ratePerSec),
+		burst:    int64(burst),
+		maxWait:  int64(maxWait),
+	}
+}
+
+// Waiting reports the number of requests currently queued.
+func (l *Limiter) Waiting() int64 { return l.waiting.Load() }
+
+// Admit blocks until the request may proceed, returning how long it
+// waited. It returns wire.ErrOverloaded immediately when the queue is
+// full (measured in wait time, GCRA's natural queue bound) and the
+// context error if ctx ends while queued.
+func (l *Limiter) Admit(ctx context.Context) (time.Duration, error) {
+	if l.interval == 0 {
+		return 0, nil
+	}
+	for {
+		now := time.Now().UnixNano()
+		old := l.tat.Load()
+		tat := old
+		if tat < now {
+			tat = now
+		}
+		newTat := tat + l.interval
+		delay := newTat - l.interval*l.burst - now
+		if delay > l.maxWait {
+			return 0, wire.ErrOverloaded
+		}
+		if !l.tat.CompareAndSwap(old, newTat) {
+			continue
+		}
+		if delay <= 0 {
+			return 0, nil
+		}
+		l.waiting.Add(1)
+		t := time.NewTimer(time.Duration(delay))
+		select {
+		case <-t.C:
+			l.waiting.Add(-1)
+			return time.Duration(delay), nil
+		case <-ctx.Done():
+			t.Stop()
+			l.waiting.Add(-1)
+			// Give the reserved slot back so an abandoned wait does not
+			// consume capacity.
+			l.tat.Add(-l.interval)
+			return time.Duration(time.Now().UnixNano() - now), ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,552 @@
+// Package wire defines the binary client/server protocol of the network
+// service layer: length-prefixed frames carrying a handshake, OLTP
+// transaction operations, typed analytical queries with streamed result
+// batches, and typed errors whose retryability survives the trip across
+// the network.
+//
+// Frame layout:
+//
+//	4 bytes  big-endian payload length (includes the type byte)
+//	1 byte   message type
+//	n bytes  payload
+//
+// Payload scalars are varints (signed values) and uvarints (counts,
+// lengths); strings are uvarint length + bytes; rows reuse the
+// types.AppendRow encoding shared with the WAL and Raft log. Deadlines
+// travel as absolute unix nanoseconds so the server can rebuild the
+// client's context deadline without clock-free duration guesswork; zero
+// means no deadline.
+//
+// The protocol is strictly request/response per connection: after sending
+// a request the client stays silent until the full response (for queries:
+// schema, batches, end-of-stream) has arrived. That silence is load-bearing
+// — it lets the server treat any readable byte or EOF during query
+// execution as "the client is gone" and cancel the scan mid-batch.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"htap/internal/types"
+)
+
+// Version is the protocol version exchanged in the handshake.
+const Version = 1
+
+// MaxFrame bounds a single frame's payload, a guard against corrupt
+// length prefixes allocating gigabytes.
+const MaxFrame = 64 << 20
+
+// Message types. Client-to-server requests first, server-to-client
+// responses second.
+const (
+	// MsgHello opens a connection: Hello{Version}.
+	MsgHello byte = iota + 1
+	// MsgBegin starts the session's transaction: Begin{Deadline}.
+	MsgBegin
+	// MsgGet reads one row in the open transaction: KeyReq{Table, Key}.
+	MsgGet
+	// MsgInsert inserts a row: RowReq{Table, Row}.
+	MsgInsert
+	// MsgUpdate updates a row: RowReq{Table, Row}.
+	MsgUpdate
+	// MsgDelete deletes by key: KeyReq{Table, Key}.
+	MsgDelete
+	// MsgCommit commits the open transaction (empty payload).
+	MsgCommit
+	// MsgAbort aborts the open transaction (empty payload).
+	MsgAbort
+	// MsgQuery runs CH query N server-side: Query{Deadline, N}. The
+	// response is a batch stream.
+	MsgQuery
+	// MsgScan streams a table scan: Scan{Deadline, Table, Cols, Pred}.
+	MsgScan
+	// MsgSync forces a data-synchronization round (empty payload).
+	MsgSync
+	// MsgFreshness asks for the OLTP-vs-OLAP watermark gap.
+	MsgFreshness
+
+	// MsgServerHello answers MsgHello: ServerHello{Version, Arch, Meta}.
+	MsgServerHello
+	// MsgOK acknowledges a write, commit, abort, or sync (empty payload).
+	MsgOK
+	// MsgRow answers MsgGet: Batch with exactly one row.
+	MsgRow
+	// MsgSchema opens a batch stream: Schema{Cols}.
+	MsgSchema
+	// MsgBatch carries result rows: Batch{Rows}.
+	MsgBatch
+	// MsgEOS closes a batch stream: EOS{Rows}.
+	MsgEOS
+	// MsgFreshnessInfo answers MsgFreshness: Freshness{...}.
+	MsgFreshnessInfo
+	// MsgError reports a failure: Error{Code, Msg}. For requests it ends
+	// the exchange; inside a batch stream it ends the stream.
+	MsgError
+)
+
+// Admission classes label requests for the server's per-class token
+// buckets.
+const (
+	ClassOLTP = "oltp"
+	ClassOLAP = "olap"
+)
+
+// Error codes.
+const (
+	CodeInternal   uint8 = 1 // non-retryable server failure
+	CodeBadRequest uint8 = 2 // malformed or out-of-order frame
+	CodeNotFound   uint8 = 3 // point read of an absent key
+	CodeConflict   uint8 = 4 // transaction conflict; retry with backoff
+	CodeOverloaded uint8 = 5 // admission control shed the request
+	CodeShutdown   uint8 = 6 // server is draining
+	CodeCanceled   uint8 = 7 // context cancelled or deadline exceeded
+)
+
+// Error is the protocol's typed error. It crosses the wire as an Error
+// frame and reconstructs on the client with its code intact, so
+// core.Exec's retry loop (which asks errors.As for Retryable) treats a
+// remote conflict exactly like a local one.
+type Error struct {
+	Code uint8
+	Msg  string
+}
+
+// Sentinel errors for errors.Is. ErrOverloaded is the admission-control
+// shed signal the benchmark driver and tests match on.
+var (
+	ErrOverloaded = &Error{Code: CodeOverloaded, Msg: "server overloaded"}
+	ErrNotFound   = &Error{Code: CodeNotFound, Msg: "key not found"}
+	ErrShutdown   = &Error{Code: CodeShutdown, Msg: "server draining"}
+)
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("wire: %s (code %d)", e.Msg, e.Code)
+}
+
+// Retryable reports whether the failure is transient: conflicts and
+// admission sheds clear on retry; a draining server clears when a
+// replacement starts accepting.
+func (e *Error) Retryable() bool {
+	switch e.Code {
+	case CodeConflict, CodeOverloaded, CodeShutdown:
+		return true
+	}
+	return false
+}
+
+// Is matches two wire errors by code, so errors.Is(err, wire.ErrOverloaded)
+// holds for any shed regardless of message text.
+func (e *Error) Is(target error) bool {
+	var t *Error
+	return errors.As(target, &t) && t.Code == e.Code
+}
+
+// --- frame I/O ---
+
+// WriteFrame writes one frame. The header and payload go out in a single
+// Write so a buffered writer flushes them together.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("wire: frame too large: %d bytes", len(payload))
+	}
+	buf := make([]byte, 0, 5+len(payload))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)+1))
+	buf = append(buf, typ)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame, returning its type and payload.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: bad frame length %d", n)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return hdr[4], payload, nil
+}
+
+// --- payload encoding ---
+
+// A dec walks a payload. Methods record the first failure; callers check
+// Err once at the end instead of after every field.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: truncated %s", what)
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)) < n {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *dec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.fail("byte")
+		return 0
+	}
+	b := d.b[0]
+	d.b = d.b[1:]
+	return b
+}
+
+func (d *dec) row() types.Row {
+	if d.err != nil {
+		return nil
+	}
+	r, n, err := types.DecodeRow(d.b)
+	if err != nil {
+		d.err = err
+		return nil
+	}
+	d.b = d.b[n:]
+	return r
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// Hello is the client handshake.
+type Hello struct {
+	Version uint32
+}
+
+// Encode appends the payload encoding.
+func (h Hello) Encode(dst []byte) []byte {
+	return binary.AppendUvarint(dst, uint64(h.Version))
+}
+
+// DecodeHello parses a MsgHello payload.
+func DecodeHello(b []byte) (Hello, error) {
+	d := &dec{b: b}
+	h := Hello{Version: uint32(d.uvarint())}
+	return h, d.err
+}
+
+// ServerHello is the server handshake: the engine's architecture plus a
+// small integer-valued metadata map. htapd advertises its dataset scale
+// and the history-key watermark there, so a remote benchmark driver can
+// rebuild its client-side directories without re-reading the tables.
+type ServerHello struct {
+	Version uint32
+	Arch    uint8
+	Meta    map[string]int64
+}
+
+// Encode appends the payload encoding. Map order is not canonicalized;
+// decode order is irrelevant.
+func (h ServerHello) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(h.Version))
+	dst = append(dst, h.Arch)
+	dst = binary.AppendUvarint(dst, uint64(len(h.Meta)))
+	for k, v := range h.Meta {
+		dst = appendString(dst, k)
+		dst = binary.AppendVarint(dst, v)
+	}
+	return dst
+}
+
+// DecodeServerHello parses a MsgServerHello payload.
+func DecodeServerHello(b []byte) (ServerHello, error) {
+	d := &dec{b: b}
+	h := ServerHello{Version: uint32(d.uvarint()), Arch: d.byte()}
+	n := d.uvarint()
+	if d.err == nil && n > 0 {
+		h.Meta = make(map[string]int64, n)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			k := d.str()
+			h.Meta[k] = d.varint()
+		}
+	}
+	return h, d.err
+}
+
+// Begin opens a transaction with an optional absolute deadline.
+type Begin struct {
+	Deadline int64 // unix nanoseconds; 0 = none
+}
+
+// Encode appends the payload encoding.
+func (m Begin) Encode(dst []byte) []byte {
+	return binary.AppendVarint(dst, m.Deadline)
+}
+
+// DecodeBegin parses a MsgBegin payload.
+func DecodeBegin(b []byte) (Begin, error) {
+	d := &dec{b: b}
+	m := Begin{Deadline: d.varint()}
+	return m, d.err
+}
+
+// KeyReq addresses one row by table and packed primary key (MsgGet,
+// MsgDelete).
+type KeyReq struct {
+	Table string
+	Key   int64
+}
+
+// Encode appends the payload encoding.
+func (m KeyReq) Encode(dst []byte) []byte {
+	dst = appendString(dst, m.Table)
+	return binary.AppendVarint(dst, m.Key)
+}
+
+// DecodeKeyReq parses a MsgGet or MsgDelete payload.
+func DecodeKeyReq(b []byte) (KeyReq, error) {
+	d := &dec{b: b}
+	m := KeyReq{Table: d.str(), Key: d.varint()}
+	return m, d.err
+}
+
+// RowReq carries one row write (MsgInsert, MsgUpdate).
+type RowReq struct {
+	Table string
+	Row   types.Row
+}
+
+// Encode appends the payload encoding.
+func (m RowReq) Encode(dst []byte) []byte {
+	dst = appendString(dst, m.Table)
+	return types.AppendRow(dst, m.Row)
+}
+
+// DecodeRowReq parses a MsgInsert or MsgUpdate payload.
+func DecodeRowReq(b []byte) (RowReq, error) {
+	d := &dec{b: b}
+	m := RowReq{Table: d.str(), Row: d.row()}
+	return m, d.err
+}
+
+// Query runs CH-benCHmark query N (1..22) server-side.
+type Query struct {
+	Deadline int64
+	N        uint32
+}
+
+// Encode appends the payload encoding.
+func (m Query) Encode(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, m.Deadline)
+	return binary.AppendUvarint(dst, uint64(m.N))
+}
+
+// DecodeQuery parses a MsgQuery payload.
+func DecodeQuery(b []byte) (Query, error) {
+	d := &dec{b: b}
+	m := Query{Deadline: d.varint(), N: uint32(d.uvarint())}
+	return m, d.err
+}
+
+// Scan streams a table scan. Cols nil means every column. HasPred guards
+// the advisory zone-map range, mirroring exec.ScanPred.
+type Scan struct {
+	Deadline int64
+	Table    string
+	Cols     []string
+	HasPred  bool
+	PredCol  string
+	PredLo   int64
+	PredHi   int64
+}
+
+// Encode appends the payload encoding.
+func (m Scan) Encode(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, m.Deadline)
+	dst = appendString(dst, m.Table)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Cols)))
+	for _, c := range m.Cols {
+		dst = appendString(dst, c)
+	}
+	if !m.HasPred {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = appendString(dst, m.PredCol)
+	dst = binary.AppendVarint(dst, m.PredLo)
+	return binary.AppendVarint(dst, m.PredHi)
+}
+
+// DecodeScan parses a MsgScan payload.
+func DecodeScan(b []byte) (Scan, error) {
+	d := &dec{b: b}
+	m := Scan{Deadline: d.varint(), Table: d.str()}
+	n := d.uvarint()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Cols = append(m.Cols, d.str())
+	}
+	if d.byte() == 1 {
+		m.HasPred = true
+		m.PredCol = d.str()
+		m.PredLo = d.varint()
+		m.PredHi = d.varint()
+	}
+	return m, d.err
+}
+
+// Schema opens a batch stream by naming and typing its columns.
+type Schema struct {
+	Cols []types.Column
+}
+
+// Encode appends the payload encoding.
+func (m Schema) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m.Cols)))
+	for _, c := range m.Cols {
+		dst = appendString(dst, c.Name)
+		dst = append(dst, byte(c.Type))
+	}
+	return dst
+}
+
+// DecodeSchema parses a MsgSchema payload.
+func DecodeSchema(b []byte) (Schema, error) {
+	d := &dec{b: b}
+	n := d.uvarint()
+	m := Schema{}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		name := d.str()
+		m.Cols = append(m.Cols, types.Column{Name: name, Type: types.ColType(d.byte())})
+	}
+	return m, d.err
+}
+
+// Batch carries result rows. A stream is MsgSchema, zero or more
+// MsgBatch frames, then MsgEOS (or MsgError, which also ends it).
+type Batch struct {
+	Rows []types.Row
+}
+
+// Encode appends the payload encoding.
+func (m Batch) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m.Rows)))
+	for _, r := range m.Rows {
+		dst = types.AppendRow(dst, r)
+	}
+	return dst
+}
+
+// DecodeBatch parses a MsgBatch or MsgRow payload.
+func DecodeBatch(b []byte) (Batch, error) {
+	d := &dec{b: b}
+	n := d.uvarint()
+	m := Batch{}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Rows = append(m.Rows, d.row())
+	}
+	return m, d.err
+}
+
+// EOS closes a batch stream with the total row count, a cheap integrity
+// check against dropped batches.
+type EOS struct {
+	Rows int64
+}
+
+// Encode appends the payload encoding.
+func (m EOS) Encode(dst []byte) []byte {
+	return binary.AppendVarint(dst, m.Rows)
+}
+
+// DecodeEOS parses a MsgEOS payload.
+func DecodeEOS(b []byte) (EOS, error) {
+	d := &dec{b: b}
+	m := EOS{Rows: d.varint()}
+	return m, d.err
+}
+
+// Freshness mirrors freshness.Snapshot across the wire.
+type Freshness struct {
+	CommitTS  uint64
+	AppliedTS uint64
+	LagTS     uint64
+	LagNS     int64
+}
+
+// Encode appends the payload encoding.
+func (m Freshness) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, m.CommitTS)
+	dst = binary.AppendUvarint(dst, m.AppliedTS)
+	dst = binary.AppendUvarint(dst, m.LagTS)
+	return binary.AppendVarint(dst, m.LagNS)
+}
+
+// DecodeFreshness parses a MsgFreshnessInfo payload.
+func DecodeFreshness(b []byte) (Freshness, error) {
+	d := &dec{b: b}
+	m := Freshness{CommitTS: d.uvarint(), AppliedTS: d.uvarint(), LagTS: d.uvarint(), LagNS: d.varint()}
+	return m, d.err
+}
+
+// EncodeError builds a MsgError payload.
+func EncodeError(dst []byte, e *Error) []byte {
+	dst = append(dst, e.Code)
+	return appendString(dst, e.Msg)
+}
+
+// DecodeError parses a MsgError payload. A garbled payload still yields a
+// usable (internal) error rather than failing the decode.
+func DecodeError(b []byte) *Error {
+	d := &dec{b: b}
+	e := &Error{Code: d.byte(), Msg: d.str()}
+	if d.err != nil {
+		return &Error{Code: CodeInternal, Msg: "garbled error frame"}
+	}
+	return e
+}
