@@ -125,6 +125,8 @@ func main() {
 	fmt.Printf("%-22s %12.0f\n", "QphH (queries/hour)", res.QphH)
 	fmt.Printf("%-22s %12d\n", "transactions", res.Txns)
 	fmt.Printf("%-22s %12d\n", "queries", res.Queries)
+	fmt.Printf("%-22s %12d\n", "txn errors", res.TxnErrors)
+	fmt.Printf("%-22s %12d\n", "query errors/sheds", res.QueryErrors)
 	fmt.Printf("%-22s %12s\n", "avg txn latency", res.AvgTxnLatency.Round(time.Microsecond))
 	fmt.Printf("%-22s %12s\n", "avg query latency", res.AvgQueryLatency.Round(time.Microsecond))
 	fmt.Printf("%-22s %12.1f\n", "avg freshness lag", res.FreshAvgLagTS)

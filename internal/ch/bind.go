@@ -22,35 +22,50 @@ type Engine interface {
 // boundQueryer fixes a context onto an Engine so the context-free Queryer
 // surface the 22 query functions are written against stays unchanged: every
 // scan the query issues inherits the bound context, which is how
-// cancellation reaches column scans deep inside a multi-join plan.
+// cancellation reaches column scans deep inside a multi-join plan. It also
+// records the first engine-level scan failure (a plan carrying an error,
+// exec.FromError) so RunQuery can report it instead of returning rows
+// assembled from silently-empty scans.
 type boundQueryer struct {
 	ctx context.Context
 	e   Engine
+	err error
 }
 
-func (b boundQueryer) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
-	return b.e.Query(b.ctx, table, cols, pred)
+func (b *boundQueryer) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
+	p := b.e.Query(b.ctx, table, cols, pred)
+	if err := p.Err(); err != nil && b.err == nil {
+		b.err = err
+	}
+	return p
 }
 
 // Bind adapts an Engine to the Queryer interface under ctx. Queries run
 // through the returned Queryer stop scanning when ctx is cancelled; use
-// RunQuery to also surface the context error.
+// RunQuery to also surface the context error and scan failures.
 func Bind(ctx context.Context, e Engine) Queryer {
-	return boundQueryer{ctx: ctx, e: e}
+	return &boundQueryer{ctx: ctx, e: e}
 }
 
 // RunQuery executes CH query n (1..22) against e under ctx. When ctx is
 // cancelled or times out mid-query, the scans abandon their remaining
 // segments and RunQuery returns the context error (context.Canceled or
 // context.DeadlineExceeded) with nil rows — partial results never escape.
+// A scan that fails outright (a remote engine whose request errored after
+// retries) is reported the same way: nil rows and the scan error, never a
+// result that is indistinguishable from an empty table.
 func RunQuery(ctx context.Context, e Engine, n int) ([]types.Row, error) {
 	q := Queries()[n]
 	if q == nil {
 		return nil, fmt.Errorf("ch: no such query Q%d", n)
 	}
-	rows := q(Bind(ctx, e))
+	bq := &boundQueryer{ctx: ctx, e: e}
+	rows := q(bq)
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if bq.err != nil {
+		return nil, bq.err
 	}
 	return rows, nil
 }

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"htap/internal/core"
@@ -43,6 +44,25 @@ func (e *TransportError) Unwrap() error { return e.Err }
 
 // Retryable marks transport failures safe to retry.
 func (e *TransportError) Retryable() bool { return true }
+
+// CommitIndeterminateError reports a commit whose outcome is unknown: the
+// connection (or deadline) died after MsgCommit may have reached the
+// server, so the transaction may or may not have applied. It is
+// deliberately non-retryable — re-running the transaction through
+// core.Exec could apply it twice.
+type CommitIndeterminateError struct {
+	Err error
+}
+
+func (e *CommitIndeterminateError) Error() string {
+	return "client: commit outcome unknown: " + e.Err.Error()
+}
+
+// Unwrap exposes the underlying failure (transport or context error).
+func (e *CommitIndeterminateError) Unwrap() error { return e.Err }
+
+// Retryable is always false: the commit may already be applied.
+func (e *CommitIndeterminateError) Retryable() bool { return false }
 
 // Options tunes the client.
 type Options struct {
@@ -83,11 +103,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// conn is one established, handshaken connection.
+// conn is one established, handshaken connection. broken is atomic
+// because the context watcher (watchCtx) sets it from its own goroutine.
 type conn struct {
 	nc     net.Conn
 	hello  wire.ServerHello
-	broken bool
+	broken atomic.Bool
 }
 
 // Remote is a network-backed engine. It implements the ch.Engine and
@@ -223,7 +244,7 @@ func (r *Remote) put(c *conn) {
 	if c == nil {
 		return
 	}
-	if c.broken {
+	if c.broken.Load() {
 		_ = c.nc.Close()
 		return
 	}
@@ -247,12 +268,12 @@ func (c *conn) roundTrip(ctx context.Context, typ byte, payload []byte) (byte, [
 	stop := watchCtx(ctx, c)
 	defer stop()
 	if err := wire.WriteFrame(c.nc, typ, payload); err != nil {
-		c.broken = true
+		c.broken.Store(true)
 		return 0, nil, ctxOrTransport(ctx, err)
 	}
 	rt, resp, err := wire.ReadFrame(c.nc)
 	if err != nil {
-		c.broken = true
+		c.broken.Store(true)
 		return 0, nil, ctxOrTransport(ctx, err)
 	}
 	return rt, resp, nil
@@ -264,7 +285,7 @@ func (c *conn) readFrame(ctx context.Context) (byte, []byte, error) {
 	defer stop()
 	rt, resp, err := wire.ReadFrame(c.nc)
 	if err != nil {
-		c.broken = true
+		c.broken.Store(true)
 		return 0, nil, ctxOrTransport(ctx, err)
 	}
 	return rt, resp, nil
@@ -272,21 +293,29 @@ func (c *conn) readFrame(ctx context.Context) (byte, []byte, error) {
 
 // watchCtx closes the connection when ctx ends before stop is called.
 // Closing is the cancellation signal: the server's watchdog sees EOF and
-// abandons the scan.
+// abandons the scan. stop waits for the watcher goroutine to exit
+// (mirroring server.watch) so a cancellation that races a completed
+// response cannot mark the conn broken or close it after it has been
+// returned to the pool — and possibly handed to another request.
 func watchCtx(ctx context.Context, c *conn) (stop func()) {
 	if ctx.Done() == nil {
 		return func() {}
 	}
 	done := make(chan struct{})
+	exited := make(chan struct{})
 	go func() {
+		defer close(exited)
 		select {
 		case <-ctx.Done():
-			c.broken = true
+			c.broken.Store(true)
 			_ = c.nc.Close()
 		case <-done:
 		}
 	}()
-	return func() { close(done) }
+	return func() {
+		close(done)
+		<-exited
+	}
 }
 
 // ctxOrTransport prefers the context error when the failure was caused
@@ -384,44 +413,53 @@ func expectOK(typ byte, payload []byte) error {
 	}
 }
 
-// readStream consumes a schema + batches + EOS stream.
+// readStream consumes a schema + batches + EOS stream. A decode or
+// protocol failure abandons the stream with Batch/EOS frames possibly
+// still in flight, so those paths mark the connection broken — pooling
+// it would feed the stale frames to the next request. Server-sent
+// MsgError frames terminate the stream cleanly and leave the connection
+// reusable.
 func readStream(ctx context.Context, c *conn, typ byte, payload []byte) ([]types.Column, []types.Row, error) {
+	fail := func(err error) ([]types.Column, []types.Row, error) {
+		c.broken.Store(true)
+		return nil, nil, err
+	}
 	if typ == wire.MsgError {
 		return nil, nil, wire.DecodeError(payload)
 	}
 	if typ != wire.MsgSchema {
-		return nil, nil, fmt.Errorf("client: expected schema frame, got %d", typ)
+		return fail(fmt.Errorf("client: expected schema frame, got %d", typ))
 	}
 	sch, err := wire.DecodeSchema(payload)
 	if err != nil {
-		return nil, nil, err
+		return fail(err)
 	}
 	var rows []types.Row
 	for {
 		typ, payload, err := c.readFrame(ctx)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, err // readFrame already marked the conn broken
 		}
 		switch typ {
 		case wire.MsgBatch:
 			b, err := wire.DecodeBatch(payload)
 			if err != nil {
-				return nil, nil, err
+				return fail(err)
 			}
 			rows = append(rows, b.Rows...)
 		case wire.MsgEOS:
 			eos, err := wire.DecodeEOS(payload)
 			if err != nil {
-				return nil, nil, err
+				return fail(err)
 			}
 			if int64(len(rows)) != eos.Rows {
-				return nil, nil, fmt.Errorf("client: stream lost rows: got %d, server sent %d", len(rows), eos.Rows)
+				return fail(fmt.Errorf("client: stream lost rows: got %d, server sent %d", len(rows), eos.Rows))
 			}
 			return sch.Cols, rows, nil
 		case wire.MsgError:
 			return nil, nil, wire.DecodeError(payload)
 		default:
-			return nil, nil, fmt.Errorf("client: unexpected stream frame %d", typ)
+			return fail(fmt.Errorf("client: unexpected stream frame %d", typ))
 		}
 	}
 }
@@ -445,9 +483,10 @@ func (r *Remote) Query(ctx context.Context, table string, cols []string, pred *e
 		return err
 	})
 	if err != nil {
-		// The Plan surface has no error channel; an empty source plus the
-		// caller's ctx check (ch.RunQuery, Plan.RunCtx) reports it.
-		return exec.From(exec.NewMemSource(nil, nil))
+		// Carry the failure on the plan: running it yields the error, and
+		// ch.RunQuery reports it, so a failed scan is never mistaken for
+		// an empty table.
+		return exec.FromError(err)
 	}
 	return exec.From(exec.NewMemSource(sch, rows))
 }
@@ -621,7 +660,12 @@ func (t *remoteTx) Commit() error {
 	typ, payload, err := t.c.roundTrip(t.ctx, wire.MsgCommit, nil)
 	t.finish()
 	if err != nil {
-		return err
+		// The connection died between sending MsgCommit and reading the
+		// response: the server may already have applied the commit, so
+		// the outcome is indeterminate and the error must not be
+		// retryable — core.Exec re-running the transaction would
+		// double-apply it.
+		return &CommitIndeterminateError{Err: err}
 	}
 	return expectOK(typ, payload)
 }

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"htap/internal/core"
 	"htap/internal/obs"
 	"htap/internal/types"
 	"htap/internal/wire"
@@ -293,6 +294,109 @@ func TestBackoffDelaysRetries(t *testing.T) {
 	// finishes in well under a millisecond.)
 	if took := time.Since(t0); took < 30*time.Millisecond {
 		t.Fatalf("2 backoff retries finished in %v, want >= 30ms", took)
+	}
+}
+
+// commitThenDie completes the handshake, acknowledges the transaction's
+// begin and writes, and drops the connection upon reading MsgCommit
+// without answering — the indeterminate-commit window.
+func commitThenDie(t *testing.T, nc net.Conn) {
+	if !handshake(t, nc) {
+		return
+	}
+	for {
+		typ, _, err := wire.ReadFrame(nc)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case wire.MsgCommit:
+			return // die without a response: the outcome is unknown
+		default:
+			if wire.WriteFrame(nc, wire.MsgOK, nil) != nil {
+				return
+			}
+		}
+	}
+}
+
+func TestCommitTransportFailureIsIndeterminateNotRetried(t *testing.T) {
+	// The connection dies after MsgCommit is sent but before MsgOK
+	// arrives. The server may have applied the commit, so core.Exec must
+	// NOT re-run the transaction — a retry could double-apply it.
+	f := startFake(t, commitThenDie)
+	r, _ := connect(t, f, Options{})
+	attempts := 0
+	err := core.Exec(context.Background(), r, func(tx core.Tx) error {
+		attempts++
+		return tx.Insert("acct", types.Row{types.NewInt(1)})
+	})
+	var ci *CommitIndeterminateError
+	if !errors.As(err, &ci) {
+		t.Fatalf("err = %v, want CommitIndeterminateError", err)
+	}
+	if core.IsRetryable(err) {
+		t.Fatal("indeterminate commit reported as retryable")
+	}
+	if attempts != 1 {
+		t.Fatalf("transaction body ran %d times, want 1: an indeterminate commit must not be retried", attempts)
+	}
+}
+
+// corruptStream completes the handshake, answers one query with a schema
+// frame followed by an undecodable batch frame, then keeps serving on the
+// same connection — which the client must never reuse.
+func corruptStream(t *testing.T, nc net.Conn) {
+	if !handshake(t, nc) {
+		return
+	}
+	if _, _, err := wire.ReadFrame(nc); err != nil {
+		return
+	}
+	sch := wire.Schema{Cols: []types.Column{{Name: "c0", Type: types.Int}}}
+	if wire.WriteFrame(nc, wire.MsgSchema, sch.Encode(nil)) != nil {
+		return
+	}
+	if wire.WriteFrame(nc, wire.MsgBatch, []byte{0xff}) != nil {
+		return
+	}
+	serveN(nc, 1)
+}
+
+func TestCorruptStreamConnNotPooled(t *testing.T) {
+	// A mid-stream decode failure abandons the stream with frames still
+	// in flight. The connection must be discarded: the next request has
+	// to dial fresh (and succeed) instead of reading stale frames.
+	f := startFake(t, corruptStream, serveQueries(1))
+	r, reg := connect(t, f, Options{})
+	if _, err := r.RunCH(context.Background(), 1); err == nil {
+		t.Fatal("corrupt stream returned no error")
+	}
+	rows, err := r.RunCH(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("RunCH after corrupt stream: %v", err)
+	}
+	if len(rows) != 1 || rows[0][0].Int() != 42 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if dials := reg.Counter("htap_client_dials_total", nil).Value(); dials != 2 {
+		t.Fatalf("dials = %d, want 2 (corrupt conn discarded, fresh dial)", dials)
+	}
+}
+
+func TestFailedQueryPlanCarriesError(t *testing.T) {
+	// A scan that fails after retries must return a plan that reports
+	// the failure, not one indistinguishable from an empty table.
+	f := startFake(t, errorThenServe(wire.CodeInternal, 1, 0))
+	r, _ := connect(t, f, Options{})
+	plan := r.Query(context.Background(), "acct", nil, nil)
+	var we *wire.Error
+	if err := plan.Err(); !errors.As(err, &we) || we.Code != wire.CodeInternal {
+		t.Fatalf("plan.Err() = %v, want internal wire error", plan.Err())
+	}
+	rows, err := plan.RunCtx(context.Background())
+	if err == nil || rows != nil {
+		t.Fatalf("RunCtx = (%v, %v), want (nil, error)", rows, err)
 	}
 }
 

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"testing"
 
@@ -128,5 +129,35 @@ func TestExprStringer(t *testing.T) {
 		if e.String() == "" {
 			t.Fatalf("%T has empty String()", e)
 		}
+	}
+}
+
+func TestErrorPlanShortCircuits(t *testing.T) {
+	boom := errors.New("boom")
+	right := From(NewMemSource(salesSchema.Cols, testRows()))
+	// Every builder must short-circuit on the carried error instead of
+	// binding expressions or join keys against the nil schema (which
+	// would panic in colIndex).
+	p := FromError(boom).
+		Filter(Cmp(GE, ColName("amount"), ConstFloat(1))).
+		Project(NamedExpr{"id", ColName("id")}).
+		Join(right, []string{"id"}, []string{"id"}).
+		Agg([]string{"id"}, Agg{Count, nil, "n"}).
+		Distinct().
+		Sort(SortKey{Col: "id"}).
+		TopK(3, SortKey{Col: "id"}).
+		Limit(5)
+	if p.Err() != boom {
+		t.Fatalf("Err() = %v, want boom", p.Err())
+	}
+	if rows, err := p.RunCtx(context.Background()); err != boom || rows != nil {
+		t.Fatalf("RunCtx = (%v, %v), want (nil, boom)", rows, err)
+	}
+	if n, err := p.CountCtx(context.Background()); err != boom || n != 0 {
+		t.Fatalf("CountCtx = (%d, %v), want (0, boom)", n, err)
+	}
+	// The error also flows in from the right side of a join.
+	if err := right.SemiJoin(FromError(boom), []string{"id"}, []string{"id"}).Err(); err != boom {
+		t.Fatalf("right-side join error not carried: %v", err)
 	}
 }

@@ -808,45 +808,93 @@ func (o *limitOp) Next() *Batch {
 
 // --- plan builder ---
 
-// Plan is a fluent builder over a Source pipeline.
-type Plan struct{ src Source }
+// Plan is a fluent builder over a Source pipeline. A plan may carry an
+// error (FromError): builder methods short-circuit on it and RunCtx /
+// CountCtx report it instead of executing, so a failed scan source — a
+// remote query whose transport died, say — cannot masquerade as an
+// empty table.
+type Plan struct {
+	src Source
+	err error
+}
 
 // From starts a plan at a source.
 func From(s Source) *Plan { return &Plan{src: s} }
 
+// FromError returns a plan carrying err: every plan derived from it
+// carries the error too, and running any of them yields no rows and err.
+// Engine implementations whose Query path can fail (the network client)
+// return it so callers can tell "empty table" from "query failed".
+func FromError(err error) *Plan {
+	return &Plan{src: NewMemSource(nil, nil), err: err}
+}
+
+// Err reports the error the plan carries (nil for healthy plans).
+func (p *Plan) Err() error { return p.err }
+
 // Filter keeps rows where e is true.
 func (p *Plan) Filter(e Expr) *Plan {
-	return &Plan{&filterOp{in: p.src, expr: e.Bind(p.src.Schema())}}
+	if p.err != nil {
+		return p
+	}
+	return &Plan{src: &filterOp{in: p.src, expr: e.Bind(p.src.Schema())}}
 }
 
 // Project computes named expressions.
 func (p *Plan) Project(exprs ...NamedExpr) *Plan {
-	return &Plan{newProject(p.src, exprs)}
+	if p.err != nil {
+		return p
+	}
+	return &Plan{src: newProject(p.src, exprs)}
 }
 
 // Join inner-joins with right on equality of the paired key columns.
 func (p *Plan) Join(right *Plan, leftCols, rightCols []string) *Plan {
-	return &Plan{newHashJoin(InnerJoin, p.src, right.src, leftCols, rightCols)}
+	if p.err != nil {
+		return p
+	}
+	if right.err != nil {
+		return right
+	}
+	return &Plan{src: newHashJoin(InnerJoin, p.src, right.src, leftCols, rightCols)}
 }
 
 // SemiJoin keeps left rows with a match in right (EXISTS).
 func (p *Plan) SemiJoin(right *Plan, leftCols, rightCols []string) *Plan {
-	return &Plan{newHashJoin(LeftSemiJoin, p.src, right.src, leftCols, rightCols)}
+	if p.err != nil {
+		return p
+	}
+	if right.err != nil {
+		return right
+	}
+	return &Plan{src: newHashJoin(LeftSemiJoin, p.src, right.src, leftCols, rightCols)}
 }
 
 // AntiJoin keeps left rows without a match in right (NOT EXISTS).
 func (p *Plan) AntiJoin(right *Plan, leftCols, rightCols []string) *Plan {
-	return &Plan{newHashJoin(LeftAntiJoin, p.src, right.src, leftCols, rightCols)}
+	if p.err != nil {
+		return p
+	}
+	if right.err != nil {
+		return right
+	}
+	return &Plan{src: newHashJoin(LeftAntiJoin, p.src, right.src, leftCols, rightCols)}
 }
 
 // Agg groups by the named columns (nil for a global aggregate) and computes
 // aggs.
 func (p *Plan) Agg(groupBy []string, aggs ...Agg) *Plan {
-	return &Plan{newHashAgg(p.src, groupBy, aggs)}
+	if p.err != nil {
+		return p
+	}
+	return &Plan{src: newHashAgg(p.src, groupBy, aggs)}
 }
 
 // Distinct removes duplicate rows.
 func (p *Plan) Distinct() *Plan {
+	if p.err != nil {
+		return p
+	}
 	cols := make([]string, len(p.src.Schema()))
 	for i, c := range p.src.Schema() {
 		cols[i] = c.Name
@@ -856,11 +904,19 @@ func (p *Plan) Distinct() *Plan {
 
 // Sort orders the output.
 func (p *Plan) Sort(keys ...SortKey) *Plan {
-	return &Plan{&sortOp{in: p.src, keys: keys}}
+	if p.err != nil {
+		return p
+	}
+	return &Plan{src: &sortOp{in: p.src, keys: keys}}
 }
 
 // Limit truncates the output to n rows.
-func (p *Plan) Limit(n int) *Plan { return &Plan{&limitOp{in: p.src, left: n}} }
+func (p *Plan) Limit(n int) *Plan {
+	if p.err != nil {
+		return p
+	}
+	return &Plan{src: &limitOp{in: p.src, left: n}}
+}
 
 // Schema returns the plan's output schema.
 func (p *Plan) Schema() []types.Column { return p.src.Schema() }
@@ -879,6 +935,9 @@ func (p *Plan) Run() []types.Row {
 // already produced. Callers must treat the rows as incomplete whenever the
 // error is non-nil.
 func (p *Plan) RunCtx(ctx context.Context) ([]types.Row, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
 	ctx = orBackground(ctx)
 	var rows []types.Row
 	for {
@@ -907,6 +966,9 @@ func (p *Plan) Count() int {
 // CountCtx executes the plan under ctx, returning the row count; the count
 // is partial whenever the returned error is non-nil.
 func (p *Plan) CountCtx(ctx context.Context) (int, error) {
+	if p.err != nil {
+		return 0, p.err
+	}
 	ctx = orBackground(ctx)
 	n := 0
 	for {

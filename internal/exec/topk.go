@@ -103,8 +103,11 @@ func (o *topKOp) Next() *Batch {
 // TopK is Sort(keys...).Limit(k) with a bounded heap: equivalent output,
 // O(n log k) time and O(k) memory instead of materializing the input.
 func (p *Plan) TopK(k int, keys ...SortKey) *Plan {
+	if p.err != nil {
+		return p
+	}
 	if k <= 0 {
 		return p.Limit(0)
 	}
-	return &Plan{&topKOp{in: p.src, keys: keys, k: k}}
+	return &Plan{src: &topKOp{in: p.src, keys: keys, k: k}}
 }

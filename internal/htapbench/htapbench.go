@@ -86,6 +86,9 @@ type Result struct {
 	QphH    float64 // analytical queries per hour
 
 	TxnErrors int64
+	// QueryErrors counts AP queries that failed or were shed; they are
+	// excluded from Queries, QphH, and the latency histograms.
+	QueryErrors int64
 
 	AvgTxnLatency   time.Duration
 	AvgQueryLatency time.Duration
@@ -174,6 +177,7 @@ func Run(cfg Config) Result {
 		txnErrs    atomic.Int64
 		txnNanos   atomic.Int64
 		queryCount atomic.Int64
+		queryErrs  atomic.Int64
 		queryNanos atomic.Int64
 		wg         sync.WaitGroup
 	)
@@ -232,18 +236,25 @@ func Run(cfg Config) Result {
 		go func(seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed*7777 + seed))
-			bound := ch.Bind(ctx, cfg.Engine)
 			runner, _ := cfg.Engine.(CHRunner)
 			for !stop.Load() {
 				q := queries[rng.Intn(len(queries))]
 				start := time.Now()
+				var qerr error
 				if runner != nil {
-					_, _ = runner.RunCH(ctx, q.num)
+					_, qerr = runner.RunCH(ctx, q.num)
 				} else {
-					q.fn(bound)
+					_, qerr = ch.RunQuery(ctx, cfg.Engine, q.num)
 				}
 				if ctx.Err() != nil {
 					return // window closed mid-query: the result is partial
+				}
+				if qerr != nil {
+					// Shed (ErrOverloaded) or failed queries return in
+					// backoff time, not scan time: counting them would
+					// inflate QphH and skew the latency histograms.
+					queryErrs.Add(1)
+					continue
 				}
 				el := time.Since(start)
 				queryNanos.Add(int64(el))
@@ -306,11 +317,12 @@ func Run(cfg Config) Result {
 		total += n
 	}
 	res := Result{
-		Elapsed:   elapsed,
-		Txns:      total,
-		NewOrder:  driver.NewOrders(),
-		Queries:   queryCount.Load(),
-		TxnErrors: txnErrs.Load(),
+		Elapsed:     elapsed,
+		Txns:        total,
+		NewOrder:    driver.NewOrders(),
+		Queries:     queryCount.Load(),
+		TxnErrors:   txnErrs.Load(),
+		QueryErrors: queryErrs.Load(),
 	}
 	mins := elapsed.Minutes()
 	res.TpmC = float64(res.NewOrder) / mins
