@@ -248,6 +248,34 @@ func BenchmarkCHQueries(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelOperators pins the degree of parallelism explicitly
+// (rather than inheriting GOMAXPROCS) and times the morsel-driven scan →
+// aggregate pipeline (Q1), the selective scan (Q6), and the join-heavy
+// plan (Q12) at DOP 1 and 4. Run with
+//
+//	go test -run='^$' -bench=BenchmarkParallelOperators -count=2 -cpu=1,4 .
+//
+// to cross DOP with scheduler width; on a single-core host DOP>1 measures
+// partitioning overhead, not speedup (see BENCH_parallel.json).
+func BenchmarkParallelOperators(b *testing.B) {
+	e, _ := loadedEngine(b, core.ArchA)
+	defer e.Close()
+	qs := ch.Queries()
+	for _, qn := range []int{1, 6, 12} {
+		for _, dop := range []int{1, 4} {
+			q := qs[qn]
+			b.Run(fmt.Sprintf("Q%02d/dop=%d", qn, dop), func(b *testing.B) {
+				e.(core.Paralleler).SetParallelism(dop)
+				defer e.(core.Paralleler).SetParallelism(0) // restore GOMAXPROCS default
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					q(ch.Bind(context.Background(), e))
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTPCC times each TPC-C transaction type on architecture A.
 func BenchmarkTPCC(b *testing.B) {
 	e, s := loadedEngine(b, core.ArchA)

@@ -1,0 +1,200 @@
+package ch
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"htap/internal/core"
+	"htap/internal/disk"
+	"htap/internal/types"
+)
+
+// The golden-equivalence suite is the determinism gate for morsel-driven
+// parallel execution: one CH dataset, all 22 queries, every architecture,
+// at parallelism 1 and N. Three properties are asserted:
+//
+//  1. Within one architecture, repeated runs at the same parallelism are
+//     bit-identical (static morsel assignment, part-ordered merges).
+//  2. Within one architecture, parallelism 1 and N agree exactly on row
+//     order, integers, and strings; float aggregates agree to a relative
+//     epsilon (parallel summation changes association, nothing else).
+//  3. Across architectures, order-normalized results agree under the same
+//     float epsilon: four storage engines, one answer set.
+
+const eqEpsilon = 1e-9
+
+// eqScale is big enough that order_line spans multiple column-store
+// segments (and therefore many morsels) but small enough to keep
+// 22 queries x 4 architectures x 3 runs fast under -race.
+func eqScale() Scale {
+	s := SmallScale(2)
+	s.Customers = 60
+	s.Orders = 80
+	s.Items = 120
+	return s
+}
+
+func eqEngines(t *testing.T) map[string]core.Engine {
+	t.Helper()
+	schemas := Schemas()
+	engines := map[string]core.Engine{
+		"A": core.NewEngineA(core.ConfigA{Schemas: schemas}),
+		"B": core.NewEngineB(core.ConfigB{Schemas: schemas, Partitions: 4, VotersPer: 3, LearnersPer: 1}),
+		"C": core.NewEngineC(core.ConfigC{Schemas: schemas, Shards: 4, Disk: disk.MemConfig()}),
+		"D": core.NewEngineD(core.ConfigD{Schemas: schemas}),
+	}
+	for name, e := range engines {
+		if _, err := NewGenerator(eqScale()).Load(e); err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		if c, ok := e.(*core.EngineC); ok {
+			// Heatwave-style: every column loaded, so all 22 queries take
+			// the sharded columnar path rather than the disk row scan.
+			for _, sch := range schemas {
+				cols := make([]string, len(sch.Cols))
+				for i, col := range sch.Cols {
+					cols[i] = col.Name
+				}
+				c.LoadColumns(sch.Name, cols)
+			}
+		}
+		e.Sync()
+	}
+	return engines
+}
+
+// cellsClose compares two datums: exact for ints and strings, relative
+// epsilon for floats.
+func cellsClose(a, b types.Datum) bool {
+	if a.Kind == types.Float && b.Kind == types.Float {
+		x, y := a.Float(), b.Float()
+		return math.Abs(x-y) <= eqEpsilon*math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+	}
+	return a.Equal(b)
+}
+
+func rowsClose(a, b []types.Row) (int, int, bool) {
+	if len(a) != len(b) {
+		return -1, -1, false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return i, -1, false
+		}
+		for c := range a[i] {
+			if !cellsClose(a[i][c], b[i][c]) {
+				return i, c, false
+			}
+		}
+	}
+	return 0, 0, true
+}
+
+// normKey renders a row for order-normalized comparison. Floats round to
+// six significant digits so epsilon-close rows from different
+// architectures sort identically.
+func normKey(r types.Row) string {
+	var b strings.Builder
+	for _, d := range r {
+		if d.Kind == types.Float {
+			fmt.Fprintf(&b, "|%.6e", d.Float())
+		} else {
+			fmt.Fprintf(&b, "|%v", d)
+		}
+	}
+	return b.String()
+}
+
+func normalize(rows []types.Row) []types.Row {
+	out := append([]types.Row(nil), rows...)
+	sort.SliceStable(out, func(i, j int) bool { return normKey(out[i]) < normKey(out[j]) })
+	return out
+}
+
+func runAll(t *testing.T, e core.Engine, par int) [][]types.Row {
+	t.Helper()
+	e.(core.Paralleler).SetParallelism(par)
+	out := make([][]types.Row, 23)
+	for q := 1; q <= 22; q++ {
+		rows, err := RunQuery(context.Background(), e, q)
+		if err != nil {
+			t.Fatalf("Q%02d at parallelism %d: %v", q, par, err)
+		}
+		out[q] = rows
+	}
+	return out
+}
+
+func TestCrossArchGoldenEquivalence(t *testing.T) {
+	engines := eqEngines(t)
+	defer func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}()
+	parN := runtime.GOMAXPROCS(0)
+	if parN < 4 {
+		// Exercise real fan-out even on small CI machines: parallelism is
+		// a partitioning degree, not a thread count, so N > cores is valid.
+		parN = 4
+	}
+
+	type result struct {
+		arch string
+		par  int
+		out  [][]types.Row
+	}
+	var results []result
+	for _, arch := range []string{"A", "B", "C", "D"} {
+		e := engines[arch]
+		seq := runAll(t, e, 1)
+		par := runAll(t, e, parN)
+		rep := runAll(t, e, parN)
+		for q := 1; q <= 22; q++ {
+			// Determinism: same engine, same parallelism => identical bits.
+			if i, c, ok := rowsClose(par[q], rep[q]); !ok || !exactEqual(par[q], rep[q]) {
+				t.Fatalf("%s Q%02d: parallel run not deterministic (row %d col %d)", arch, q, i, c)
+			}
+			// Parallel vs sequential within one engine: same order, floats
+			// to epsilon.
+			if i, c, ok := rowsClose(seq[q], par[q]); !ok {
+				t.Fatalf("%s Q%02d: parallelism %d diverges from sequential at row %d col %d:\nseq: %d rows\npar: %d rows",
+					arch, q, parN, i, c, len(seq[q]), len(par[q]))
+			}
+		}
+		results = append(results, result{arch, 1, seq}, result{arch, parN, par})
+	}
+
+	// Cross-architecture: order-normalized results must agree with the
+	// golden (architecture A, sequential) for every query.
+	golden := results[0]
+	for _, r := range results[1:] {
+		for q := 1; q <= 22; q++ {
+			want := normalize(golden.out[q])
+			got := normalize(r.out[q])
+			if i, c, ok := rowsClose(want, got); !ok {
+				t.Errorf("arch %s par %d Q%02d != golden at row %d col %d (want %d rows, got %d)",
+					r.arch, r.par, q, i, c, len(want), len(got))
+			}
+		}
+	}
+}
+
+func exactEqual(a, b []types.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for c := range a[i] {
+			if !a[i][c].Equal(b[i][c]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -85,6 +85,36 @@ func (s *Segment) Row(i int) types.Row {
 	return r
 }
 
+// Morsel is a contiguous run of rows [Lo, Hi) within one segment: the unit
+// of work morsel-driven parallel scans hand to worker goroutines. Segments
+// are immutable, so a morsel can be scanned without coordination; only the
+// delete bitmap needs a snapshot (Segment.DeleteMask).
+type Morsel struct {
+	Seg    *Segment
+	Lo, Hi int
+}
+
+// Morsels cuts the segments into morsels of at most rows rows each, in
+// segment-then-offset order. The cut depends only on segment sizes — never
+// on timing — so a scan partitioned over the same data yields the same
+// morsel list every time.
+func Morsels(segs []*Segment, rows int) []Morsel {
+	if rows <= 0 {
+		rows = SegmentRows
+	}
+	var ms []Morsel
+	for _, seg := range segs {
+		for lo := 0; lo < seg.N; lo += rows {
+			hi := lo + rows
+			if hi > seg.N {
+				hi = seg.N
+			}
+			ms = append(ms, Morsel{Seg: seg, Lo: lo, Hi: hi})
+		}
+	}
+	return ms
+}
+
 type loc struct {
 	seg int
 	idx int

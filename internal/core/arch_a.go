@@ -41,6 +41,9 @@ type ConfigA struct {
 	Threshold datasync.Threshold
 	// Strategy picks delta merge (default) or full rebuild.
 	Strategy SyncStrategy
+	// Parallelism is the degree of parallelism analytical queries run
+	// with; zero means GOMAXPROCS. SetParallelism overrides it at runtime.
+	Parallelism int
 }
 
 // EngineA is architecture A: a memory-optimized primary row store handles
@@ -57,6 +60,7 @@ type EngineA struct {
 	deltas  []*delta.Mem
 	tracker *freshness.Tracker
 	mode    atomic.Uint32
+	par     atomic.Int32
 	cfg     ConfigA
 	om      archMetrics
 	obsFns  []*obs.FuncHandle
@@ -90,6 +94,7 @@ func NewEngineA(cfg ConfigA) *EngineA {
 		e.deltas = append(e.deltas, delta.NewMem())
 	}
 	e.mode.Store(uint32(sched.Shared))
+	e.par.Store(int32(cfg.Parallelism))
 	e.obsFns = registerEngineFuncs(ArchA, e.Freshness, e.walDev.Stats)
 	if cfg.SyncInterval > 0 {
 		e.wg.Add(1)
@@ -271,7 +276,7 @@ func (e *EngineA) Source(ctx context.Context, table string, cols []string, pred 
 // Query implements Engine.
 func (e *EngineA) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return exec.From(e.Source(ctx, table, cols, pred))
+	return exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par))
 }
 
 // Sync implements Engine.
@@ -312,6 +317,9 @@ func (e *EngineA) GC() int64 {
 
 // SetMode implements Engine.
 func (e *EngineA) SetMode(m sched.Mode) { e.mode.Store(uint32(m)) }
+
+// SetParallelism implements Paralleler.
+func (e *EngineA) SetParallelism(n int) { e.par.Store(int32(n)) }
 
 // Freshness implements Engine. In Shared mode the analytical view scans
 // the in-memory delta and therefore sees every commit (§2.2(2)(i): "the

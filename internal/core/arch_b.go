@@ -33,6 +33,9 @@ type ConfigB struct {
 	// MergeInterval is the learners' background log-delta merge cadence;
 	// zero merges only on explicit Sync().
 	MergeInterval time.Duration
+	// Parallelism is the degree of parallelism analytical queries run
+	// with; zero means GOMAXPROCS. SetParallelism overrides it at runtime.
+	Parallelism int
 }
 
 // voterStorage is one voting replica's state: MVCC row stores per table.
@@ -119,6 +122,7 @@ type EngineB struct {
 
 	tracker *freshness.Tracker
 	mode    atomic.Uint32
+	par     atomic.Int32
 	commits atomic.Int64
 	aborts  atomic.Int64
 	om      archMetrics
@@ -188,6 +192,7 @@ func NewEngineB(cfg ConfigB) *EngineB {
 		return e.parts[part][l.Status().ID]
 	})
 	e.mode.Store(uint32(sched.Shared))
+	e.par.Store(int32(cfg.Parallelism))
 	e.obsFns = registerEngineFuncs(ArchB, e.Freshness, func() disk.Stats { return e.Stats().Disk })
 	if cfg.MergeInterval > 0 {
 		e.wg.Add(1)
@@ -425,13 +430,13 @@ func (e *EngineB) Source(ctx context.Context, table string, cols []string, pred 
 			break // one learner per partition serves queries
 		}
 	}
-	return exec.NewParallel(ctx, srcs...)
+	return exec.NewUnion(srcs...)
 }
 
 // Query implements Engine.
 func (e *EngineB) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return exec.From(e.Source(ctx, table, cols, pred))
+	return exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par))
 }
 
 // Sync implements Engine: every learner merges its log-based delta files
@@ -488,6 +493,9 @@ func (e *EngineB) minColApplied() uint64 {
 
 // SetMode implements Engine.
 func (e *EngineB) SetMode(m sched.Mode) { e.mode.Store(uint32(m)) }
+
+// SetParallelism implements Paralleler.
+func (e *EngineB) SetParallelism(n int) { e.par.Store(int32(n)) }
 
 // Freshness implements Engine. Even in Shared mode the analytical view is
 // only as fresh as what replication has delivered to the learners; in

@@ -38,6 +38,9 @@ type ConfigC struct {
 	Disk disk.Config
 	// Cost drives the hybrid row/column access-path choice.
 	Cost planner.CostParams
+	// Parallelism is the degree of parallelism analytical queries run
+	// with; zero means GOMAXPROCS. SetParallelism overrides it at runtime.
+	Parallelism int
 }
 
 // imcsTable is one table's footprint in the in-memory column-store
@@ -70,6 +73,7 @@ type EngineC struct {
 	cfg     ConfigC
 	tracker *freshness.Tracker
 	mode    atomic.Uint32
+	par     atomic.Int32
 	om      archMetrics
 	obsFns  []*obs.FuncHandle
 
@@ -111,6 +115,7 @@ func NewEngineC(cfg ConfigC) *EngineC {
 		e.imcs = append(e.imcs, &imcsTable{loaded: make(map[string]bool), delta: delta.NewMem()})
 	}
 	e.mode.Store(uint32(sched.Shared))
+	e.par.Store(int32(cfg.Parallelism))
 	// The analytical cost model charges the row device; export it (the WAL
 	// device is already covered by htap_wal_* series).
 	e.obsFns = registerEngineFuncs(ArchC, e.Freshness, e.rowDev.Stats)
@@ -452,13 +457,13 @@ func (e *EngineC) imcsSource(ctx context.Context, id uint32, cols []string, pred
 		}
 		srcs[i] = exec.NewColScan(ctx, sh, cols, pred, o)
 	}
-	return exec.NewParallel(ctx, srcs...)
+	return exec.NewUnion(srcs...)
 }
 
 // Query implements Engine.
 func (e *EngineC) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return exec.From(e.Source(ctx, table, cols, pred))
+	return exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par))
 }
 
 // RowSource forces the disk row-store access path, bypassing the cost
@@ -564,6 +569,9 @@ func (e *EngineC) GC() int64 {
 
 // SetMode implements Engine.
 func (e *EngineC) SetMode(m sched.Mode) { e.mode.Store(uint32(m)) }
+
+// SetParallelism implements Paralleler.
+func (e *EngineC) SetParallelism(n int) { e.par.Store(int32(n)) }
 
 // Freshness implements Engine. Shared-mode pushdown scans overlay the
 // IMCS delta (and row-store fallbacks are always current), so the view is

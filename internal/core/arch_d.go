@@ -25,6 +25,9 @@ type ConfigD struct {
 	// L1Rows and L2Rows are the HANA layer-promotion thresholds.
 	L1Rows int
 	L2Rows int
+	// Parallelism is the degree of parallelism analytical queries run
+	// with; zero means GOMAXPROCS. SetParallelism overrides it at runtime.
+	Parallelism int
 }
 
 // EngineD is architecture D (SAP HANA, §2.1(d)): the main column store is
@@ -41,6 +44,7 @@ type EngineD struct {
 	layers  []*datasync.Layered
 	tracker *freshness.Tracker
 	mode    atomic.Uint32
+	par     atomic.Int32
 	om      archMetrics
 	obsFns  []*obs.FuncHandle
 
@@ -73,6 +77,7 @@ func NewEngineD(cfg ConfigD) *EngineD {
 		e.versions = append(e.versions, make(map[int64]uint64))
 	}
 	e.mode.Store(uint32(sched.Shared))
+	e.par.Store(int32(cfg.Parallelism))
 	e.obsFns = registerEngineFuncs(ArchD, e.Freshness, e.walDev.Stats)
 	return e
 }
@@ -281,7 +286,7 @@ func (e *EngineD) Source(ctx context.Context, table string, cols []string, pred 
 // Query implements Engine.
 func (e *EngineD) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return exec.From(e.Source(ctx, table, cols, pred))
+	return exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par))
 }
 
 // Sync implements Engine: promote every L1 and merge every L2 down to
@@ -311,6 +316,9 @@ func (e *EngineD) Sync() {
 
 // SetMode implements Engine.
 func (e *EngineD) SetMode(m sched.Mode) { e.mode.Store(uint32(m)) }
+
+// SetParallelism implements Paralleler.
+func (e *EngineD) SetParallelism(n int) { e.par.Store(int32(n)) }
 
 // Freshness implements Engine. Shared-mode scans overlay the L1 delta and
 // see every commit; Isolated mode is bounded by layer promotion.

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"context"
 	"errors"
 	"fmt"
@@ -248,4 +249,19 @@ func (ts *tableSet) schema(name string) *types.Schema {
 		return ts.schemas[i]
 	}
 	return nil
+}
+
+// Paralleler is implemented by engines whose analytical queries run with a
+// configurable degree of parallelism. Zero (the default) means
+// exec.DefaultParallelism, i.e. GOMAXPROCS at query time.
+type Paralleler interface {
+	SetParallelism(n int)
+}
+
+// resolveDOP turns a stored parallelism setting into an effective degree.
+func resolveDOP(p *atomic.Int32) int {
+	if v := p.Load(); v > 0 {
+		return int(v)
+	}
+	return exec.DefaultParallelism()
 }

@@ -2,10 +2,13 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"htap/internal/bitmap"
 	"htap/internal/colstore"
 	"htap/internal/delta"
 	"htap/internal/rowstore"
@@ -60,6 +63,26 @@ func (s *memSource) Next() *Batch {
 		s.pos++
 	}
 	return b
+}
+
+// Split partitions the remaining rows into contiguous ranges sharing the
+// backing slice; part-order concatenation reproduces the sequential scan.
+func (s *memSource) Split(n int) []Source {
+	rows := s.rows[s.pos:]
+	s.pos = len(s.rows)
+	if len(rows) == 0 {
+		return nil
+	}
+	chunk := (len(rows) + n - 1) / n
+	var parts []Source
+	for lo := 0; lo < len(rows); lo += chunk {
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		parts = append(parts, &memSource{schema: s.schema, rows: rows[lo:hi]})
+	}
+	return parts
 }
 
 // --- row-store scan ---
@@ -147,7 +170,15 @@ func NewColScan(ctx context.Context, tbl *colstore.Table, cols []string, pred *S
 		}
 	}
 	if overlay != nil {
-		for _, r := range overlay.Rows {
+		// Materialize in key order: overlay.Rows is a map, and map
+		// iteration order must not leak into query results.
+		keys := make([]int64, 0, len(overlay.Rows))
+		for k := range overlay.Rows {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			r := overlay.Rows[k]
 			out := make(types.Row, len(idxs))
 			for i, c := range idxs {
 				out[i] = r[c]
@@ -210,6 +241,109 @@ func (s *colScan) Next() *Batch {
 	return b
 }
 
+// Split cuts the scan into contiguous runs of fixed-size morsels, one part
+// per worker. Assignment is range-based and static — boundaries depend
+// only on segment sizes and n — so repeated runs at the same parallelism
+// degree touch rows in the same order, and part-order concatenation equals
+// the sequential scan: segment rows first, then the delta overlay rows on
+// a trailing part.
+func (s *colScan) Split(n int) []Source {
+	if s.done || s.seg > 0 || s.row > 0 {
+		return nil
+	}
+	s.done = true
+	morsels := colstore.Morsels(s.segs, MorselRows)
+	chunk := (len(morsels) + n - 1) / n
+	if chunk == 0 {
+		chunk = 1
+	}
+	var parts []Source
+	for lo := 0; lo < len(morsels); lo += chunk {
+		hi := lo + chunk
+		if hi > len(morsels) {
+			hi = len(morsels)
+		}
+		parts = append(parts, &colScanPart{scan: s, morsels: morsels[lo:hi]})
+	}
+	if len(s.overRem) > 0 {
+		parts = append(parts, &colScanPart{scan: s, overRem: s.overRem})
+	}
+	return parts
+}
+
+// colScanPart drains one worker's share of a split colScan. Parts share
+// the parent's immutable segment snapshot, predicate, and overlay; only
+// the delete bitmap is snapshotted (per segment, cached across that
+// segment's morsels). Cancellation is polled per morsel, the same
+// granularity as the sequential scan's per-batch check.
+type colScanPart struct {
+	scan    *colScan
+	morsels []colstore.Morsel
+	overRem []types.Row
+
+	cur     int
+	lastSeg *colstore.Segment
+	mask    *bitmap.Bitmap
+	done    bool
+}
+
+func (p *colScanPart) Schema() []types.Column { return p.scan.schema }
+
+func (p *colScanPart) Next() *Batch {
+	s := p.scan
+	if p.done {
+		return nil
+	}
+	for p.cur < len(p.morsels) {
+		if s.ctx.Err() != nil {
+			p.done = true
+			return nil
+		}
+		m := p.morsels[p.cur]
+		p.cur++
+		morselsTotal.Inc()
+		if s.predIdx >= 0 && m.Seg.Zones[s.predIdx].PruneInt(s.pred.Lo, s.pred.Hi) {
+			continue
+		}
+		if m.Seg != p.lastSeg {
+			p.lastSeg = m.Seg
+			p.mask = m.Seg.DeleteMask()
+		}
+		b := NewBatch(s.schema)
+		for i := m.Lo; i < m.Hi; i++ {
+			if p.mask.Get(i) {
+				continue
+			}
+			if s.overlay != nil {
+				if _, masked := s.overlay.Masked[m.Seg.Keys[i]]; masked {
+					continue
+				}
+			}
+			for c, idx := range s.idxs {
+				b.Cols[c].Append(m.Seg.Cols[idx].Datum(i))
+			}
+			b.N++
+		}
+		if b.N > 0 {
+			return b
+		}
+	}
+	for len(p.overRem) > 0 {
+		if s.ctx.Err() != nil {
+			p.done = true
+			return nil
+		}
+		b := NewBatch(s.schema)
+		for b.N < BatchSize && len(p.overRem) > 0 {
+			b.AppendRow(p.overRem[len(p.overRem)-1])
+			p.overRem = p.overRem[:len(p.overRem)-1]
+		}
+		return b
+	}
+	p.done = true
+	return nil
+}
+
 // --- union ---
 
 type unionSource struct {
@@ -217,11 +351,27 @@ type unionSource struct {
 	cur  int
 }
 
+// errSource is a source that exists only to carry a construction-time
+// error. It yields no rows; From recognizes it and returns an
+// error-carrying plan (FromError), so misconstructed sources surface as
+// query errors instead of panics or silently empty tables.
+type errSource struct{ err error }
+
+func (s *errSource) Schema() []types.Column { return nil }
+func (s *errSource) Next() *Batch           { return nil }
+
 // NewUnion concatenates sources with identical schemas; layered stores
-// (main + delta layers) scan as a union.
+// (main + delta layers) scan as a union. A union of zero sources is a
+// construction error: the result carries it (see errSource) rather than
+// panicking, and a plan built from it reports the error when run.
 func NewUnion(srcs ...Source) Source {
 	if len(srcs) == 0 {
-		panic("exec: empty union")
+		return &errSource{err: errors.New("exec: union of zero sources")}
+	}
+	for _, s := range srcs {
+		if es, ok := s.(*errSource); ok {
+			return es
+		}
 	}
 	for _, s := range srcs[1:] {
 		if len(s.Schema()) != len(srcs[0].Schema()) {
@@ -241,6 +391,27 @@ func (s *unionSource) Next() *Batch {
 		s.cur++
 	}
 	return nil
+}
+
+// Split partitions every child and concatenates the parts in child order,
+// so part-order concatenation preserves the union's sequential row order.
+// Children that cannot split become single parts, which still parallelizes
+// a union of shards across the shards themselves.
+func (s *unionSource) Split(n int) []Source {
+	if s.cur > 0 {
+		return nil
+	}
+	s.cur = len(s.srcs)
+	per := (n + len(s.srcs) - 1) / len(s.srcs)
+	var parts []Source
+	for _, c := range s.srcs {
+		if ps := trySplit(c, per); ps != nil {
+			parts = append(parts, ps...)
+		} else {
+			parts = append(parts, c)
+		}
+	}
+	return parts
 }
 
 // --- parallel union ---
@@ -264,7 +435,7 @@ func NewParallel(ctx context.Context, srcs ...Source) Source {
 		return srcs[0]
 	}
 	if len(srcs) == 0 {
-		panic("exec: empty parallel union")
+		return &errSource{err: errors.New("exec: parallel union of zero sources")}
 	}
 	return &parallelSource{ctx: orBackground(ctx), schema: srcs[0].Schema(), srcs: srcs, ch: make(chan *Batch, 4)}
 }
@@ -336,6 +507,21 @@ func (o *filterOp) Next() *Batch {
 	}
 }
 
+// Split partitions the input and wraps each part in its own filter, so a
+// scan-filter pipeline runs whole on each worker. The bound expression is
+// shared: evaluation is read-only.
+func (o *filterOp) Split(n int) []Source {
+	parts := trySplit(o.in, n)
+	if parts == nil {
+		return nil
+	}
+	out := make([]Source, len(parts))
+	for i, p := range parts {
+		out[i] = &filterOp{in: p, expr: o.expr}
+	}
+	return out
+}
+
 // --- project ---
 
 // NamedExpr pairs an output column name with its defining expression.
@@ -377,6 +563,20 @@ func (o *projectOp) Next() *Batch {
 	return out
 }
 
+// Split mirrors filterOp.Split: per-worker projection over the split
+// input, sharing the read-only bound expressions.
+func (o *projectOp) Split(n int) []Source {
+	parts := trySplit(o.in, n)
+	if parts == nil {
+		return nil
+	}
+	out := make([]Source, len(parts))
+	for i, p := range parts {
+		out[i] = &projectOp{in: p, schema: o.schema, exprs: o.exprs}
+	}
+	return out
+}
+
 // --- hash join ---
 
 // JoinType selects join semantics.
@@ -399,11 +599,12 @@ type hashJoinOp struct {
 	buildRows  *Batch
 	buckets    map[uint64][]int
 	rightWidth int
-	built      bool
+	buildOnce  sync.Once
 	buildSrc   Source
+	par        int
 }
 
-func newHashJoin(typ JoinType, left, right Source, leftCols, rightCols []string) *hashJoinOp {
+func newHashJoin(typ JoinType, left, right Source, leftCols, rightCols []string, par int) *hashJoinOp {
 	if len(leftCols) != len(rightCols) || len(leftCols) == 0 {
 		panic("exec: join key arity mismatch")
 	}
@@ -430,7 +631,7 @@ func newHashJoin(typ JoinType, left, right Source, leftCols, rightCols []string)
 	return &hashJoinOp{
 		typ: typ, left: left, schema: schema,
 		leftKeys: lk, rightKeys: rk,
-		rightWidth: len(right.Schema()), buildSrc: right,
+		rightWidth: len(right.Schema()), buildSrc: right, par: par,
 	}
 }
 
@@ -453,65 +654,159 @@ func keysEqual(lb *Batch, li int, lk []int, rb *Batch, ri int, rk []int) bool {
 	return true
 }
 
+// build materializes the right side into buildRows + buckets. With par >
+// 1 and a splittable build source, workers materialize and hash disjoint
+// partitions in parallel; the partitions are then merged into one table
+// sequentially in part order, so bucket entry order — and with it the
+// order of multi-match probe output — is identical to a sequential build.
 func (o *hashJoinOp) build() {
-	o.buildRows = NewBatch(o.buildSrc.Schema())
-	o.buckets = make(map[uint64][]int)
-	for {
-		b := o.buildSrc.Next()
-		if b == nil {
-			break
-		}
-		for i := 0; i < b.N; i++ {
-			idx := o.buildRows.N
-			for c := range b.Cols {
-				o.buildRows.Cols[c].AppendFrom(b.Cols[c], i)
+	parts := trySplit(o.buildSrc, o.par)
+	if parts == nil {
+		o.buildRows = NewBatch(o.buildSrc.Schema())
+		o.buckets = make(map[uint64][]int)
+		for {
+			b := o.buildSrc.Next()
+			if b == nil {
+				return
 			}
-			o.buildRows.N++
-			h := hashKeys(b, i, o.rightKeys)
-			o.buckets[h] = append(o.buckets[h], idx)
+			o.buildInto(b)
 		}
 	}
-	o.built = true
+	type buildPart struct {
+		rows   *Batch
+		hashes []uint64
+	}
+	res := make([]buildPart, len(parts))
+	tasks := make([]func(), len(parts))
+	for w := range parts {
+		w := w
+		tasks[w] = func() {
+			src := parts[w]
+			rows := NewBatch(src.Schema())
+			var hashes []uint64
+			for {
+				b := src.Next()
+				if b == nil {
+					break
+				}
+				for i := 0; i < b.N; i++ {
+					for c := range b.Cols {
+						rows.Cols[c].AppendFrom(b.Cols[c], i)
+					}
+					rows.N++
+					hashes = append(hashes, hashKeys(b, i, o.rightKeys))
+				}
+			}
+			res[w] = buildPart{rows: rows, hashes: hashes}
+		}
+	}
+	SharedPool().Run(tasks)
+	start := time.Now()
+	o.buildRows = NewBatch(res[0].rows.Schema)
+	o.buckets = make(map[uint64][]int)
+	for _, bp := range res {
+		for i := 0; i < bp.rows.N; i++ {
+			idx := o.buildRows.N
+			for c := range bp.rows.Cols {
+				o.buildRows.Cols[c].AppendFrom(bp.rows.Cols[c], i)
+			}
+			o.buildRows.N++
+			o.buckets[bp.hashes[i]] = append(o.buckets[bp.hashes[i]], idx)
+		}
+	}
+	mergeNS.Add(time.Since(start).Nanoseconds())
+}
+
+func (o *hashJoinOp) buildInto(b *Batch) {
+	for i := 0; i < b.N; i++ {
+		idx := o.buildRows.N
+		for c := range b.Cols {
+			o.buildRows.Cols[c].AppendFrom(b.Cols[c], i)
+		}
+		o.buildRows.N++
+		h := hashKeys(b, i, o.rightKeys)
+		o.buckets[h] = append(o.buckets[h], idx)
+	}
+}
+
+// probe matches one left batch against the built table. Safe for
+// concurrent use once build has completed: it only reads the table.
+func (o *hashJoinOp) probe(b *Batch) *Batch {
+	out := NewBatch(o.schema)
+	for i := 0; i < b.N; i++ {
+		h := hashKeys(b, i, o.leftKeys)
+		matched := false
+		for _, ri := range o.buckets[h] {
+			if !keysEqual(b, i, o.leftKeys, o.buildRows, ri, o.rightKeys) {
+				continue
+			}
+			matched = true
+			if o.typ != InnerJoin {
+				break
+			}
+			nl := len(b.Cols)
+			for c := range b.Cols {
+				out.Cols[c].AppendFrom(b.Cols[c], i)
+			}
+			for c := 0; c < o.rightWidth; c++ {
+				out.Cols[nl+c].AppendFrom(o.buildRows.Cols[c], ri)
+			}
+			out.N++
+		}
+		if (o.typ == LeftSemiJoin && matched) || (o.typ == LeftAntiJoin && !matched) {
+			for c := range b.Cols {
+				out.Cols[c].AppendFrom(b.Cols[c], i)
+			}
+			out.N++
+		}
+	}
+	return out
 }
 
 func (o *hashJoinOp) Next() *Batch {
-	if !o.built {
-		o.build()
-	}
+	o.buildOnce.Do(o.build)
 	for {
 		b := o.left.Next()
 		if b == nil {
 			return nil
 		}
-		out := NewBatch(o.schema)
-		for i := 0; i < b.N; i++ {
-			h := hashKeys(b, i, o.leftKeys)
-			matched := false
-			for _, ri := range o.buckets[h] {
-				if !keysEqual(b, i, o.leftKeys, o.buildRows, ri, o.rightKeys) {
-					continue
-				}
-				matched = true
-				if o.typ != InnerJoin {
-					break
-				}
-				nl := len(b.Cols)
-				for c := range b.Cols {
-					out.Cols[c].AppendFrom(b.Cols[c], i)
-				}
-				for c := 0; c < o.rightWidth; c++ {
-					out.Cols[nl+c].AppendFrom(o.buildRows.Cols[c], ri)
-				}
-				out.N++
-			}
-			if (o.typ == LeftSemiJoin && matched) || (o.typ == LeftAntiJoin && !matched) {
-				for c := range b.Cols {
-					out.Cols[c].AppendFrom(b.Cols[c], i)
-				}
-				out.N++
-			}
+		if out := o.probe(b); out.N > 0 {
+			return out
 		}
-		if out.N > 0 {
+	}
+}
+
+// Split partitions the probe side; every part probes the one shared hash
+// table, whose construction is serialized by buildOnce (the first part to
+// run builds it, in parallel when the build source splits).
+func (o *hashJoinOp) Split(n int) []Source {
+	parts := trySplit(o.left, n)
+	if parts == nil {
+		return nil
+	}
+	out := make([]Source, len(parts))
+	for i, p := range parts {
+		out[i] = &hashJoinProbe{op: o, left: p}
+	}
+	return out
+}
+
+// hashJoinProbe is one worker's probe stream over a split hash join.
+type hashJoinProbe struct {
+	op   *hashJoinOp
+	left Source
+}
+
+func (p *hashJoinProbe) Schema() []types.Column { return p.op.schema }
+
+func (p *hashJoinProbe) Next() *Batch {
+	p.op.buildOnce.Do(p.op.build)
+	for {
+		b := p.left.Next()
+		if b == nil {
+			return nil
+		}
+		if out := p.op.probe(b); out.N > 0 {
 			return out
 		}
 	}
@@ -554,14 +849,15 @@ type hashAggOp struct {
 	aggExprs []Expr
 	schema   []types.Column
 	intSum   []bool
+	par      int
 
 	done bool
 	out  []types.Row
 	pos  int
 }
 
-func newHashAgg(in Source, groupBy []string, aggs []Agg) *hashAggOp {
-	o := &hashAggOp{in: in, aggs: aggs}
+func newHashAgg(in Source, groupBy []string, aggs []Agg, par int) *hashAggOp {
+	o := &hashAggOp{in: in, aggs: aggs, par: par}
 	ins := in.Schema()
 	for _, g := range groupBy {
 		o.schema = append(o.schema, ins[colIndex(ins, g)])
@@ -597,72 +893,163 @@ func newHashAgg(in Source, groupBy []string, aggs []Agg) *hashAggOp {
 
 func (o *hashAggOp) Schema() []types.Column { return o.schema }
 
-func (o *hashAggOp) run() {
-	type group struct {
-		key    types.Row
-		states []aggState
-	}
-	groups := make(map[uint64][]*group)
-	var order []*group
-	find := func(b *Batch, i int) *group {
-		key := make(types.Row, len(o.groupBy))
-		h := uint64(1469598103934665603)
-		for gi, g := range o.groupBy {
-			key[gi] = g.Eval(b, i)
-			h = key[gi].Hash(h)
+// aggGroup is one group's key and accumulator states.
+type aggGroup struct {
+	key    types.Row
+	states []aggState
+}
+
+// aggTable is one hash-aggregation table. The sequential path uses a
+// single table; the parallel path gives each worker its own table over a
+// disjoint partition of the input and merges them afterwards.
+type aggTable struct {
+	o      *hashAggOp
+	groups map[uint64][]*aggGroup
+	order  []*aggGroup // first-seen order, the output order
+}
+
+func newAggTable(o *hashAggOp) *aggTable {
+	return &aggTable{o: o, groups: make(map[uint64][]*aggGroup)}
+}
+
+// lookup finds or creates the group for key (pre-hashed to h).
+func (t *aggTable) lookup(key types.Row, h uint64) *aggGroup {
+	for _, g := range t.groups[h] {
+		same := true
+		for gi := range key {
+			if !g.key[gi].Equal(key[gi]) {
+				same = false
+				break
+			}
 		}
-		for _, g := range groups[h] {
-			same := true
-			for gi := range key {
-				if !g.key[gi].Equal(key[gi]) {
-					same = false
-					break
+		if same {
+			return g
+		}
+	}
+	g := &aggGroup{key: key, states: make([]aggState, len(t.o.aggs))}
+	t.groups[h] = append(t.groups[h], g)
+	t.order = append(t.order, g)
+	return g
+}
+
+func (t *aggTable) find(b *Batch, i int) *aggGroup {
+	key := make(types.Row, len(t.o.groupBy))
+	h := uint64(1469598103934665603)
+	for gi, g := range t.o.groupBy {
+		key[gi] = g.Eval(b, i)
+		h = key[gi].Hash(h)
+	}
+	return t.lookup(key, h)
+}
+
+func (t *aggTable) consume(b *Batch) {
+	o := t.o
+	for i := 0; i < b.N; i++ {
+		g := t.find(b, i)
+		for ai, a := range o.aggs {
+			st := &g.states[ai]
+			st.count++
+			if a.Kind == Count {
+				continue
+			}
+			d := o.aggExprs[ai].Eval(b, i)
+			switch a.Kind {
+			case Sum, Avg:
+				st.sum += d.Float()
+				if d.Kind == types.Int {
+					st.isum += d.I
+				}
+			case Min:
+				if st.count == 1 || d.Compare(st.min) < 0 {
+					st.min = d
+				}
+			case Max:
+				if st.count == 1 || d.Compare(st.max) > 0 {
+					st.max = d
 				}
 			}
-			if same {
-				return g
-			}
 		}
-		g := &group{key: key, states: make([]aggState, len(o.aggs))}
-		groups[h] = append(groups[h], g)
-		order = append(order, g)
-		return g
 	}
+}
+
+func (t *aggTable) drain(src Source) {
 	for {
-		b := o.in.Next()
+		b := src.Next()
 		if b == nil {
-			break
+			return
 		}
-		for i := 0; i < b.N; i++ {
-			g := find(b, i)
-			for ai, a := range o.aggs {
-				st := &g.states[ai]
-				st.count++
-				if a.Kind == Count {
-					continue
-				}
-				d := o.aggExprs[ai].Eval(b, i)
-				switch a.Kind {
-				case Sum, Avg:
-					st.sum += d.Float()
-					if d.Kind == types.Int {
-						st.isum += d.I
-					}
-				case Min:
-					if st.count == 1 || d.Compare(st.min) < 0 {
-						st.min = d
-					}
-				case Max:
-					if st.count == 1 || d.Compare(st.max) > 0 {
-						st.max = d
-					}
-				}
-			}
+		t.consume(b)
+	}
+}
+
+// merge folds other into t, visiting other's groups in their first-seen
+// order. Merging part tables in part order makes both the group output
+// order and the float summation order a pure function of the input order
+// and the part boundaries — never of worker timing.
+func (t *aggTable) merge(other *aggTable) {
+	for _, og := range other.order {
+		h := uint64(1469598103934665603)
+		for _, k := range og.key {
+			h = k.Hash(h)
+		}
+		g := t.lookup(og.key, h)
+		for ai := range t.o.aggs {
+			mergeAggState(&g.states[ai], &og.states[ai], t.o.aggs[ai].Kind)
 		}
 	}
+}
+
+// mergeAggState folds src into dst for one aggregate.
+func mergeAggState(dst, src *aggState, kind AggKind) {
+	if src.count == 0 {
+		return
+	}
+	if dst.count == 0 {
+		*dst = *src
+		return
+	}
+	dst.sum += src.sum
+	dst.isum += src.isum
+	dst.count += src.count
+	switch kind {
+	case Min:
+		if src.min.Compare(dst.min) < 0 {
+			dst.min = src.min
+		}
+	case Max:
+		if src.max.Compare(dst.max) > 0 {
+			dst.max = src.max
+		}
+	}
+}
+
+func (o *hashAggOp) run() {
+	t := newAggTable(o)
+	if parts := trySplit(o.in, o.par); parts != nil {
+		parallelPlans.Inc()
+		tables := make([]*aggTable, len(parts))
+		tasks := make([]func(), len(parts))
+		for w := range parts {
+			w := w
+			tasks[w] = func() {
+				pt := newAggTable(o)
+				pt.drain(parts[w])
+				tables[w] = pt
+			}
+		}
+		SharedPool().Run(tasks)
+		start := time.Now()
+		for _, pt := range tables {
+			t.merge(pt)
+		}
+		mergeNS.Add(time.Since(start).Nanoseconds())
+	} else {
+		t.drain(o.in)
+	}
+	order := t.order
 	// A global aggregate over zero rows still yields one row of zeros.
 	if len(order) == 0 && len(o.groupBy) == 0 {
-		order = append(order, &group{states: make([]aggState, len(o.aggs))})
+		order = append(order, &aggGroup{states: make([]aggState, len(o.aggs))})
 	}
 	for _, g := range order {
 		row := make(types.Row, 0, len(o.schema))
@@ -816,10 +1203,32 @@ func (o *limitOp) Next() *Batch {
 type Plan struct {
 	src Source
 	err error
+	par int // degree of parallelism; <= 1 means sequential
 }
 
-// From starts a plan at a source.
-func From(s Source) *Plan { return &Plan{src: s} }
+// From starts a plan at a source. A source carrying a construction error
+// (NewUnion of zero sources, say) becomes an error-carrying plan, exactly
+// as if built with FromError.
+func From(s Source) *Plan {
+	if es, ok := s.(*errSource); ok {
+		return FromError(es.err)
+	}
+	return &Plan{src: s}
+}
+
+// Parallel sets the plan's degree of parallelism: how many partitions
+// splittable pipelines fan out into. The shared worker pool bounds actual
+// concurrency separately. Results are deterministic at any fixed degree;
+// across degrees, float aggregates may differ by summation-order rounding
+// only. Call it on the plan root (engines do, with their configured
+// degree) before adding operators.
+func (p *Plan) Parallel(n int) *Plan {
+	if n < 1 {
+		n = 1
+	}
+	p.par = n
+	return p
+}
 
 // FromError returns a plan carrying err: every plan derived from it
 // carries the error too, and running any of them yields no rows and err.
@@ -837,7 +1246,7 @@ func (p *Plan) Filter(e Expr) *Plan {
 	if p.err != nil {
 		return p
 	}
-	return &Plan{src: &filterOp{in: p.src, expr: e.Bind(p.src.Schema())}}
+	return &Plan{src: &filterOp{in: p.src, expr: e.Bind(p.src.Schema())}, par: p.par}
 }
 
 // Project computes named expressions.
@@ -845,7 +1254,7 @@ func (p *Plan) Project(exprs ...NamedExpr) *Plan {
 	if p.err != nil {
 		return p
 	}
-	return &Plan{src: newProject(p.src, exprs)}
+	return &Plan{src: newProject(p.src, exprs), par: p.par}
 }
 
 // Join inner-joins with right on equality of the paired key columns.
@@ -856,7 +1265,7 @@ func (p *Plan) Join(right *Plan, leftCols, rightCols []string) *Plan {
 	if right.err != nil {
 		return right
 	}
-	return &Plan{src: newHashJoin(InnerJoin, p.src, right.src, leftCols, rightCols)}
+	return &Plan{src: newHashJoin(InnerJoin, p.src, right.src, leftCols, rightCols, p.par), par: p.par}
 }
 
 // SemiJoin keeps left rows with a match in right (EXISTS).
@@ -867,7 +1276,7 @@ func (p *Plan) SemiJoin(right *Plan, leftCols, rightCols []string) *Plan {
 	if right.err != nil {
 		return right
 	}
-	return &Plan{src: newHashJoin(LeftSemiJoin, p.src, right.src, leftCols, rightCols)}
+	return &Plan{src: newHashJoin(LeftSemiJoin, p.src, right.src, leftCols, rightCols, p.par), par: p.par}
 }
 
 // AntiJoin keeps left rows without a match in right (NOT EXISTS).
@@ -878,7 +1287,7 @@ func (p *Plan) AntiJoin(right *Plan, leftCols, rightCols []string) *Plan {
 	if right.err != nil {
 		return right
 	}
-	return &Plan{src: newHashJoin(LeftAntiJoin, p.src, right.src, leftCols, rightCols)}
+	return &Plan{src: newHashJoin(LeftAntiJoin, p.src, right.src, leftCols, rightCols, p.par), par: p.par}
 }
 
 // Agg groups by the named columns (nil for a global aggregate) and computes
@@ -887,7 +1296,7 @@ func (p *Plan) Agg(groupBy []string, aggs ...Agg) *Plan {
 	if p.err != nil {
 		return p
 	}
-	return &Plan{src: newHashAgg(p.src, groupBy, aggs)}
+	return &Plan{src: newHashAgg(p.src, groupBy, aggs, p.par), par: p.par}
 }
 
 // Distinct removes duplicate rows.
@@ -907,7 +1316,7 @@ func (p *Plan) Sort(keys ...SortKey) *Plan {
 	if p.err != nil {
 		return p
 	}
-	return &Plan{src: &sortOp{in: p.src, keys: keys}}
+	return &Plan{src: &sortOp{in: p.src, keys: keys}, par: p.par}
 }
 
 // Limit truncates the output to n rows.
@@ -915,7 +1324,7 @@ func (p *Plan) Limit(n int) *Plan {
 	if p.err != nil {
 		return p
 	}
-	return &Plan{src: &limitOp{in: p.src, left: n}}
+	return &Plan{src: &limitOp{in: p.src, left: n}, par: p.par}
 }
 
 // Schema returns the plan's output schema.
@@ -939,6 +1348,33 @@ func (p *Plan) RunCtx(ctx context.Context) ([]types.Row, error) {
 		return nil, p.err
 	}
 	ctx = orBackground(ctx)
+	if parts := trySplit(p.src, p.par); parts != nil {
+		parallelPlans.Inc()
+		res := make([][]types.Row, len(parts))
+		tasks := make([]func(), len(parts))
+		for w := range parts {
+			w := w
+			tasks[w] = func() {
+				var rows []types.Row
+				for ctx.Err() == nil {
+					b := parts[w].Next()
+					if b == nil {
+						break
+					}
+					for i := 0; i < b.N; i++ {
+						rows = append(rows, b.Row(i))
+					}
+				}
+				res[w] = rows
+			}
+		}
+		SharedPool().Run(tasks)
+		var rows []types.Row
+		for _, r := range res {
+			rows = append(rows, r...)
+		}
+		return rows, ctx.Err()
+	}
 	var rows []types.Row
 	for {
 		if err := ctx.Err(); err != nil {
@@ -970,6 +1406,29 @@ func (p *Plan) CountCtx(ctx context.Context) (int, error) {
 		return 0, p.err
 	}
 	ctx = orBackground(ctx)
+	if parts := trySplit(p.src, p.par); parts != nil {
+		parallelPlans.Inc()
+		counts := make([]int, len(parts))
+		tasks := make([]func(), len(parts))
+		for w := range parts {
+			w := w
+			tasks[w] = func() {
+				for ctx.Err() == nil {
+					b := parts[w].Next()
+					if b == nil {
+						break
+					}
+					counts[w] += b.N
+				}
+			}
+		}
+		SharedPool().Run(tasks)
+		n := 0
+		for _, c := range counts {
+			n += c
+		}
+		return n, ctx.Err()
+	}
 	n := 0
 	for {
 		if err := ctx.Err(); err != nil {

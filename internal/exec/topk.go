@@ -109,5 +109,5 @@ func (p *Plan) TopK(k int, keys ...SortKey) *Plan {
 	if k <= 0 {
 		return p.Limit(0)
 	}
-	return &Plan{src: &topKOp{in: p.src, keys: keys, k: k}}
+	return &Plan{src: &topKOp{in: p.src, keys: keys, k: k}, par: p.par}
 }

@@ -596,6 +596,11 @@ func runScheduled(o Opts, ctrl sched.Controller) RSRow {
 		},
 	)
 	defer pool.Stop()
+	// Throttle intra-query (morsel) parallelism along with the AP worker
+	// count: shrinking the AP share narrows each query's fan-out too. The
+	// shared pool outlives the experiment, so restore its default after.
+	pool.AttachExecLimiter(exec.SharedPool())
+	defer exec.SharedPool().SetLimit(0)
 
 	var lagSum float64
 	var lagN int64

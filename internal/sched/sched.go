@@ -194,12 +194,23 @@ func share(tp, ap int) float64 {
 
 // --- worker pool ---
 
+// Limiter caps the concurrency of some external resource; exec.SharedPool
+// implements it for intra-query (morsel) parallelism. Attached to a Pool,
+// it lets the resource controller throttle how wide a single analytical
+// query fans out, not just how many queries run at once.
+type Limiter interface {
+	SetLimit(n int)
+}
+
 // Pool runs two resizable worker sets over unit-of-work callbacks. The TP
 // task and AP task each perform one unit (one transaction, one query) and
 // report whether work was available.
 type Pool struct {
 	tp *workerSet
 	ap *workerSet
+
+	mu      sync.Mutex
+	execLim Limiter
 }
 
 // NewPool builds a pool; tasks run until Stop.
@@ -207,10 +218,29 @@ func NewPool(tpTask, apTask func() bool) *Pool {
 	return &Pool{tp: newWorkerSet(tpTask, "oltp"), ap: newWorkerSet(apTask, "olap")}
 }
 
+// AttachExecLimiter couples l to the AP worker count: every Resize caps l
+// at max(ap, 1), so the intra-query worker pool shrinks with the AP share.
+// The caller owns restoring l's limit after the pool stops (Stop does not,
+// because l outlives the experiment that attached it).
+func (p *Pool) AttachExecLimiter(l Limiter) {
+	p.mu.Lock()
+	p.execLim = l
+	p.mu.Unlock()
+}
+
 // Resize sets the worker counts.
 func (p *Pool) Resize(tp, ap int) {
 	p.tp.resize(tp)
 	p.ap.resize(ap)
+	p.mu.Lock()
+	l := p.execLim
+	p.mu.Unlock()
+	if l != nil {
+		if ap < 1 {
+			ap = 1
+		}
+		l.SetLimit(ap)
+	}
 }
 
 // Counts returns the live worker counts.

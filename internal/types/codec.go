@@ -39,6 +39,12 @@ func DecodeRow(b []byte) (Row, int, error) {
 	if sz <= 0 {
 		return nil, 0, fmt.Errorf("types: bad row header")
 	}
+	// Every datum costs at least one byte (its kind), so a count beyond
+	// the remaining payload is corrupt; checking before make keeps a
+	// hostile header from allocating gigabytes.
+	if n > uint64(len(b)-sz) {
+		return nil, 0, fmt.Errorf("types: row count %d exceeds payload", n)
+	}
 	pos := sz
 	r := make(Row, n)
 	for i := range r {
@@ -65,7 +71,9 @@ func DecodeRow(b []byte) (Row, int, error) {
 			pos += 8
 		case String:
 			l, sz := binary.Uvarint(b[pos:])
-			if sz <= 0 || pos+sz+int(l) > len(b) {
+			// Compare in uint64 space: int(l) of a huge length would wrap
+			// negative and slip past a signed bounds check.
+			if sz <= 0 || l > uint64(len(b)-pos-sz) {
 				return nil, 0, fmt.Errorf("types: bad string datum")
 			}
 			pos += sz

@@ -310,6 +310,12 @@ func DecodeServerHello(b []byte) (ServerHello, error) {
 	h := ServerHello{Version: uint32(d.uvarint()), Arch: d.byte()}
 	n := d.uvarint()
 	if d.err == nil && n > 0 {
+		// Each entry costs at least two bytes (key length prefix plus a
+		// varint value); a larger count is corrupt, and sizing the map from
+		// it would let a hostile header allocate gigabytes.
+		if n > uint64(len(d.b))/2 {
+			return h, fmt.Errorf("wire: meta count %d exceeds payload", n)
+		}
 		h.Meta = make(map[string]int64, n)
 		for i := uint64(0); i < n && d.err == nil; i++ {
 			k := d.str()
