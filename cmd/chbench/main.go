@@ -131,6 +131,13 @@ func main() {
 	fmt.Printf("%-22s %12s\n", "avg query latency", res.AvgQueryLatency.Round(time.Microsecond))
 	fmt.Printf("%-22s %12.1f\n", "avg freshness lag", res.FreshAvgLagTS)
 	fmt.Printf("%-22s %12s\n", "max freshness lag", res.FreshMaxLagTime.Round(time.Millisecond))
+	if *remote == "" {
+		// Late-materialization accounting is process-local; in remote mode
+		// the scans (and their counters) live in the server.
+		fmt.Printf("%-22s %12d\n", "pushdown rows scanned", res.PushdownScannedRows)
+		fmt.Printf("%-22s %12d\n", "rows materialized", res.PushdownMaterializedRows)
+		fmt.Printf("%-22s %12.0f\n", "rows matzd per query", res.RowsMaterializedPerQuery)
+	}
 	printClasses("transaction class", res.TxnClasses)
 	printClasses("query class", res.QueryClasses)
 	if local != nil {

@@ -75,6 +75,114 @@ func (b *Bitmap) ForEach(fn func(i int) bool) {
 	}
 }
 
+// Fill sets bits [0, n), growing as needed; selection vectors start from
+// an all-selected state of the segment's row count.
+func (b *Bitmap) Fill(n int) {
+	if n <= 0 {
+		return
+	}
+	words := (n + 63) / 64
+	b.grow(words - 1)
+	for w := 0; w < words-1; w++ {
+		b.words[w] = ^uint64(0)
+	}
+	if rem := uint(n) & 63; rem != 0 {
+		b.words[words-1] = (uint64(1) << rem) - 1
+	} else {
+		b.words[words-1] = ^uint64(0)
+	}
+	for w := words; w < len(b.words); w++ {
+		b.words[w] = 0
+	}
+	b.recount()
+}
+
+// And intersects b with o in place.
+func (b *Bitmap) And(o *Bitmap) {
+	for w := range b.words {
+		if w < len(o.words) {
+			b.words[w] &= o.words[w]
+		} else {
+			b.words[w] = 0
+		}
+	}
+	b.recount()
+}
+
+// AndNot clears every bit of b that is set in o; ANDing a selection vector
+// with the complement of a delete bitmap folds deletes into the selection.
+func (b *Bitmap) AndNot(o *Bitmap) {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for w := 0; w < n; w++ {
+		b.words[w] &^= o.words[w]
+	}
+	b.recount()
+}
+
+// ClearRange clears bits [lo, hi); RLE predicate evaluation drops whole
+// runs with one or two word-masked stores per run.
+func (b *Bitmap) ClearRange(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if max := len(b.words) * 64; hi > max {
+		hi = max
+	}
+	if lo >= hi {
+		return
+	}
+	loW, hiW := lo>>6, (hi-1)>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi-1) & 63))
+	if loW == hiW {
+		b.clearMask(loW, loMask&hiMask)
+		return
+	}
+	b.clearMask(loW, loMask)
+	for w := loW + 1; w < hiW; w++ {
+		b.count -= bits.OnesCount64(b.words[w])
+		b.words[w] = 0
+	}
+	b.clearMask(hiW, hiMask)
+}
+
+func (b *Bitmap) clearMask(w int, mask uint64) {
+	b.count -= bits.OnesCount64(b.words[w] & mask)
+	b.words[w] &^= mask
+}
+
+// NextSet returns the smallest set bit >= i, or -1 when none remains.
+// Selection-vector scans use it to resume mid-segment at batch boundaries.
+func (b *Bitmap) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	w := i >> 6
+	if w >= len(b.words) {
+		return -1
+	}
+	if cur := b.words[w] >> (uint(i) & 63); cur != 0 {
+		return i + bits.TrailingZeros64(cur)
+	}
+	for w++; w < len(b.words); w++ {
+		if b.words[w] != 0 {
+			return w*64 + bits.TrailingZeros64(b.words[w])
+		}
+	}
+	return -1
+}
+
+func (b *Bitmap) recount() {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	b.count = n
+}
+
 // Clone returns an independent copy.
 func (b *Bitmap) Clone() *Bitmap {
 	c := &Bitmap{words: make([]uint64, len(b.words)), count: b.count}

@@ -123,3 +123,125 @@ func TestQuickCountMatchesSet(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFill(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 200} {
+		b := New(n)
+		b.Fill(n)
+		if b.Count() != n {
+			t.Fatalf("Fill(%d): count = %d", n, b.Count())
+		}
+		if n > 0 && (!b.Get(0) || !b.Get(n-1)) {
+			t.Fatalf("Fill(%d): boundary bits unset", n)
+		}
+		if b.Get(n) {
+			t.Fatalf("Fill(%d): bit %d set past end", n, n)
+		}
+	}
+	// Refilling a smaller range clears the tail.
+	b := New(128)
+	b.Fill(128)
+	b.Fill(10)
+	if b.Count() != 10 || b.Get(10) || b.Get(127) {
+		t.Fatalf("Fill shrink: count=%d", b.Count())
+	}
+}
+
+func TestAndAndNot(t *testing.T) {
+	a := New(128)
+	a.Fill(100)
+	o := New(128)
+	for i := 0; i < 100; i += 3 {
+		o.Set(i)
+	}
+	c := a.Clone()
+	c.And(o)
+	if c.Count() != o.Count() {
+		t.Fatalf("And: count=%d want %d", c.Count(), o.Count())
+	}
+	d := a.Clone()
+	d.AndNot(o)
+	if d.Count() != 100-o.Count() {
+		t.Fatalf("AndNot: count=%d want %d", d.Count(), 100-o.Count())
+	}
+	for i := 0; i < 100; i++ {
+		if d.Get(i) == o.Get(i) {
+			t.Fatalf("AndNot: bit %d wrong", i)
+		}
+	}
+	// And with a shorter bitmap zeroes the excess words.
+	short := New(10)
+	short.Set(1)
+	e := a.Clone()
+	e.And(short)
+	if e.Count() != 1 || !e.Get(1) {
+		t.Fatalf("And(short): count=%d", e.Count())
+	}
+}
+
+func TestClearRange(t *testing.T) {
+	cases := [][2]int{{0, 0}, {0, 1}, {0, 64}, {1, 63}, {63, 65}, {10, 130}, {64, 128}, {100, 200}, {-5, 3}, {190, 500}}
+	for _, c := range cases {
+		b := New(200)
+		b.Fill(200)
+		b.ClearRange(c[0], c[1])
+		for i := 0; i < 200; i++ {
+			want := i < c[0] || i >= c[1]
+			if b.Get(i) != want {
+				t.Fatalf("ClearRange(%d,%d): bit %d = %v", c[0], c[1], i, b.Get(i))
+			}
+		}
+		wantCount := 0
+		for i := 0; i < 200; i++ {
+			if i < c[0] || i >= c[1] {
+				wantCount++
+			}
+		}
+		if b.Count() != wantCount {
+			t.Fatalf("ClearRange(%d,%d): count=%d want %d", c[0], c[1], b.Count(), wantCount)
+		}
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	b := New(200)
+	for _, i := range []int{3, 64, 65, 130, 199} {
+		b.Set(i)
+	}
+	cases := map[int]int{0: 3, 3: 3, 4: 64, 64: 64, 65: 65, 66: 130, 131: 199, 199: 199, 200: -1, -7: 3}
+	for from, want := range cases {
+		if got := b.NextSet(from); got != want {
+			t.Fatalf("NextSet(%d) = %d, want %d", from, got, want)
+		}
+	}
+	if New(0).NextSet(0) != -1 {
+		t.Fatal("NextSet on empty bitmap should be -1")
+	}
+}
+
+// Property: ClearRange equals per-bit Clear.
+func TestQuickClearRange(t *testing.T) {
+	f := func(lo, span uint8) bool {
+		b := New(300)
+		b.Fill(300)
+		ref := New(300)
+		ref.Fill(300)
+		l, h := int(lo), int(lo)+int(span)
+		b.ClearRange(l, h)
+		for i := l; i < h && i < 300; i++ {
+			ref.Clear(i)
+		}
+		if b.Count() != ref.Count() {
+			return false
+		}
+		for i := 0; i < 300; i++ {
+			if b.Get(i) != ref.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -26,6 +26,49 @@ func (z *ZoneMap) PruneInt(lo, hi int64) bool {
 	return z.valid && (hi < z.MinInt || lo > z.MaxInt)
 }
 
+// PruneFloat reports whether the segment can be skipped for a predicate
+// requiring the float column to intersect [lo, hi]. Unbounded ends are
+// expressed with ±Inf.
+func (z *ZoneMap) PruneFloat(lo, hi float64) bool {
+	return z.valid && (hi < z.MinFloat || lo > z.MaxFloat)
+}
+
+// PruneStr reports whether the segment can be skipped for a predicate
+// requiring the string column to intersect [lo, hi]. hiBounded false means
+// the range is [lo, +inf); lo's natural zero "" is already unbounded below.
+func (z *ZoneMap) PruneStr(lo, hi string, hiBounded bool) bool {
+	return z.valid && ((hiBounded && hi < z.MinStr) || lo > z.MaxStr)
+}
+
+// PruneStrPrefix reports whether no value in the segment can start with
+// prefix, using only the string min/max bounds.
+func (z *ZoneMap) PruneStrPrefix(prefix string) bool {
+	if !z.valid {
+		return false
+	}
+	if z.MaxStr < prefix {
+		return true
+	}
+	if succ, ok := PrefixSucc(prefix); ok && z.MinStr >= succ {
+		return true
+	}
+	return false
+}
+
+// PrefixSucc returns the smallest string ordered after every string with
+// the given prefix, and false when no such string exists (the prefix is
+// empty or all 0xff bytes).
+func PrefixSucc(p string) (string, bool) {
+	b := []byte(p)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xff {
+			b[i]++
+			return string(b[:i+1]), true
+		}
+	}
+	return "", false
+}
+
 // Segment is an immutable block of encoded column vectors plus a delete
 // bitmap. Deleting marks bits; the data itself never changes, so concurrent
 // scans need no row locks — the classic read-optimized main store.
@@ -37,6 +80,13 @@ type Segment struct {
 
 	mu   sync.RWMutex
 	dels *bitmap.Bitmap
+
+	// snap caches the last delete-bitmap snapshot; it is valid while no
+	// further row has been deleted (delete bits are only ever set, so the
+	// set-bit count identifies a state). Scans take one snapshot per
+	// segment instead of RLocking per row or cloning per batch.
+	snap      *bitmap.Bitmap
+	snapCount int
 }
 
 // Deleted reports whether row i is deleted.
@@ -60,11 +110,31 @@ func (s *Segment) LiveCount() int {
 	return s.N - s.dels.Count()
 }
 
-// DeleteMask returns a snapshot of the delete bitmap.
-func (s *Segment) DeleteMask() *bitmap.Bitmap {
+// DelSnapshot returns a point-in-time snapshot of the delete bitmap,
+// cached until the next delete. The returned bitmap is shared across
+// callers and MUST be treated as read-only.
+func (s *Segment) DelSnapshot() *bitmap.Bitmap {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.dels.Clone()
+	if s.snap != nil && s.snapCount == s.dels.Count() {
+		snap := s.snap
+		s.mu.RUnlock()
+		return snap
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	if s.snap == nil || s.snapCount != s.dels.Count() {
+		s.snap = s.dels.Clone()
+		s.snapCount = s.snap.Count()
+	}
+	snap := s.snap
+	s.mu.Unlock()
+	return snap
+}
+
+// DeleteMask returns a snapshot of the delete bitmap; the result is shared
+// and read-only (see DelSnapshot).
+func (s *Segment) DeleteMask() *bitmap.Bitmap {
+	return s.DelSnapshot()
 }
 
 // Bytes estimates the encoded size of the segment.
@@ -133,6 +203,24 @@ type Table struct {
 	applied uint64 // commit watermark covered by the segments (freshness)
 	rebuild int64  // count of full rebuilds (DS technique iii)
 	merges  int64  // count of delta merges (DS techniques i/ii)
+	selObs  func(sel float64)
+}
+
+// SetSelObserver registers a callback invoked with the observed selection
+// density (selected / scanned rows) each time a scan evaluates pushed-down
+// predicates over one of this table's segments. Engines use it to feed the
+// planner's selectivity feedback. fn must be safe for concurrent calls.
+func (t *Table) SetSelObserver(fn func(sel float64)) {
+	t.mu.Lock()
+	t.selObs = fn
+	t.mu.Unlock()
+}
+
+// SelObserver returns the registered selection-density observer, or nil.
+func (t *Table) SelObserver() func(sel float64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.selObs
 }
 
 // NewTable returns an empty columnar table.

@@ -1,0 +1,299 @@
+package colstore
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"htap/internal/bitmap"
+	"htap/internal/types"
+)
+
+// Encoded predicate evaluation: scans push comparison predicates down to
+// the segment vectors and evaluate them without decoding — raw arrays are
+// compared in place, RLE runs are decided with one comparison per run, and
+// dictionary-encoded strings are decided by one binary search of the
+// sorted dictionary followed by integer code comparisons. The result is a
+// selection bitmap the scan late-materializes from: only selected
+// positions of only the projected columns are ever decoded.
+
+// PredOp is a comparison operator evaluated against encoded vectors. It
+// mirrors the executor's comparison operators.
+type PredOp uint8
+
+// Comparison operators for pushed-down predicates.
+const (
+	PredEQ PredOp = iota + 1
+	PredNE
+	PredLT
+	PredLE
+	PredGT
+	PredGE
+)
+
+// String implements fmt.Stringer.
+func (op PredOp) String() string {
+	return [...]string{"?", "=", "!=", "<", "<=", ">", ">="}[op]
+}
+
+// opMatch reports whether a three-way comparison result c satisfies op.
+// The comparison semantics are exactly types.Datum.Compare's, so a pushed
+// predicate keeps precisely the rows a downstream filter would keep.
+func opMatch(op PredOp, c int) bool {
+	switch op {
+	case PredEQ:
+		return c == 0
+	case PredNE:
+		return c != 0
+	case PredLT:
+		return c < 0
+	case PredLE:
+		return c <= 0
+	case PredGT:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// FilterVec clears every bit of sel whose row does not satisfy (op, d)
+// over v. Rows already cleared (deleted, or dropped by an earlier
+// predicate) are never re-examined. It returns the number of RLE runs that
+// were decided wholesale — one comparison standing in for a whole run.
+// The (vector, datum) kind pairing must have been validated by the caller;
+// unsupported pairings panic, as they indicate a planner bug.
+func FilterVec(v Vector, op PredOp, d types.Datum, sel *bitmap.Bitmap) int {
+	switch vv := v.(type) {
+	case *intRLE:
+		return filterIntRLE(vv, op, d, sel)
+	case IntVector:
+		if d.Kind == types.Int {
+			filterInt(vv, op, d.I, sel)
+		} else {
+			filterIntAsFloat(vv, op, d.Float(), sel)
+		}
+	case FloatVector:
+		filterFloat(vv, op, d.Float(), sel)
+	case StrVector:
+		if d.Kind != types.String {
+			panic(fmt.Sprintf("colstore: pushing %s comparand to string vector", d.Kind))
+		}
+		filterStrDict(vv, op, d.S, sel)
+	default:
+		panic(fmt.Sprintf("colstore: cannot filter %s vector", v.Encoding()))
+	}
+	return 0
+}
+
+// forEachSelected visits the set bits of sel in [0, n) ascending, clearing
+// bit i whenever keep(i) is false.
+func forEachSelected(sel *bitmap.Bitmap, n int, keep func(i int) bool) {
+	for w := 0; w*64 < n; w++ {
+		word := sel.Word(w)
+		for word != 0 {
+			i := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if i >= n {
+				return
+			}
+			if !keep(i) {
+				sel.Clear(i)
+			}
+		}
+	}
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func filterInt(v IntVector, op PredOp, val int64, sel *bitmap.Bitmap) {
+	if raw, ok := v.(*intRaw); ok {
+		vals := raw.v
+		forEachSelected(sel, len(vals), func(i int) bool { return opMatch(op, cmpInt64(vals[i], val)) })
+		return
+	}
+	forEachSelected(sel, v.Len(), func(i int) bool { return opMatch(op, cmpInt64(v.Int(i), val)) })
+}
+
+// filterIntAsFloat compares int rows against a float comparand by widening
+// the row value — exactly what types.Datum.Compare does for mixed kinds.
+func filterIntAsFloat(v IntVector, op PredOp, val float64, sel *bitmap.Bitmap) {
+	forEachSelected(sel, v.Len(), func(i int) bool {
+		return opMatch(op, cmpFloat64(float64(v.Int(i)), val))
+	})
+}
+
+// filterIntRLE decides each run with a single comparison, clearing failing
+// runs with word-masked range stores. Returns the number of runs decided.
+func filterIntRLE(v *intRLE, op PredOp, d types.Datum, sel *bitmap.Bitmap) int {
+	runs := 0
+	v.Runs(func(rv int64, start, end int) bool {
+		runs++
+		var c int
+		if d.Kind == types.Int {
+			c = cmpInt64(rv, d.I)
+		} else {
+			c = cmpFloat64(float64(rv), d.Float())
+		}
+		if !opMatch(op, c) {
+			sel.ClearRange(start, end)
+		}
+		return true
+	})
+	return runs
+}
+
+func filterFloat(v FloatVector, op PredOp, val float64, sel *bitmap.Bitmap) {
+	if raw, ok := v.(*floatRaw); ok {
+		vals := raw.v
+		forEachSelected(sel, len(vals), func(i int) bool { return opMatch(op, cmpFloat64(vals[i], val)) })
+		return
+	}
+	forEachSelected(sel, v.Len(), func(i int) bool { return opMatch(op, cmpFloat64(v.Float(i), val)) })
+}
+
+// filterStrDict binary-searches the sorted dictionary once, reducing the
+// string comparison to an integer code-range test per row. Strings are
+// never materialized.
+func filterStrDict(v StrVector, op PredOp, val string, sel *bitmap.Bitmap) {
+	code, found := v.CodeOf(val)
+	// Express every operator as membership of [lo, hi] (inclusive, in
+	// int64 space so empty ranges need no special casing), possibly
+	// negated for NE.
+	lo, hi, neg := int64(0), int64(v.Len()), false
+	switch op {
+	case PredEQ, PredNE:
+		neg = op == PredNE
+		if found {
+			lo, hi = int64(code), int64(code)
+		} else {
+			lo, hi = 1, 0 // empty
+		}
+	case PredLT:
+		lo, hi = 0, int64(code)-1
+	case PredLE:
+		hi = int64(code)
+		if !found {
+			hi--
+		}
+	case PredGT:
+		lo = int64(code)
+		if found {
+			lo++
+		}
+	case PredGE:
+		lo = int64(code)
+	}
+	forEachSelected(sel, v.Len(), func(i int) bool {
+		c := int64(v.Code(i))
+		in := c >= lo && c <= hi
+		return in != neg
+	})
+}
+
+// FilterStrPrefix clears sel bits whose row does not start with prefix.
+// Prefix matches form one contiguous code range of the sorted dictionary,
+// found with two binary searches.
+func FilterStrPrefix(v StrVector, prefix string, sel *bitmap.Bitmap) {
+	dict := v.Dict()
+	lo := sort.SearchStrings(dict, prefix)
+	hi := lo + sort.Search(len(dict)-lo, func(j int) bool {
+		return !strings.HasPrefix(dict[lo+j], prefix)
+	})
+	forEachSelected(sel, v.Len(), func(i int) bool {
+		c := int(v.Code(i))
+		return c >= lo && c < hi
+	})
+}
+
+// FilterIntSet clears sel bits whose row value is not a member of set; RLE
+// vectors are decided per run. Returns the number of runs decided wholesale.
+func FilterIntSet(v IntVector, set map[int64]struct{}, sel *bitmap.Bitmap) int {
+	if rle, ok := v.(*intRLE); ok {
+		runs := 0
+		rle.Runs(func(rv int64, start, end int) bool {
+			runs++
+			if _, ok := set[rv]; !ok {
+				sel.ClearRange(start, end)
+			}
+			return true
+		})
+		return runs
+	}
+	forEachSelected(sel, v.Len(), func(i int) bool {
+		_, ok := set[v.Int(i)]
+		return ok
+	})
+	return 0
+}
+
+// --- late materialization gathers ---
+
+// GatherInts appends v's values at ascending positions pos to dst. RLE
+// vectors are walked run-by-run (pos is sorted), avoiding the per-row
+// binary search of Int.
+func GatherInts(v IntVector, pos []int, dst []int64) []int64 {
+	if rle, ok := v.(*intRLE); ok {
+		ri := 0
+		for _, i := range pos {
+			for int(rle.ends[ri]) <= i {
+				ri++
+			}
+			dst = append(dst, rle.vals[ri])
+		}
+		return dst
+	}
+	if raw, ok := v.(*intRaw); ok {
+		for _, i := range pos {
+			dst = append(dst, raw.v[i])
+		}
+		return dst
+	}
+	for _, i := range pos {
+		dst = append(dst, v.Int(i))
+	}
+	return dst
+}
+
+// GatherFloats appends v's values at positions pos to dst.
+func GatherFloats(v FloatVector, pos []int, dst []float64) []float64 {
+	if raw, ok := v.(*floatRaw); ok {
+		for _, i := range pos {
+			dst = append(dst, raw.v[i])
+		}
+		return dst
+	}
+	for _, i := range pos {
+		dst = append(dst, v.Float(i))
+	}
+	return dst
+}
+
+// GatherStrs appends v's values at positions pos to dst; only selected
+// rows ever materialize a string.
+func GatherStrs(v StrVector, pos []int, dst []string) []string {
+	for _, i := range pos {
+		dst = append(dst, v.Str(i))
+	}
+	return dst
+}

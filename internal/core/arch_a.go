@@ -15,6 +15,7 @@ import (
 	"htap/internal/exec"
 	"htap/internal/freshness"
 	"htap/internal/obs"
+	"htap/internal/planner"
 	"htap/internal/rowstore"
 	"htap/internal/sched"
 	"htap/internal/txn"
@@ -58,6 +59,7 @@ type EngineA struct {
 	rows    []*rowstore.Store
 	cols    []*colstore.Table
 	deltas  []*delta.Mem
+	fb      *planner.Feedback
 	tracker *freshness.Tracker
 	mode    atomic.Uint32
 	par     atomic.Int32
@@ -82,6 +84,7 @@ func NewEngineA(cfg ConfigA) *EngineA {
 		ts:      newTableSet(cfg.Schemas),
 		mgr:     txn.NewManager(),
 		walDev:  disk.New(disk.DefaultConfig()),
+		fb:      planner.NewFeedback(0),
 		tracker: freshness.NewTracker(),
 		cfg:     cfg,
 		om:      newArchMetrics(ArchA),
@@ -91,6 +94,7 @@ func NewEngineA(cfg ConfigA) *EngineA {
 	for i, s := range cfg.Schemas {
 		e.rows = append(e.rows, rowstore.New(uint32(i), s))
 		e.cols = append(e.cols, colstore.NewTable(s))
+		observeSelectivity(e.fb, ArchA, e.cols[len(e.cols)-1])
 		e.deltas = append(e.deltas, delta.NewMem())
 	}
 	e.mode.Store(uint32(sched.Shared))

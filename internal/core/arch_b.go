@@ -16,6 +16,7 @@ import (
 	"htap/internal/exec"
 	"htap/internal/freshness"
 	"htap/internal/obs"
+	"htap/internal/planner"
 	"htap/internal/rowstore"
 	"htap/internal/sched"
 	"htap/internal/twopc"
@@ -119,6 +120,7 @@ type EngineB struct {
 	voters   map[int]map[int]*voterStorage // pid -> nodeID
 	learners map[int]map[int]*learnerStorage
 	parts    map[int]map[int]*twopc.Participant
+	fb       *planner.Feedback
 
 	tracker *freshness.Tracker
 	mode    atomic.Uint32
@@ -154,6 +156,7 @@ func NewEngineB(cfg ConfigB) *EngineB {
 		voters:   make(map[int]map[int]*voterStorage),
 		learners: make(map[int]map[int]*learnerStorage),
 		parts:    make(map[int]map[int]*twopc.Participant),
+		fb:       planner.NewFeedback(0),
 		tracker:  freshness.NewTracker(),
 		om:       newArchMetrics(ArchB),
 		stop:     make(chan struct{}),
@@ -170,6 +173,9 @@ func NewEngineB(cfg ConfigB) *EngineB {
 		}
 		for n := cfg.VotersPer; n < cfg.VotersPer+cfg.LearnersPer; n++ {
 			ls := newLearnerStorage(pid, cfg.Schemas)
+			for _, ct := range ls.cols {
+				observeSelectivity(e.fb, ArchB, ct)
+			}
 			e.learners[pid][n] = ls
 			e.parts[pid][n] = twopc.NewParticipant(ls)
 		}

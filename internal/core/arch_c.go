@@ -41,6 +41,11 @@ type ConfigC struct {
 	// Parallelism is the degree of parallelism analytical queries run
 	// with; zero means GOMAXPROCS. SetParallelism overrides it at runtime.
 	Parallelism int
+	// SelFeedback lets the cost model consume observed selection densities
+	// (reported by pushed-down scan predicates) in place of the fixed
+	// selectivity heuristic. Off by default: plans then depend on execution
+	// history, which determinism-sensitive harnesses must opt into.
+	SelFeedback bool
 }
 
 // imcsTable is one table's footprint in the in-memory column-store
@@ -70,6 +75,7 @@ type EngineC struct {
 	rows    []*rowstore.Store
 	imcs    []*imcsTable
 	advisor *colsel.Advisor
+	fb      *planner.Feedback
 	cfg     ConfigC
 	tracker *freshness.Tracker
 	mode    atomic.Uint32
@@ -105,6 +111,7 @@ func NewEngineC(cfg ConfigC) *EngineC {
 		walDev:  disk.New(disk.DefaultConfig()),
 		rowDev:  disk.New(cfg.Disk),
 		advisor: colsel.NewAdvisor(cfg.Policy, 0.8),
+		fb:      planner.NewFeedback(0),
 		cfg:     cfg,
 		tracker: freshness.NewTracker(),
 		om:      newArchMetrics(ArchC),
@@ -311,6 +318,7 @@ func (e *EngineC) LoadColumns(table string, cols []string) {
 	builders := make([]*colstore.Builder, e.cfg.Shards)
 	for i := range shards {
 		shards[i] = colstore.NewTable(proj)
+		observeSelectivity(e.fb, ArchC, shards[i])
 		builders[i] = shards[i].NewBuilder()
 	}
 	snap := e.mgr.Oracle().Watermark()
@@ -417,7 +425,7 @@ func (e *EngineC) Source(ctx context.Context, table string, cols []string, pred 
 		Rows:        rowsN,
 		Cols:        len(full.Cols),
 		NeedCols:    len(qcols),
-		Selectivity: selEstimate(pred),
+		Selectivity: e.selEstimate(table, pred),
 		KeyRange:    pred != nil && pred.Col == full.Cols[full.KeyCol].Name,
 		ZoneMapped:  pred != nil,
 		RowOnDisk:   true,
@@ -483,12 +491,27 @@ func (e *EngineC) ColSource(ctx context.Context, table string, cols []string, pr
 	return e.imcsSource(ctx, id, cols, pred)
 }
 
-func selEstimate(pred *exec.ScanPred) float64 {
+// selEstimate estimates the fraction of rows a scan's predicate keeps.
+// With SelFeedback on, the estimate is the observed selection density of
+// previous pushed-down scans of the same table (planner.Feedback); the
+// fixed heuristic remains both the cold-start value and the default —
+// the paper's §2.4 criticizes exactly this kind of static assumption.
+func (e *EngineC) selEstimate(table string, pred *exec.ScanPred) float64 {
 	if pred == nil {
 		return 1
 	}
-	return 0.05 // fixed heuristic; the paper's §2.4 criticizes exactly this
+	if e.cfg.SelFeedback {
+		if s, ok := e.fb.Selectivity(table); ok {
+			return s
+		}
+	}
+	return 0.05
 }
+
+// PlannerFeedback exposes the observed-selectivity accumulator; scans with
+// pushed-down predicates feed it whether or not SelFeedback consumption is
+// enabled, so experiments can inspect what the optimizer would have seen.
+func (e *EngineC) PlannerFeedback() *planner.Feedback { return e.fb }
 
 // Sync implements Engine: merge each loaded table's delta into its shards.
 func (e *EngineC) Sync() {

@@ -13,6 +13,7 @@ import (
 	"htap/internal/exec"
 	"htap/internal/freshness"
 	"htap/internal/obs"
+	"htap/internal/planner"
 	"htap/internal/sched"
 	"htap/internal/txn"
 	"htap/internal/types"
@@ -42,6 +43,7 @@ type EngineD struct {
 	walDev  *disk.Device
 	wal     *wal.Log
 	layers  []*datasync.Layered
+	fb      *planner.Feedback
 	tracker *freshness.Tracker
 	mode    atomic.Uint32
 	par     atomic.Int32
@@ -68,12 +70,18 @@ func NewEngineD(cfg ConfigD) *EngineD {
 		ts:      newTableSet(cfg.Schemas),
 		mgr:     txn.NewManager(),
 		walDev:  disk.New(disk.DefaultConfig()),
+		fb:      planner.NewFeedback(0),
 		tracker: freshness.NewTracker(),
 		om:      newArchMetrics(ArchD),
 	}
 	e.wal = wal.New(e.walDev, "wal-d")
 	for _, s := range cfg.Schemas {
-		e.layers = append(e.layers, datasync.NewLayered(s, cfg.L1Rows, cfg.L2Rows))
+		l := datasync.NewLayered(s, cfg.L1Rows, cfg.L2Rows)
+		// Both columnar layers report under the table's name: a scan sees
+		// the same predicates against L2 and Main.
+		observeSelectivity(e.fb, ArchD, l.L2)
+		observeSelectivity(e.fb, ArchD, l.Main)
+		e.layers = append(e.layers, l)
 		e.versions = append(e.versions, make(map[int64]uint64))
 	}
 	e.mode.Store(uint32(sched.Shared))

@@ -6,9 +6,11 @@
 package core
 
 import (
+	"htap/internal/colstore"
 	"htap/internal/disk"
 	"htap/internal/freshness"
 	"htap/internal/obs"
+	"htap/internal/planner"
 )
 
 // Label returns the short arch value used in metric labels.
@@ -98,6 +100,23 @@ func unregisterEngineFuncs(hs []*obs.FuncHandle) {
 	for _, h := range hs {
 		obs.Default.Unregister(h)
 	}
+}
+
+// observeSelectivity registers a pushed-predicate selection-density
+// observer on tbl (see colstore.Table.SetSelObserver): every segment a scan
+// filters with pushed-down predicates reports the fraction of rows its
+// selection vector kept. Observations feed fb — the engine's planner
+// feedback accumulator — and the running per-table estimate is exported as
+// the htap_planner_observed_selectivity gauge.
+func observeSelectivity(fb *planner.Feedback, a Arch, tbl *colstore.Table) {
+	name := tbl.Schema.Name
+	g := obs.Default.Gauge("htap_planner_observed_selectivity", obs.L("arch", a.Label(), "table", name))
+	tbl.SetSelObserver(func(sel float64) {
+		fb.Observe(name, sel)
+		if s, ok := fb.Selectivity(name); ok {
+			g.Set(s)
+		}
+	})
 }
 
 // syncSpan opens the root trace span of one synchronization round; callers

@@ -50,8 +50,16 @@ func (s *colScan) explain() (string, []Source) {
 	if s.overlay != nil {
 		ov = fmt.Sprintf(", delta=%d rows/%d masked", len(s.overlay.Rows), len(s.overlay.Masked))
 	}
-	return fmt.Sprintf("ColumnScan(%s, segments=%d, cols=%d%s%s)",
-		s.tbl.Schema.Name, len(s.segs), len(s.schema), pred, ov), nil
+	push := ""
+	if len(s.pushed) > 0 {
+		ps := make([]string, len(s.pushed))
+		for i := range s.pushed {
+			ps[i] = s.pushed[i].String()
+		}
+		push = fmt.Sprintf(", pushdown=[%s]", strings.Join(ps, " AND "))
+	}
+	return fmt.Sprintf("ColumnScan(%s, segments=%d, cols=%d%s%s%s)",
+		s.tbl.Schema.Name, len(s.segs), len(s.schema), pred, ov, push), nil
 }
 
 func (s *errSource) explain() (string, []Source) {

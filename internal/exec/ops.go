@@ -152,6 +152,14 @@ type colScan struct {
 	row     int
 	overRem []types.Row
 	done    bool
+
+	// Pushed-down predicates (see pushdown.go): evaluated on encoded
+	// vectors into a per-segment selection bitmap; rows are then
+	// late-materialized from the selected positions only.
+	pushed []colPred
+	selObs func(sel float64)
+	curSel *bitmap.Bitmap
+	posBuf []int
 }
 
 // NewColScan scans the column store, merging an optional delta overlay: the
@@ -202,6 +210,28 @@ func (s *colScan) Next() *Batch {
 		return nil
 	}
 	b := NewBatch(s.schema)
+	if len(s.pushed) > 0 {
+		s.fillPushed(b)
+	} else {
+		s.fillScan(b)
+	}
+	for b.N < BatchSize && len(s.overRem) > 0 {
+		r := s.overRem[len(s.overRem)-1]
+		s.overRem = s.overRem[:len(s.overRem)-1]
+		if len(s.pushed) > 0 && !s.matchOverlayRow(r) {
+			continue
+		}
+		b.AppendRow(r)
+	}
+	if b.N == 0 {
+		s.done = true
+		return nil
+	}
+	return b
+}
+
+// fillScan is the unfiltered path: decode every live row of every segment.
+func (s *colScan) fillScan(b *Batch) {
 	for b.N < BatchSize && s.seg < len(s.segs) {
 		seg := s.segs[s.seg]
 		if s.row == 0 && s.predIdx >= 0 && seg.Zones[s.predIdx].PruneInt(s.pred.Lo, s.pred.Hi) {
@@ -230,15 +260,56 @@ func (s *colScan) Next() *Batch {
 			s.row = 0
 		}
 	}
-	for b.N < BatchSize && len(s.overRem) > 0 {
-		b.AppendRow(s.overRem[len(s.overRem)-1])
-		s.overRem = s.overRem[:len(s.overRem)-1]
+}
+
+// fillPushed is the selection-vector path: at each segment entry, evaluate
+// the pushed predicates on the encoded vectors (computeSel), then decode
+// only the selected positions of only the projected columns. Row order is
+// identical to fillScan followed by a downstream filter.
+func (s *colScan) fillPushed(b *Batch) {
+	for b.N < BatchSize && s.seg < len(s.segs) {
+		seg := s.segs[s.seg]
+		if s.row == 0 {
+			if s.predIdx >= 0 && seg.Zones[s.predIdx].PruneInt(s.pred.Lo, s.pred.Hi) {
+				s.seg++
+				continue
+			}
+			sel, skip := s.computeSel(seg)
+			if skip {
+				s.seg++
+				continue
+			}
+			s.curSel = sel
+			pushRowsScanned.Add(int64(seg.N))
+		}
+		pos := s.posBuf[:0]
+		i := s.curSel.NextSet(s.row)
+		for i >= 0 && i < seg.N && b.N+len(pos) < BatchSize {
+			if s.overlay != nil {
+				if _, masked := s.overlay.Masked[seg.Keys[i]]; masked {
+					i = s.curSel.NextSet(i + 1)
+					continue
+				}
+			}
+			pos = append(pos, i)
+			i = s.curSel.NextSet(i + 1)
+		}
+		s.posBuf = pos[:0]
+		if len(pos) > 0 {
+			for c, idx := range s.idxs {
+				gather(b.Cols[c], seg.Cols[idx], pos)
+			}
+			b.N += len(pos)
+			pushRowsMat.Add(int64(len(pos)))
+		}
+		if i < 0 || i >= seg.N {
+			s.seg++
+			s.row = 0
+			s.curSel = nil
+		} else {
+			s.row = i
+		}
 	}
-	if b.N == 0 {
-		s.done = true
-		return nil
-	}
-	return b
 }
 
 // Split cuts the scan into contiguous runs of fixed-size morsels, one part
@@ -285,6 +356,12 @@ type colScanPart struct {
 	lastSeg *colstore.Segment
 	mask    *bitmap.Bitmap
 	done    bool
+
+	// Pushed-predicate state, cached per segment across its morsels: the
+	// selection bitmap and whether zone maps pruned the whole segment.
+	sel     *bitmap.Bitmap
+	segSkip bool
+	posBuf  []int
 }
 
 func (p *colScanPart) Schema() []types.Column { return p.scan.schema }
@@ -303,6 +380,12 @@ func (p *colScanPart) Next() *Batch {
 		p.cur++
 		morselsTotal.Inc()
 		if s.predIdx >= 0 && m.Seg.Zones[s.predIdx].PruneInt(s.pred.Lo, s.pred.Hi) {
+			continue
+		}
+		if len(s.pushed) > 0 {
+			if b := p.nextPushed(m); b != nil {
+				return b
+			}
 			continue
 		}
 		if m.Seg != p.lastSeg {
@@ -335,13 +418,58 @@ func (p *colScanPart) Next() *Batch {
 		}
 		b := NewBatch(s.schema)
 		for b.N < BatchSize && len(p.overRem) > 0 {
-			b.AppendRow(p.overRem[len(p.overRem)-1])
+			r := p.overRem[len(p.overRem)-1]
 			p.overRem = p.overRem[:len(p.overRem)-1]
+			if len(s.pushed) > 0 && !s.matchOverlayRow(r) {
+				continue
+			}
+			b.AppendRow(r)
 		}
-		return b
+		if b.N > 0 {
+			return b
+		}
 	}
 	p.done = true
 	return nil
+}
+
+// nextPushed drains one morsel through the selection-vector path: the
+// segment's selection bitmap (computed once, cached across the segment's
+// morsels) restricted to [m.Lo, m.Hi), late-materialized into one batch.
+// Returns nil when the morsel selects no rows. Because the selection is a
+// pure function of the segment and the predicates, the rows produced per
+// morsel — and so the part-order concatenation — match the sequential scan
+// at any parallelism degree.
+func (p *colScanPart) nextPushed(m colstore.Morsel) *Batch {
+	s := p.scan
+	if m.Seg != p.lastSeg {
+		p.lastSeg = m.Seg
+		p.sel, p.segSkip = s.computeSel(m.Seg)
+	}
+	if p.segSkip {
+		return nil
+	}
+	pushRowsScanned.Add(int64(m.Hi - m.Lo))
+	pos := p.posBuf[:0]
+	for i := p.sel.NextSet(m.Lo); i >= 0 && i < m.Hi; i = p.sel.NextSet(i + 1) {
+		if s.overlay != nil {
+			if _, masked := s.overlay.Masked[m.Seg.Keys[i]]; masked {
+				continue
+			}
+		}
+		pos = append(pos, i)
+	}
+	p.posBuf = pos[:0]
+	if len(pos) == 0 {
+		return nil
+	}
+	b := NewBatch(s.schema)
+	for c, idx := range s.idxs {
+		gather(b.Cols[c], m.Seg.Cols[idx], pos)
+	}
+	b.N = len(pos)
+	pushRowsMat.Add(int64(len(pos)))
+	return b
 }
 
 // --- union ---
@@ -1241,12 +1369,16 @@ func FromError(err error) *Plan {
 // Err reports the error the plan carries (nil for healthy plans).
 func (p *Plan) Err() error { return p.err }
 
-// Filter keeps rows where e is true.
+// Filter keeps rows where e is true. Single-column comparisons against
+// constants are pushed down into column scans (see pushdown.go), where
+// they evaluate on encoded vectors and prune segments via zone maps;
+// everything else runs in a residual filter operator. The rewrite never
+// changes results, only where predicates are evaluated.
 func (p *Plan) Filter(e Expr) *Plan {
 	if p.err != nil {
 		return p
 	}
-	return &Plan{src: &filterOp{in: p.src, expr: e.Bind(p.src.Schema())}, par: p.par}
+	return &Plan{src: pushFilter(p.src, e.Bind(p.src.Schema())), par: p.par}
 }
 
 // Project computes named expressions.

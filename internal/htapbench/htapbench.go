@@ -103,6 +103,16 @@ type Result struct {
 	FreshMaxLagTS   uint64
 	FreshAvgLagTime time.Duration
 	FreshMaxLagTime time.Duration
+
+	// Late-materialization accounting across the run: rows the pushed-down
+	// scans considered versus rows they decoded (deltas of the process-wide
+	// htap_exec_pushdown_* counters, see DESIGN.md "Late materialization &
+	// predicate pushdown"). RowsMaterializedPerQuery averages the decoded
+	// rows over the successful analytical queries. All three stay zero in
+	// remote mode, where queries execute in the server process.
+	PushdownScannedRows      int64
+	PushdownMaterializedRows int64
+	RowsMaterializedPerQuery float64
 }
 
 // ClassLatency is the latency distribution of one workload class within a
@@ -301,6 +311,7 @@ func Run(cfg Config) Result {
 		}
 	}()
 
+	pdScan0, pdMat0 := exec.PushdownRows()
 	start := time.Now()
 	select {
 	case <-time.After(cfg.Duration):
@@ -310,6 +321,7 @@ func Run(cfg Config) Result {
 	cancel()
 	wg.Wait()
 	elapsed := time.Since(start)
+	pdScan1, pdMat1 := exec.PushdownRows()
 
 	counts := driver.Counts()
 	total := int64(0)
@@ -333,6 +345,11 @@ func Run(cfg Config) Result {
 	}
 	if res.Queries > 0 {
 		res.AvgQueryLatency = time.Duration(queryNanos.Load() / res.Queries)
+	}
+	res.PushdownScannedRows = pdScan1 - pdScan0
+	res.PushdownMaterializedRows = pdMat1 - pdMat0
+	if res.Queries > 0 {
+		res.RowsMaterializedPerQuery = float64(res.PushdownMaterializedRows) / float64(res.Queries)
 	}
 	if lagSamples > 0 {
 		res.FreshAvgLagTS = float64(lagSumTS) / float64(lagSamples)

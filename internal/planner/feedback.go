@@ -1,0 +1,58 @@
+package planner
+
+import "sync"
+
+// Feedback accumulates observed selection densities per table. Scans with
+// pushed-down predicates report the fraction of each segment their
+// selection vector kept (see colstore.Table.SetSelObserver); the planner
+// can consume the running estimate in place of its static uniform guess —
+// the paper's §2.4 complaint that HTAP optimizers "make uniform and
+// independent assumptions" is exactly what this corrects.
+//
+// The estimate is an exponentially weighted moving average, so a workload
+// shift (a predicate suddenly matching much more or less) converges within
+// a few queries without oscillating on per-segment noise.
+type Feedback struct {
+	mu    sync.Mutex
+	alpha float64
+	est   map[string]float64
+}
+
+// DefaultFeedbackAlpha is the EWMA weight given to each new observation.
+const DefaultFeedbackAlpha = 0.3
+
+// NewFeedback returns an empty feedback accumulator; alpha <= 0 selects
+// DefaultFeedbackAlpha.
+func NewFeedback(alpha float64) *Feedback {
+	if alpha <= 0 {
+		alpha = DefaultFeedbackAlpha
+	}
+	return &Feedback{alpha: alpha, est: make(map[string]float64)}
+}
+
+// Observe folds one observed selection density (selected / scanned rows of
+// one segment) into the table's estimate. Safe for concurrent use; parallel
+// scan workers report from multiple goroutines.
+func (f *Feedback) Observe(table string, sel float64) {
+	if sel < 0 {
+		sel = 0
+	} else if sel > 1 {
+		sel = 1
+	}
+	f.mu.Lock()
+	if cur, ok := f.est[table]; ok {
+		f.est[table] = cur + f.alpha*(sel-cur)
+	} else {
+		f.est[table] = sel
+	}
+	f.mu.Unlock()
+}
+
+// Selectivity returns the table's observed-selectivity estimate and whether
+// any observation has been recorded.
+func (f *Feedback) Selectivity(table string) (float64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.est[table]
+	return s, ok
+}
