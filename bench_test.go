@@ -18,6 +18,7 @@ import (
 	"htap/internal/accel"
 	"htap/internal/ch"
 	"htap/internal/core"
+	"htap/internal/exec"
 	"htap/internal/experiments"
 	"htap/internal/htapbench"
 	"htap/internal/micro"
@@ -298,6 +299,53 @@ func BenchmarkTPCC(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkMemGovernor prices bounded-memory execution on the agg-heavy
+// (Q1) and join-heavy (Q12) plans: ungoverned, governed with an unbounded
+// budget (pure accounting overhead — Grow/Shrink on every operator batch),
+// and governed with a starving 16KB per-query budget (every materializing
+// operator takes its full spill path: grace join partitions, external sort
+// runs, aggregate state spills, all through the simulated disk). The
+// spilled-bytes metric is reported so BENCH_mem.json records how much I/O
+// the budget bought. See BENCH_mem.json for measured numbers and reading.
+func BenchmarkMemGovernor(b *testing.B) {
+	e, _ := loadedEngine(b, core.ArchA)
+	defer e.Close()
+	qs := ch.Queries()
+	modes := []struct {
+		name   string
+		budget int64
+	}{
+		{"unbounded", 0},
+		{"accounted", 1 << 30},
+		{"spill-16k", 16 << 10},
+	}
+	for _, qn := range []int{1, 12, 18} {
+		for _, m := range modes {
+			q := qs[qn]
+			b.Run(fmt.Sprintf("Q%02d/%s", qn, m.name), func(b *testing.B) {
+				var gov *exec.Governor
+				if m.budget > 0 {
+					gov = exec.NewGovernor(0, nil)
+					gov.SetQueryLimit(m.budget)
+					e.(core.MemGoverned).SetMemGovernor(gov)
+					defer e.(core.MemGoverned).SetMemGovernor(nil)
+				}
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					q(ch.Bind(context.Background(), e))
+				}
+				b.StopTimer()
+				if gov != nil {
+					b.ReportMetric(float64(gov.SpillBytes())/float64(b.N), "spillB/op")
+					if gov.LiveSpillFiles() != 0 {
+						b.Fatalf("%d spill files leaked", gov.LiveSpillFiles())
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -22,6 +22,8 @@ import (
 	"htap/internal/ch"
 	"htap/internal/client"
 	"htap/internal/core"
+	"htap/internal/disk"
+	"htap/internal/exec"
 	"htap/internal/experiments"
 	"htap/internal/htapbench"
 	"htap/internal/obs"
@@ -39,6 +41,7 @@ func main() {
 		seed       = flag.Int64("seed", 42, "seed")
 		metrics    = flag.String("metrics", "", "serve /metrics, /spans and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 		remote     = flag.String("remote", "", "run against an htapd server at this address instead of in-process")
+		memBudget  = flag.Int64("mem-budget", 0, "per-query analytical memory budget in bytes (0 = unbounded); in-process only — remote queries use the server's budget")
 	)
 	flag.Parse()
 
@@ -108,6 +111,18 @@ func main() {
 		archName = fmt.Sprintf("%v (%s)", a, e.Name())
 	}
 
+	var gov *exec.Governor
+	if *memBudget > 0 {
+		if local == nil {
+			fmt.Fprintln(os.Stderr, "-mem-budget applies in-process only; set it on htapd for remote runs")
+			os.Exit(2)
+		}
+		gov = exec.NewGovernor(*memBudget, disk.New(disk.DefaultConfig()))
+		gov.SetQueryLimit(*memBudget)
+		local.(core.MemGoverned).SetMemGovernor(gov)
+		fmt.Printf("memory governor: %d byte per-query budget\n", *memBudget)
+	}
+
 	res := htapbench.Run(htapbench.Config{
 		Engine: engine, Scale: scale,
 		TPWorkers: *tp, APStreams: *ap,
@@ -144,6 +159,10 @@ func main() {
 		st := local.Stats()
 		fmt.Printf("\nengine: commits=%d aborts=%d conflicts=%d merges=%d colBytes=%d\n",
 			st.Commits, st.Aborts, st.Conflicts, st.Merges, st.ColBytes)
+	}
+	if gov != nil {
+		fmt.Printf("memory: peak=%dB spills=%d spillBytes=%d spillReads=%d overBudget=%d liveFiles=%d\n",
+			gov.MaxQueryPeak(), gov.Spills(), gov.SpillBytes(), gov.SpillReadBytes(), gov.OverBudget(), gov.LiveSpillFiles())
 	}
 }
 

@@ -20,6 +20,8 @@ import (
 
 	"htap/internal/ch"
 	"htap/internal/core"
+	"htap/internal/disk"
+	"htap/internal/exec"
 	"htap/internal/experiments"
 	"htap/internal/obs"
 	"htap/internal/server"
@@ -33,6 +35,7 @@ func main() {
 		oltpRate   = flag.Float64("oltp-rate", 0, "OLTP admissions/sec (0 = unlimited)")
 		olapRate   = flag.Float64("olap-rate", 0, "OLAP admissions/sec (0 = unlimited)")
 		maxWait    = flag.Duration("max-wait", 100*time.Millisecond, "admission queue bound; longer waits shed")
+		memBudget  = flag.Int64("mem-budget", 0, "analytical memory budget in bytes, node-wide and per-query (0 = unbounded); queries spill to disk beyond it and OLAP admissions shed near it")
 		drainWait  = flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM")
 		seed       = flag.Int64("seed", 42, "seed")
 		metrics    = flag.String("metrics", "", "serve /metrics, /spans and /debug/pprof on this address")
@@ -76,6 +79,17 @@ func main() {
 	}
 	fmt.Printf("loaded %d rows\n", n)
 
+	// Bounded-memory execution: spills pay realistic (cost-charged) disk
+	// latency, and the server sheds new OLAP admissions as the node budget
+	// fills (see server.Config.MemShedPressure).
+	var gov *exec.Governor
+	if *memBudget > 0 {
+		gov = exec.NewGovernor(*memBudget, disk.New(disk.DefaultConfig()))
+		gov.SetQueryLimit(*memBudget)
+		e.(core.MemGoverned).SetMemGovernor(gov)
+		fmt.Printf("memory governor: %d byte budget\n", *memBudget)
+	}
+
 	// The handshake advertises the dataset scale and the history-key
 	// watermark: remote drivers rebuild their client-side directories from
 	// the scale and allocate Payment history keys above the watermark.
@@ -94,6 +108,7 @@ func main() {
 	srv, err := server.Serve(*addr, server.Config{
 		Engine: e, Meta: meta,
 		OLTPRate: *oltpRate, OLAPRate: *olapRate, MaxWait: *maxWait,
+		MemGov: gov,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -26,14 +26,30 @@ type Engine interface {
 // records the first engine-level scan failure (a plan carrying an error,
 // exec.FromError) so RunQuery can report it instead of returning rows
 // assembled from silently-empty scans.
+//
+// When the engine runs under a memory governor, every Query call starts a
+// fresh per-query accountant — but one CH query builds several plans that
+// join into a single tree. boundQueryer adopts the first plan's accountant
+// and rebinds later plans to it (finishing their fresh ones immediately),
+// so the whole CH query is charged against one budget and cleaned up as
+// one unit.
 type boundQueryer struct {
 	ctx context.Context
 	e   Engine
 	err error
+	qm  *exec.QueryMem
 }
 
 func (b *boundQueryer) Query(table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	p := b.e.Query(b.ctx, table, cols, pred)
+	if qm := p.Mem(); qm != nil {
+		if b.qm == nil {
+			b.qm = qm
+		} else if qm != b.qm {
+			qm.Finish()
+			p = p.WithMem(b.qm)
+		}
+	}
 	if err := p.Err(); err != nil && b.err == nil {
 		b.err = err
 	}
@@ -61,6 +77,17 @@ func RunQuery(ctx context.Context, e Engine, n int) ([]types.Row, error) {
 	}
 	bq := &boundQueryer{ctx: ctx, e: e}
 	rows := q(bq)
+	if bq.qm != nil {
+		// The executed plan's deferred FinishMem already drained the shared
+		// accountant; this defensive Finish covers plans a query built but
+		// never ran (Finish is idempotent). A spill failure means the rows
+		// were assembled from a partially-spilled operator: suppress them.
+		memErr := bq.qm.Err()
+		bq.qm.Finish()
+		if memErr != nil && bq.err == nil {
+			bq.err = memErr
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

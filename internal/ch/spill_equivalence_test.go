@@ -1,0 +1,68 @@
+package ch
+
+import (
+	"runtime"
+	"testing"
+
+	"htap/internal/core"
+	"htap/internal/exec"
+)
+
+// TestForcedSpillEquivalence is the bounded-memory determinism gate: all
+// 22 CH queries, every architecture, at parallelism 1 and N, re-run under
+// a per-query budget small enough that every materializing operator (hash
+// join, hash aggregate, sort) abandons its in-memory algorithm and spills.
+// The spilling algorithms are designed to be bit-equivalent to their
+// in-memory counterparts at a fixed parallelism — grace partitioning
+// replays build order, tagged merges reassemble probe order, aggregate
+// ordinals preserve first-seen group order — so the governed run must
+// match the ungoverned baseline exactly, not merely to an epsilon. The
+// governor must actually have spilled (otherwise the gate tested nothing)
+// and must leave zero spill files behind.
+func TestForcedSpillEquivalence(t *testing.T) {
+	engines := eqEngines(t)
+	defer func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}()
+	parN := runtime.GOMAXPROCS(0)
+	if parN < 4 {
+		parN = 4
+	}
+
+	for _, arch := range []string{"A", "B", "C", "D"} {
+		e := engines[arch]
+		base1 := runAll(t, e, 1)
+		baseN := runAll(t, e, parN)
+
+		gov := exec.NewGovernor(1<<30, nil)
+		gov.SetQueryLimit(16 << 10) // tiny: forces spills on every heavy query
+		mg, ok := e.(core.MemGoverned)
+		if !ok {
+			t.Fatalf("arch %s engine does not implement core.MemGoverned", arch)
+		}
+		mg.SetMemGovernor(gov)
+		sp1 := runAll(t, e, 1)
+		spN := runAll(t, e, parN)
+		mg.SetMemGovernor(nil)
+
+		for q := 1; q <= 22; q++ {
+			if !exactEqual(base1[q], sp1[q]) {
+				t.Errorf("%s Q%02d: forced-spill run diverges from baseline at parallelism 1 (%d vs %d rows)",
+					arch, q, len(sp1[q]), len(base1[q]))
+			}
+			if !exactEqual(baseN[q], spN[q]) {
+				t.Errorf("%s Q%02d: forced-spill run diverges from baseline at parallelism %d (%d vs %d rows)",
+					arch, q, parN, len(spN[q]), len(baseN[q]))
+			}
+		}
+		if gov.Spills() == 0 || gov.SpillBytes() == 0 {
+			t.Errorf("%s: 16KB budget forced no spills (spills=%d bytes=%d) — gate is vacuous",
+				arch, gov.Spills(), gov.SpillBytes())
+		}
+		if n := gov.LiveSpillFiles(); n != 0 {
+			t.Errorf("%s: %d spill files leaked after all queries finished", arch, n)
+		}
+	}
+}

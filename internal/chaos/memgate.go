@@ -1,0 +1,312 @@
+// Memory-pressure gate: the graceful-degradation counterpart of the
+// crash-consistency harness in this package. Where Run crashes the WAL
+// under transactions, RunMemGate starves the analytical executor of
+// memory under a hostile query — a self-join + aggregation + sort over
+// order_line whose materialized footprint dwarfs any sane budget — and
+// verifies the degradation contract end to end:
+//
+//  1. correctness under pressure — with a per-query budget an order of
+//     magnitude below the query's unbounded footprint, every completed
+//     run returns rows bit-identical to the ungoverned baseline at the
+//     same parallelism (spilling changes where state lives, never what
+//     comes out);
+//  2. faults on the spill path fail cleanly — with injected write errors
+//     on the governor's spill device, a run either completes identically
+//     (clean errors are retried) or fails with an error and nil rows,
+//     never a partial result, and never poisons later runs;
+//  3. isolation — concurrent OLTP latency under the spilling analytical
+//     load stays within 2x its unloaded baseline (bounded memory is what
+//     keeps the node from thrashing the transactional side);
+//  4. hygiene — after every run, completed or failed, zero spill files
+//     remain on the device.
+//
+// Everything is seeded; a failing gate replays exactly.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"htap/internal/ch"
+	"htap/internal/core"
+	"htap/internal/disk"
+	"htap/internal/exec"
+	"htap/internal/types"
+)
+
+// MemGateConfig sizes one memory-pressure run.
+type MemGateConfig struct {
+	Seed         int64
+	Warehouses   int     // CH scale (default 2)
+	Parallelism  int     // fixed analytical DOP (default 4)
+	Runs         int     // governed hostile-query executions (default 6)
+	TPTxns       int     // OLTP transactions measured per phase (default 200)
+	WriteErrRate float64 // injected clean-error rate on spill appends (default 0.05)
+}
+
+func (c MemGateConfig) normalize() MemGateConfig {
+	if c.Warehouses <= 0 {
+		c.Warehouses = 2
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 4
+	}
+	if c.Runs <= 0 {
+		c.Runs = 6
+	}
+	if c.TPTxns <= 0 {
+		c.TPTxns = 200
+	}
+	if c.WriteErrRate <= 0 {
+		c.WriteErrRate = 0.05
+	}
+	return c
+}
+
+// MemGateReport summarizes one gate run.
+type MemGateReport struct {
+	Footprint   int64 // ungoverned per-query materialized peak, bytes
+	Budget      int64 // per-query budget the governed runs got
+	Completed   int   // governed runs that finished (and matched the baseline)
+	FaultFailed int   // governed runs killed cleanly by an injected fault
+	Spills      int64 // operators that switched to a spilling algorithm
+	SpillBytes  int64 // bytes written to the spill device
+	TPBaseP99   time.Duration
+	TPLoadP99   time.Duration
+}
+
+// hostileQuery is the adversarial analytical workload: order_line
+// self-joined on item id (quadratic per-item blowup feeding the join's
+// build and probe sides), aggregated per item, sorted by descending
+// revenue. All three materializing operators — hash join, hash aggregate,
+// sort — sit on one plan, so a starved budget forces the full spill
+// ladder. When the engine is governed, the two scans' accountants are
+// collapsed into one so the whole query answers to a single budget,
+// exactly as ch.RunQuery arranges for the 22 benchmark queries.
+func hostileQuery(ctx context.Context, e core.Engine) ([]types.Row, error) {
+	scan := func() *exec.Plan {
+		return e.Query(ctx, ch.TOrderLine, []string{"ol_i_id", "ol_quantity", "ol_amount"}, nil)
+	}
+	left, right := scan(), scan()
+	if qm := left.Mem(); qm != nil {
+		if rqm := right.Mem(); rqm != nil && rqm != qm {
+			rqm.Finish()
+			right = right.WithMem(qm)
+		}
+	}
+	right = right.Project(
+		exec.NamedExpr{Name: "r_i_id", Expr: exec.ColName("ol_i_id")},
+		exec.NamedExpr{Name: "r_amount", Expr: exec.ColName("ol_amount")},
+	)
+	return left.
+		Join(right, []string{"ol_i_id"}, []string{"r_i_id"}).
+		Agg([]string{"ol_i_id"},
+			exec.Agg{Kind: exec.Sum, Expr: exec.ColName("r_amount"), Name: "revenue"},
+			exec.Agg{Kind: exec.Sum, Expr: exec.ColName("ol_quantity"), Name: "qty"},
+			exec.Agg{Kind: exec.Count, Name: "pairs"},
+		).
+		Sort(exec.SortKey{Col: "revenue", Desc: true}, exec.SortKey{Col: "ol_i_id"}).
+		RunCtx(ctx)
+}
+
+// rowsIdentical is bit-exact equality: floats compare by their bit
+// patterns, so even a sign-of-zero or association-order difference fails.
+func rowsIdentical(a, b []types.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for c := range a[i] {
+			x, y := a[i][c], b[i][c]
+			if x.Kind == types.Float && y.Kind == types.Float {
+				if math.Float64bits(x.Float()) != math.Float64bits(y.Float()) {
+					return false
+				}
+				continue
+			}
+			if !x.Equal(y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// tpTxn is one OLTP unit: read-modify-write of an item's price.
+func tpTxn(e core.Engine, k int64) error {
+	tx := e.Begin(context.Background())
+	row, err := tx.Get(ch.TItem, ch.ItemKey(k))
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	up := row.Clone()
+	up[4] = types.NewFloat(up[4].Float() + 0.01) // i_price
+	if err := tx.Update(ch.TItem, up); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// measureTP runs n item-update transactions and returns their p99 latency.
+func measureTP(e core.Engine, n int, items int64) (time.Duration, error) {
+	lat := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		k := int64(i)%items + 1
+		t0 := time.Now()
+		if err := tpTxn(e, k); err != nil {
+			return 0, fmt.Errorf("tp txn %d: %w", i, err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[len(lat)*99/100], nil
+}
+
+// RunMemGate drives the memory-pressure gate on architecture A (the
+// in-process engine every other suite uses as golden) and verifies the
+// four invariants in the package comment. The returned report carries the
+// measured footprint, budget, and latencies for logging.
+func RunMemGate(cfg MemGateConfig) (MemGateReport, error) {
+	cfg = cfg.normalize()
+	var rep MemGateReport
+
+	e := core.NewEngineA(core.ConfigA{Schemas: ch.Schemas()})
+	defer e.Close()
+	scale := ch.SmallScale(cfg.Warehouses)
+	scale.Seed = cfg.Seed
+	if _, err := ch.NewGenerator(scale).Load(e); err != nil {
+		return rep, fmt.Errorf("load: %w", err)
+	}
+	e.Sync()
+	e.SetParallelism(cfg.Parallelism)
+	ctx := context.Background()
+
+	// Phase 1 — footprint: run ungoverned but accounted (a governor with
+	// no limits charges memory without ever forcing a spill) to measure
+	// the hostile query's materialized peak, and capture the baseline rows.
+	meter := exec.NewGovernor(0, nil)
+	e.SetMemGovernor(meter)
+	baseline, err := hostileQuery(ctx, e)
+	e.SetMemGovernor(nil)
+	if err != nil {
+		return rep, fmt.Errorf("ungoverned hostile query: %w", err)
+	}
+	if meter.Spills() != 0 {
+		return rep, fmt.Errorf("metering governor spilled %d times; footprint is not the unbounded peak", meter.Spills())
+	}
+	rep.Footprint = meter.MaxQueryPeak()
+	rep.Budget = rep.Footprint / 10
+	if rep.Budget < 8<<10 {
+		rep.Budget = 8 << 10
+	}
+	// The gate is only meaningful when the budget truly starves the query.
+	if rep.Footprint < 8*rep.Budget {
+		return rep, fmt.Errorf("footprint %d < 8x budget %d: scale too small to pressure the executor", rep.Footprint, rep.Budget)
+	}
+
+	// Phase 2 — governed runs under spill faults: every Append to the
+	// spill device fails cleanly with probability WriteErrRate. The spill
+	// writer retries clean errors a few times, so most runs complete —
+	// and must then match the baseline bit for bit; a run that exhausts
+	// its retries must fail with nil rows and leave the engine healthy.
+	dev := disk.New(disk.MemConfig())
+	gov := exec.NewGovernor(0, dev)
+	gov.SetQueryLimit(rep.Budget)
+	dev.SetFaultPlan(&disk.FaultPlan{
+		Seed:  cfg.Seed,
+		Rules: []disk.FaultRule{{WriteErrRate: cfg.WriteErrRate}}, // every spill file
+	})
+	e.SetMemGovernor(gov)
+	for i := 0; i < cfg.Runs; i++ {
+		rows, err := hostileQuery(ctx, e)
+		if err != nil {
+			if !errors.Is(err, disk.ErrInjected) {
+				e.SetMemGovernor(nil)
+				return rep, fmt.Errorf("governed run %d failed with a non-fault error: %w", i, err)
+			}
+			if rows != nil {
+				e.SetMemGovernor(nil)
+				return rep, fmt.Errorf("governed run %d returned %d rows alongside its error: partial result escaped", i, len(rows))
+			}
+			rep.FaultFailed++
+			continue
+		}
+		if !rowsIdentical(baseline, rows) {
+			e.SetMemGovernor(nil)
+			return rep, fmt.Errorf("governed run %d diverged from the ungoverned baseline (%d vs %d rows)", i, len(rows), len(baseline))
+		}
+		rep.Completed++
+	}
+	dev.SetFaultPlan(nil)
+	rep.Spills = gov.Spills()
+	rep.SpillBytes = gov.SpillBytes()
+	if rep.Completed == 0 {
+		e.SetMemGovernor(nil)
+		return rep, fmt.Errorf("no governed run completed (%d fault failures in %d runs): raise retries or lower WriteErrRate", rep.FaultFailed, cfg.Runs)
+	}
+	if rep.Spills == 0 || rep.SpillBytes == 0 {
+		e.SetMemGovernor(nil)
+		return rep, fmt.Errorf("budget %d forced no spills against footprint %d", rep.Budget, rep.Footprint)
+	}
+
+	// Phase 3 — TP isolation: p99 of item-update transactions alone, then
+	// under the continuously spilling analytical load. The allowance has a
+	// small absolute floor so sub-millisecond baselines on fast machines
+	// don't turn scheduler jitter into a gate failure.
+	items := int64(scale.Items)
+	if rep.TPBaseP99, err = measureTP(e, cfg.TPTxns, items); err != nil {
+		e.SetMemGovernor(nil)
+		return rep, fmt.Errorf("baseline TP: %w", err)
+	}
+	stop := make(chan struct{})
+	apDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				apDone <- nil
+				return
+			default:
+			}
+			if _, err := hostileQuery(ctx, e); err != nil && !errors.Is(err, disk.ErrInjected) {
+				apDone <- err
+				return
+			}
+		}
+	}()
+	loadP99, tpErr := measureTP(e, cfg.TPTxns, items)
+	close(stop)
+	if err := <-apDone; err != nil {
+		e.SetMemGovernor(nil)
+		return rep, fmt.Errorf("analytical load: %w", err)
+	}
+	e.SetMemGovernor(nil)
+	if tpErr != nil {
+		return rep, fmt.Errorf("loaded TP: %w", tpErr)
+	}
+	rep.TPLoadP99 = loadP99
+	allowed := 2 * rep.TPBaseP99
+	if floor := 2 * time.Millisecond; allowed < floor {
+		allowed = floor
+	}
+	if rep.TPLoadP99 > allowed {
+		return rep, fmt.Errorf("TP p99 under analytical load = %v, allowed %v (baseline %v): spilling starved the transactional side",
+			rep.TPLoadP99, allowed, rep.TPBaseP99)
+	}
+
+	// Phase 4 — hygiene: every run, completed or fault-killed, must have
+	// cleaned up after itself.
+	if n := gov.LiveSpillFiles(); n != 0 {
+		return rep, fmt.Errorf("%d spill files left on the device after all runs", n)
+	}
+	return rep, nil
+}

@@ -1,0 +1,43 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestMemGate runs the memory-pressure gate end to end: hostile query
+// bit-identical under a starved budget, clean failure under spill faults,
+// TP p99 within its allowance, zero spill files left. RunMemGate embeds
+// the assertions; the test adds the vacuity checks a refactor could
+// silently relax.
+func TestMemGate(t *testing.T) {
+	rep, err := RunMemGate(MemGateConfig{Seed: 7})
+	if err != nil {
+		t.Fatalf("mem gate: %v (report %+v)", err, rep)
+	}
+	if rep.Footprint < 8*rep.Budget {
+		t.Fatalf("footprint %d < 8x budget %d: the budget never pressured the query", rep.Footprint, rep.Budget)
+	}
+	if rep.Completed == 0 || rep.Spills == 0 || rep.SpillBytes == 0 {
+		t.Fatalf("vacuous gate: completed=%d spills=%d spillBytes=%d", rep.Completed, rep.Spills, rep.SpillBytes)
+	}
+	t.Logf("footprint=%dB budget=%dB completed=%d faultFailed=%d spills=%d spillBytes=%d tpBase=%v tpLoad=%v",
+		rep.Footprint, rep.Budget, rep.Completed, rep.FaultFailed, rep.Spills, rep.SpillBytes, rep.TPBaseP99, rep.TPLoadP99)
+}
+
+// TestMemGateDeterministicFaults pins the seeded fault schedule: two gates
+// with the same seed observe the same completed/failed split, so a failing
+// gate replays exactly.
+func TestMemGateDeterministicFaults(t *testing.T) {
+	a, err := RunMemGate(MemGateConfig{Seed: 11, TPTxns: 20, Runs: 4})
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := RunMemGate(MemGateConfig{Seed: 11, TPTxns: 20, Runs: 4})
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.Completed != b.Completed || a.FaultFailed != b.FaultFailed {
+		t.Fatalf("same seed, different fault schedule: (%d,%d) vs (%d,%d)",
+			a.Completed, a.FaultFailed, b.Completed, b.FaultFailed)
+	}
+}

@@ -52,6 +52,7 @@ type ConfigA struct {
 // be merged to the column store" (§2.1(a)); analytical queries perform the
 // in-memory delta + column scan.
 type EngineA struct {
+	memGoverned
 	ts      *tableSet
 	mgr     *txn.Manager
 	walDev  *disk.Device
@@ -280,7 +281,7 @@ func (e *EngineA) Source(ctx context.Context, table string, cols []string, pred 
 // Query implements Engine.
 func (e *EngineA) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par))
+	return e.govern(ctx, exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par)))
 }
 
 // Sync implements Engine.

@@ -111,6 +111,7 @@ func (l *learnerStorage) ApplyMutations(commitTS uint64, muts []cluster.Mutation
 // analytical scans touch only learner state — and freshness is bounded by
 // replication plus merge lag.
 type EngineB struct {
+	memGoverned
 	ts     *tableSet
 	oracle *txn.Oracle
 	c      *cluster.Cluster
@@ -442,7 +443,7 @@ func (e *EngineB) Source(ctx context.Context, table string, cols []string, pred 
 // Query implements Engine.
 func (e *EngineB) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par))
+	return e.govern(ctx, exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par)))
 }
 
 // Sync implements Engine: every learner merges its log-based delta files

@@ -67,6 +67,7 @@ type imcsTable struct {
 // and the cost model prefers the columnar path, else they fall back to the
 // (expensive) disk row scan.
 type EngineC struct {
+	memGoverned
 	ts      *tableSet
 	mgr     *txn.Manager
 	walDev  *disk.Device
@@ -471,7 +472,7 @@ func (e *EngineC) imcsSource(ctx context.Context, id uint32, cols []string, pred
 // Query implements Engine.
 func (e *EngineC) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par))
+	return e.govern(ctx, exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par)))
 }
 
 // RowSource forces the disk row-store access path, bypassing the cost

@@ -1,0 +1,49 @@
+// Memory-governor attachment shared by all four engine architectures.
+//
+// Engines embed memGoverned; a process that wants bounded-memory analytics
+// attaches one exec.Governor per node (core.MemGoverned) and every Query
+// plan built afterwards carries a fresh per-query accountant. Detaching
+// (SetMemGovernor(nil)) returns the engine to ungoverned execution —
+// in-flight queries keep the accountant they started with.
+package core
+
+import (
+	"context"
+	"sync/atomic"
+
+	"htap/internal/exec"
+)
+
+// MemGoverned is implemented by engines that can run analytical queries
+// under an exec.Governor memory budget.
+type MemGoverned interface {
+	// SetMemGovernor attaches (or, with nil, detaches) the node-level
+	// memory governor used by subsequent Query plans.
+	SetMemGovernor(g *exec.Governor)
+	// MemGovernor returns the currently attached governor, nil if none.
+	MemGovernor() *exec.Governor
+}
+
+// memGoverned holds an engine's attached governor. The zero value is
+// ready to use (no governor: queries run ungoverned).
+type memGoverned struct {
+	gov atomic.Pointer[exec.Governor]
+}
+
+// SetMemGovernor implements MemGoverned.
+func (m *memGoverned) SetMemGovernor(g *exec.Governor) { m.gov.Store(g) }
+
+// MemGovernor implements MemGoverned.
+func (m *memGoverned) MemGovernor() *exec.Governor { return m.gov.Load() }
+
+// govern binds ctx to p and, when a governor is attached, starts a query
+// accountant on the plan root. Engines call it from Query so the plan's
+// downstream operators (joins, aggregations, sorts) charge the budget and
+// spill instead of growing unbounded.
+func (m *memGoverned) govern(ctx context.Context, p *exec.Plan) *exec.Plan {
+	p = p.Ctx(ctx)
+	if g := m.gov.Load(); g != nil {
+		p = p.WithMem(g.StartQuery())
+	}
+	return p
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -730,9 +731,19 @@ type hashJoinOp struct {
 	buildOnce  sync.Once
 	buildSrc   Source
 	par        int
+	ctx        context.Context
+	mem        *QueryMem
+
+	// Grace-mode state (memory-governed builds that went over budget): the
+	// build side lives hash-partitioned in spill files instead of one
+	// in-memory table, and probing proceeds partition by partition.
+	grace      bool
+	buildW     []*spillWriter // one per partition, nil until toGrace
+	buildBytes int64          // charged bytes of the in-memory build table
+	gout       *graceProbe    // sequential probe stream, lazily built
 }
 
-func newHashJoin(typ JoinType, left, right Source, leftCols, rightCols []string, par int) *hashJoinOp {
+func newHashJoin(typ JoinType, left, right Source, leftCols, rightCols []string, par int, ctx context.Context, mem *QueryMem) *hashJoinOp {
 	if len(leftCols) != len(rightCols) || len(leftCols) == 0 {
 		panic("exec: join key arity mismatch")
 	}
@@ -760,6 +771,7 @@ func newHashJoin(typ JoinType, left, right Source, leftCols, rightCols []string,
 		typ: typ, left: left, schema: schema,
 		leftKeys: lk, rightKeys: rk,
 		rightWidth: len(right.Schema()), buildSrc: right, par: par,
+		ctx: orBackground(ctx), mem: mem,
 	}
 }
 
@@ -787,18 +799,27 @@ func keysEqual(lb *Batch, li int, lk []int, rb *Batch, ri int, rk []int) bool {
 // partitions in parallel; the partitions are then merged into one table
 // sequentially in part order, so bucket entry order — and with it the
 // order of multi-match probe output — is identical to a sequential build.
+// Every build loop polls ctx per batch, so a cancelled query abandons the
+// build promptly instead of materializing the whole right side first.
+// Memory-governed builds (mem != nil) run sequentially and convert to a
+// grace (partitioned, spilled) build when they go over budget.
 func (o *hashJoinOp) build() {
+	if o.mem != nil {
+		o.buildGoverned()
+		return
+	}
 	parts := trySplit(o.buildSrc, o.par)
 	if parts == nil {
 		o.buildRows = NewBatch(o.buildSrc.Schema())
 		o.buckets = make(map[uint64][]int)
-		for {
+		for o.ctx.Err() == nil {
 			b := o.buildSrc.Next()
 			if b == nil {
 				return
 			}
 			o.buildInto(b)
 		}
+		return
 	}
 	type buildPart struct {
 		rows   *Batch
@@ -812,7 +833,7 @@ func (o *hashJoinOp) build() {
 			src := parts[w]
 			rows := NewBatch(src.Schema())
 			var hashes []uint64
-			for {
+			for o.ctx.Err() == nil {
 				b := src.Next()
 				if b == nil {
 					break
@@ -843,6 +864,357 @@ func (o *hashJoinOp) build() {
 		}
 	}
 	mergeNS.Add(time.Since(start).Nanoseconds())
+}
+
+// buildGoverned drains the build side sequentially under the memory
+// accountant. The sequential choice is deliberate: a parallel build's
+// transient per-part tables would dodge the moment-of-overflow accounting,
+// and the part-order merge makes its final table identical to a sequential
+// build anyway, so correctness is unaffected — a governed build trades the
+// build-side speedup for an accurately enforced budget. On overflow the
+// buffered rows scatter to hash partitions on disk (toGrace) and the
+// remainder of the stream follows them.
+func (o *hashJoinOp) buildGoverned() {
+	o.buildRows = NewBatch(o.buildSrc.Schema())
+	o.buckets = make(map[uint64][]int)
+	for {
+		if o.ctx.Err() != nil || o.mem.Err() != nil {
+			return
+		}
+		b := o.buildSrc.Next()
+		if b == nil {
+			break
+		}
+		if o.grace {
+			o.scatterBuild(b)
+			coopYield()
+			continue
+		}
+		o.buildInto(b)
+		sz := batchAppendBytes(b)
+		o.mem.Grow(sz)
+		o.buildBytes += sz
+		if o.mem.Over() && o.buildRows.N > 0 {
+			o.toGrace()
+		}
+		coopYield()
+	}
+	if o.grace {
+		_ = closeAll(o.buildW)
+	}
+}
+
+// toGrace converts the in-memory build table into spillFanout disk
+// partitions. Rows scatter in table order, so each partition file holds
+// its rows in global build order — reloading a partition reproduces the
+// bucket insertion order of an in-memory build restricted to it, which
+// keeps multi-match probe output order bit-identical.
+func (o *hashJoinOp) toGrace() {
+	o.grace = true
+	o.mem.noteSpill(spillsJoin, spillFanout)
+	o.buildW = make([]*spillWriter, spillFanout)
+	for i := range o.buildW {
+		o.buildW[i] = newSpillWriter(o.mem, fmt.Sprintf("join-build-p%d", i))
+	}
+	for i := 0; i < o.buildRows.N; i++ {
+		r := o.buildRows.Row(i)
+		if o.buildW[partOf(hashRowKeys(r, o.rightKeys), 0)].add(r) != nil {
+			break
+		}
+	}
+	o.mem.Shrink(o.buildBytes)
+	o.buildBytes = 0
+	o.buildRows = NewBatch(o.buildSrc.Schema())
+	o.buckets = make(map[uint64][]int)
+}
+
+// scatterBuild routes one build batch into the grace partitions.
+func (o *hashJoinOp) scatterBuild(b *Batch) {
+	for i := 0; i < b.N; i++ {
+		h := hashKeys(b, i, o.rightKeys)
+		if o.buildW[partOf(h, 0)].add(b.Row(i)) != nil {
+			return
+		}
+	}
+}
+
+// rowKeysEqual compares a materialized probe row's key columns against one
+// row of the build table.
+func rowKeysEqual(lr types.Row, lk []int, tbl *Batch, ri int, rk []int) bool {
+	for i := range lk {
+		if !lr[lk[i]].Equal(tbl.Cols[rk[i]].Datum(ri)) {
+			return false
+		}
+	}
+	return true
+}
+
+// graceProbe is one probe stream's output over a grace (spilled) build.
+// Construction does the heavy lifting: probe rows are tagged with their
+// stream ordinal and scattered to per-partition spill files, each probe
+// partition joins against its build partition (partitionOut), and the
+// per-partition tagged outputs merge back into probe order — so a grace
+// join emits rows in exactly the order an in-memory probe would have.
+// Each probe stream (the operator at DOP 1, or each split part) owns a
+// private graceProbe; only the depth-0 build partition files are shared.
+type graceProbe struct {
+	op     *hashJoinOp
+	mt     *mergeTagged
+	failed bool
+}
+
+func newGraceProbe(o *hashJoinOp, left Source) *graceProbe {
+	gp := &graceProbe{op: o}
+	qm := o.mem
+	pw := make([]*spillWriter, spillFanout)
+	for i := range pw {
+		pw[i] = newSpillWriter(qm, "join-probe")
+	}
+	var tag int64
+scatter:
+	for o.ctx.Err() == nil && qm.Err() == nil {
+		b := left.Next()
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			h := hashKeys(b, i, o.leftKeys)
+			r := append(types.Row{types.NewInt(tag)}, b.Row(i)...)
+			tag++
+			if pw[partOf(h, 0)].add(r) != nil {
+				break scatter
+			}
+		}
+		coopYield()
+	}
+	if closeAll(pw) != nil || qm.Err() != nil || o.ctx.Err() != nil {
+		gp.failed = true
+		return gp
+	}
+	outs := make([]string, 0, spillFanout)
+	for p := 0; p < spillFanout; p++ {
+		out, err := o.partitionOut(o.buildW[p].name, pw[p].name, 0, false)
+		if err != nil {
+			gp.failed = true
+			return gp
+		}
+		outs = append(outs, out)
+	}
+	mt, err := newMergeTagged(qm, outs)
+	if err != nil {
+		gp.failed = true
+		return gp
+	}
+	gp.mt = mt
+	return gp
+}
+
+func (gp *graceProbe) Next() *Batch {
+	if gp.failed || gp.mt == nil {
+		return nil
+	}
+	b := NewBatch(gp.op.schema)
+	for b.N < BatchSize {
+		r, ok, err := gp.mt.next()
+		if err != nil {
+			gp.failed = true
+			return nil
+		}
+		if !ok {
+			break
+		}
+		b.AppendRow(r[1:])
+	}
+	if b.N == 0 {
+		return nil
+	}
+	coopYield()
+	return b
+}
+
+// partitionOut joins one build partition file against one tagged probe
+// partition file and returns a spill file of tagged output rows in
+// ascending probe order. The build partition loads into memory; if it
+// alone exceeds the budget and depth permits, both files re-scatter under
+// the next depth's hash salt and the join recurses per sub-partition
+// (repartition), merging sub-outputs by tag. On success the probe file is
+// removed eagerly, and the build file too when ownBuild (sub-partition
+// files are private; depth-0 build files are shared across probe streams
+// and live until QueryMem.Finish). Error paths lean on Finish for file
+// cleanup — every spill file is tracked by the accountant.
+func (o *hashJoinOp) partitionOut(bf, pf string, depth int, ownBuild bool) (string, error) {
+	qm := o.mem
+	tbl := NewBatch(o.buildSrc.Schema())
+	buckets := make(map[uint64][]int)
+	var charged int64
+	bc := newSpillCursor(qm, bf)
+	for {
+		r, ok, err := bc.next()
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			break
+		}
+		h := hashRowKeys(r, o.rightKeys)
+		buckets[h] = append(buckets[h], tbl.N)
+		tbl.AppendRow(r)
+		sz := rowBytes(r)
+		qm.Grow(sz)
+		charged += sz
+		if qm.Over() && depth < spillMaxDepth && tbl.N > 1 {
+			return o.repartition(bf, pf, bc, tbl, charged, depth, ownBuild)
+		}
+		if tbl.N%BatchSize == 0 {
+			coopYield()
+		}
+	}
+	if qm.Over() {
+		// Depth cap (or a partition of indivisible duplicates): degrade to
+		// an in-memory join of this partition and record the overshoot.
+		qm.noteOver()
+	}
+	w := newSpillWriter(qm, "join-out")
+	pc := newSpillCursor(qm, pf)
+	for probed := 0; ; probed++ {
+		if probed%BatchSize == 0 {
+			if err := o.ctx.Err(); err != nil {
+				qm.Shrink(charged)
+				return "", err
+			}
+			coopYield()
+		}
+		tr, ok, err := pc.next()
+		if err != nil {
+			qm.Shrink(charged)
+			return "", err
+		}
+		if !ok {
+			break
+		}
+		lr := tr[1:]
+		matched := false
+		for _, ri := range buckets[hashRowKeys(lr, o.leftKeys)] {
+			if !rowKeysEqual(lr, o.leftKeys, tbl, ri, o.rightKeys) {
+				continue
+			}
+			matched = true
+			if o.typ != InnerJoin {
+				break
+			}
+			outRow := make(types.Row, 0, 1+len(o.schema))
+			outRow = append(outRow, tr[0])
+			outRow = append(outRow, lr...)
+			outRow = append(outRow, tbl.Row(ri)...)
+			if err := w.add(outRow); err != nil {
+				qm.Shrink(charged)
+				return "", err
+			}
+		}
+		if (o.typ == LeftSemiJoin && matched) || (o.typ == LeftAntiJoin && !matched) {
+			if err := w.add(tr); err != nil {
+				qm.Shrink(charged)
+				return "", err
+			}
+		}
+	}
+	qm.Shrink(charged)
+	if err := w.close(); err != nil {
+		return "", err
+	}
+	qm.removeFile(pf)
+	if ownBuild {
+		qm.removeFile(bf)
+	}
+	return w.name, nil
+}
+
+// repartition re-scatters one oversized partition pair under the next
+// depth's hash salt, recurses per sub-partition, and merges the tagged
+// sub-outputs into a single output run. tbl holds the build rows loaded so
+// far (written out first, in order, so build order is preserved); bc is
+// the partly-consumed build cursor.
+func (o *hashJoinOp) repartition(bf, pf string, bc *spillCursor, tbl *Batch, charged int64, depth int, ownBuild bool) (string, error) {
+	qm := o.mem
+	qm.noteSpill(spillsJoin, spillFanout)
+	sbw := make([]*spillWriter, spillFanout)
+	spw := make([]*spillWriter, spillFanout)
+	for i := range sbw {
+		sbw[i] = newSpillWriter(qm, fmt.Sprintf("join-build-d%d-p%d", depth+1, i))
+		spw[i] = newSpillWriter(qm, fmt.Sprintf("join-probe-d%d-p%d", depth+1, i))
+	}
+	for i := 0; i < tbl.N; i++ {
+		r := tbl.Row(i)
+		if err := sbw[partOf(hashRowKeys(r, o.rightKeys), depth+1)].add(r); err != nil {
+			qm.Shrink(charged)
+			return "", err
+		}
+	}
+	qm.Shrink(charged)
+	for {
+		r, ok, err := bc.next()
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			break
+		}
+		if err := sbw[partOf(hashRowKeys(r, o.rightKeys), depth+1)].add(r); err != nil {
+			return "", err
+		}
+	}
+	pc := newSpillCursor(qm, pf)
+	for {
+		tr, ok, err := pc.next()
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			break
+		}
+		if err := spw[partOf(hashRowKeys(tr[1:], o.leftKeys), depth+1)].add(tr); err != nil {
+			return "", err
+		}
+	}
+	if err := closeAll(sbw); err != nil {
+		return "", err
+	}
+	if err := closeAll(spw); err != nil {
+		return "", err
+	}
+	qm.removeFile(pf)
+	if ownBuild {
+		qm.removeFile(bf)
+	}
+	outs := make([]string, 0, spillFanout)
+	for j := 0; j < spillFanout; j++ {
+		out, err := o.partitionOut(sbw[j].name, spw[j].name, depth+1, true)
+		if err != nil {
+			return "", err
+		}
+		outs = append(outs, out)
+	}
+	w := newSpillWriter(qm, "join-out")
+	mt, err := newMergeTagged(qm, outs)
+	if err != nil {
+		return "", err
+	}
+	for {
+		r, ok, err := mt.next()
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			break
+		}
+		if err := w.add(r); err != nil {
+			return "", err
+		}
+	}
+	if err := w.close(); err != nil {
+		return "", err
+	}
+	return w.name, nil
 }
 
 func (o *hashJoinOp) buildInto(b *Batch) {
@@ -893,7 +1265,16 @@ func (o *hashJoinOp) probe(b *Batch) *Batch {
 
 func (o *hashJoinOp) Next() *Batch {
 	o.buildOnce.Do(o.build)
-	for {
+	if o.mem != nil && o.mem.Err() != nil {
+		return nil
+	}
+	if o.grace {
+		if o.gout == nil {
+			o.gout = newGraceProbe(o, o.left)
+		}
+		return o.gout.Next()
+	}
+	for o.ctx.Err() == nil {
 		b := o.left.Next()
 		if b == nil {
 			return nil
@@ -902,6 +1283,7 @@ func (o *hashJoinOp) Next() *Batch {
 			return out
 		}
 	}
+	return nil
 }
 
 // Split partitions the probe side; every part probes the one shared hash
@@ -919,25 +1301,40 @@ func (o *hashJoinOp) Split(n int) []Source {
 	return out
 }
 
-// hashJoinProbe is one worker's probe stream over a split hash join.
+// hashJoinProbe is one worker's probe stream over a split hash join. Under
+// a grace build each worker runs a private graceProbe over its own left
+// part (sharing only the depth-0 build partition files), so part outputs
+// concatenate to the same rows as a sequential grace probe.
 type hashJoinProbe struct {
 	op   *hashJoinOp
 	left Source
+	gout *graceProbe
 }
 
 func (p *hashJoinProbe) Schema() []types.Column { return p.op.schema }
 
 func (p *hashJoinProbe) Next() *Batch {
 	p.op.buildOnce.Do(p.op.build)
-	for {
+	o := p.op
+	if o.mem != nil && o.mem.Err() != nil {
+		return nil
+	}
+	if o.grace {
+		if p.gout == nil {
+			p.gout = newGraceProbe(o, p.left)
+		}
+		return p.gout.Next()
+	}
+	for o.ctx.Err() == nil {
 		b := p.left.Next()
 		if b == nil {
 			return nil
 		}
-		if out := p.op.probe(b); out.N > 0 {
+		if out := o.probe(b); out.N > 0 {
 			return out
 		}
 	}
+	return nil
 }
 
 // --- hash aggregate ---
@@ -978,14 +1375,17 @@ type hashAggOp struct {
 	schema   []types.Column
 	intSum   []bool
 	par      int
+	ctx      context.Context
+	mem      *QueryMem
 
-	done bool
-	out  []types.Row
-	pos  int
+	done   bool
+	failed bool
+	out    []types.Row
+	pos    int
 }
 
-func newHashAgg(in Source, groupBy []string, aggs []Agg, par int) *hashAggOp {
-	o := &hashAggOp{in: in, aggs: aggs, par: par}
+func newHashAgg(in Source, groupBy []string, aggs []Agg, par int, ctx context.Context, mem *QueryMem) *hashAggOp {
+	o := &hashAggOp{in: in, aggs: aggs, par: par, ctx: orBackground(ctx), mem: mem}
 	ins := in.Schema()
 	for _, g := range groupBy {
 		o.schema = append(o.schema, ins[colIndex(ins, g)])
@@ -1021,27 +1421,53 @@ func newHashAgg(in Source, groupBy []string, aggs []Agg, par int) *hashAggOp {
 
 func (o *hashAggOp) Schema() []types.Column { return o.schema }
 
-// aggGroup is one group's key and accumulator states.
+// aggGroup is one group's key and accumulator states. ord is the group's
+// position in a single per-stream ordinal space shared with spilled raw
+// rows: groups created before a spill take creation ordinals, groups
+// created during replay take their creating row's tag. Sorting recovered
+// groups by ord therefore reproduces exact first-seen output order.
 type aggGroup struct {
 	key    types.Row
 	states []aggState
+	ord    int64
 }
+
+// aggStateBytes approximates one accumulator's in-memory footprint for the
+// accountant (sum+isum+count plus two Datums).
+const aggStateBytes = 96
 
 // aggTable is one hash-aggregation table. The sequential path uses a
 // single table; the parallel path gives each worker its own table over a
-// disjoint partition of the input and merges them afterwards.
+// disjoint partition of the input and merges them afterwards. Under a
+// memory accountant the table spills: dump group states + remaining raw
+// rows to hash partitions, recurse per partition, and reassemble
+// (spillRest / aggPartition).
 type aggTable struct {
-	o      *hashAggOp
-	groups map[uint64][]*aggGroup
-	order  []*aggGroup // first-seen order, the output order
+	o        *hashAggOp
+	groups   map[uint64][]*aggGroup
+	order    []*aggGroup // first-seen order, the output order
+	ordSeq   int64       // next ordinal (groups and spilled rows share it)
+	bytes    int64       // bytes charged to the accountant
+	newBytes int64       // bytes added since the last charge
 }
 
 func newAggTable(o *hashAggOp) *aggTable {
 	return &aggTable{o: o, groups: make(map[uint64][]*aggGroup)}
 }
 
-// lookup finds or creates the group for key (pre-hashed to h).
-func (t *aggTable) lookup(key types.Row, h uint64) *aggGroup {
+// keyHash hashes a materialized group key with the same FNV chain find
+// uses on batches.
+func keyHash(key types.Row) uint64 {
+	h := uint64(1469598103934665603)
+	for _, k := range key {
+		h = k.Hash(h)
+	}
+	return h
+}
+
+// lookup finds or creates the group for key (pre-hashed to h). The caller
+// assigns ord on creation.
+func (t *aggTable) lookup(key types.Row, h uint64) (*aggGroup, bool) {
 	for _, g := range t.groups[h] {
 		same := true
 		for gi := range key {
@@ -1051,16 +1477,17 @@ func (t *aggTable) lookup(key types.Row, h uint64) *aggGroup {
 			}
 		}
 		if same {
-			return g
+			return g, false
 		}
 	}
 	g := &aggGroup{key: key, states: make([]aggState, len(t.o.aggs))}
 	t.groups[h] = append(t.groups[h], g)
 	t.order = append(t.order, g)
-	return g
+	t.newBytes += rowBytes(key) + int64(len(t.o.aggs))*aggStateBytes
+	return g, true
 }
 
-func (t *aggTable) find(b *Batch, i int) *aggGroup {
+func (t *aggTable) find(b *Batch, i int) (*aggGroup, bool) {
 	key := make(types.Row, len(t.o.groupBy))
 	h := uint64(1469598103934665603)
 	for gi, g := range t.o.groupBy {
@@ -1070,33 +1497,44 @@ func (t *aggTable) find(b *Batch, i int) *aggGroup {
 	return t.lookup(key, h)
 }
 
-func (t *aggTable) consume(b *Batch) {
+// accumulate folds row i of b into g. Shared by first-pass consumption and
+// spilled-row replay, so a replayed fold is the same code — and the same
+// float operation order — as an unspilled one.
+func (t *aggTable) accumulate(g *aggGroup, b *Batch, i int) {
 	o := t.o
-	for i := 0; i < b.N; i++ {
-		g := t.find(b, i)
-		for ai, a := range o.aggs {
-			st := &g.states[ai]
-			st.count++
-			if a.Kind == Count {
-				continue
+	for ai, a := range o.aggs {
+		st := &g.states[ai]
+		st.count++
+		if a.Kind == Count {
+			continue
+		}
+		d := o.aggExprs[ai].Eval(b, i)
+		switch a.Kind {
+		case Sum, Avg:
+			st.sum += d.Float()
+			if d.Kind == types.Int {
+				st.isum += d.I
 			}
-			d := o.aggExprs[ai].Eval(b, i)
-			switch a.Kind {
-			case Sum, Avg:
-				st.sum += d.Float()
-				if d.Kind == types.Int {
-					st.isum += d.I
-				}
-			case Min:
-				if st.count == 1 || d.Compare(st.min) < 0 {
-					st.min = d
-				}
-			case Max:
-				if st.count == 1 || d.Compare(st.max) > 0 {
-					st.max = d
-				}
+		case Min:
+			if st.count == 1 || d.Compare(st.min) < 0 {
+				st.min = d
+			}
+		case Max:
+			if st.count == 1 || d.Compare(st.max) > 0 {
+				st.max = d
 			}
 		}
+	}
+}
+
+func (t *aggTable) consume(b *Batch) {
+	for i := 0; i < b.N; i++ {
+		g, created := t.find(b, i)
+		if created {
+			g.ord = t.ordSeq
+			t.ordSeq++
+		}
+		t.accumulate(g, b, i)
 	}
 }
 
@@ -1110,21 +1548,325 @@ func (t *aggTable) drain(src Source) {
 	}
 }
 
+// charge pushes newly accounted bytes to the accountant.
+func (t *aggTable) charge() {
+	if t.newBytes > 0 {
+		t.o.mem.Grow(t.newBytes)
+		t.bytes += t.newBytes
+		t.newBytes = 0
+	}
+}
+
+// drainBounded is drain under the memory accountant: when the table goes
+// over budget with more than one group, the rest of the input spills and
+// the aggregation finishes partition by partition. The reassembled table
+// is bit-identical to an unbounded drain of the same stream.
+func (t *aggTable) drainBounded(src Source) {
+	o := t.o
+	for {
+		if o.ctx.Err() != nil || o.mem.Err() != nil {
+			return
+		}
+		b := src.Next()
+		if b == nil {
+			return
+		}
+		t.consume(b)
+		t.charge()
+		if o.mem.Over() && len(t.order) > 1 {
+			t.spillRest(src)
+			return
+		}
+		coopYield()
+	}
+}
+
 // merge folds other into t, visiting other's groups in their first-seen
 // order. Merging part tables in part order makes both the group output
 // order and the float summation order a pure function of the input order
 // and the part boundaries — never of worker timing.
 func (t *aggTable) merge(other *aggTable) {
 	for _, og := range other.order {
-		h := uint64(1469598103934665603)
-		for _, k := range og.key {
-			h = k.Hash(h)
+		g, created := t.lookup(og.key, keyHash(og.key))
+		if created {
+			g.ord = t.ordSeq
+			t.ordSeq++
 		}
-		g := t.lookup(og.key, h)
 		for ai := range t.o.aggs {
 			mergeAggState(&g.states[ai], &og.states[ai], t.o.aggs[ai].Kind)
 		}
 	}
+}
+
+// encodeGroup serializes one group as a spill record: [ord, key...,
+// then per aggregate sum (Float, exact bits), isum, count, min, max].
+// Unused min/max slots carry an Int(0) placeholder so the record has a
+// fixed arity.
+func (o *hashAggOp) encodeGroup(g *aggGroup) types.Row {
+	r := make(types.Row, 0, 1+len(g.key)+5*len(o.aggs))
+	r = append(r, types.NewInt(g.ord))
+	r = append(r, g.key...)
+	zero := types.NewInt(0)
+	for ai := range o.aggs {
+		st := g.states[ai]
+		r = append(r, types.NewFloat(st.sum), types.NewInt(st.isum), types.NewInt(st.count))
+		if o.aggs[ai].Kind == Min && st.count > 0 {
+			r = append(r, st.min)
+		} else {
+			r = append(r, zero)
+		}
+		if o.aggs[ai].Kind == Max && st.count > 0 {
+			r = append(r, st.max)
+		} else {
+			r = append(r, zero)
+		}
+	}
+	return r
+}
+
+// decodeGroup parses an encodeGroup record.
+func (o *hashAggOp) decodeGroup(r types.Row) *aggGroup {
+	nk := len(o.groupBy)
+	g := &aggGroup{ord: r[0].I, key: r[1 : 1+nk], states: make([]aggState, len(o.aggs))}
+	for ai := range o.aggs {
+		off := 1 + nk + 5*ai
+		g.states[ai] = aggState{
+			sum:   r[off].Float(),
+			isum:  r[off+1].I,
+			count: r[off+2].I,
+			min:   r[off+3],
+			max:   r[off+4],
+		}
+	}
+	return g
+}
+
+// spillRest spills the current groups' states plus the remainder of the
+// input stream to hash partitions, finishes each partition recursively
+// (aggPartition), and reassembles the table. Group states encode float
+// bits exactly and replay continues each group's fold with the same
+// accumulate code in the same row order, so the reassembled table matches
+// an unbounded aggregation bit for bit.
+func (t *aggTable) spillRest(src Source) {
+	o := t.o
+	qm := o.mem
+	qm.noteSpill(spillsAgg, spillFanout)
+	sw := make([]*spillWriter, spillFanout)
+	rw := make([]*spillWriter, spillFanout)
+	for i := range sw {
+		sw[i] = newSpillWriter(qm, fmt.Sprintf("agg-state-p%d", i))
+		rw[i] = newSpillWriter(qm, fmt.Sprintf("agg-rows-p%d", i))
+	}
+	for _, g := range t.order {
+		if sw[partOf(keyHash(g.key), 0)].add(o.encodeGroup(g)) != nil {
+			return
+		}
+	}
+	qm.Shrink(t.bytes)
+	t.bytes, t.newBytes = 0, 0
+	t.groups = make(map[uint64][]*aggGroup)
+	t.order = nil
+	for o.ctx.Err() == nil && qm.Err() == nil {
+		b := src.Next()
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.N; i++ {
+			key := make(types.Row, len(o.groupBy))
+			h := uint64(1469598103934665603)
+			for gi, g := range o.groupBy {
+				key[gi] = g.Eval(b, i)
+				h = key[gi].Hash(h)
+			}
+			r := append(types.Row{types.NewInt(t.ordSeq)}, b.Row(i)...)
+			t.ordSeq++
+			if rw[partOf(h, 0)].add(r) != nil {
+				return
+			}
+		}
+		coopYield()
+	}
+	if closeAll(sw) != nil || closeAll(rw) != nil || qm.Err() != nil || o.ctx.Err() != nil {
+		return
+	}
+	var all []*aggGroup
+	for p := 0; p < spillFanout; p++ {
+		groups, charged, err := o.aggPartition(sw[p].name, rw[p].name, 0)
+		if err != nil {
+			return
+		}
+		all = append(all, groups...)
+		t.bytes += charged
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ord < all[j].ord })
+	for _, g := range all {
+		h := keyHash(g.key)
+		t.groups[h] = append(t.groups[h], g)
+	}
+	t.order = all
+}
+
+// consumeTagged replays spilled rows: b holds the stripped rows, tags
+// their original ordinals. A group created during replay takes its
+// creating row's tag as its ord.
+func (t *aggTable) consumeTagged(b *Batch, tags []int64) {
+	for i := 0; i < b.N; i++ {
+		g, created := t.find(b, i)
+		if created {
+			g.ord = tags[i]
+		}
+		t.accumulate(g, b, i)
+	}
+}
+
+// aggPartition finishes one spilled partition: load its group states,
+// replay its raw rows, and return the completed groups (with their
+// accountant charge still outstanding — the caller owns it). If the
+// partition alone exceeds the budget and depth permits, states and
+// remaining rows re-scatter under the next depth's salt and the
+// aggregation recurses.
+func (o *hashAggOp) aggPartition(stateFile, rowFile string, depth int) ([]*aggGroup, int64, error) {
+	qm := o.mem
+	sub := newAggTable(o)
+	sc := newSpillCursor(qm, stateFile)
+	for {
+		r, ok, err := sc.next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			break
+		}
+		g := o.decodeGroup(r)
+		h := keyHash(g.key)
+		sub.groups[h] = append(sub.groups[h], g)
+		sub.order = append(sub.order, g)
+		sub.newBytes += rowBytes(g.key) + int64(len(o.aggs))*aggStateBytes
+	}
+	sub.charge()
+	qm.removeFile(stateFile)
+	rc := newSpillCursor(qm, rowFile)
+	rows := make([]types.Row, 0, BatchSize)
+	tags := make([]int64, 0, BatchSize)
+	overNoted := false
+	for {
+		if err := o.ctx.Err(); err != nil {
+			return nil, sub.bytes, err
+		}
+		r, ok, err := rc.next()
+		if err != nil {
+			return nil, sub.bytes, err
+		}
+		if ok {
+			tags = append(tags, r[0].I)
+			rows = append(rows, r[1:])
+			if len(rows) < BatchSize {
+				continue
+			}
+		}
+		if len(rows) > 0 {
+			sub.consumeTagged(batchFromRows(o.in.Schema(), rows), tags)
+			sub.charge()
+			rows = rows[:0]
+			tags = tags[:0]
+			coopYield()
+		}
+		if !ok {
+			break
+		}
+		if qm.Over() {
+			if depth < spillMaxDepth && len(sub.order) > 1 {
+				return o.respill(sub, rc, rowFile, depth)
+			}
+			// Depth cap (or a single dominant group): finish in memory.
+			if !overNoted {
+				overNoted = true
+				qm.noteOver()
+			}
+		}
+	}
+	qm.removeFile(rowFile)
+	return sub.order, sub.bytes, nil
+}
+
+// respill re-scatters an oversized partition's states and remaining raw
+// rows (original tags preserved) under the next depth's salt and recurses.
+func (o *hashAggOp) respill(sub *aggTable, rc *spillCursor, rowFile string, depth int) ([]*aggGroup, int64, error) {
+	qm := o.mem
+	qm.noteSpill(spillsAgg, spillFanout)
+	sw := make([]*spillWriter, spillFanout)
+	rw := make([]*spillWriter, spillFanout)
+	for i := range sw {
+		sw[i] = newSpillWriter(qm, fmt.Sprintf("agg-state-d%d-p%d", depth+1, i))
+		rw[i] = newSpillWriter(qm, fmt.Sprintf("agg-rows-d%d-p%d", depth+1, i))
+	}
+	for _, g := range sub.order {
+		if err := sw[partOf(keyHash(g.key), depth+1)].add(o.encodeGroup(g)); err != nil {
+			return nil, sub.bytes, err
+		}
+	}
+	qm.Shrink(sub.bytes)
+	// Scatter remaining raw rows. The partition key is the groupBy
+	// expressions evaluated over the row, so rebuild small batches to
+	// evaluate them — the tagged originals are what gets written.
+	var tagged []types.Row
+	flush := func() error {
+		if len(tagged) == 0 {
+			return nil
+		}
+		stripped := make([]types.Row, len(tagged))
+		for i, r := range tagged {
+			stripped[i] = r[1:]
+		}
+		b := batchFromRows(o.in.Schema(), stripped)
+		for i := 0; i < b.N; i++ {
+			h := uint64(1469598103934665603)
+			for _, g := range o.groupBy {
+				h = g.Eval(b, i).Hash(h)
+			}
+			if err := rw[partOf(h, depth+1)].add(tagged[i]); err != nil {
+				return err
+			}
+		}
+		tagged = tagged[:0]
+		return nil
+	}
+	for {
+		r, ok, err := rc.next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			break
+		}
+		tagged = append(tagged, r)
+		if len(tagged) >= BatchSize {
+			if err := flush(); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, 0, err
+	}
+	if err := closeAll(sw); err != nil {
+		return nil, 0, err
+	}
+	if err := closeAll(rw); err != nil {
+		return nil, 0, err
+	}
+	qm.removeFile(rowFile)
+	var all []*aggGroup
+	var charged int64
+	for j := 0; j < spillFanout; j++ {
+		groups, c, err := o.aggPartition(sw[j].name, rw[j].name, depth+1)
+		if err != nil {
+			return nil, charged, err
+		}
+		all = append(all, groups...)
+		charged += c
+	}
+	return all, charged, nil
 }
 
 // mergeAggState folds src into dst for one aggregate.
@@ -1152,6 +1894,13 @@ func mergeAggState(dst, src *aggState, kind AggKind) {
 }
 
 func (o *hashAggOp) run() {
+	drainInto := func(t *aggTable, src Source) {
+		if o.mem != nil {
+			t.drainBounded(src)
+		} else {
+			t.drain(src)
+		}
+	}
 	t := newAggTable(o)
 	if parts := trySplit(o.in, o.par); parts != nil {
 		parallelPlans.Inc()
@@ -1161,7 +1910,7 @@ func (o *hashAggOp) run() {
 			w := w
 			tasks[w] = func() {
 				pt := newAggTable(o)
-				pt.drain(parts[w])
+				drainInto(pt, parts[w])
 				tables[w] = pt
 			}
 		}
@@ -1172,7 +1921,12 @@ func (o *hashAggOp) run() {
 		}
 		mergeNS.Add(time.Since(start).Nanoseconds())
 	} else {
-		t.drain(o.in)
+		drainInto(t, o.in)
+	}
+	if o.mem != nil && o.mem.Err() != nil {
+		o.failed = true
+		o.done = true
+		return
 	}
 	order := t.order
 	// A global aggregate over zero rows still yields one row of zeros.
@@ -1214,7 +1968,7 @@ func (o *hashAggOp) Next() *Batch {
 	if !o.done {
 		o.run()
 	}
-	if o.pos >= len(o.out) {
+	if o.failed || o.pos >= len(o.out) {
 		return nil
 	}
 	b := NewBatch(o.schema)
@@ -1233,34 +1987,39 @@ type SortKey struct {
 	Desc bool
 }
 
+// sortOp sorts its whole input. In-memory it is a stable slice sort; with
+// a memory accountant over budget it becomes an external merge sort:
+// consecutive input chunks are stable-sorted and spilled as runs, and a
+// k-way merge with run-index tie-breaking streams them back. Because runs
+// are consecutive input chunks and ties resolve to the earlier run, the
+// merged order equals the in-memory stable sort bit-for-bit, whatever the
+// (load-dependent, nondeterministic) spill points were.
 type sortOp struct {
 	in   Source
 	keys []SortKey
+	ctx  context.Context
+	mem  *QueryMem
 
-	done bool
-	rows []types.Row
-	pos  int
+	done     bool
+	rows     []types.Row
+	pos      int
+	curBytes int64
+	runs     []string // spilled sorted runs, in input-chunk order
+	merge    *sortMerge
+	failed   bool
 }
 
 func (o *sortOp) Schema() []types.Column { return o.in.Schema() }
 
-func (o *sortOp) run() {
+// lessFn builds the row comparator for the sort keys.
+func (o *sortOp) lessFn() func(a, b types.Row) bool {
 	idxs := make([]int, len(o.keys))
 	for i, k := range o.keys {
 		idxs[i] = colIndex(o.in.Schema(), k.Col)
 	}
-	for {
-		b := o.in.Next()
-		if b == nil {
-			break
-		}
-		for i := 0; i < b.N; i++ {
-			o.rows = append(o.rows, b.Row(i))
-		}
-	}
-	sort.SliceStable(o.rows, func(a, b int) bool {
+	return func(a, b types.Row) bool {
 		for ki, idx := range idxs {
-			c := o.rows[a][idx].Compare(o.rows[b][idx])
+			c := a[idx].Compare(b[idx])
 			if c == 0 {
 				continue
 			}
@@ -1270,13 +2029,93 @@ func (o *sortOp) run() {
 			return c < 0
 		}
 		return false
-	})
+	}
+}
+
+func (o *sortOp) run() {
+	less := o.lessFn()
+	for {
+		if o.ctx != nil && o.ctx.Err() != nil {
+			break
+		}
+		if o.mem.Err() != nil {
+			o.failed = true
+			o.done = true
+			return
+		}
+		b := o.in.Next()
+		if b == nil {
+			break
+		}
+		var sz int64
+		for i := 0; i < b.N; i++ {
+			r := b.Row(i)
+			o.rows = append(o.rows, r)
+			sz += rowBytes(r)
+		}
+		o.mem.Grow(sz)
+		o.curBytes += sz
+		if o.mem.Over() && len(o.rows) > 0 {
+			o.flushRun(less)
+		}
+		if o.mem != nil {
+			coopYield()
+		}
+	}
+	sort.SliceStable(o.rows, func(a, b int) bool { return less(o.rows[a], o.rows[b]) })
+	if len(o.runs) > 0 && !o.failed {
+		o.merge = newSortMerge(o.mem, o.runs, o.rows, less)
+	}
 	o.done = true
+}
+
+// flushRun stable-sorts the buffered chunk and spills it as one run.
+func (o *sortOp) flushRun(less func(a, b types.Row) bool) {
+	sort.SliceStable(o.rows, func(a, b int) bool { return less(o.rows[a], o.rows[b]) })
+	if len(o.runs) == 0 {
+		o.mem.noteSpill(spillsSort, 0)
+	}
+	spillPartsTotal.Add(1)
+	w := newSpillWriter(o.mem, "sort-run")
+	for _, r := range o.rows {
+		if w.add(r) != nil {
+			o.failed = true
+			break
+		}
+	}
+	if !o.failed && w.close() != nil {
+		o.failed = true
+	}
+	o.runs = append(o.runs, w.name)
+	o.mem.Shrink(o.curBytes)
+	o.curBytes = 0
+	o.rows = nil
 }
 
 func (o *sortOp) Next() *Batch {
 	if !o.done {
 		o.run()
+	}
+	if o.failed || o.mem.Err() != nil {
+		return nil
+	}
+	if o.merge != nil {
+		b := NewBatch(o.Schema())
+		for b.N < BatchSize {
+			r, ok, err := o.merge.next()
+			if err != nil {
+				o.failed = true
+				return nil
+			}
+			if !ok {
+				break
+			}
+			b.AppendRow(r)
+		}
+		if b.N == 0 {
+			return nil
+		}
+		return b
 	}
 	if o.pos >= len(o.rows) {
 		return nil
@@ -1287,6 +2126,108 @@ func (o *sortOp) Next() *Batch {
 		o.pos++
 	}
 	return b
+}
+
+// sortRun is one merge input: a spilled run or the final in-memory chunk.
+type sortRun struct {
+	cur  *spillCursor // nil for the in-memory tail
+	rows []types.Row
+	pos  int
+	head types.Row
+	idx  int // input-chunk order, the stability tie-break
+}
+
+func (r *sortRun) advance() (ok bool, err error) {
+	if r.cur != nil {
+		r.head, ok, err = r.cur.next()
+		return ok, err
+	}
+	if r.pos >= len(r.rows) {
+		return false, nil
+	}
+	r.head = r.rows[r.pos]
+	r.pos++
+	return true, nil
+}
+
+// sortMerge streams the runs in sorted order. Ties between runs resolve
+// to the lower run index — runs are consecutive input chunks, so this
+// reproduces the stability of a whole-input stable sort.
+type sortMerge struct {
+	qm *QueryMem
+	h  sortRunHeap
+}
+
+type sortRunHeap struct {
+	runs []*sortRun
+	less func(a, b types.Row) bool
+}
+
+func (h sortRunHeap) Len() int { return len(h.runs) }
+func (h sortRunHeap) Less(i, j int) bool {
+	a, b := h.runs[i], h.runs[j]
+	if h.less(a.head, b.head) {
+		return true
+	}
+	if h.less(b.head, a.head) {
+		return false
+	}
+	return a.idx < b.idx
+}
+func (h sortRunHeap) Swap(i, j int)       { h.runs[i], h.runs[j] = h.runs[j], h.runs[i] }
+func (h *sortRunHeap) Push(x interface{}) { h.runs = append(h.runs, x.(*sortRun)) }
+func (h *sortRunHeap) Pop() interface{} {
+	old := h.runs
+	n := len(old)
+	x := old[n-1]
+	h.runs = old[:n-1]
+	return x
+}
+
+func newSortMerge(qm *QueryMem, runs []string, tail []types.Row, less func(a, b types.Row) bool) *sortMerge {
+	m := &sortMerge{qm: qm}
+	m.h.less = less
+	for i, name := range runs {
+		r := &sortRun{cur: newSpillCursor(qm, name), idx: i}
+		if ok, err := r.advance(); err != nil {
+			return m // error recorded on qm; next() reports it
+		} else if ok {
+			m.h.runs = append(m.h.runs, r)
+		} else {
+			qm.removeFile(name)
+		}
+	}
+	if len(tail) > 0 {
+		r := &sortRun{rows: tail, idx: len(runs)}
+		_, _ = r.advance()
+		m.h.runs = append(m.h.runs, r)
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+func (m *sortMerge) next() (types.Row, bool, error) {
+	if err := m.qm.Err(); err != nil {
+		return nil, false, err
+	}
+	if len(m.h.runs) == 0 {
+		return nil, false, nil
+	}
+	top := m.h.runs[0]
+	out := top.head
+	ok, err := top.advance()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		heap.Fix(&m.h, 0)
+	} else {
+		if top.cur != nil {
+			m.qm.removeFile(top.cur.name)
+		}
+		heap.Pop(&m.h)
+	}
+	return out, true, nil
 }
 
 // --- limit ---
@@ -1331,7 +2272,73 @@ func (o *limitOp) Next() *Batch {
 type Plan struct {
 	src Source
 	err error
-	par int // degree of parallelism; <= 1 means sequential
+	par int             // degree of parallelism; <= 1 means sequential
+	ctx context.Context // operator context (cancellation); nil = background
+	qm  *QueryMem       // memory accountant; nil = ungoverned
+	aux []*QueryMem     // accountants adopted from joined plans, for Finish
+}
+
+// derive builds the next plan in the chain, carrying the parallelism
+// degree, context, and memory accountants forward.
+func (p *Plan) derive(src Source) *Plan {
+	return &Plan{src: src, par: p.par, ctx: p.ctx, qm: p.qm, aux: p.aux}
+}
+
+// adopt records right's accountants on p so FinishMem releases them too;
+// a join output plan owns both inputs' lifecycles.
+func (p *Plan) adopt(right *Plan) *Plan {
+	if right.qm != nil && right.qm != p.qm {
+		p.aux = append(p.aux, right.qm)
+	}
+	for _, m := range right.aux {
+		if m != p.qm {
+			p.aux = append(p.aux, m)
+		}
+	}
+	return p
+}
+
+// Ctx binds a context to the plan's operators: blocking operators (join
+// build, spill partitioning) poll it and abandon work promptly when it is
+// cancelled. Call it on the plan root before adding operators; engines do.
+func (p *Plan) Ctx(ctx context.Context) *Plan {
+	p.ctx = ctx
+	return p
+}
+
+// WithMem attaches a memory accountant: materializing operators added
+// after this call charge it and spill through its governor when over
+// budget. Call it on the plan root before adding operators.
+func (p *Plan) WithMem(qm *QueryMem) *Plan {
+	p.qm = qm
+	return p
+}
+
+// Mem returns the plan's accountant (nil when ungoverned).
+func (p *Plan) Mem() *QueryMem { return p.qm }
+
+// MemErr reports the first spill failure recorded by any of the plan's
+// accountants, nil if none.
+func (p *Plan) MemErr() error {
+	if err := p.qm.Err(); err != nil {
+		return err
+	}
+	for _, m := range p.aux {
+		if err := m.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FinishMem releases all accountants' charges and spill files. RunCtx and
+// CountCtx call it; it is idempotent, so defensive callers may call it
+// again.
+func (p *Plan) FinishMem() {
+	p.qm.Finish()
+	for _, m := range p.aux {
+		m.Finish()
+	}
 }
 
 // From starts a plan at a source. A source carrying a construction error
@@ -1378,7 +2385,7 @@ func (p *Plan) Filter(e Expr) *Plan {
 	if p.err != nil {
 		return p
 	}
-	return &Plan{src: pushFilter(p.src, e.Bind(p.src.Schema())), par: p.par}
+	return p.derive(pushFilter(p.src, e.Bind(p.src.Schema())))
 }
 
 // Project computes named expressions.
@@ -1386,7 +2393,7 @@ func (p *Plan) Project(exprs ...NamedExpr) *Plan {
 	if p.err != nil {
 		return p
 	}
-	return &Plan{src: newProject(p.src, exprs), par: p.par}
+	return p.derive(newProject(p.src, exprs))
 }
 
 // Join inner-joins with right on equality of the paired key columns.
@@ -1397,7 +2404,7 @@ func (p *Plan) Join(right *Plan, leftCols, rightCols []string) *Plan {
 	if right.err != nil {
 		return right
 	}
-	return &Plan{src: newHashJoin(InnerJoin, p.src, right.src, leftCols, rightCols, p.par), par: p.par}
+	return p.derive(newHashJoin(InnerJoin, p.src, right.src, leftCols, rightCols, p.par, p.ctx, p.qm)).adopt(right)
 }
 
 // SemiJoin keeps left rows with a match in right (EXISTS).
@@ -1408,7 +2415,7 @@ func (p *Plan) SemiJoin(right *Plan, leftCols, rightCols []string) *Plan {
 	if right.err != nil {
 		return right
 	}
-	return &Plan{src: newHashJoin(LeftSemiJoin, p.src, right.src, leftCols, rightCols, p.par), par: p.par}
+	return p.derive(newHashJoin(LeftSemiJoin, p.src, right.src, leftCols, rightCols, p.par, p.ctx, p.qm)).adopt(right)
 }
 
 // AntiJoin keeps left rows without a match in right (NOT EXISTS).
@@ -1419,7 +2426,7 @@ func (p *Plan) AntiJoin(right *Plan, leftCols, rightCols []string) *Plan {
 	if right.err != nil {
 		return right
 	}
-	return &Plan{src: newHashJoin(LeftAntiJoin, p.src, right.src, leftCols, rightCols, p.par), par: p.par}
+	return p.derive(newHashJoin(LeftAntiJoin, p.src, right.src, leftCols, rightCols, p.par, p.ctx, p.qm)).adopt(right)
 }
 
 // Agg groups by the named columns (nil for a global aggregate) and computes
@@ -1428,7 +2435,7 @@ func (p *Plan) Agg(groupBy []string, aggs ...Agg) *Plan {
 	if p.err != nil {
 		return p
 	}
-	return &Plan{src: newHashAgg(p.src, groupBy, aggs, p.par), par: p.par}
+	return p.derive(newHashAgg(p.src, groupBy, aggs, p.par, p.ctx, p.qm))
 }
 
 // Distinct removes duplicate rows.
@@ -1448,7 +2455,7 @@ func (p *Plan) Sort(keys ...SortKey) *Plan {
 	if p.err != nil {
 		return p
 	}
-	return &Plan{src: &sortOp{in: p.src, keys: keys}, par: p.par}
+	return p.derive(&sortOp{in: p.src, keys: keys, ctx: orBackground(p.ctx), mem: p.qm})
 }
 
 // Limit truncates the output to n rows.
@@ -1456,7 +2463,7 @@ func (p *Plan) Limit(n int) *Plan {
 	if p.err != nil {
 		return p
 	}
-	return &Plan{src: &limitOp{in: p.src, left: n}, par: p.par}
+	return p.derive(&limitOp{in: p.src, left: n})
 }
 
 // Schema returns the plan's output schema.
@@ -1474,11 +2481,15 @@ func (p *Plan) Run() []types.Row {
 // segments, which unwinds blocking operators (sort, aggregate, join build)
 // as well — and the context error is returned alongside whatever rows were
 // already produced. Callers must treat the rows as incomplete whenever the
-// error is non-nil.
+// error is non-nil. A spill failure in a memory-governed plan returns nil
+// rows and the spill error: partial results never escape. Either way the
+// plan's memory accountants are finished — charges released, spill files
+// removed.
 func (p *Plan) RunCtx(ctx context.Context) ([]types.Row, error) {
 	if p.err != nil {
 		return nil, p.err
 	}
+	defer p.FinishMem()
 	ctx = orBackground(ctx)
 	if parts := trySplit(p.src, p.par); parts != nil {
 		parallelPlans.Inc()
@@ -1501,6 +2512,9 @@ func (p *Plan) RunCtx(ctx context.Context) ([]types.Row, error) {
 			}
 		}
 		SharedPool().Run(tasks)
+		if err := p.MemErr(); err != nil {
+			return nil, err
+		}
 		var rows []types.Row
 		for _, r := range res {
 			rows = append(rows, r...)
@@ -1514,6 +2528,9 @@ func (p *Plan) RunCtx(ctx context.Context) ([]types.Row, error) {
 		}
 		b := p.src.Next()
 		if b == nil {
+			if err := p.MemErr(); err != nil {
+				return nil, err
+			}
 			// A cancelled scan drains early and looks exhausted; report the
 			// cancellation rather than passing truncated rows off as a
 			// complete result.
@@ -1537,6 +2554,7 @@ func (p *Plan) CountCtx(ctx context.Context) (int, error) {
 	if p.err != nil {
 		return 0, p.err
 	}
+	defer p.FinishMem()
 	ctx = orBackground(ctx)
 	if parts := trySplit(p.src, p.par); parts != nil {
 		parallelPlans.Inc()
@@ -1555,6 +2573,9 @@ func (p *Plan) CountCtx(ctx context.Context) (int, error) {
 			}
 		}
 		SharedPool().Run(tasks)
+		if err := p.MemErr(); err != nil {
+			return 0, err
+		}
 		n := 0
 		for _, c := range counts {
 			n += c
@@ -1568,6 +2589,9 @@ func (p *Plan) CountCtx(ctx context.Context) (int, error) {
 		}
 		b := p.src.Next()
 		if b == nil {
+			if err := p.MemErr(); err != nil {
+				return 0, err
+			}
 			return n, ctx.Err()
 		}
 		n += b.N

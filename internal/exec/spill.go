@@ -1,0 +1,301 @@
+// Spill I/O for bounded-memory operators.
+//
+// Spill files live on the governor's simulated disk device as append-only
+// files of length-framed row blocks:
+//
+//	frame: 4-byte little-endian payload length, then payload
+//	payload: concatenated types.AppendRow encodings
+//
+// The row encoding stores float bits verbatim, so a spilled row reloads
+// bit-identically — the property every spilling operator's equivalence
+// argument rests on. Writers buffer rows until flushAt bytes and retry
+// clean injected write errors (disk.ErrInjected is a transient EIO) a few
+// times; torn writes and crashes are not retried — the query fails cleanly
+// through QueryMem.Fail. Readers stream one frame at a time, so reloading
+// a spill file needs memory bounded by the frame size, not the file size.
+package exec
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+
+	"htap/internal/disk"
+	"htap/internal/types"
+)
+
+// coopYield yields the processor at morsel (batch) boundaries inside
+// memory-governed operator loops — the spilling counterpart of
+// sched.workerSet's per-unit Gosched. A grace join or external sort is a
+// long CPU-bound loop; without these yields it monopolizes a core for
+// whole scheduler slices on GOMAXPROCS=1 hosts and concurrent OLTP p99
+// collapses (the memory gate in internal/chaos measures exactly this).
+func coopYield() { runtime.Gosched() }
+
+// spillFlushAt is the writer's buffered-bytes flush threshold; it bounds
+// both writer memory and the reader's per-frame allocation.
+const spillFlushAt = 64 << 10
+
+// spillRetries bounds retries of clean injected write errors.
+const spillRetries = 4
+
+// spillWriter appends framed rows to one spill file.
+type spillWriter struct {
+	qm   *QueryMem
+	name string
+	buf  []byte
+	rows int64 // total rows written (including buffered)
+}
+
+func newSpillWriter(qm *QueryMem, kind string) *spillWriter {
+	return &spillWriter{qm: qm, name: qm.newFile(kind)}
+}
+
+func (w *spillWriter) add(r types.Row) error {
+	if len(w.buf) == 0 {
+		w.buf = append(w.buf, 0, 0, 0, 0) // frame length placeholder
+	}
+	w.buf = types.AppendRow(w.buf, r)
+	w.rows++
+	if len(w.buf) >= spillFlushAt {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *spillWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	binary.LittleEndian.PutUint32(w.buf, uint32(len(w.buf)-4))
+	var err error
+	for attempt := 0; attempt <= spillRetries; attempt++ {
+		if attempt > 0 {
+			spillRetryTotal.Inc()
+		}
+		_, err = w.qm.g.dev.Append(w.name, w.buf)
+		if err == nil {
+			w.qm.g.spillBytes.Add(int64(len(w.buf)))
+			spillBytesTotal.Add(int64(len(w.buf)))
+			w.buf = w.buf[:0]
+			return nil
+		}
+		if err != disk.ErrInjected {
+			break
+		}
+	}
+	err = fmt.Errorf("exec: spill write %s: %w", w.name, err)
+	w.qm.Fail(err)
+	return err
+}
+
+// close flushes buffered rows; the file stays on disk for reading.
+func (w *spillWriter) close() error { return w.flush() }
+
+// spillCursor streams rows back from one spill file, one frame in memory
+// at a time.
+type spillCursor struct {
+	qm   *QueryMem
+	name string
+	off  int64
+	size int64
+	rows []types.Row
+	pos  int
+}
+
+func newSpillCursor(qm *QueryMem, name string) *spillCursor {
+	return &spillCursor{qm: qm, name: name, size: qm.g.dev.Size(name)}
+}
+
+// next returns the next row; ok is false at end of file or on error (check
+// err). Read failures also fail the query via QueryMem.Fail.
+func (c *spillCursor) next() (types.Row, bool, error) {
+	for c.pos >= len(c.rows) {
+		if c.off >= c.size {
+			return nil, false, nil
+		}
+		if err := c.readFrame(); err != nil {
+			return nil, false, err
+		}
+	}
+	r := c.rows[c.pos]
+	c.pos++
+	return r, true, nil
+}
+
+func (c *spillCursor) readFrame() error {
+	var hdr [4]byte
+	if err := c.fill(hdr[:]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || c.off+int64(n) > c.size {
+		return c.fail(fmt.Errorf("exec: corrupt spill frame in %s", c.name))
+	}
+	payload := make([]byte, n)
+	if err := c.fill(payload); err != nil {
+		return err
+	}
+	c.rows = c.rows[:0]
+	c.pos = 0
+	for len(payload) > 0 {
+		r, sz, err := types.DecodeRow(payload)
+		if err != nil {
+			return c.fail(fmt.Errorf("exec: corrupt spill row in %s: %w", c.name, err))
+		}
+		payload = payload[sz:]
+		c.rows = append(c.rows, r)
+	}
+	return nil
+}
+
+func (c *spillCursor) fill(p []byte) error {
+	if err := c.qm.g.dev.ReadAt(c.name, p, c.off); err != nil {
+		return c.fail(fmt.Errorf("exec: spill read %s: %w", c.name, err))
+	}
+	c.off += int64(len(p))
+	c.qm.g.spillRead.Add(int64(len(p)))
+	spillReadTotal.Add(int64(len(p)))
+	return nil
+}
+
+func (c *spillCursor) fail(err error) error {
+	c.qm.Fail(err)
+	return err
+}
+
+// --- ordered merge of tagged runs ---
+
+// A tagged row carries its original ordinal as an Int datum in column 0.
+// Operators that partition a stream (grace join probe output) tag rows
+// before scattering, then mergeTagged reassembles the original order: the
+// ordinals within each run are strictly increasing and disjoint across
+// runs, so a k-way heap merge on the leading tag reproduces the sequence.
+
+type taggedRun struct {
+	cur *spillCursor
+	row types.Row // head, tagged
+}
+
+type taggedHeap []*taggedRun
+
+func (h taggedHeap) Len() int            { return len(h) }
+func (h taggedHeap) Less(i, j int) bool  { return h[i].row[0].I < h[j].row[0].I }
+func (h taggedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *taggedHeap) Push(x interface{}) { *h = append(*h, x.(*taggedRun)) }
+func (h *taggedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// mergeTagged streams the runs' rows in ascending tag order, tag still
+// attached — recursive consumers (grace sub-partition merges) re-emit the
+// tagged rows into a parent run, and top-level consumers strip row[0].
+// Consumed files are removed eagerly.
+type mergeTagged struct {
+	qm *QueryMem
+	h  taggedHeap
+}
+
+func newMergeTagged(qm *QueryMem, files []string) (*mergeTagged, error) {
+	m := &mergeTagged{qm: qm}
+	for _, f := range files {
+		cur := newSpillCursor(qm, f)
+		row, ok, err := cur.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			qm.removeFile(f)
+			continue
+		}
+		m.h = append(m.h, &taggedRun{cur: cur, row: row})
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+// next returns the next tagged row in tag order; ok is false when all
+// runs are exhausted.
+func (m *mergeTagged) next() (types.Row, bool, error) {
+	if len(m.h) == 0 {
+		return nil, false, nil
+	}
+	top := m.h[0]
+	out := top.row
+	row, ok, err := top.cur.next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		top.row = row
+		heap.Fix(&m.h, 0)
+	} else {
+		m.qm.removeFile(top.cur.name)
+		heap.Pop(&m.h)
+	}
+	return out, true, nil
+}
+
+// --- partitioning ---
+
+// spillFanout is the hash-partition fan-out of spilling operators.
+const spillFanout = 8
+
+// spillMaxDepth caps recursive re-partitioning; beyond it an operator
+// processes the partition in memory and counts the over-budget event
+// (pathological inputs: every row sharing one key).
+const spillMaxDepth = 3
+
+// partOf assigns a key hash to one of spillFanout partitions at the given
+// recursion depth. Each depth remixes with a distinct odd multiplier so a
+// partition that defeated one level's hash splits at the next.
+func partOf(h uint64, depth int) int {
+	h ^= uint64(depth+1) * 0x9E3779B97F4A7C15
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % spillFanout)
+}
+
+// hashRowKeys hashes the keyed columns of a materialized row with the same
+// FNV chain hashKeys uses on batches, so batch-side and row-side
+// partitioning agree.
+func hashRowKeys(r types.Row, keys []int) uint64 {
+	h := uint64(1469598103934665603)
+	for _, k := range keys {
+		h = r[k].Hash(h)
+	}
+	return h
+}
+
+// closeAll closes writers, returning the first error.
+func closeAll(ws []*spillWriter) error {
+	var first error
+	for _, w := range ws {
+		if err := w.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// removeAll removes the writers' files.
+func removeAll(qm *QueryMem, ws []*spillWriter) {
+	for _, w := range ws {
+		qm.removeFile(w.name)
+	}
+}
+
+// batchFromRows rebuilds a columnar batch from materialized rows; spilled
+// raw input replays through it so bound expressions evaluate unchanged.
+func batchFromRows(schema []types.Column, rows []types.Row) *Batch {
+	b := NewBatch(schema)
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	return b
+}

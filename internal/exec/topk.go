@@ -109,5 +109,7 @@ func (p *Plan) TopK(k int, keys ...SortKey) *Plan {
 	if k <= 0 {
 		return p.Limit(0)
 	}
-	return &Plan{src: &topKOp{in: p.src, keys: keys, k: k}, par: p.par}
+	// TopK is already O(k) memory; it needs no accountant, but the chain
+	// keeps carrying the plan's context and accountants forward.
+	return p.derive(&topKOp{in: p.src, keys: keys, k: k})
 }

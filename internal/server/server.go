@@ -47,6 +47,16 @@ type Config struct {
 	// MaxWait bounds queueing before a request is shed (default 100ms).
 	MaxWait time.Duration
 
+	// MemGov, when set, gates OLAP admission on execution-memory pressure:
+	// new analytical requests shed with a typed "memory" reason once
+	// MemGov.Pressure() reaches MemShedPressure (default 0.85). OLTP is
+	// never memory-shed — point transactions are not the memory spenders,
+	// and keeping them flowing is the whole point of bounding OLAP.
+	MemGov *exec.Governor
+	// MemShedPressure is the Used/Limit fraction above which OLAP sheds
+	// (default 0.85; set < 0 to disable).
+	MemShedPressure float64
+
 	// Reg receives the htap_server_* series; nil uses obs.Default.
 	Reg *obs.Registry
 }
@@ -58,7 +68,7 @@ type Server struct {
 	hello  []byte // pre-encoded ServerHello payload
 	oltp   *Limiter
 	olap   *Limiter
-	m      metrics
+	m      *metrics
 	ctx    context.Context // closes when Shutdown force-cancels
 	cancel context.CancelFunc
 
@@ -71,16 +81,21 @@ type Server struct {
 
 type metrics struct {
 	requests map[string]*obs.Counter
-	sheds    map[string]*obs.Counter
 	admitNS  map[string]*obs.Histogram
 	reqNS    map[string]*obs.Histogram
 	conns    *obs.Gauge
 	handles  []*obs.FuncHandle
 	reg      *obs.Registry
+
+	// sheds is keyed class+reason ("rate", "memory", "canceled") and
+	// populated lazily, so dashboards can tell a rate shed from a
+	// memory-pressure shed.
+	shedMu sync.Mutex
+	sheds  map[string]*obs.Counter
 }
 
-func newMetrics(reg *obs.Registry, oltp, olap *Limiter) metrics {
-	m := metrics{
+func newMetrics(reg *obs.Registry, oltp, olap *Limiter) *metrics {
+	m := &metrics{
 		requests: map[string]*obs.Counter{},
 		sheds:    map[string]*obs.Counter{},
 		admitNS:  map[string]*obs.Histogram{},
@@ -90,7 +105,6 @@ func newMetrics(reg *obs.Registry, oltp, olap *Limiter) metrics {
 	for class, l := range map[string]*Limiter{wire.ClassOLTP: oltp, wire.ClassOLAP: olap} {
 		lbl := obs.L("class", class)
 		m.requests[class] = reg.Counter("htap_server_requests_total", lbl)
-		m.sheds[class] = reg.Counter("htap_server_shed_total", lbl)
 		m.admitNS[class] = reg.Histogram("htap_server_admission_wait_ns", lbl)
 		m.reqNS[class] = reg.Histogram("htap_server_request_ns", lbl)
 		l := l
@@ -100,6 +114,19 @@ func newMetrics(reg *obs.Registry, oltp, olap *Limiter) metrics {
 	}
 	m.conns = reg.Gauge("htap_server_conns", nil)
 	return m
+}
+
+// shed counts one shed of class for reason.
+func (m *metrics) shed(class, reason string) {
+	key := class + "|" + reason
+	m.shedMu.Lock()
+	ctr := m.sheds[key]
+	if ctr == nil {
+		ctr = m.reg.Counter("htap_server_shed_total", obs.L("class", class, "reason", reason))
+		m.sheds[key] = ctr
+	}
+	m.shedMu.Unlock()
+	ctr.Inc()
 }
 
 // Serve starts a server on addr ("127.0.0.1:0" picks a free port).
@@ -115,6 +142,9 @@ func Serve(addr string, cfg Config) (*Server, error) {
 	}
 	if cfg.MaxWait == 0 {
 		cfg.MaxWait = 100 * time.Millisecond
+	}
+	if cfg.MemShedPressure == 0 {
+		cfg.MemShedPressure = 0.85
 	}
 	if cfg.Reg == nil {
 		cfg.Reg = obs.Default
@@ -337,20 +367,35 @@ func (c *session) dispatch(typ byte, payload []byte) error {
 }
 
 // admit runs class admission, recording wait and shed metrics. A shed or
-// cancelled wait is reported to the client as an Error frame; ok tells
-// the caller whether to proceed.
+// cancelled wait is reported to the client as an Error frame carrying a
+// typed reason ("rate", "memory", "canceled") so client backoff can react
+// appropriately; ok tells the caller whether to proceed.
 func (c *session) admit(ctx context.Context, class string) (ok bool, closeConn error) {
-	l := c.srv.oltp
+	s := c.srv
+	if class == wire.ClassOLAP && s.cfg.MemGov != nil && s.cfg.MemShedPressure >= 0 {
+		if s.cfg.MemGov.Pressure() >= s.cfg.MemShedPressure {
+			s.m.shed(class, "memory")
+			return false, c.sendErr(wire.Overloaded("memory"))
+		}
+	}
+	l := s.oltp
 	if class == wire.ClassOLAP {
-		l = c.srv.olap
+		l = s.olap
 	}
 	wait, err := l.Admit(ctx)
-	c.srv.m.admitNS[class].ObserveDuration(wait)
+	s.m.admitNS[class].ObserveDuration(wait)
 	if err != nil {
-		c.srv.m.sheds[class].Inc()
+		reason := "rate"
+		if ctx.Err() != nil {
+			reason = "canceled"
+		}
+		s.m.shed(class, reason)
+		if errors.Is(err, wire.ErrOverloaded) {
+			return false, c.sendErr(wire.Overloaded(reason))
+		}
 		return false, c.sendErr(err)
 	}
-	c.srv.m.requests[class].Inc()
+	s.m.requests[class].Inc()
 	return true, nil
 }
 

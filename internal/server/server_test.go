@@ -259,9 +259,9 @@ func TestOLAPShedDoesNotBlockOLTP(t *testing.T) {
 	if sheds == 0 {
 		t.Fatal("10 back-to-back queries against a 2/s budget shed nothing")
 	}
-	shed := reg.Counter("htap_server_shed_total", obs.L("class", wire.ClassOLAP))
+	shed := reg.Counter("htap_server_shed_total", obs.L("class", wire.ClassOLAP, "reason", "rate"))
 	if shed.Value() == 0 {
-		t.Fatal("htap_server_shed_total{class=olap} = 0 after sheds")
+		t.Fatal("htap_server_shed_total{class=olap,reason=rate} = 0 after sheds")
 	}
 
 	// OLTP unaffected: transactions still run while OLAP is saturated.
@@ -272,7 +272,7 @@ func TestOLAPShedDoesNotBlockOLTP(t *testing.T) {
 	if err != nil {
 		t.Fatalf("OLTP during OLAP shedding: %v", err)
 	}
-	if shedTP := reg.Counter("htap_server_shed_total", obs.L("class", wire.ClassOLTP)).Value(); shedTP != 0 {
+	if shedTP := reg.Counter("htap_server_shed_total", obs.L("class", wire.ClassOLTP, "reason", "rate")).Value(); shedTP != 0 {
 		t.Fatalf("OLTP sheds = %d, want 0", shedTP)
 	}
 	_ = srv

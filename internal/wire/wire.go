@@ -110,9 +110,16 @@ const (
 // frame and reconstructs on the client with its code intact, so
 // core.Exec's retry loop (which asks errors.As for Retryable) treats a
 // remote conflict exactly like a local one.
+//
+// Reason optionally qualifies the code — overloaded sheds carry "rate" vs
+// "memory" so clients can back off appropriately (a rate shed clears in
+// milliseconds; memory pressure needs a longer pause). It rides the frame
+// as a trailing string that old decoders never read and new decoders treat
+// as absent when missing, so both directions stay compatible.
 type Error struct {
-	Code uint8
-	Msg  string
+	Code   uint8
+	Msg    string
+	Reason string
 }
 
 // Sentinel errors for errors.Is. ErrOverloaded is the admission-control
@@ -124,7 +131,16 @@ var (
 )
 
 func (e *Error) Error() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("wire: %s (code %d, reason %s)", e.Msg, e.Code, e.Reason)
+	}
 	return fmt.Sprintf("wire: %s (code %d)", e.Msg, e.Code)
+}
+
+// Overloaded builds a shed error carrying a typed reason ("rate",
+// "memory"). It matches ErrOverloaded under errors.Is.
+func Overloaded(reason string) *Error {
+	return &Error{Code: CodeOverloaded, Msg: "server overloaded", Reason: reason}
 }
 
 // Retryable reports whether the failure is transient: conflicts and
@@ -540,19 +556,30 @@ func DecodeFreshness(b []byte) (Freshness, error) {
 	return m, d.err
 }
 
-// EncodeError builds a MsgError payload.
+// EncodeError builds a MsgError payload. The reason rides after the
+// message; decoders predating the field ignore trailing bytes.
 func EncodeError(dst []byte, e *Error) []byte {
 	dst = append(dst, e.Code)
-	return appendString(dst, e.Msg)
+	dst = appendString(dst, e.Msg)
+	if e.Reason != "" {
+		dst = appendString(dst, e.Reason)
+	}
+	return dst
 }
 
 // DecodeError parses a MsgError payload. A garbled payload still yields a
-// usable (internal) error rather than failing the decode.
+// usable (internal) error rather than failing the decode; a payload from
+// an older peer simply lacks the trailing reason.
 func DecodeError(b []byte) *Error {
 	d := &dec{b: b}
 	e := &Error{Code: d.byte(), Msg: d.str()}
 	if d.err != nil {
 		return &Error{Code: CodeInternal, Msg: "garbled error frame"}
+	}
+	if len(d.b) > 0 {
+		if r := d.str(); d.err == nil {
+			e.Reason = r
+		}
 	}
 	return e
 }

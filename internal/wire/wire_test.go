@@ -228,3 +228,26 @@ func TestErrorRetryableInterfaceCrossesLayers(t *testing.T) {
 		t.Fatal("wire error must expose Retryable through errors.As")
 	}
 }
+
+func TestErrorReasonRoundTrip(t *testing.T) {
+	in := Overloaded("memory")
+	got := DecodeError(EncodeError(nil, in))
+	if got.Code != CodeOverloaded || got.Reason != "memory" {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if !errors.Is(got, ErrOverloaded) {
+		t.Fatal("reasoned shed must still match ErrOverloaded")
+	}
+	// Backward compatibility both ways: an old-format payload (no trailing
+	// reason) decodes with an empty reason, and a reasonless error encodes
+	// to the exact old byte layout.
+	old := DecodeError(EncodeError(nil, &Error{Code: CodeOverloaded, Msg: "server overloaded"}))
+	if old.Reason != "" {
+		t.Fatalf("legacy payload grew a reason: %q", old.Reason)
+	}
+	legacy := append([]byte{CodeOverloaded}, 17)
+	legacy = append(legacy, "server overloaded"...)
+	if got := DecodeError(legacy); got.Msg != "server overloaded" || got.Reason != "" {
+		t.Fatalf("hand-built legacy frame = %+v", got)
+	}
+}
