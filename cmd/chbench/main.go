@@ -42,6 +42,7 @@ func main() {
 		metrics    = flag.String("metrics", "", "serve /metrics, /spans and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 		remote     = flag.String("remote", "", "run against an htapd server at this address instead of in-process")
 		memBudget  = flag.Int64("mem-budget", 0, "per-query analytical memory budget in bytes (0 = unbounded); in-process only — remote queries use the server's budget")
+		profile    = flag.Bool("profile", false, "profile analytical queries: per-class attributed p99 breakdown plus the slowest query's EXPLAIN ANALYZE plan (propagated to the server in remote mode)")
 	)
 	flag.Parse()
 
@@ -128,6 +129,7 @@ func main() {
 		TPWorkers: *tp, APStreams: *ap,
 		Duration: *duration, TargetTpmC: *target,
 		SyncInterval: *syncEvery, Seed: *seed,
+		Profile: *profile,
 	})
 
 	rule := "CH-benCHmark (unthrottled)"
@@ -155,6 +157,13 @@ func main() {
 	}
 	printClasses("transaction class", res.TxnClasses)
 	printClasses("query class", res.QueryClasses)
+	if *profile {
+		printBreakdown(res.QueryBreakdown)
+		if res.SlowestProfile != "" {
+			fmt.Printf("\nslowest query: %s (%s)\n%s",
+				res.SlowestClass, res.SlowestDur.Round(time.Microsecond), res.SlowestProfile)
+		}
+	}
 	if local != nil {
 		st := local.Stats()
 		fmt.Printf("\nengine: commits=%d aborts=%d conflicts=%d merges=%d colBytes=%d\n",
@@ -163,6 +172,18 @@ func main() {
 	if gov != nil {
 		fmt.Printf("memory: peak=%dB spills=%d spillBytes=%d spillReads=%d overBudget=%d liveFiles=%d\n",
 			gov.MaxQueryPeak(), gov.Spills(), gov.SpillBytes(), gov.SpillReadBytes(), gov.OverBudget(), gov.LiveSpillFiles())
+	}
+}
+
+// printBreakdown renders the attributed per-class p99 split (-profile).
+func printBreakdown(classes []htapbench.ClassBreakdown) {
+	if len(classes) == 0 {
+		return
+	}
+	fmt.Printf("\n%-14s %10s %12s %12s %12s\n", "query class", "count", "admit p99", "exec p99", "spill p99")
+	for _, c := range classes {
+		fmt.Printf("%-14s %10d %12s %12s %12s\n", c.Class, c.Count,
+			c.AdmitP99.Round(time.Microsecond), c.ExecP99.Round(time.Microsecond), c.SpillP99.Round(time.Microsecond))
 	}
 }
 

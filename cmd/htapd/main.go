@@ -38,9 +38,12 @@ func main() {
 		memBudget  = flag.Int64("mem-budget", 0, "analytical memory budget in bytes, node-wide and per-query (0 = unbounded); queries spill to disk beyond it and OLAP admissions shed near it")
 		drainWait  = flag.Duration("drain", 10*time.Second, "graceful drain budget on SIGTERM")
 		seed       = flag.Int64("seed", 42, "seed")
-		metrics    = flag.String("metrics", "", "serve /metrics, /spans and /debug/pprof on this address")
+		metrics    = flag.String("metrics", "", "serve /metrics, /spans, /slowlog and /debug/pprof on this address")
+		slowlog    = flag.Int("slowlog", 8, "worst queries retained per class in the slow-query log (/slowlog)")
 	)
 	flag.Parse()
+
+	obs.DefaultSlowLog.SetPerClass(*slowlog)
 
 	var mSrv *obs.Server
 	if *metrics != "" {

@@ -3,9 +3,11 @@ package ch
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"htap/internal/core"
 	"htap/internal/exec"
+	"htap/internal/obs"
 	"htap/internal/types"
 )
 
@@ -75,6 +77,7 @@ func RunQuery(ctx context.Context, e Engine, n int) ([]types.Row, error) {
 	if q == nil {
 		return nil, fmt.Errorf("ch: no such query Q%d", n)
 	}
+	start := time.Now()
 	bq := &boundQueryer{ctx: ctx, e: e}
 	rows := q(bq)
 	if bq.qm != nil {
@@ -88,11 +91,38 @@ func RunQuery(ctx context.Context, e Engine, n int) ([]types.Row, error) {
 			bq.err = memErr
 		}
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	err := ctx.Err()
+	if err == nil {
+		err = bq.err
 	}
-	if bq.err != nil {
-		return nil, bq.err
+	if err != nil {
+		rows = nil
 	}
-	return rows, nil
+	// Offer every run — success or failure — to the slow-query log.
+	// RunQuery is the single chokepoint: local benchmarks call it
+	// directly and the server calls it for remote clients, so each query
+	// execution is observed exactly once per process.
+	observeSlow(ctx, n, start, int64(len(rows)), err)
+	return rows, err
+}
+
+// observeSlow records one finished CH query in obs.DefaultSlowLog,
+// attaching the trace ID and rendered profile when ctx carries them.
+func observeSlow(ctx context.Context, n int, start time.Time, rows int64, err error) {
+	sq := obs.SlowQuery{
+		Class: fmt.Sprintf("q%d", n),
+		Start: start,
+		Dur:   time.Since(start),
+		Rows:  rows,
+	}
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		sq.TraceID = sp.TraceID()
+	}
+	if prof := exec.ProfileFrom(ctx); prof != nil {
+		sq.Profile = prof.Render()
+	}
+	if err != nil {
+		sq.Err = err.Error()
+	}
+	obs.DefaultSlowLog.Observe(sq)
 }

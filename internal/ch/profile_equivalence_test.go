@@ -1,0 +1,86 @@
+package ch
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"htap/internal/core"
+	"htap/internal/exec"
+)
+
+// The profiled-execution gate: EXPLAIN ANALYZE must be a pure observer.
+// All 22 CH queries run on all four architectures at a fixed parallelism,
+// once plain and once under a QueryProfile, and the profiled rows must be
+// bit-identical to the unprofiled rows — the statsOp wrappers forward
+// batches untouched, so profiling can never change an answer. Alongside,
+// the rendered profile must actually carry per-operator rows/timing
+// annotations and name the architecture that ran it.
+func TestProfiledExecutionEquivalence(t *testing.T) {
+	engines := eqEngines(t)
+	defer func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}()
+	const parN = 4 // fixed DOP: determinism within one engine is per-DOP
+
+	for _, arch := range []string{"A", "B", "C", "D"} {
+		e := engines[arch]
+		e.(core.Paralleler).SetParallelism(parN)
+		for q := 1; q <= 22; q++ {
+			plain, err := RunQuery(context.Background(), e, q)
+			if err != nil {
+				t.Fatalf("%s Q%02d: %v", arch, q, err)
+			}
+			prof := exec.NewQueryProfile()
+			profiled, err := RunQuery(exec.WithProfile(context.Background(), prof), e, q)
+			if err != nil {
+				t.Fatalf("%s Q%02d profiled: %v", arch, q, err)
+			}
+			if !exactEqual(plain, profiled) {
+				t.Fatalf("%s Q%02d: profiled run diverges from plain run (%d vs %d rows)",
+					arch, q, len(plain), len(profiled))
+			}
+			if len(prof.Plans()) == 0 {
+				t.Fatalf("%s Q%02d: profile captured no plans", arch, q)
+			}
+			r := prof.Render()
+			if !strings.Contains(r, "[rows=") {
+				t.Fatalf("%s Q%02d: profile lacks operator annotations:\n%s", arch, q, r)
+			}
+			if !strings.Contains(r, "arch="+arch) {
+				t.Fatalf("%s Q%02d: profile lacks arch label %q:\n%s", arch, q, arch, r)
+			}
+			if prof.ExecNS() <= 0 {
+				t.Fatalf("%s Q%02d: profile has no execution time", arch, q)
+			}
+		}
+	}
+}
+
+// A profiled plan's Explain must match the unprofiled plan's byte for
+// byte: statsOp delegates explain to the wrapped operator, so the shape
+// output never betrays whether profiling was on.
+func TestProfiledExplainUnchanged(t *testing.T) {
+	engines := eqEngines(t)
+	defer func() {
+		for _, e := range engines {
+			e.Close()
+		}
+	}()
+	e := engines["A"]
+	plain := e.Query(context.Background(), "item", []string{"i_id", "i_price"}, nil)
+	prof := exec.NewQueryProfile()
+	profiled := e.Query(exec.WithProfile(context.Background(), prof), "item", []string{"i_id", "i_price"}, nil)
+	a, b := plain.Explain(), profiled.Explain()
+	if a != b {
+		t.Fatalf("Explain changed under profiling:\nplain:\n%s\nprofiled:\n%s", a, b)
+	}
+	if _, err := profiled.RunCtx(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(profiled.ExplainAnalyze(), "[rows=") {
+		t.Fatalf("ExplainAnalyze lacks annotations:\n%s", profiled.ExplainAnalyze())
+	}
+}

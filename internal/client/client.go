@@ -342,9 +342,15 @@ func retryable(err error) bool {
 // jittered exponential backoff. fn must be idempotent — queries, sync,
 // freshness; transaction ops go through Begin's pinned connection and
 // rely on core.Exec for whole-transaction retry instead.
-func (r *Remote) do(ctx context.Context, class string, fn func(*conn) error) error {
+//
+// When ctx carries a span, every attempt gets its own child span (sp to
+// fn; nil when untraced) whose IDs ride the request frame — so one trace
+// holds every retry of a flaky request, each linked to the server-side
+// span it produced on the far end.
+func (r *Remote) do(ctx context.Context, class string, fn func(*conn, *obs.Span) error) error {
 	start := time.Now()
 	defer func() { r.mLatNS[class].Since(start) }()
+	parent := obs.SpanFromContext(ctx)
 	delay := r.opt.Backoff
 	var err error
 	for attempt := 0; attempt <= r.opt.Retries; attempt++ {
@@ -361,7 +367,14 @@ func (r *Remote) do(ctx context.Context, class string, fn func(*conn) error) err
 		c, err = r.get(ctx)
 		if err == nil {
 			r.mReq[class].Inc()
-			err = fn(c)
+			var sp *obs.Span
+			if parent != nil {
+				sp = parent.Child("client.attempt").AttrInt("attempt", int64(attempt))
+			}
+			err = fn(c, sp)
+			if sp != nil {
+				sp.End()
+			}
 			r.put(c)
 		}
 		if err == nil {
@@ -419,13 +432,13 @@ func expectOK(typ byte, payload []byte) error {
 // it would feed the stale frames to the next request. Server-sent
 // MsgError frames terminate the stream cleanly and leave the connection
 // reusable.
-func readStream(ctx context.Context, c *conn, typ byte, payload []byte) ([]types.Column, []types.Row, error) {
-	fail := func(err error) ([]types.Column, []types.Row, error) {
+func readStream(ctx context.Context, c *conn, typ byte, payload []byte) ([]types.Column, []types.Row, wire.EOS, error) {
+	fail := func(err error) ([]types.Column, []types.Row, wire.EOS, error) {
 		c.broken.Store(true)
-		return nil, nil, err
+		return nil, nil, wire.EOS{}, err
 	}
 	if typ == wire.MsgError {
-		return nil, nil, wire.DecodeError(payload)
+		return nil, nil, wire.EOS{}, wire.DecodeError(payload)
 	}
 	if typ != wire.MsgSchema {
 		return fail(fmt.Errorf("client: expected schema frame, got %d", typ))
@@ -438,7 +451,7 @@ func readStream(ctx context.Context, c *conn, typ byte, payload []byte) ([]types
 	for {
 		typ, payload, err := c.readFrame(ctx)
 		if err != nil {
-			return nil, nil, err // readFrame already marked the conn broken
+			return nil, nil, wire.EOS{}, err // readFrame already marked the conn broken
 		}
 		switch typ {
 		case wire.MsgBatch:
@@ -455,12 +468,24 @@ func readStream(ctx context.Context, c *conn, typ byte, payload []byte) ([]types
 			if int64(len(rows)) != eos.Rows {
 				return fail(fmt.Errorf("client: stream lost rows: got %d, server sent %d", len(rows), eos.Rows))
 			}
-			return sch.Cols, rows, nil
+			return sch.Cols, rows, eos, nil
 		case wire.MsgError:
-			return nil, nil, wire.DecodeError(payload)
+			return nil, nil, wire.EOS{}, wire.DecodeError(payload)
 		default:
 			return fail(fmt.Errorf("client: unexpected stream frame %d", typ))
 		}
+	}
+}
+
+// adoptRemoteProfile merges a profiled EOS trailer into the profile the
+// caller's context carries (if any) — the client-side half of remote
+// EXPLAIN ANALYZE.
+func adoptRemoteProfile(ctx context.Context, eos wire.EOS) {
+	if !eos.HasProfile {
+		return
+	}
+	if prof := exec.ProfileFrom(ctx); prof != nil {
+		prof.AddRemote(eos.Profile, eos.ExecNS, eos.AdmitNS, eos.SpillNS)
 	}
 }
 
@@ -472,14 +497,22 @@ func (r *Remote) Query(ctx context.Context, table string, cols []string, pred *e
 	if pred != nil {
 		m.HasPred, m.PredCol, m.PredLo, m.PredHi = true, pred.Col, pred.Lo, pred.Hi
 	}
+	m.Profile = exec.ProfileFrom(ctx) != nil
 	var sch []types.Column
 	var rows []types.Row
-	err := r.do(ctx, wire.ClassOLAP, func(c *conn) error {
+	err := r.do(ctx, wire.ClassOLAP, func(c *conn, sp *obs.Span) error {
+		if sp != nil {
+			m.TraceID, m.SpanID = sp.TraceID(), sp.SpanID()
+		}
 		typ, payload, err := c.roundTrip(ctx, wire.MsgScan, m.Encode(nil))
 		if err != nil {
 			return err
 		}
-		sch, rows, err = readStream(ctx, c, typ, payload)
+		var eos wire.EOS
+		sch, rows, eos, err = readStream(ctx, c, typ, payload)
+		if err == nil {
+			adoptRemoteProfile(ctx, eos)
+		}
 		return err
 	})
 	if err != nil {
@@ -495,14 +528,21 @@ func (r *Remote) Query(ctx context.Context, table string, cols []string, pred *e
 // prefers this over client-side query assembly when the engine provides
 // it: one round trip carries only the (small, aggregated) result set.
 func (r *Remote) RunCH(ctx context.Context, n int) ([]types.Row, error) {
-	m := wire.Query{Deadline: deadlineOf(ctx), N: uint32(n)}
+	m := wire.Query{Deadline: deadlineOf(ctx), N: uint32(n), Profile: exec.ProfileFrom(ctx) != nil}
 	var rows []types.Row
-	err := r.do(ctx, wire.ClassOLAP, func(c *conn) error {
+	err := r.do(ctx, wire.ClassOLAP, func(c *conn, sp *obs.Span) error {
+		if sp != nil {
+			m.TraceID, m.SpanID = sp.TraceID(), sp.SpanID()
+		}
 		typ, payload, err := c.roundTrip(ctx, wire.MsgQuery, m.Encode(nil))
 		if err != nil {
 			return err
 		}
-		_, rows, err = readStream(ctx, c, typ, payload)
+		var eos wire.EOS
+		_, rows, eos, err = readStream(ctx, c, typ, payload)
+		if err == nil {
+			adoptRemoteProfile(ctx, eos)
+		}
 		return err
 	})
 	return rows, err
@@ -510,7 +550,7 @@ func (r *Remote) RunCH(ctx context.Context, n int) ([]types.Row, error) {
 
 // Sync forces a server-side data-synchronization round.
 func (r *Remote) Sync() {
-	_ = r.do(context.Background(), wire.ClassOLAP, func(c *conn) error {
+	_ = r.do(context.Background(), wire.ClassOLAP, func(c *conn, _ *obs.Span) error {
 		typ, payload, err := c.roundTrip(context.Background(), wire.MsgSync, nil)
 		if err != nil {
 			return err
@@ -522,7 +562,7 @@ func (r *Remote) Sync() {
 // Freshness reports the server's OLTP-vs-OLAP watermark gap.
 func (r *Remote) Freshness() freshness.Snapshot {
 	var snap freshness.Snapshot
-	_ = r.do(context.Background(), wire.ClassOLAP, func(c *conn) error {
+	_ = r.do(context.Background(), wire.ClassOLAP, func(c *conn, _ *obs.Span) error {
 		typ, payload, err := c.roundTrip(context.Background(), wire.MsgFreshness, nil)
 		if err != nil {
 			return err
@@ -555,7 +595,11 @@ func (r *Remote) Begin(ctx context.Context) core.Tx {
 	if err != nil {
 		return &failedTx{err: err}
 	}
-	typ, payload, err := c.roundTrip(ctx, wire.MsgBegin, wire.Begin{Deadline: deadlineOf(ctx)}.Encode(nil))
+	b := wire.Begin{Deadline: deadlineOf(ctx)}
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		b.TraceID, b.SpanID = sp.TraceID(), sp.SpanID()
+	}
+	typ, payload, err := c.roundTrip(ctx, wire.MsgBegin, b.Encode(nil))
 	if err == nil {
 		err = expectOK(typ, payload)
 	}

@@ -281,7 +281,7 @@ func (e *EngineA) Source(ctx context.Context, table string, cols []string, pred 
 // Query implements Engine.
 func (e *EngineA) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return e.govern(ctx, exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par)))
+	return e.govern(ctx, ArchA.Label(), exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par)))
 }
 
 // Sync implements Engine.

@@ -443,7 +443,7 @@ func (e *EngineB) Source(ctx context.Context, table string, cols []string, pred 
 // Query implements Engine.
 func (e *EngineB) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return e.govern(ctx, exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par)))
+	return e.govern(ctx, ArchB.Label(), exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par)))
 }
 
 // Sync implements Engine: every learner merges its log-based delta files

@@ -472,7 +472,7 @@ func (e *EngineC) imcsSource(ctx context.Context, id uint32, cols []string, pred
 // Query implements Engine.
 func (e *EngineC) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return e.govern(ctx, exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par)))
+	return e.govern(ctx, ArchC.Label(), exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par)))
 }
 
 // RowSource forces the disk row-store access path, bypassing the cost

@@ -295,7 +295,7 @@ func (e *EngineD) Source(ctx context.Context, table string, cols []string, pred 
 // Query implements Engine.
 func (e *EngineD) Query(ctx context.Context, table string, cols []string, pred *exec.ScanPred) *exec.Plan {
 	e.om.queries.Inc()
-	return e.govern(ctx, exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par)))
+	return e.govern(ctx, ArchD.Label(), exec.From(e.Source(ctx, table, cols, pred)).Parallel(resolveDOP(&e.par)))
 }
 
 // Sync implements Engine: promote every L1 and merge every L2 down to

@@ -40,7 +40,14 @@ func (m *memGoverned) MemGovernor() *exec.Governor { return m.gov.Load() }
 // accountant on the plan root. Engines call it from Query so the plan's
 // downstream operators (joins, aggregations, sorts) charge the budget and
 // spill instead of growing unbounded.
-func (m *memGoverned) govern(ctx context.Context, p *exec.Plan) *exec.Plan {
+//
+// arch is the engine's architecture label; when ctx carries a query
+// profile (EXPLAIN ANALYZE), the label lands in the profile header so a
+// slow-log entry or remote profile names the architecture that ran it.
+func (m *memGoverned) govern(ctx context.Context, arch string, p *exec.Plan) *exec.Plan {
+	if prof := exec.ProfileFrom(ctx); prof != nil {
+		prof.SetArch(arch)
+	}
 	p = p.Ctx(ctx)
 	if g := m.gov.Load(); g != nil {
 		p = p.WithMem(g.StartQuery())

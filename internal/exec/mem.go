@@ -175,6 +175,12 @@ type QueryMem struct {
 	peak atomic.Int64
 	seq  atomic.Int64
 
+	// Per-query spill accounting (the governor-level counters aggregate
+	// across queries); query profiles and EXPLAIN ANALYZE read these.
+	spillB     atomic.Int64 // bytes written to spill files
+	spillNS    atomic.Int64 // time spent in spill I/O (writes + reads)
+	spillParts atomic.Int64 // spill partitions/runs created
+
 	mu    sync.Mutex
 	files map[string]struct{}
 	err   error
@@ -269,7 +275,58 @@ func (q *QueryMem) noteSpill(c *obs.Counter, partitions int) {
 	}
 	c.Inc()
 	q.g.spills.Add(1)
+	q.spillParts.Add(int64(partitions))
 	spillPartsTotal.Add(int64(partitions))
+}
+
+// addSpillParts counts additional spill partitions (external-sort runs
+// beyond the first note).
+func (q *QueryMem) addSpillParts(n int64) {
+	if q != nil {
+		q.spillParts.Add(n)
+	}
+}
+
+// noteSpillIO charges spill I/O to the query: bytes written (reads pass
+// 0) and the time the device spent on the transfer.
+func (q *QueryMem) noteSpillIO(bytes int64, ns int64) {
+	if q == nil {
+		return
+	}
+	q.spillB.Add(bytes)
+	q.spillNS.Add(ns)
+}
+
+// Peak returns the query's peak charged bytes.
+func (q *QueryMem) Peak() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.peak.Load()
+}
+
+// SpillBytes returns the bytes this query wrote to spill files.
+func (q *QueryMem) SpillBytes() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.spillB.Load()
+}
+
+// SpillNS returns the time this query spent in spill I/O, nanoseconds.
+func (q *QueryMem) SpillNS() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.spillNS.Load()
+}
+
+// SpillParts returns the spill partitions/runs this query created.
+func (q *QueryMem) SpillParts() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.spillParts.Load()
 }
 
 // newFile registers and names a fresh spill file. Names are unique per

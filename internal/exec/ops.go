@@ -161,7 +161,13 @@ type colScan struct {
 	selObs func(sel float64)
 	curSel *bitmap.Bitmap
 	posBuf []int
+
+	// Profiling (nil when disabled): scanned/materialized row counters the
+	// pushed path feeds, shared with split parts.
+	st *OpStats
 }
+
+func (s *colScan) attachStats(st *OpStats) { s.st = st }
 
 // NewColScan scans the column store, merging an optional delta overlay: the
 // paper's "in-memory delta and column scan" when the overlay comes from a
@@ -282,6 +288,9 @@ func (s *colScan) fillPushed(b *Batch) {
 			}
 			s.curSel = sel
 			pushRowsScanned.Add(int64(seg.N))
+			if s.st != nil {
+				s.st.scanned.Add(int64(seg.N))
+			}
 		}
 		pos := s.posBuf[:0]
 		i := s.curSel.NextSet(s.row)
@@ -302,6 +311,9 @@ func (s *colScan) fillPushed(b *Batch) {
 			}
 			b.N += len(pos)
 			pushRowsMat.Add(int64(len(pos)))
+			if s.st != nil {
+				s.st.matzd.Add(int64(len(pos)))
+			}
 		}
 		if i < 0 || i >= seg.N {
 			s.seg++
@@ -451,6 +463,9 @@ func (p *colScanPart) nextPushed(m colstore.Morsel) *Batch {
 		return nil
 	}
 	pushRowsScanned.Add(int64(m.Hi - m.Lo))
+	if s.st != nil {
+		s.st.scanned.Add(int64(m.Hi - m.Lo))
+	}
 	pos := p.posBuf[:0]
 	for i := p.sel.NextSet(m.Lo); i >= 0 && i < m.Hi; i = p.sel.NextSet(i + 1) {
 		if s.overlay != nil {
@@ -470,6 +485,9 @@ func (p *colScanPart) nextPushed(m colstore.Morsel) *Batch {
 	}
 	b.N = len(pos)
 	pushRowsMat.Add(int64(len(pos)))
+	if s.st != nil {
+		s.st.matzd.Add(int64(len(pos)))
+	}
 	return b
 }
 
@@ -478,6 +496,16 @@ func (p *colScanPart) nextPushed(m colstore.Morsel) *Batch {
 type unionSource struct {
 	srcs []Source
 	cur  int
+}
+
+// attachStats forwards the profiling node to scan children, so a wrapped
+// union aggregates its layers' pushdown selectivity into one node.
+func (s *unionSource) attachStats(st *OpStats) {
+	for _, c := range s.srcs {
+		if a, ok := c.(statAttacher); ok {
+			a.attachStats(st)
+		}
+	}
 }
 
 // errSource is a source that exists only to carry a construction-time
@@ -741,7 +769,11 @@ type hashJoinOp struct {
 	buildW     []*spillWriter // one per partition, nil until toGrace
 	buildBytes int64          // charged bytes of the in-memory build table
 	gout       *graceProbe    // sequential probe stream, lazily built
+
+	st *OpStats // profiling; nil when disabled
 }
+
+func (o *hashJoinOp) attachStats(st *OpStats) { o.st = st }
 
 func newHashJoin(typ JoinType, left, right Source, leftCols, rightCols []string, par int, ctx context.Context, mem *QueryMem) *hashJoinOp {
 	if len(leftCols) != len(rightCols) || len(leftCols) == 0 {
@@ -912,6 +944,7 @@ func (o *hashJoinOp) buildGoverned() {
 func (o *hashJoinOp) toGrace() {
 	o.grace = true
 	o.mem.noteSpill(spillsJoin, spillFanout)
+	o.st.addSpillParts(spillFanout)
 	o.buildW = make([]*spillWriter, spillFanout)
 	for i := range o.buildW {
 		o.buildW[i] = newSpillWriter(o.mem, fmt.Sprintf("join-build-p%d", i))
@@ -1137,6 +1170,7 @@ func (o *hashJoinOp) partitionOut(bf, pf string, depth int, ownBuild bool) (stri
 func (o *hashJoinOp) repartition(bf, pf string, bc *spillCursor, tbl *Batch, charged int64, depth int, ownBuild bool) (string, error) {
 	qm := o.mem
 	qm.noteSpill(spillsJoin, spillFanout)
+	o.st.addSpillParts(spillFanout)
 	sbw := make([]*spillWriter, spillFanout)
 	spw := make([]*spillWriter, spillFanout)
 	for i := range sbw {
@@ -1382,7 +1416,11 @@ type hashAggOp struct {
 	failed bool
 	out    []types.Row
 	pos    int
+
+	st *OpStats // profiling; nil when disabled
 }
+
+func (o *hashAggOp) attachStats(st *OpStats) { o.st = st }
 
 func newHashAgg(in Source, groupBy []string, aggs []Agg, par int, ctx context.Context, mem *QueryMem) *hashAggOp {
 	o := &hashAggOp{in: in, aggs: aggs, par: par, ctx: orBackground(ctx), mem: mem}
@@ -1651,6 +1689,7 @@ func (t *aggTable) spillRest(src Source) {
 	o := t.o
 	qm := o.mem
 	qm.noteSpill(spillsAgg, spillFanout)
+	o.st.addSpillParts(spillFanout)
 	sw := make([]*spillWriter, spillFanout)
 	rw := make([]*spillWriter, spillFanout)
 	for i := range sw {
@@ -1794,6 +1833,7 @@ func (o *hashAggOp) aggPartition(stateFile, rowFile string, depth int) ([]*aggGr
 func (o *hashAggOp) respill(sub *aggTable, rc *spillCursor, rowFile string, depth int) ([]*aggGroup, int64, error) {
 	qm := o.mem
 	qm.noteSpill(spillsAgg, spillFanout)
+	o.st.addSpillParts(spillFanout)
 	sw := make([]*spillWriter, spillFanout)
 	rw := make([]*spillWriter, spillFanout)
 	for i := range sw {
@@ -1999,6 +2039,7 @@ type sortOp struct {
 	keys []SortKey
 	ctx  context.Context
 	mem  *QueryMem
+	st   *OpStats // profiling; nil when disabled
 
 	done     bool
 	rows     []types.Row
@@ -2008,6 +2049,8 @@ type sortOp struct {
 	merge    *sortMerge
 	failed   bool
 }
+
+func (o *sortOp) attachStats(st *OpStats) { o.st = st }
 
 func (o *sortOp) Schema() []types.Column { return o.in.Schema() }
 
@@ -2076,6 +2119,8 @@ func (o *sortOp) flushRun(less func(a, b types.Row) bool) {
 		o.mem.noteSpill(spillsSort, 0)
 	}
 	spillPartsTotal.Add(1)
+	o.mem.addSpillParts(1)
+	o.st.addSpillParts(1)
 	w := newSpillWriter(o.mem, "sort-run")
 	for _, r := range o.rows {
 		if w.add(r) != nil {
@@ -2270,18 +2315,25 @@ func (o *limitOp) Next() *Batch {
 // remote query whose transport died, say — cannot masquerade as an
 // empty table.
 type Plan struct {
-	src Source
-	err error
-	par int             // degree of parallelism; <= 1 means sequential
-	ctx context.Context // operator context (cancellation); nil = background
-	qm  *QueryMem       // memory accountant; nil = ungoverned
-	aux []*QueryMem     // accountants adopted from joined plans, for Finish
+	src  Source
+	err  error
+	par  int             // degree of parallelism; <= 1 means sequential
+	ctx  context.Context // operator context (cancellation); nil = background
+	qm   *QueryMem       // memory accountant; nil = ungoverned
+	aux  []*QueryMem     // accountants adopted from joined plans, for Finish
+	prof *QueryProfile   // operator profiling; nil = disabled (zero cost)
 }
 
 // derive builds the next plan in the chain, carrying the parallelism
-// degree, context, and memory accountants forward.
+// degree, context, memory accountants, and profile forward. Under an
+// attached profile every derived operator is wrapped in a statsOp.
 func (p *Plan) derive(src Source) *Plan {
-	return &Plan{src: src, par: p.par, ctx: p.ctx, qm: p.qm, aux: p.aux}
+	if p.prof != nil {
+		if _, ok := src.(*statsOp); !ok {
+			src = newStatsOp(src)
+		}
+	}
+	return &Plan{src: src, par: p.par, ctx: p.ctx, qm: p.qm, aux: p.aux, prof: p.prof}
 }
 
 // adopt records right's accountants on p so FinishMem releases them too;
@@ -2303,6 +2355,9 @@ func (p *Plan) adopt(right *Plan) *Plan {
 // cancelled. Call it on the plan root before adding operators; engines do.
 func (p *Plan) Ctx(ctx context.Context) *Plan {
 	p.ctx = ctx
+	if prof := ProfileFrom(ctx); prof != nil {
+		p.enableProfile(prof)
+	}
 	return p
 }
 
@@ -2385,7 +2440,17 @@ func (p *Plan) Filter(e Expr) *Plan {
 	if p.err != nil {
 		return p
 	}
-	return p.derive(pushFilter(p.src, e.Bind(p.src.Schema())))
+	src := p.src
+	// The pushdown rewrite recognizes scans and unions by concrete type;
+	// unwrap the profiling shim so pushdown still fires (the scan keeps its
+	// attached counters, and derive re-wraps the rewritten pipeline).
+	if so, ok := src.(*statsOp); ok {
+		switch so.inner.(type) {
+		case *colScan, *unionSource:
+			src = so.inner
+		}
+	}
+	return p.derive(pushFilter(src, e.Bind(src.Schema())))
 }
 
 // Project computes named expressions.
@@ -2490,6 +2555,10 @@ func (p *Plan) RunCtx(ctx context.Context) ([]types.Row, error) {
 		return nil, p.err
 	}
 	defer p.FinishMem()
+	if p.prof != nil {
+		start := time.Now()
+		defer func() { p.prof.capture(p, time.Since(start)) }()
+	}
 	ctx = orBackground(ctx)
 	if parts := trySplit(p.src, p.par); parts != nil {
 		parallelPlans.Inc()
@@ -2555,6 +2624,10 @@ func (p *Plan) CountCtx(ctx context.Context) (int, error) {
 		return 0, p.err
 	}
 	defer p.FinishMem()
+	if p.prof != nil {
+		start := time.Now()
+		defer func() { p.prof.capture(p, time.Since(start)) }()
+	}
 	ctx = orBackground(ctx)
 	if parts := trySplit(p.src, p.par); parts != nil {
 		parallelPlans.Inc()

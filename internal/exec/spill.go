@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"runtime"
+	"time"
 
 	"htap/internal/disk"
 	"htap/internal/types"
@@ -74,8 +75,10 @@ func (w *spillWriter) flush() error {
 		if attempt > 0 {
 			spillRetryTotal.Inc()
 		}
+		start := time.Now()
 		_, err = w.qm.g.dev.Append(w.name, w.buf)
 		if err == nil {
+			w.qm.noteSpillIO(int64(len(w.buf)), time.Since(start).Nanoseconds())
 			w.qm.g.spillBytes.Add(int64(len(w.buf)))
 			spillBytesTotal.Add(int64(len(w.buf)))
 			w.buf = w.buf[:0]
@@ -151,9 +154,11 @@ func (c *spillCursor) readFrame() error {
 }
 
 func (c *spillCursor) fill(p []byte) error {
+	start := time.Now()
 	if err := c.qm.g.dev.ReadAt(c.name, p, c.off); err != nil {
 		return c.fail(fmt.Errorf("exec: spill read %s: %w", c.name, err))
 	}
+	c.qm.noteSpillIO(0, time.Since(start).Nanoseconds())
 	c.off += int64(len(p))
 	c.qm.g.spillRead.Add(int64(len(p)))
 	spillReadTotal.Add(int64(len(p)))

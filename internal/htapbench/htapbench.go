@@ -68,6 +68,13 @@ type Config struct {
 	// SyncInterval runs engine.Sync in the background (0 = none).
 	SyncInterval time.Duration
 	Seed         int64
+	// Profile enables per-query profiling on the AP streams: every
+	// analytical query runs under a root trace span and an EXPLAIN
+	// ANALYZE profile (propagated over the wire in remote mode), feeding
+	// Result.QueryBreakdown and the Slowest* fields. The OLTP side is
+	// never profiled — the wrappers would be pure overhead on point
+	// transactions.
+	Profile bool
 	// Ctx, when non-nil, bounds the whole run: cancelling it stops the
 	// workers early, and in-flight queries abandon their scans.
 	Ctx context.Context
@@ -113,6 +120,26 @@ type Result struct {
 	PushdownScannedRows      int64
 	PushdownMaterializedRows int64
 	RowsMaterializedPerQuery float64
+
+	// QueryBreakdown attributes each query class's tail latency to
+	// admission wait, execution, and spill I/O (Profile mode only). The
+	// three p99s come from separate histograms, so they need not sum to
+	// the end-to-end class p99.
+	QueryBreakdown []ClassBreakdown
+	// Slowest* describe the single slowest successful profiled query:
+	// its class, duration, and rendered EXPLAIN ANALYZE tree.
+	SlowestClass   string
+	SlowestDur     time.Duration
+	SlowestProfile string
+}
+
+// ClassBreakdown is the attributed latency split of one query class.
+type ClassBreakdown struct {
+	Class    string
+	Count    int64
+	AdmitP99 time.Duration
+	ExecP99  time.Duration
+	SpillP99 time.Duration
 }
 
 // ClassLatency is the latency distribution of one workload class within a
@@ -182,6 +209,25 @@ func Run(cfg Config) Result {
 		queryHists[q.num] = newClassHist("htap_bench_query_duration_ns", archL, fmt.Sprintf("q%d", q.num))
 	}
 
+	// Attributed-latency histograms and slowest-query tracking (Profile
+	// mode). Run-local only: the split is a per-run result, not a
+	// process-wide series.
+	var breakHists map[int]*breakdown
+	if cfg.Profile {
+		breakHists = make(map[int]*breakdown, len(queries))
+		for _, q := range queries {
+			breakHists[q.num] = &breakdown{
+				admit: obs.NewHistogram(), exec: obs.NewHistogram(), spill: obs.NewHistogram(),
+			}
+		}
+	}
+	var (
+		slowMu      sync.Mutex
+		slowDur     time.Duration
+		slowClass   string
+		slowProfile string
+	)
+
 	var (
 		stop       atomic.Bool
 		txnErrs    atomic.Int64
@@ -249,12 +295,25 @@ func Run(cfg Config) Result {
 			runner, _ := cfg.Engine.(CHRunner)
 			for !stop.Load() {
 				q := queries[rng.Intn(len(queries))]
+				qctx := ctx
+				var prof *exec.QueryProfile
+				var sp *obs.Span
+				if cfg.Profile {
+					// Root the trace at the client so remote retries and the
+					// server-side spans all hang off one trace.
+					prof = exec.NewQueryProfile()
+					sp = obs.Trace.Start("client.query").AttrInt("q", int64(q.num))
+					qctx = exec.WithProfile(obs.ContextWithSpan(ctx, sp), prof)
+				}
 				start := time.Now()
 				var qerr error
 				if runner != nil {
-					_, qerr = runner.RunCH(ctx, q.num)
+					_, qerr = runner.RunCH(qctx, q.num)
 				} else {
-					_, qerr = ch.RunQuery(ctx, cfg.Engine, q.num)
+					_, qerr = ch.RunQuery(qctx, cfg.Engine, q.num)
+				}
+				if sp != nil {
+					sp.End()
 				}
 				if ctx.Err() != nil {
 					return // window closed mid-query: the result is partial
@@ -270,6 +329,19 @@ func Run(cfg Config) Result {
 				queryNanos.Add(int64(el))
 				queryCount.Add(1)
 				queryHists[q.num].observe(el)
+				if prof != nil {
+					bh := breakHists[q.num]
+					bh.admit.ObserveDuration(time.Duration(prof.AdmitNS()))
+					bh.exec.ObserveDuration(time.Duration(prof.ExecNS()))
+					bh.spill.ObserveDuration(time.Duration(prof.SpillNS()))
+					slowMu.Lock()
+					if el > slowDur {
+						slowDur = el
+						slowClass = fmt.Sprintf("q%d", q.num)
+						slowProfile = prof.Render()
+					}
+					slowMu.Unlock()
+				}
 			}
 		}(int64(s))
 	}
@@ -367,7 +439,29 @@ func Run(cfg Config) Result {
 			res.QueryClasses = append(res.QueryClasses, h.latency(fmt.Sprintf("q%d", q.num)))
 		}
 	}
+	if cfg.Profile {
+		for _, q := range queries {
+			bh := breakHists[q.num]
+			if bh.exec.Count() == 0 {
+				continue
+			}
+			res.QueryBreakdown = append(res.QueryBreakdown, ClassBreakdown{
+				Class:    fmt.Sprintf("q%d", q.num),
+				Count:    int64(bh.exec.Count()),
+				AdmitP99: time.Duration(bh.admit.Quantiles(0.99)[0]),
+				ExecP99:  time.Duration(bh.exec.Quantiles(0.99)[0]),
+				SpillP99: time.Duration(bh.spill.Quantiles(0.99)[0]),
+			})
+		}
+		res.SlowestClass, res.SlowestDur, res.SlowestProfile = slowClass, slowDur, slowProfile
+	}
 	return res
+}
+
+// breakdown holds one query class's run-local attributed-latency
+// histograms (Profile mode).
+type breakdown struct {
+	admit, exec, spill *obs.Histogram
 }
 
 func max64(a, b int64) int64 {

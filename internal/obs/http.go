@@ -13,6 +13,7 @@ import (
 //
 //	/metrics       Prometheus text exposition
 //	/spans         recent finished spans as JSON, oldest first
+//	/slowlog       the retained worst queries per class, slowest first
 //	/debug/pprof/  the standard Go profiling endpoints
 //
 // cmd/repro and cmd/chbench start one behind their -metrics flag, so the
@@ -38,32 +39,36 @@ func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 	})
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		type jsonAttr struct {
-			Key string      `json:"key"`
-			Val interface{} `json:"val"`
-		}
 		type jsonSpan struct {
-			ID     uint64     `json:"id"`
-			Parent uint64     `json:"parent,omitempty"`
-			Name   string     `json:"name"`
-			Start  time.Time  `json:"start"`
-			DurNS  int64      `json:"dur_ns"`
-			Attrs  []jsonAttr `json:"attrs,omitempty"`
+			Trace  uint64                 `json:"trace,omitempty"`
+			ID     uint64                 `json:"id"`
+			Parent uint64                 `json:"parent,omitempty"`
+			Name   string                 `json:"name"`
+			Start  time.Time              `json:"start"`
+			DurNS  int64                  `json:"dur_ns"`
+			Attrs  map[string]interface{} `json:"attrs,omitempty"`
 		}
 		spans := tr.Spans()
 		out := make([]jsonSpan, 0, len(spans))
 		for _, s := range spans {
-			js := jsonSpan{ID: s.ID, Parent: s.Parent, Name: s.Name, Start: s.Start, DurNS: int64(s.Dur)}
-			for _, a := range s.Attrs {
-				if a.IsInt {
-					js.Attrs = append(js.Attrs, jsonAttr{Key: a.Key, Val: a.Int})
-				} else {
-					js.Attrs = append(js.Attrs, jsonAttr{Key: a.Key, Val: a.Str})
+			js := jsonSpan{Trace: s.Trace, ID: s.ID, Parent: s.Parent, Name: s.Name, Start: s.Start, DurNS: int64(s.Dur)}
+			if len(s.Attrs) > 0 {
+				js.Attrs = make(map[string]interface{}, len(s.Attrs))
+				for _, a := range s.Attrs {
+					if a.IsInt {
+						js.Attrs[a.Key] = a.Int
+					} else {
+						js.Attrs[a.Key] = a.Str
+					}
 				}
 			}
 			out = append(out, js)
 		}
 		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/slowlog", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(DefaultSlowLog.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

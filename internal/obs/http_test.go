@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The endpoint table: every path obs.Serve exposes for scraping, checked
+// for status, content type, and a body-shape validator. The server runs
+// against throwaway registry/tracer instances except /slowlog, which is
+// backed by the process-wide DefaultSlowLog by design.
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("htap_test_requests_total", L("class", "olap")).Inc()
+	reg.Gauge("htap_test_depth", nil).SetInt(3)
+	reg.Histogram("htap_test_wait_ns", nil).Observe(1234)
+
+	tr := NewTracer(16)
+	root := tr.Start("client.query").AttrInt("q", 7)
+	child := root.Child("server.query").Attr("table", "orders")
+	child.End()
+	root.End()
+
+	DefaultSlowLog.Observe(SlowQuery{
+		Class: "q7", Start: time.Now(), Dur: 5 * time.Millisecond,
+		Rows: 42, TraceID: root.TraceID(), Profile: "profile: arch=A\nplan 1:\nscan(orders) [rows=42]",
+	})
+
+	srv, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cases := []struct {
+		path        string
+		contentType string
+		check       func(t *testing.T, body []byte)
+	}{
+		{
+			path:        "/metrics",
+			contentType: "text/plain; version=0.0.4; charset=utf-8",
+			check: func(t *testing.T, body []byte) {
+				n, err := ValidateExposition(body)
+				if err != nil {
+					t.Fatalf("exposition invalid: %v", err)
+				}
+				if n == 0 {
+					t.Fatal("exposition has no samples")
+				}
+				for _, want := range []string{"htap_test_requests_total", "htap_test_depth", "htap_test_wait_ns"} {
+					if !strings.Contains(string(body), want) {
+						t.Fatalf("exposition lacks %s:\n%s", want, body)
+					}
+				}
+			},
+		},
+		{
+			path:        "/spans",
+			contentType: "application/json; charset=utf-8",
+			check: func(t *testing.T, body []byte) {
+				var spans []struct {
+					Trace  uint64                 `json:"trace"`
+					ID     uint64                 `json:"id"`
+					Parent uint64                 `json:"parent"`
+					Name   string                 `json:"name"`
+					Attrs  map[string]interface{} `json:"attrs"`
+				}
+				if err := json.Unmarshal(body, &spans); err != nil {
+					t.Fatalf("spans not JSON: %v\n%s", err, body)
+				}
+				if len(spans) != 2 {
+					t.Fatalf("want 2 spans, got %d", len(spans))
+				}
+				// Oldest first: the child ended before the root.
+				if spans[0].Name != "server.query" || spans[1].Name != "client.query" {
+					t.Fatalf("unexpected span order: %q, %q", spans[0].Name, spans[1].Name)
+				}
+				if spans[0].Trace == 0 || spans[0].Trace != spans[1].Trace {
+					t.Fatalf("child/root trace mismatch: %d vs %d", spans[0].Trace, spans[1].Trace)
+				}
+				if spans[0].Parent != spans[1].ID {
+					t.Fatalf("child parent %d != root id %d", spans[0].Parent, spans[1].ID)
+				}
+				// Attrs are a key->value map, ints as numbers, strings as strings.
+				if got := spans[0].Attrs["table"]; got != "orders" {
+					t.Fatalf("child attr table = %v", got)
+				}
+				if got := spans[1].Attrs["q"]; got != float64(7) {
+					t.Fatalf("root attr q = %v (%T)", got, got)
+				}
+			},
+		},
+		{
+			path:        "/slowlog",
+			contentType: "application/json; charset=utf-8",
+			check: func(t *testing.T, body []byte) {
+				var entries []SlowQuery
+				if err := json.Unmarshal(body, &entries); err != nil {
+					t.Fatalf("slowlog not JSON: %v\n%s", err, body)
+				}
+				for _, e := range entries {
+					if e.Class == "q7" && e.Rows == 42 && strings.Contains(e.Profile, "[rows=42]") {
+						return
+					}
+				}
+				t.Fatalf("slowlog lacks the observed q7 entry:\n%s", body)
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.path, func(t *testing.T) {
+			resp, err := http.Get("http://" + srv.Addr() + tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d", resp.StatusCode)
+			}
+			if got := resp.Header.Get("Content-Type"); got != tc.contentType {
+				t.Fatalf("content type %q, want %q", got, tc.contentType)
+			}
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, body)
+		})
+	}
+}
+
+// The slow log keeps exactly the N slowest per class, displacing the
+// fastest retained entry when a slower one arrives.
+func TestSlowLogRetention(t *testing.T) {
+	l := NewSlowLog(3)
+	for i := 1; i <= 10; i++ {
+		l.Observe(SlowQuery{Class: "q1", Dur: time.Duration(i) * time.Millisecond})
+	}
+	l.Observe(SlowQuery{Class: "q2", Dur: time.Hour})
+	s := l.Snapshot()
+	if len(s) != 4 {
+		t.Fatalf("want 4 entries (3 q1 + 1 q2), got %d", len(s))
+	}
+	if s[0].Class != "q2" {
+		t.Fatalf("slowest-first order broken: %+v", s[0])
+	}
+	// q1 retains 10, 9, 8 ms.
+	want := []time.Duration{10 * time.Millisecond, 9 * time.Millisecond, 8 * time.Millisecond}
+	for i, w := range want {
+		if s[i+1].Dur != w {
+			t.Fatalf("q1 entry %d: dur %v, want %v", i, s[i+1].Dur, w)
+		}
+	}
+	// A too-fast query is not retained.
+	l.Observe(SlowQuery{Class: "q1", Dur: time.Millisecond})
+	if got := len(l.Snapshot()); got != 4 {
+		t.Fatalf("fast query displaced an entry: %d", got)
+	}
+	// Shrinking retention trims the slowest-keeping tail.
+	l.SetPerClass(1)
+	s = l.Snapshot()
+	if len(s) != 2 {
+		t.Fatalf("want 2 after shrink, got %d", len(s))
+	}
+	if w, ok := l.Worst(); !ok || w.Class != "q2" {
+		t.Fatalf("Worst = %+v, %v", w, ok)
+	}
+}

@@ -1,0 +1,128 @@
+// Slow-query log: a bounded ring of the worst queries per class.
+//
+// Every finished query is offered to the log; each class (q1..q22 for the
+// CH workload) retains only its N slowest, so memory is bounded by
+// classes × N however long the process runs. Entries carry the query's
+// serialized profile tree when profiling was on, and its trace ID when it
+// ran under a trace — /slowlog is the pivot from "this class is slow" to
+// one concrete worst-case plan and its distributed trace.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+var (
+	slowObserved = Default.Counter("htap_slowlog_observed_total", nil)
+	slowEntries  = Default.Gauge("htap_slowlog_entries", nil)
+)
+
+// SlowQuery is one retained slow-query entry.
+type SlowQuery struct {
+	Class   string        `json:"class"`
+	Start   time.Time     `json:"start"`
+	Dur     time.Duration `json:"dur_ns"`
+	Rows    int64         `json:"rows"`
+	TraceID uint64        `json:"trace,omitempty"`
+	Err     string        `json:"err,omitempty"`
+	Profile string        `json:"profile,omitempty"`
+}
+
+// SlowLog retains the perClass slowest queries of each class.
+type SlowLog struct {
+	mu       sync.Mutex
+	perClass int
+	classes  map[string][]SlowQuery // sorted ascending by Dur
+}
+
+// NewSlowLog returns a log keeping the perClass worst queries per class
+// (minimum 1).
+func NewSlowLog(perClass int) *SlowLog {
+	if perClass < 1 {
+		perClass = 1
+	}
+	return &SlowLog{perClass: perClass, classes: map[string][]SlowQuery{}}
+}
+
+// DefaultSlowLog is the process-wide log; ch.RunQuery feeds it and
+// obs.Serve exposes it at /slowlog.
+var DefaultSlowLog = NewSlowLog(8)
+
+// SetPerClass resizes the per-class retention (htapd's -slowlog flag),
+// trimming existing classes that now exceed it.
+func (l *SlowLog) SetPerClass(n int) {
+	if n < 1 {
+		n = 1
+	}
+	l.mu.Lock()
+	l.perClass = n
+	for c, q := range l.classes {
+		if len(q) > n {
+			l.classes[c] = append([]SlowQuery(nil), q[len(q)-n:]...)
+		}
+	}
+	l.mu.Unlock()
+	l.updateEntries()
+}
+
+// Observe offers one finished query. It is retained iff it ranks among
+// the class's perClass slowest so far.
+func (l *SlowLog) Observe(q SlowQuery) {
+	slowObserved.Inc()
+	l.mu.Lock()
+	entries := l.classes[q.Class]
+	i := sort.Search(len(entries), func(i int) bool { return entries[i].Dur >= q.Dur })
+	if len(entries) < l.perClass {
+		entries = append(entries, SlowQuery{})
+		copy(entries[i+1:], entries[i:])
+		entries[i] = q
+	} else if i > 0 {
+		// Displace the fastest retained entry.
+		copy(entries[:i-1], entries[1:i])
+		entries[i-1] = q
+	} else {
+		l.mu.Unlock()
+		return
+	}
+	l.classes[q.Class] = entries
+	l.mu.Unlock()
+	l.updateEntries()
+}
+
+func (l *SlowLog) updateEntries() {
+	if l != DefaultSlowLog {
+		return
+	}
+	l.mu.Lock()
+	n := 0
+	for _, q := range l.classes {
+		n += len(q)
+	}
+	l.mu.Unlock()
+	slowEntries.SetInt(int64(n))
+}
+
+// Snapshot returns every retained entry, slowest first across all
+// classes.
+func (l *SlowLog) Snapshot() []SlowQuery {
+	l.mu.Lock()
+	var out []SlowQuery
+	for _, q := range l.classes {
+		out = append(out, q...)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Dur > out[j].Dur })
+	return out
+}
+
+// Worst returns the single slowest retained entry and whether the log has
+// any.
+func (l *SlowLog) Worst() (SlowQuery, bool) {
+	s := l.Snapshot()
+	if len(s) == 0 {
+		return SlowQuery{}, false
+	}
+	return s[0], true
+}

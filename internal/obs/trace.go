@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ type Attr struct {
 
 // SpanData is one finished span as retained by the tracer.
 type SpanData struct {
+	Trace  uint64 // trace the span belongs to; shared across processes
 	ID     uint64
 	Parent uint64 // 0 for roots
 	Name   string
@@ -25,12 +27,34 @@ type SpanData struct {
 	Attrs  []Attr
 }
 
+// Span and trace IDs come from a splitmix64 sequence seeded with the
+// process start time, so IDs minted by different processes are
+// collision-resistant — the property cross-process parent links (a server
+// span whose Parent is a client span ID) depend on. A per-process counter
+// alone would collide on the very first span of every process.
+var idState atomic.Uint64
+
+func init() {
+	idState.Store(uint64(time.Now().UnixNano()))
+}
+
+func newID() uint64 {
+	x := idState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1 // 0 means "absent" in SpanData and on the wire
+	}
+	return x
+}
+
 // Tracer retains finished spans in a fixed-capacity ring: starting and
 // ending spans on a hot path can never grow tracer memory beyond the ring,
 // the oldest spans are simply overwritten.
 type Tracer struct {
-	ids atomic.Uint64
-
 	mu    sync.Mutex
 	ring  []SpanData
 	next  int
@@ -49,6 +73,7 @@ func NewTracer(capacity int) *Tracer {
 // ID and may outlive it.
 type Span struct {
 	tr     *Tracer
+	trace  uint64
 	id     uint64
 	parent uint64
 	name   string
@@ -56,15 +81,33 @@ type Span struct {
 	attrs  []Attr
 }
 
-// Start opens a root span.
+// Start opens a root span, beginning a fresh trace.
 func (t *Tracer) Start(name string) *Span {
-	return &Span{tr: t, id: t.ids.Add(1), name: name, start: time.Now()}
+	return &Span{tr: t, trace: newID(), id: newID(), name: name, start: time.Now()}
 }
 
-// Child opens a span parented to s.
-func (s *Span) Child(name string) *Span {
-	return &Span{tr: s.tr, id: s.tr.ids.Add(1), parent: s.id, name: name, start: time.Now()}
+// StartRemote opens a span continuing a trace that originated in another
+// process: the span joins traceID and is parented to parentSpanID (the
+// caller's span on the far side of the wire). A zero traceID — an old peer
+// that sent no trace context — degrades to Start.
+func (t *Tracer) StartRemote(name string, traceID, parentSpanID uint64) *Span {
+	if traceID == 0 {
+		return t.Start(name)
+	}
+	return &Span{tr: t, trace: traceID, id: newID(), parent: parentSpanID, name: name, start: time.Now()}
 }
+
+// Child opens a span parented to s, in s's trace.
+func (s *Span) Child(name string) *Span {
+	return &Span{tr: s.tr, trace: s.trace, id: newID(), parent: s.id, name: name, start: time.Now()}
+}
+
+// TraceID returns the span's trace ID — the value to propagate across
+// process boundaries.
+func (s *Span) TraceID() uint64 { return s.trace }
+
+// SpanID returns the span's own ID — the parent for remote continuations.
+func (s *Span) SpanID() uint64 { return s.id }
 
 // Attr attaches a string attribute and returns s for chaining.
 func (s *Span) Attr(key, val string) *Span {
@@ -81,6 +124,7 @@ func (s *Span) AttrInt(key string, val int64) *Span {
 // End finishes the span and retains it in the tracer's ring.
 func (s *Span) End() {
 	d := SpanData{
+		Trace:  s.trace,
 		ID:     s.id,
 		Parent: s.parent,
 		Name:   s.name,
@@ -119,4 +163,24 @@ func (t *Tracer) Total() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.total
+}
+
+// --- context propagation ---
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying s; code deeper in the call
+// tree (engine execution, admission control) attaches child spans to it.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, nil if none (or nil
+// ctx). Callers must nil-check; a nil span has no safe methods.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
 }

@@ -409,6 +409,11 @@ func (c *session) handleBegin(payload []byte) error {
 	}
 	start := time.Now()
 	ctx, cancel := c.reqCtx(m.Deadline)
+	if m.TraceID != 0 {
+		sp := obs.Trace.StartRemote("server.begin", m.TraceID, m.SpanID)
+		defer sp.End()
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
 	ok, cerr := c.admit(ctx, wire.ClassOLTP)
 	if !ok {
 		cancel()
@@ -488,11 +493,26 @@ func (c *session) handleQuery(payload []byte) error {
 	start := time.Now()
 	ctx, cancel := c.reqCtx(m.Deadline)
 	defer cancel()
+	// Join the client's trace (StartRemote degrades to a fresh root for
+	// old clients that sent no context), so /spans on this process links
+	// back to the span that issued the request over the wire.
+	sp := obs.Trace.StartRemote("server.query", m.TraceID, m.SpanID).AttrInt("q", int64(m.N))
+	defer sp.End()
+	admitStart := time.Now()
 	ok, cerr := c.admit(ctx, wire.ClassOLAP)
+	admitNS := time.Since(admitStart).Nanoseconds()
+	sp.AttrInt("admit_wait_ns", admitNS)
 	if !ok {
 		return cerr
 	}
 	qctx, stop := c.watch(ctx)
+	qctx = obs.ContextWithSpan(qctx, sp)
+	var prof *exec.QueryProfile
+	if m.Profile {
+		prof = exec.NewQueryProfile()
+		prof.SetAdmitNS(admitNS)
+		qctx = exec.WithProfile(qctx, prof)
+	}
 	rows, err := ch.RunQuery(qctx, c.srv.cfg.Engine, int(m.N))
 	broken := stop()
 	c.srv.m.reqNS[wire.ClassOLAP].Since(start)
@@ -509,7 +529,23 @@ func (c *session) handleQuery(payload []byte) error {
 			sch = append(sch, types.Column{Name: fmt.Sprintf("c%d", i), Type: d.Kind})
 		}
 	}
-	return c.stream(sch, rows)
+	return c.stream(sch, rows, profileEOS(prof, admitNS))
+}
+
+// profileEOS builds the EOS profile trailer for a profiled request; a nil
+// prof (old client, or profiling not requested) yields the bare frame old
+// clients expect byte-for-byte.
+func profileEOS(prof *exec.QueryProfile, admitNS int64) wire.EOS {
+	if prof == nil {
+		return wire.EOS{}
+	}
+	return wire.EOS{
+		HasProfile: true,
+		ExecNS:     prof.ExecNS(),
+		AdmitNS:    admitNS,
+		SpillNS:    prof.SpillNS(),
+		Profile:    prof.Render(),
+	}
 }
 
 func (c *session) handleScan(payload []byte) error {
@@ -520,7 +556,12 @@ func (c *session) handleScan(payload []byte) error {
 	start := time.Now()
 	ctx, cancel := c.reqCtx(m.Deadline)
 	defer cancel()
+	sp := obs.Trace.StartRemote("server.scan", m.TraceID, m.SpanID).Attr("table", m.Table)
+	defer sp.End()
+	admitStart := time.Now()
 	ok, cerr := c.admit(ctx, wire.ClassOLAP)
+	admitNS := time.Since(admitStart).Nanoseconds()
+	sp.AttrInt("admit_wait_ns", admitNS)
 	if !ok {
 		return cerr
 	}
@@ -532,6 +573,13 @@ func (c *session) handleScan(payload []byte) error {
 		return c.sendErr(fmt.Errorf("%w: %s", core.ErrNoTable, m.Table))
 	}
 	qctx, stop := c.watch(ctx)
+	qctx = obs.ContextWithSpan(qctx, sp)
+	var prof *exec.QueryProfile
+	if m.Profile {
+		prof = exec.NewQueryProfile()
+		prof.SetAdmitNS(admitNS)
+		qctx = exec.WithProfile(qctx, prof)
+	}
 	plan := c.srv.cfg.Engine.Query(qctx, m.Table, m.Cols, pred)
 	sch := plan.Schema()
 	rows, err := plan.RunCtx(qctx)
@@ -543,14 +591,14 @@ func (c *session) handleScan(payload []byte) error {
 	if err != nil {
 		return c.sendErr(err)
 	}
-	return c.stream(sch, rows)
+	return c.stream(sch, rows, profileEOS(prof, admitNS))
 }
 
 // streamBatch is the row count per MsgBatch frame.
 const streamBatch = 256
 
-func (c *session) stream(sch []types.Column, rows []types.Row) error {
-	total := int64(len(rows))
+func (c *session) stream(sch []types.Column, rows []types.Row, eos wire.EOS) error {
+	eos.Rows = int64(len(rows))
 	if err := c.send(wire.MsgSchema, wire.Schema{Cols: sch}.Encode(nil)); err != nil {
 		return err
 	}
@@ -564,7 +612,7 @@ func (c *session) stream(sch []types.Column, rows []types.Row) error {
 		}
 		rows = rows[n:]
 	}
-	return c.send(wire.MsgEOS, wire.EOS{Rows: total}.Encode(nil))
+	return c.send(wire.MsgEOS, eos.Encode(nil))
 }
 
 // watch cancels the returned context if the client's half of the

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"htap/internal/exec"
+	"htap/internal/obs"
+)
+
+// A profiled remote query must produce one linked trace spanning both
+// sides of the wire: the client's root and attempt spans, and a server
+// span whose Trace is the client's trace and whose Parent is the attempt
+// span that carried the request. Client and server here share one
+// process (and so one obs.Trace ring), which is exactly what makes the
+// linkage checkable without scraping two /spans endpoints.
+func TestRemoteQueryTraceLinkage(t *testing.T) {
+	e, _ := newEngine(t, smallScale())
+	_, r := startServer(t, Config{Engine: e})
+
+	root := obs.Trace.Start("client.query").AttrInt("q", 1)
+	prof := exec.NewQueryProfile()
+	ctx := exec.WithProfile(obs.ContextWithSpan(context.Background(), root), prof)
+	rows, err := r.RunCH(ctx, 1)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("Q1 returned no rows")
+	}
+
+	var clientAttempt, serverSpan *obs.SpanData
+	for _, s := range obs.Trace.Spans() {
+		if s.Trace != root.TraceID() {
+			continue
+		}
+		s := s
+		switch s.Name {
+		case "client.attempt":
+			clientAttempt = &s
+		case "server.query":
+			serverSpan = &s
+		}
+	}
+	if clientAttempt == nil || serverSpan == nil {
+		t.Fatalf("trace %d missing spans: attempt=%v server=%v",
+			root.TraceID(), clientAttempt != nil, serverSpan != nil)
+	}
+	if clientAttempt.Parent != root.SpanID() {
+		t.Fatalf("attempt parent %d != root span %d", clientAttempt.Parent, root.SpanID())
+	}
+	if serverSpan.Parent != clientAttempt.ID {
+		t.Fatalf("server span parent %d != client attempt %d", serverSpan.Parent, clientAttempt.ID)
+	}
+	admitSeen := false
+	for _, a := range serverSpan.Attrs {
+		if a.Key == "admit_wait_ns" && a.IsInt {
+			admitSeen = true
+		}
+	}
+	if !admitSeen {
+		t.Fatalf("server span lacks admit_wait_ns attr: %+v", serverSpan.Attrs)
+	}
+
+	// The EOS trailer carried the server-side profile back into the
+	// client's QueryProfile.
+	if prof.ExecNS() <= 0 {
+		t.Fatal("remote profile has no execution time")
+	}
+	rendered := prof.Render()
+	if !strings.Contains(rendered, "[rows=") {
+		t.Fatalf("remote profile lacks operator annotations:\n%s", rendered)
+	}
+}
+
+// An unprofiled, untraced remote query — an "old client" as far as the
+// frames are concerned — must round-trip unchanged: no profile trailer
+// comes back, and the server span starts a trace of its own.
+func TestRemoteQueryWithoutTraceStillWorks(t *testing.T) {
+	e, _ := newEngine(t, smallScale())
+	_, r := startServer(t, Config{Engine: e})
+	rows, err := r.RunCH(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("Q1 returned no rows")
+	}
+}

@@ -342,19 +342,34 @@ func DecodeServerHello(b []byte) (ServerHello, error) {
 }
 
 // Begin opens a transaction with an optional absolute deadline.
+//
+// TraceID/SpanID ride after the deadline only when set, like
+// Error.Reason: decoders predating trace propagation ignore trailing
+// bytes, and old encoders simply omit them.
 type Begin struct {
-	Deadline int64 // unix nanoseconds; 0 = none
+	Deadline int64  // unix nanoseconds; 0 = none
+	TraceID  uint64 // originating trace; 0 = untraced
+	SpanID   uint64 // caller's span, parent for the server-side span
 }
 
 // Encode appends the payload encoding.
 func (m Begin) Encode(dst []byte) []byte {
-	return binary.AppendVarint(dst, m.Deadline)
+	dst = binary.AppendVarint(dst, m.Deadline)
+	if m.TraceID != 0 {
+		dst = binary.AppendUvarint(dst, m.TraceID)
+		dst = binary.AppendUvarint(dst, m.SpanID)
+	}
+	return dst
 }
 
 // DecodeBegin parses a MsgBegin payload.
 func DecodeBegin(b []byte) (Begin, error) {
 	d := &dec{b: b}
 	m := Begin{Deadline: d.varint()}
+	if d.err == nil && len(d.b) > 0 {
+		m.TraceID = d.uvarint()
+		m.SpanID = d.uvarint()
+	}
 	return m, d.err
 }
 
@@ -397,22 +412,54 @@ func DecodeRowReq(b []byte) (RowReq, error) {
 	return m, d.err
 }
 
+// queryFlagProfile asks the server to profile execution and return the
+// rendered plan in the EOS trailer.
+const queryFlagProfile = 1 << 0
+
+// appendTraceCtx appends the optional [TraceID, SpanID, flags] trailer
+// shared by Query and Scan, but only when there is something to say —
+// frames to old servers stay byte-identical.
+func appendTraceCtx(dst []byte, traceID, spanID uint64, profile bool) []byte {
+	if traceID == 0 && !profile {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, traceID)
+	dst = binary.AppendUvarint(dst, spanID)
+	var flags byte
+	if profile {
+		flags |= queryFlagProfile
+	}
+	return append(dst, flags)
+}
+
 // Query runs CH-benCHmark query N (1..22) server-side.
+//
+// The trace/profile trailer is optional and trailing (see Begin); old
+// decoders never read it, old encoders never write it.
 type Query struct {
 	Deadline int64
 	N        uint32
+	TraceID  uint64
+	SpanID   uint64
+	Profile  bool // request an EOS profile trailer
 }
 
 // Encode appends the payload encoding.
 func (m Query) Encode(dst []byte) []byte {
 	dst = binary.AppendVarint(dst, m.Deadline)
-	return binary.AppendUvarint(dst, uint64(m.N))
+	dst = binary.AppendUvarint(dst, uint64(m.N))
+	return appendTraceCtx(dst, m.TraceID, m.SpanID, m.Profile)
 }
 
 // DecodeQuery parses a MsgQuery payload.
 func DecodeQuery(b []byte) (Query, error) {
 	d := &dec{b: b}
 	m := Query{Deadline: d.varint(), N: uint32(d.uvarint())}
+	if d.err == nil && len(d.b) > 0 {
+		m.TraceID = d.uvarint()
+		m.SpanID = d.uvarint()
+		m.Profile = d.byte()&queryFlagProfile != 0
+	}
 	return m, d.err
 }
 
@@ -426,6 +473,9 @@ type Scan struct {
 	PredCol  string
 	PredLo   int64
 	PredHi   int64
+	TraceID  uint64
+	SpanID   uint64
+	Profile  bool
 }
 
 // Encode appends the payload encoding.
@@ -437,12 +487,14 @@ func (m Scan) Encode(dst []byte) []byte {
 		dst = appendString(dst, c)
 	}
 	if !m.HasPred {
-		return append(dst, 0)
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		dst = appendString(dst, m.PredCol)
+		dst = binary.AppendVarint(dst, m.PredLo)
+		dst = binary.AppendVarint(dst, m.PredHi)
 	}
-	dst = append(dst, 1)
-	dst = appendString(dst, m.PredCol)
-	dst = binary.AppendVarint(dst, m.PredLo)
-	return binary.AppendVarint(dst, m.PredHi)
+	return appendTraceCtx(dst, m.TraceID, m.SpanID, m.Profile)
 }
 
 // DecodeScan parses a MsgScan payload.
@@ -458,6 +510,11 @@ func DecodeScan(b []byte) (Scan, error) {
 		m.PredCol = d.str()
 		m.PredLo = d.varint()
 		m.PredHi = d.varint()
+	}
+	if d.err == nil && len(d.b) > 0 {
+		m.TraceID = d.uvarint()
+		m.SpanID = d.uvarint()
+		m.Profile = d.byte()&queryFlagProfile != 0
 	}
 	return m, d.err
 }
@@ -517,19 +574,44 @@ func DecodeBatch(b []byte) (Batch, error) {
 
 // EOS closes a batch stream with the total row count, a cheap integrity
 // check against dropped batches.
+//
+// When the request carried the profile flag, the server appends a
+// trailer: a presence byte, the server-side execution / admission-wait /
+// spill-I/O nanoseconds, and the rendered profile tree. Old clients stop
+// after Rows; old servers never append it.
 type EOS struct {
-	Rows int64
+	Rows       int64
+	HasProfile bool
+	ExecNS     int64
+	AdmitNS    int64
+	SpillNS    int64
+	Profile    string // exec.QueryProfile.Render output
 }
 
 // Encode appends the payload encoding.
 func (m EOS) Encode(dst []byte) []byte {
-	return binary.AppendVarint(dst, m.Rows)
+	dst = binary.AppendVarint(dst, m.Rows)
+	if m.HasProfile {
+		dst = append(dst, 1)
+		dst = binary.AppendVarint(dst, m.ExecNS)
+		dst = binary.AppendVarint(dst, m.AdmitNS)
+		dst = binary.AppendVarint(dst, m.SpillNS)
+		dst = appendString(dst, m.Profile)
+	}
+	return dst
 }
 
 // DecodeEOS parses a MsgEOS payload.
 func DecodeEOS(b []byte) (EOS, error) {
 	d := &dec{b: b}
 	m := EOS{Rows: d.varint()}
+	if d.err == nil && len(d.b) > 0 && d.byte() == 1 {
+		m.HasProfile = true
+		m.ExecNS = d.varint()
+		m.AdmitNS = d.varint()
+		m.SpillNS = d.varint()
+		m.Profile = d.str()
+	}
 	return m, d.err
 }
 
