@@ -18,6 +18,7 @@ import (
 	"htap/internal/accel"
 	"htap/internal/ch"
 	"htap/internal/core"
+	"htap/internal/dist"
 	"htap/internal/exec"
 	"htap/internal/experiments"
 	"htap/internal/htapbench"
@@ -387,6 +388,59 @@ func BenchmarkTradeoff(b *testing.B) {
 	for _, p := range pts {
 		b.ReportMetric(p.TPS, fmt.Sprintf("tps@sync=%s", p.SyncInterval))
 		b.ReportMetric(p.FreshLagMs, fmt.Sprintf("lag-ms@sync=%s", p.SyncInterval))
+	}
+}
+
+// --- D1: distributed execution (internal/dist) ---
+
+// loadedDist builds a coordinator over n arch-A shards holding 4
+// warehouses of CH data.
+func loadedDist(b *testing.B, n int) (core.Engine, ch.Scale) {
+	b.Helper()
+	engines := make([]core.Engine, n)
+	for i := range engines {
+		engines[i] = experiments.NewEngine(core.ArchA)
+	}
+	d, err := dist.New(4, engines...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := ch.SmallScale(4)
+	s.Customers = 60
+	s.Orders = 60
+	s.Items = 200
+	if _, err := ch.NewGenerator(s).Load(d); err != nil {
+		b.Fatal(err)
+	}
+	d.Sync()
+	return d, s
+}
+
+// BenchmarkDistShards runs the same mixed workload against 1, 2, and 4
+// shards behind the coordinator: the throughput-vs-shard-count headline
+// for BENCH_dist.json. Cross-warehouse NewOrders/Payments pay two-phase
+// commit; analytical queries scatter to every shard and merge.
+func BenchmarkDistShards(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		n := n
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			e, s := loadedDist(b, n)
+			defer e.Close()
+			b.ResetTimer()
+			var txns, queries int64
+			for i := 0; i < b.N; i++ {
+				res := htapbench.Run(htapbench.Config{
+					Engine: e, Scale: s, TPWorkers: 2, APStreams: 1,
+					Duration: 200 * time.Millisecond, QuerySet: []int{1, 6},
+					SyncInterval: 50 * time.Millisecond, Seed: int64(i),
+				})
+				txns += res.Txns
+				queries += res.Queries
+			}
+			el := b.Elapsed().Seconds()
+			b.ReportMetric(float64(txns)/el, "txn/s")
+			b.ReportMetric(float64(queries)/el, "query/s")
+		})
 	}
 }
 

@@ -6,6 +6,13 @@
 //
 //	htapd -arch a -warehouses 2 -addr 127.0.0.1:4466 -metrics 127.0.0.1:9090
 //	htapd -arch b -olap-rate 50          # shed OLAP bursts beyond 50 qps
+//
+// Distributed topologies (internal/dist):
+//
+//	htapd -arch a -shards 3              # coordinator over 3 in-process shards
+//	htapd -arch a -warehouses 6 -shard-index 0 -shard-count 3   # one shard server
+//	htapd -warehouses 6 -shard-addrs 127.0.0.1:5001,127.0.0.1:5002,127.0.0.1:5003
+//	                                     # coordinator over remote shard servers
 package main
 
 import (
@@ -19,8 +26,10 @@ import (
 	"time"
 
 	"htap/internal/ch"
+	"htap/internal/client"
 	"htap/internal/core"
 	"htap/internal/disk"
+	"htap/internal/dist"
 	"htap/internal/exec"
 	"htap/internal/experiments"
 	"htap/internal/obs"
@@ -40,6 +49,10 @@ func main() {
 		seed       = flag.Int64("seed", 42, "seed")
 		metrics    = flag.String("metrics", "", "serve /metrics, /spans, /slowlog and /debug/pprof on this address")
 		slowlog    = flag.Int("slowlog", 8, "worst queries retained per class in the slow-query log (/slowlog)")
+		shards     = flag.Int("shards", 1, "front N in-process instances of -arch with the distributed coordinator, sharded by warehouse")
+		shardAddrs = flag.String("shard-addrs", "", "comma-separated shard server addresses; serve a coordinator over remote shards (skips local loading)")
+		shardIndex = flag.Int("shard-index", -1, "serve one shard of a multi-server deployment: load only the warehouse slice this index owns (requires -shard-count)")
+		shardCount = flag.Int("shard-count", 0, "total shard servers for -shard-index")
 	)
 	flag.Parse()
 
@@ -71,16 +84,95 @@ func main() {
 		os.Exit(2)
 	}
 
-	e := experiments.NewEngine(a) // closed by the drain sequence below
 	scale := ch.BenchScale(*warehouses)
 	scale.Seed = *seed
-	fmt.Printf("loading CH-benCHmark data (%d warehouses) into %s...\n", *warehouses, e.Name())
-	n, err := ch.NewGenerator(scale).Load(e)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	// e is closed by the drain sequence below. Three topologies:
+	// a single local engine (optionally loading just its -shard-index
+	// warehouse slice), a coordinator over -shards in-process engines, or a
+	// coordinator over -shard-addrs remote servers.
+	var (
+		e    core.Engine
+		meta map[string]int64
+	)
+	switch {
+	case *shardAddrs != "":
+		if *shards > 1 || *shardIndex >= 0 {
+			fmt.Fprintln(os.Stderr, "-shard-addrs excludes -shards and -shard-index")
+			os.Exit(2)
+		}
+		addrs := strings.Split(*shardAddrs, ",")
+		eps := make([]client.Endpoint, len(addrs))
+		for i, sa := range addrs {
+			eps[i] = client.Endpoint{Name: fmt.Sprintf("shard-%d", i), Addr: strings.TrimSpace(sa)}
+		}
+		pool, err := client.ConnectEndpoints(context.Background(), eps, client.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		d, err := dist.NewRemote(*warehouses, pool)
+		if err != nil {
+			pool.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		e = d
+		// Shard servers loaded the data; advertise shard 0's dataset meta
+		// with the history-key watermark taken across all shards, so remote
+		// drivers allocate Payment history keys above every slice.
+		meta = map[string]int64{}
+		for i, name := range pool.Names() {
+			m := pool.Get(name).Meta()
+			if i == 0 {
+				for k, v := range m {
+					meta[k] = v
+				}
+			} else if m["hkey"] > meta["hkey"] {
+				meta["hkey"] = m["hkey"]
+			}
+		}
+		fmt.Printf("coordinating %d remote shards\n", len(addrs))
+
+	case *shards > 1:
+		if *shardIndex >= 0 {
+			fmt.Fprintln(os.Stderr, "-shards excludes -shard-index")
+			os.Exit(2)
+		}
+		engines := make([]core.Engine, *shards)
+		for i := range engines {
+			engines[i] = experiments.NewEngine(a)
+		}
+		d, err := dist.New(*warehouses, engines...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		e = d
+
+	default:
+		e = experiments.NewEngine(a)
 	}
-	fmt.Printf("loaded %d rows\n", n)
+
+	if *shardAddrs == "" {
+		load := e
+		if *shardIndex >= 0 {
+			var err error
+			load, err = dist.PartitionLoad(e, *warehouses, *shardIndex, *shardCount)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("shard %d/%d: loading owned warehouse slice only\n", *shardIndex, *shardCount)
+		}
+		fmt.Printf("loading CH-benCHmark data (%d warehouses) into %s...\n", *warehouses, e.Name())
+		n, err := ch.NewGenerator(scale).Load(load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %d rows\n", n)
+	}
 
 	// Bounded-memory execution: spills pay realistic (cost-charged) disk
 	// latency, and the server sheds new OLAP admissions as the node budget
@@ -96,16 +188,19 @@ func main() {
 	// The handshake advertises the dataset scale and the history-key
 	// watermark: remote drivers rebuild their client-side directories from
 	// the scale and allocate Payment history keys above the watermark.
-	meta := map[string]int64{
-		"warehouses": int64(scale.Warehouses),
-		"districts":  int64(scale.Districts),
-		"customers":  int64(scale.Customers),
-		"orders":     int64(scale.Orders),
-		"items":      int64(scale.Items),
-		"suppliers":  int64(scale.Suppliers),
-		"seed":       scale.Seed,
-		"skew_milli": int64(scale.Skew * 1000),
-		"hkey":       ch.HistoryKeyWatermark(),
+	// (A remote coordinator already assembled meta from its shards.)
+	if meta == nil {
+		meta = map[string]int64{
+			"warehouses": int64(scale.Warehouses),
+			"districts":  int64(scale.Districts),
+			"customers":  int64(scale.Customers),
+			"orders":     int64(scale.Orders),
+			"items":      int64(scale.Items),
+			"suppliers":  int64(scale.Suppliers),
+			"seed":       scale.Seed,
+			"skew_milli": int64(scale.Skew * 1000),
+			"hkey":       ch.HistoryKeyWatermark(),
+		}
 	}
 
 	srv, err := server.Serve(*addr, server.Config{

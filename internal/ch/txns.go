@@ -175,10 +175,23 @@ func (d *Driver) pickCustomerKey(rng *rand.Rand, w, dist int64) int64 {
 	return CustomerKey(w, dist, d.pickCustomer(rng))
 }
 
+// pickRemoteWarehouse selects a warehouse other than home, for the
+// remote order lines and remote payments of TPC-C clauses 2.4.1.5(2) and
+// 2.5.1.2. Callers gate on Scale.Warehouses > 1.
+func (d *Driver) pickRemoteWarehouse(rng *rand.Rand, home int64) int64 {
+	o := int64(1 + rng.Intn(d.Scale.Warehouses-1))
+	if o >= home {
+		o++
+	}
+	return o
+}
+
 // NewOrder is TPC-C's New-Order transaction: read the district to allocate
 // the order id, read the customer, insert the order, new-order and its
 // lines, updating stock per line. 1% of attempts roll back at the last
-// line, as the specification requires.
+// line, as the specification requires, and with more than one warehouse
+// 1% of lines supply from a remote warehouse's stock (clause 2.4.1.5(2))
+// — the transactions that cross shards under the distributed coordinator.
 func (d *Driver) NewOrder(ctx context.Context, rng *rand.Rand) error {
 	w, dist := d.pickWD(rng)
 	c := d.pickCustomer(rng)
@@ -186,9 +199,16 @@ func (d *Driver) NewOrder(ctx context.Context, rng *rand.Rand) error {
 	rollback := rng.Intn(100) == 0
 	items := make([]int64, olCnt)
 	qtys := make([]int64, olCnt)
+	supply := make([]int64, olCnt)
 	for i := range items {
 		items[i] = d.pickItem(rng)
 		qtys[i] = int64(1 + rng.Intn(10))
+		// Supply choices are drawn outside the retry loop so a conflict
+		// retry replays the same transaction.
+		supply[i] = w
+		if d.Scale.Warehouses > 1 && rng.Intn(100) == 0 {
+			supply[i] = d.pickRemoteWarehouse(rng, w)
+		}
 	}
 	var oKey int64
 	err := core.Exec(ctx, d.E, func(tx core.Tx) error {
@@ -224,7 +244,7 @@ func (d *Driver) NewOrder(ctx context.Context, rng *rand.Rand) error {
 			if err != nil {
 				return err
 			}
-			sKey := StockKey(w, item)
+			sKey := StockKey(supply[l-1], item)
 			srow, err := tx.Get(TStock, sKey)
 			if err != nil {
 				return err
@@ -237,6 +257,9 @@ func (d *Driver) NewOrder(ctx context.Context, rng *rand.Rand) error {
 			ns[3] = types.NewInt(q)
 			ns[4] = types.NewInt(ns[4].Int() + qtys[l-1])
 			ns[5] = types.NewInt(ns[5].Int() + 1)
+			if supply[l-1] != w {
+				ns[6] = types.NewInt(ns[6].Int() + 1)
+			}
 			if err := tx.Update(TStock, ns); err != nil {
 				return err
 			}
@@ -244,7 +267,7 @@ func (d *Driver) NewOrder(ctx context.Context, rng *rand.Rand) error {
 			if err := tx.Insert(TOrderLine, types.Row{
 				types.NewInt(OrderLineKey(w, dist, oID, l)), types.NewInt(oKey),
 				types.NewInt(w), types.NewInt(dist), types.NewInt(oID), types.NewInt(l),
-				types.NewInt(item), types.NewInt(w), types.NewInt(0),
+				types.NewInt(item), types.NewInt(supply[l-1]), types.NewInt(0),
 				types.NewInt(qtys[l-1]), types.NewFloat(amount),
 				types.NewString("dist-info"),
 			}); err != nil {
@@ -272,10 +295,17 @@ func (d *Driver) NewOrder(ctx context.Context, rng *rand.Rand) error {
 var errUserAbort = errors.New("ch: simulated user abort")
 
 // Payment updates warehouse and district YTD, the customer's balance, and
-// records a history row.
+// records a history row. With more than one warehouse, 15% of payments
+// are made by a customer of a remote warehouse (TPC-C clause 2.5.1.2) —
+// cross-shard transactions under the distributed coordinator.
 func (d *Driver) Payment(ctx context.Context, rng *rand.Rand) error {
 	w, dist := d.pickWD(rng)
-	cKey := d.pickCustomerKey(rng, w, dist)
+	cw, cd := w, dist
+	if d.Scale.Warehouses > 1 && rng.Intn(100) < 15 {
+		cw = d.pickRemoteWarehouse(rng, w)
+		cd = int64(1 + rng.Intn(d.Scale.Districts))
+	}
+	cKey := d.pickCustomerKey(rng, cw, cd)
 	amount := 1 + float64(rng.Intn(5000))/1.0
 	return core.Exec(ctx, d.E, func(tx core.Tx) error {
 		wrow, err := tx.Get(TWarehouse, WarehouseKey(w))

@@ -697,6 +697,23 @@ func (t *remoteTx) Delete(table string, key int64) error {
 	return t.write(wire.MsgDelete, wire.KeyReq{Table: table, Key: key}.Encode(nil))
 }
 
+// Prepare votes on the transaction — phase one of a cross-shard commit.
+// The server validated locks and snapshots as each write arrived, so a nil
+// return promises the later Commit cannot fail validation; it can only
+// fail indeterminately (transport). A transport failure here is safe: the
+// server aborts on disconnect and nothing committed anywhere yet.
+func (t *remoteTx) Prepare() error {
+	m := wire.Prepare{Deadline: deadlineOf(t.ctx)}
+	if sp := obs.SpanFromContext(t.ctx); sp != nil {
+		m.TraceID, m.SpanID = sp.TraceID(), sp.SpanID()
+	}
+	typ, payload, err := t.op(wire.MsgPrepare, m.Encode(nil))
+	if err != nil {
+		return err
+	}
+	return expectOK(typ, payload)
+}
+
 func (t *remoteTx) Commit() error {
 	if t.done {
 		return errors.New("client: transaction finished")

@@ -1,0 +1,156 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Endpoint names one server address.
+type Endpoint struct {
+	Name string
+	Addr string
+}
+
+// Endpoints is a set of named Remotes — the distributed coordinator's view
+// of its shard servers, or an application's view of replicas — with a
+// health-aware pick. Each endpoint keeps its own connection pool; this
+// layer only decides which endpoint a request should use.
+//
+// Health is passive: callers Report the outcome of work they ran against
+// an endpoint, and transport-level failures put it in a cooldown that
+// doubles with consecutive failures. Pick skips cooling endpoints and
+// round-robins across the healthy rest; when everything is cooling it
+// returns the endpoint whose cooldown expires first, so a fully-partitioned
+// client keeps probing rather than failing forever.
+type Endpoints struct {
+	mu   sync.Mutex
+	all  []*endpointState
+	name map[string]*endpointState
+	next int
+	now  func() time.Time // injectable in tests
+
+	// cooldown bounds; defaults fit the pool's retry backoff scale.
+	base, max time.Duration
+}
+
+type endpointState struct {
+	name      string
+	r         *Remote
+	fails     int
+	coolUntil time.Time
+}
+
+// ConnectEndpoints dials every endpoint with the same options. A dial
+// failure closes whatever connected and reports which endpoint failed.
+func ConnectEndpoints(ctx context.Context, eps []Endpoint, opt Options) (*Endpoints, error) {
+	if len(eps) == 0 {
+		return nil, errors.New("client: no endpoints")
+	}
+	e := &Endpoints{
+		name: make(map[string]*endpointState, len(eps)),
+		now:  time.Now,
+		base: 50 * time.Millisecond,
+		max:  5 * time.Second,
+	}
+	for _, ep := range eps {
+		if _, dup := e.name[ep.Name]; dup {
+			e.Close()
+			return nil, fmt.Errorf("client: duplicate endpoint %q", ep.Name)
+		}
+		r, err := Connect(ctx, ep.Addr, opt)
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("client: endpoint %q (%s): %w", ep.Name, ep.Addr, err)
+		}
+		st := &endpointState{name: ep.Name, r: r}
+		e.all = append(e.all, st)
+		e.name[ep.Name] = st
+	}
+	return e, nil
+}
+
+// Get returns the endpoint by name (nil when unknown). Shard-addressed
+// work — a routed transaction, a scan fragment — must land on its shard
+// regardless of health; only Pick is health-aware.
+func (e *Endpoints) Get(name string) *Remote {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st := e.name[name]; st != nil {
+		return st.r
+	}
+	return nil
+}
+
+// Names lists the endpoints in registration order.
+func (e *Endpoints) Names() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, len(e.all))
+	for i, st := range e.all {
+		out[i] = st.name
+	}
+	return out
+}
+
+// Pick returns a healthy endpoint for placement-free work, round-robin so
+// load spreads. Endpoints in cooldown are skipped; if every endpoint is
+// cooling, the one recovering soonest is returned so traffic probes it.
+func (e *Endpoints) Pick() (string, *Remote) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+	n := len(e.all)
+	var soonest *endpointState
+	for i := 0; i < n; i++ {
+		st := e.all[(e.next+i)%n]
+		if !st.coolUntil.After(now) {
+			e.next = (e.next + i + 1) % n
+			return st.name, st.r
+		}
+		if soonest == nil || st.coolUntil.Before(soonest.coolUntil) {
+			soonest = st
+		}
+	}
+	return soonest.name, soonest.r
+}
+
+// Report records the outcome of work run against an endpoint. Success
+// clears its failure streak; a transport-level failure (directly, or
+// wrapped inside an indeterminate commit) starts or extends a cooldown
+// that doubles per consecutive failure, capped. Logical errors — conflict,
+// not-found, overload shedding — say nothing about the endpoint's health
+// and are ignored.
+func (e *Endpoints) Report(name string, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.name[name]
+	if st == nil {
+		return
+	}
+	var te *TransportError
+	if err == nil || !errors.As(err, &te) {
+		st.fails = 0
+		st.coolUntil = time.Time{}
+		return
+	}
+	cool := e.base << min(st.fails, 30)
+	if cool > e.max {
+		cool = e.max
+	}
+	st.fails++
+	st.coolUntil = e.now().Add(cool)
+}
+
+// Close closes every endpoint's pool.
+func (e *Endpoints) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.all {
+		st.r.Close()
+	}
+	e.all = nil
+	e.name = map[string]*endpointState{}
+}

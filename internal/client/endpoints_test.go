@@ -1,0 +1,144 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"htap/internal/obs"
+)
+
+// startEndpoints dials n fake servers into one pool with a controllable
+// clock.
+func startEndpoints(t *testing.T, n int) (*Endpoints, *time.Time) {
+	t.Helper()
+	eps := make([]Endpoint, n)
+	for i := range eps {
+		f := startFake(t, handshakeThenClose)
+		eps[i] = Endpoint{Name: []string{"alpha", "beta", "gamma"}[i], Addr: f.addr()}
+	}
+	p, err := ConnectEndpoints(context.Background(), eps, Options{Reg: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	now := time.Unix(1000, 0)
+	p.now = func() time.Time { return now }
+	return p, &now
+}
+
+func TestEndpointsGetByName(t *testing.T) {
+	p, _ := startEndpoints(t, 3)
+	if p.Get("beta") == nil {
+		t.Fatal("named endpoint not found")
+	}
+	if p.Get("nope") != nil {
+		t.Fatal("unknown endpoint should be nil")
+	}
+	if got := p.Names(); len(got) != 3 || got[0] != "alpha" || got[2] != "gamma" {
+		t.Fatalf("Names() = %v, want registration order", got)
+	}
+}
+
+func TestEndpointsDuplicateNameRejected(t *testing.T) {
+	f := startFake(t, handshakeThenClose, handshakeThenClose)
+	_, err := ConnectEndpoints(context.Background(), []Endpoint{
+		{Name: "a", Addr: f.addr()}, {Name: "a", Addr: f.addr()},
+	}, Options{Reg: obs.NewRegistry()})
+	if err == nil {
+		t.Fatal("duplicate endpoint name must be rejected")
+	}
+}
+
+func TestEndpointsPickRoundRobinsHealthy(t *testing.T) {
+	p, _ := startEndpoints(t, 3)
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		name, r := p.Pick()
+		if r == nil {
+			t.Fatal("nil remote from Pick")
+		}
+		seen[name]++
+	}
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		if seen[name] != 2 {
+			t.Fatalf("round-robin spread %v, want 2 each", seen)
+		}
+	}
+}
+
+// TestEndpointsTransportFailureCools pins the health policy: transport
+// errors cool an endpoint out of Pick with an exponentially growing
+// cooldown; logical errors say nothing about health.
+func TestEndpointsTransportFailureCools(t *testing.T) {
+	p, now := startEndpoints(t, 2)
+
+	p.Report("alpha", &TransportError{Err: errors.New("conn reset")})
+	for i := 0; i < 4; i++ {
+		if name, _ := p.Pick(); name != "beta" {
+			t.Fatalf("pick %d chose cooling endpoint %q", i, name)
+		}
+	}
+
+	// After the base cooldown expires, alpha is pickable again.
+	*now = now.Add(p.base + time.Millisecond)
+	picked := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		name, _ := p.Pick()
+		picked[name] = true
+	}
+	if !picked["alpha"] {
+		t.Fatal("recovered endpoint never picked")
+	}
+
+	// A second consecutive failure doubles the cooldown.
+	p.Report("alpha", &TransportError{Err: errors.New("conn reset again")})
+	*now = now.Add(p.base + time.Millisecond)
+	if name, _ := p.Pick(); name != "beta" {
+		t.Fatalf("doubled cooldown not honored; picked %q", name)
+	}
+
+	// Success clears the streak entirely.
+	*now = now.Add(2 * p.base)
+	p.Report("alpha", nil)
+	p.Report("alpha", &TransportError{Err: errors.New("reset")})
+	*now = now.Add(p.base + time.Millisecond)
+	found := false
+	for i := 0; i < 2; i++ {
+		if name, _ := p.Pick(); name == "alpha" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("success did not reset the cooldown streak")
+	}
+}
+
+// TestEndpointsLogicalErrorsIgnored: a conflict or shed says nothing about
+// endpoint health.
+func TestEndpointsLogicalErrorsIgnored(t *testing.T) {
+	p, _ := startEndpoints(t, 2)
+	p.Report("alpha", errors.New("conflict"))
+	picked := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		name, _ := p.Pick()
+		picked[name] = true
+	}
+	if !picked["alpha"] || !picked["beta"] {
+		t.Fatalf("logical error changed pick rotation: %v", picked)
+	}
+}
+
+// TestEndpointsAllCoolingPicksSoonest: a fully-partitioned client keeps
+// probing the endpoint that recovers first rather than failing forever.
+func TestEndpointsAllCoolingPicksSoonest(t *testing.T) {
+	p, now := startEndpoints(t, 2)
+	p.Report("alpha", &TransportError{Err: errors.New("down")})
+	p.Report("alpha", &TransportError{Err: errors.New("down")}) // cooldown doubled
+	*now = now.Add(time.Millisecond)
+	p.Report("beta", &TransportError{Err: errors.New("down")}) // cooling, expires first
+	if name, r := p.Pick(); name != "beta" || r == nil {
+		t.Fatalf("picked %q, want the endpoint recovering soonest (beta)", name)
+	}
+}

@@ -1,0 +1,143 @@
+package client
+
+import (
+	"context"
+	"sort"
+
+	"htap/internal/exec"
+	"htap/internal/obs"
+	"htap/internal/types"
+	"htap/internal/wire"
+)
+
+// FragmentSource is a lazy remote scan: an exec.Source that does not touch
+// the network until the plan actually pulls from it. The window between
+// construction and first pull is what makes distributed pushdown work —
+// Plan.Filter's rewrite runs in that window and offers this source its
+// bound conjuncts (exec.PredPusher), which travel to the server inside the
+// fragment frame instead of filtering rows after they crossed the wire.
+//
+// A fetch failure is reported to the OnError sink (the distributed
+// coordinator routes it into the query's error path) and the source reads
+// as exhausted; it never fabricates rows.
+type FragmentSource struct {
+	r      *Remote
+	ctx    context.Context
+	m      wire.Fragment
+	schema []types.Column
+	onErr  func(error)
+
+	started bool
+	inner   exec.Source
+}
+
+// Fragment builds a lazy source over table on this endpoint. schema is the
+// projected result schema (the coordinator knows it from the catalog; the
+// wire carries only the column names). pred is the advisory zone-map range,
+// exactly as on the local Query path.
+func (r *Remote) Fragment(ctx context.Context, table string, schema []types.Column, pred *exec.ScanPred) *FragmentSource {
+	m := wire.Fragment{Deadline: deadlineOf(ctx), Table: table}
+	for _, c := range schema {
+		m.Cols = append(m.Cols, c.Name)
+	}
+	if pred != nil {
+		m.HasPred, m.PredCol, m.PredLo, m.PredHi = true, pred.Col, pred.Lo, pred.Hi
+	}
+	m.Profile = exec.ProfileFrom(ctx) != nil
+	return &FragmentSource{r: r, ctx: ctx, m: m, schema: schema}
+}
+
+// OnError registers the sink that receives a fetch failure. Without a sink
+// the failure still poisons the source (no rows), but only the sink can
+// turn it into a query-level error.
+func (s *FragmentSource) OnError(fn func(error)) { s.onErr = fn }
+
+// Schema implements exec.Source without fetching.
+func (s *FragmentSource) Schema() []types.Column { return s.schema }
+
+// PushPred implements exec.PredPusher: an accepted conjunct is evaluated
+// on the server, inside the shard engine's own scan pushdown machinery.
+// Once the fragment has been sent nothing more can be pushed.
+func (s *FragmentSource) PushPred(p exec.PushedPred) bool {
+	if s.started {
+		return false
+	}
+	fp, ok := fragPredOf(p)
+	if !ok {
+		return false
+	}
+	s.m.Preds = append(s.m.Preds, fp)
+	return true
+}
+
+// fragPredOf converts an exec-level pushed predicate to its wire form.
+func fragPredOf(p exec.PushedPred) (wire.FragPred, bool) {
+	switch p.Kind {
+	case exec.PushCmp:
+		return wire.FragPred{Kind: wire.FragPredCmp, Col: p.Col, Op: uint8(p.Op), Datum: p.Datum}, true
+	case exec.PushPrefix:
+		return wire.FragPred{Kind: wire.FragPredPrefix, Col: p.Col, Prefix: p.Prefix}, true
+	case exec.PushInSet:
+		ints := append([]int64(nil), p.Ints...)
+		sort.Slice(ints, func(i, j int) bool { return ints[i] < ints[j] })
+		return wire.FragPred{Kind: wire.FragPredInSet, Col: p.Col, Ints: ints}, true
+	default:
+		return wire.FragPred{}, false
+	}
+}
+
+// fetch runs the fragment once, materializing the shard's (filtered,
+// projected) rows. Retries ride the pool's normal do() loop — the fragment
+// is read-only and idempotent.
+func (s *FragmentSource) fetch() {
+	if s.started {
+		return
+	}
+	s.started = true
+	var rows []types.Row
+	err := s.r.do(s.ctx, wire.ClassOLAP, func(c *conn, sp *obs.Span) error {
+		if sp != nil {
+			s.m.TraceID, s.m.SpanID = sp.TraceID(), sp.SpanID()
+		}
+		typ, payload, err := c.roundTrip(s.ctx, wire.MsgFragment, s.m.Encode(nil))
+		if err != nil {
+			return err
+		}
+		var eos wire.EOS
+		_, rows, eos, err = readStream(s.ctx, c, typ, payload)
+		if err == nil {
+			adoptRemoteProfile(s.ctx, eos)
+		}
+		return err
+	})
+	if err != nil {
+		if s.onErr != nil {
+			s.onErr(err)
+		}
+		return
+	}
+	s.inner = exec.NewMemSource(s.schema, rows)
+}
+
+// Next implements exec.Source; the first call triggers the remote fetch.
+func (s *FragmentSource) Next() *exec.Batch {
+	s.fetch()
+	if s.inner == nil {
+		return nil
+	}
+	return s.inner.Next()
+}
+
+// Split implements exec.Splitter so parallel plans can fan out over the
+// fetched rows; splitting forces the fetch. A failed fragment does not
+// split — the sequential path then observes the poisoned source.
+func (s *FragmentSource) Split(n int) []exec.Source {
+	s.fetch()
+	if s.inner == nil {
+		return nil
+	}
+	if sp, ok := s.inner.(exec.Splitter); ok {
+		return sp.Split(n)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"htap/internal/ch"
+	"htap/internal/core"
+	"htap/internal/disk"
+	"htap/internal/types"
+)
+
+// The distributed golden-equivalence suite extends the single-engine gate
+// (internal/ch/equivalence_test.go) across shard counts: one CH dataset,
+// all 22 queries, the same engine architecture behind 1, 2, and 3 shards.
+//
+//  1. At a fixed DOP, a plain engine and every shard count produce
+//     bit-identical results over arch A: each shard's column store appends
+//     in load order, the contiguous warehouse ranges make shard order equal
+//     warehouse order, and the coordinator's merge concatenates shards in
+//     that order — so the gathered stream replays the single-engine scan
+//     exactly.
+//  2. At DOP N, repeated runs on the same shard count are bit-identical,
+//     and results agree with DOP 1 to the float epsilon (parallel merge
+//     changes summation association, nothing else).
+//  3. Arch C hash-shards its IMCS internally, so its scan order is not
+//     load order; there the gate is order-normalized epsilon equality.
+
+const eqEpsilon = 1e-9
+
+func eqDistScale() ch.Scale {
+	s := ch.SmallScale(3)
+	s.Customers = 30
+	s.Orders = 40
+	s.Items = 60
+	return s
+}
+
+// --- comparison helpers (mirrors internal/ch/equivalence_test.go) ---
+
+func cellsClose(a, b types.Datum) bool {
+	if a.Kind == types.Float && b.Kind == types.Float {
+		x, y := a.Float(), b.Float()
+		return math.Abs(x-y) <= eqEpsilon*math.Max(1, math.Max(math.Abs(x), math.Abs(y)))
+	}
+	return a.Equal(b)
+}
+
+func rowsClose(a, b []types.Row) (int, int, bool) {
+	if len(a) != len(b) {
+		return -1, -1, false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return i, -1, false
+		}
+		for c := range a[i] {
+			if !cellsClose(a[i][c], b[i][c]) {
+				return i, c, false
+			}
+		}
+	}
+	return 0, 0, true
+}
+
+func exactEqual(a, b []types.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for c := range a[i] {
+			if !a[i][c].Equal(b[i][c]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func normKey(r types.Row) string {
+	var b strings.Builder
+	for _, d := range r {
+		if d.Kind == types.Float {
+			fmt.Fprintf(&b, "|%.6e", d.Float())
+		} else {
+			fmt.Fprintf(&b, "|%v", d)
+		}
+	}
+	return b.String()
+}
+
+func normalize(rows []types.Row) []types.Row {
+	out := append([]types.Row(nil), rows...)
+	sort.SliceStable(out, func(i, j int) bool { return normKey(out[i]) < normKey(out[j]) })
+	return out
+}
+
+func runAll(t *testing.T, e core.Engine, par int) [][]types.Row {
+	t.Helper()
+	e.(core.Paralleler).SetParallelism(par)
+	out := make([][]types.Row, 23)
+	for q := 1; q <= 22; q++ {
+		rows, err := ch.RunQuery(context.Background(), e, q)
+		if err != nil {
+			t.Fatalf("%s Q%02d at parallelism %d: %v", e.Name(), q, par, err)
+		}
+		out[q] = rows
+	}
+	return out
+}
+
+// eqConfigs builds a plain arch-A engine plus 1-, 2-, and 3-shard
+// coordinators over arch-A shards, all loaded with the identical dataset.
+func eqConfigs(t *testing.T) map[string]core.Engine {
+	t.Helper()
+	plain := core.NewEngineA(core.ConfigA{Schemas: ch.Schemas()})
+	if _, err := ch.NewGenerator(eqDistScale()).Load(plain); err != nil {
+		t.Fatalf("load plain: %v", err)
+	}
+	plain.Sync()
+	cfgs := map[string]core.Engine{"plain-A": plain}
+	for _, n := range []int{1, 2, 3} {
+		engines := make([]core.Engine, n)
+		for i := range engines {
+			engines[i] = core.NewEngineA(core.ConfigA{Schemas: ch.Schemas()})
+		}
+		d, err := New(3, engines...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ch.NewGenerator(eqDistScale()).Load(d); err != nil {
+			t.Fatalf("load %d-shard: %v", n, err)
+		}
+		d.Sync()
+		cfgs[fmt.Sprintf("dist-%dx", n)] = d
+	}
+	t.Cleanup(func() {
+		for _, e := range cfgs {
+			e.Close()
+		}
+	})
+	return cfgs
+}
+
+// TestDistGoldenEquivalence is the headline gate for the tentpole: the
+// coordinator must be invisible to query results at every shard count.
+func TestDistGoldenEquivalence(t *testing.T) {
+	cfgs := eqConfigs(t)
+	names := []string{"plain-A", "dist-1x", "dist-2x", "dist-3x"}
+
+	// DOP 1: bit-identical across a plain engine and every shard count.
+	golden := runAll(t, cfgs["plain-A"], 1)
+	for _, name := range names[1:] {
+		got := runAll(t, cfgs[name], 1)
+		for q := 1; q <= 22; q++ {
+			if !exactEqual(golden[q], got[q]) {
+				i, c, _ := rowsClose(golden[q], got[q])
+				t.Errorf("Q%02d: %s diverges from plain-A at DOP 1 (row %d col %d)", q, name, i, c)
+			}
+		}
+	}
+
+	// DOP N: repeat runs bit-identical per configuration; DOP 1 vs N agree
+	// to the float epsilon.
+	for _, name := range names {
+		parA := runAll(t, cfgs[name], 4)
+		parB := runAll(t, cfgs[name], 4)
+		seq := runAll(t, cfgs[name], 1)
+		for q := 1; q <= 22; q++ {
+			if !exactEqual(parA[q], parB[q]) {
+				t.Errorf("Q%02d: %s DOP 4 repeat runs diverge", q, name)
+			}
+			if i, c, ok := rowsClose(seq[q], parA[q]); !ok {
+				t.Errorf("Q%02d: %s DOP 1 vs 4 diverge (row %d col %d)", q, name, i, c)
+			}
+		}
+	}
+}
+
+// TestDistGoldenEquivalenceArchC covers the hash-sharded IMCS arch: scan
+// order differs between a plain EngineC and sharded EngineCs (each shard
+// hashes its own key subset), so equality is order-normalized with the
+// float epsilon.
+func TestDistGoldenEquivalenceArchC(t *testing.T) {
+	loadCols := func(e *core.EngineC) {
+		for _, sch := range ch.Schemas() {
+			cols := make([]string, len(sch.Cols))
+			for i, c := range sch.Cols {
+				cols[i] = c.Name
+			}
+			e.LoadColumns(sch.Name, cols)
+		}
+	}
+	newC := func() *core.EngineC {
+		// SelFeedbackOff for the same reason as the single-engine suite:
+		// feedback accumulated during the run must not flip access paths
+		// between repeats.
+		return core.NewEngineC(core.ConfigC{
+			Schemas: ch.Schemas(), Shards: 2, Disk: disk.MemConfig(), SelFeedbackOff: true,
+		})
+	}
+
+	plain := newC()
+	if _, err := ch.NewGenerator(eqDistScale()).Load(plain); err != nil {
+		t.Fatal(err)
+	}
+	loadCols(plain)
+	plain.Sync()
+	defer plain.Close()
+
+	engines := make([]core.Engine, 3)
+	for i := range engines {
+		engines[i] = newC()
+	}
+	d, err := New(3, engines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.NewGenerator(eqDistScale()).Load(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range engines {
+		loadCols(e.(*core.EngineC))
+	}
+	d.Sync()
+	defer d.Close()
+
+	want := runAll(t, plain, 2)
+	got := runAll(t, d, 2)
+	for q := 1; q <= 22; q++ {
+		if i, c, ok := rowsClose(normalize(want[q]), normalize(got[q])); !ok {
+			t.Errorf("Q%02d: dist-3x arch C diverges from plain C normalized (row %d col %d)", q, i, c)
+		}
+	}
+}

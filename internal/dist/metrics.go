@@ -1,0 +1,22 @@
+package dist
+
+import "htap/internal/obs"
+
+// Coordinator-level series. Shard engines keep exporting their own
+// htap_engine_* / htap_exec_* series; these four describe only what the
+// coordinator adds: transaction routing, scatter fan-out, and the row
+// volume merged back from shards.
+var (
+	// htap_dist_txn_routed_total: transactions that touched exactly one
+	// shard and committed directly, no prepare round.
+	routedTxns = obs.Default.Counter("htap_dist_txn_routed_total", nil)
+	// htap_dist_txn_cross_shard_total: transactions that touched several
+	// shards and committed through two-phase commit.
+	crossShardTxns = obs.Default.Counter("htap_dist_txn_cross_shard_total", nil)
+	// htap_dist_scatter_fragments_total: per-shard scan fragments issued
+	// by scatter–gather queries (fan-out, summed over queries).
+	scatterFragments = obs.Default.Counter("htap_dist_scatter_fragments_total", nil)
+	// htap_dist_merge_rows_total: rows the coordinator merged from shard
+	// streams into query pipelines.
+	mergeRowsTotal = obs.Default.Counter("htap_dist_merge_rows_total", nil)
+)

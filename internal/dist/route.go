@@ -1,0 +1,143 @@
+// Package dist is the distributed coordinator: one core.Engine fronting N
+// shard engines — in-process instances or remote servers reached through
+// internal/client — with the CH-benCHmark dataset sharded by warehouse.
+//
+// Placement follows the packed-key layout of internal/ch: every TPC-C fact
+// table's primary key is warehouse-major, so a key maps to its warehouse
+// (and therefore its shard) by integer division, and contiguous warehouse
+// ranges per shard mean a union of shard scans in shard order reproduces
+// the exact row order of a single engine — the property the golden
+// equivalence suite pins. Dimension tables (item, supplier, nation,
+// region) are replicated to every shard so single-warehouse transactions
+// never leave their shard just to price an item.
+//
+// Transactions that stay on one shard commit directly; transactions that
+// touch several (a NewOrder with remote items, a Payment against a remote
+// customer) commit through twopc.CommitAll with the client's
+// indeterminate-commit semantics. Analytical queries scatter fused
+// filter+scan fragments to every shard and merge at the coordinator.
+package dist
+
+import (
+	"fmt"
+
+	"htap/internal/ch"
+	"htap/internal/types"
+)
+
+// Warehouse extraction divisors, derived from the ch key packing:
+//
+//	DistrictKey  = w*100 + d
+//	CustomerKey  = DistrictKey*100_000 + c  = w*10_000_000 + ...
+//	OrderKey     = DistrictKey*10_000_000   = w*1_000_000_000 + ...
+//	OrderLineKey = OrderKey*16              = w*16_000_000_000 + ...
+//	StockKey     = w*1_000_000 + i
+//
+// route_test.go cross-checks these against the packing functions.
+const (
+	divDistrict  = 100
+	divCustomer  = 100 * 100_000
+	divOrder     = 100 * 10_000_000
+	divOrderLine = 100 * 10_000_000 * 16
+	divStock     = 1_000_000
+)
+
+// warehouseOfKey extracts the owning warehouse from a fact-table primary
+// key. ok is false for replicated dimension tables and for history, whose
+// keys come from a global sequence (history routes by its h_w_id column;
+// see rowWarehouse).
+func warehouseOfKey(table string, key int64) (w int64, ok bool) {
+	switch table {
+	case ch.TWarehouse:
+		return key, true
+	case ch.TDistrict:
+		return key / divDistrict, true
+	case ch.TCustomer:
+		return key / divCustomer, true
+	case ch.TOrders, ch.TNewOrder:
+		return key / divOrder, true
+	case ch.TOrderLine:
+		return key / divOrderLine, true
+	case ch.TStock:
+		return key / divStock, true
+	}
+	return 0, false
+}
+
+// historyWID is the index of h_w_id in a history row.
+const historyWID = 2
+
+// rowWarehouse extracts the owning warehouse from a row image, covering
+// tables whose key alone cannot route (history). ok mirrors warehouseOfKey.
+func rowWarehouse(table string, key int64, row types.Row) (int64, bool) {
+	if w, ok := warehouseOfKey(table, key); ok {
+		return w, true
+	}
+	if table == ch.THistory && len(row) > historyWID {
+		return row[historyWID].I, true
+	}
+	return 0, false
+}
+
+// replicated reports whether table is a dimension table present on every
+// shard. Replicated reads stay local to whichever shard a transaction
+// already opened; replicated writes broadcast.
+func replicated(table string) bool {
+	switch table {
+	case ch.TItem, ch.TSupplier, ch.TNation, ch.TRegion:
+		return true
+	}
+	return false
+}
+
+// router maps warehouses onto shards as balanced contiguous ranges:
+// shard 0 owns the lowest warehouses, shard S-1 the highest, and the
+// first warehouses%shards ranges are one warehouse longer. Contiguity is
+// load-bearing — it is what makes shard-order unions reproduce single
+// -engine row order.
+type router struct {
+	warehouses int
+	shards     int
+}
+
+func newRouter(warehouses, shards int) (router, error) {
+	if warehouses < 1 || shards < 1 {
+		return router{}, fmt.Errorf("dist: need at least 1 warehouse and 1 shard (got %d, %d)", warehouses, shards)
+	}
+	if shards > warehouses {
+		return router{}, fmt.Errorf("dist: %d shards over %d warehouses leaves empty shards", shards, warehouses)
+	}
+	return router{warehouses: warehouses, shards: shards}, nil
+}
+
+// shardOf returns the shard owning warehouse w (1-based). Out-of-range
+// warehouses clamp to the nearest shard so a malformed key routes
+// somewhere deterministic instead of panicking; the shard engine then
+// reports not-found.
+func (r router) shardOf(w int64) int {
+	if w < 1 {
+		return 0
+	}
+	if w > int64(r.warehouses) {
+		return r.shards - 1
+	}
+	idx := w - 1
+	base := int64(r.warehouses / r.shards)
+	extra := int64(r.warehouses % r.shards)
+	if idx < extra*(base+1) {
+		return int(idx / (base + 1))
+	}
+	return int(extra + (idx-extra*(base+1))/base)
+}
+
+// rangeOf returns the inclusive warehouse range shard i owns.
+func (r router) rangeOf(i int) (lo, hi int64) {
+	base := int64(r.warehouses / r.shards)
+	extra := int64(r.warehouses % r.shards)
+	lo = 1 + int64(i)*base + min(int64(i), extra)
+	size := base
+	if int64(i) < extra {
+		size++
+	}
+	return lo, lo + size - 1
+}

@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"testing"
+
+	"htap/internal/ch"
+	"htap/internal/types"
+)
+
+// TestWarehouseOfKeyMatchesPacking cross-checks the routing divisors
+// against the ch packing functions for a spread of coordinates, including
+// the cardinality maxima the packing reserves.
+func TestWarehouseOfKeyMatchesPacking(t *testing.T) {
+	for _, w := range []int64{1, 2, 7, 99, 4096} {
+		cases := []struct {
+			table string
+			key   int64
+		}{
+			{ch.TWarehouse, ch.WarehouseKey(w)},
+			{ch.TDistrict, ch.DistrictKey(w, 1)},
+			{ch.TDistrict, ch.DistrictKey(w, 99)},
+			{ch.TCustomer, ch.CustomerKey(w, 1, 1)},
+			{ch.TCustomer, ch.CustomerKey(w, 99, 99_999)},
+			{ch.TOrders, ch.OrderKey(w, 1, 1)},
+			{ch.TOrders, ch.OrderKey(w, 99, 9_999_999)},
+			{ch.TNewOrder, ch.OrderKey(w, 10, 42)},
+			{ch.TOrderLine, ch.OrderLineKey(w, 1, 1, 1)},
+			{ch.TOrderLine, ch.OrderLineKey(w, 99, 9_999_999, 15)},
+			{ch.TStock, ch.StockKey(w, 1)},
+			{ch.TStock, ch.StockKey(w, 999_999)},
+		}
+		for _, c := range cases {
+			got, ok := warehouseOfKey(c.table, c.key)
+			if !ok || got != w {
+				t.Fatalf("warehouseOfKey(%s, %d) = %d, %v; want %d", c.table, c.key, got, ok, w)
+			}
+		}
+	}
+	for _, table := range []string{ch.TItem, ch.TSupplier, ch.TNation, ch.TRegion, ch.THistory} {
+		if _, ok := warehouseOfKey(table, 1); ok {
+			t.Fatalf("%s should not route by key", table)
+		}
+	}
+}
+
+// TestHistoryRoutesByRow pins history's placement: the key is a global
+// sequence, the h_w_id column decides the shard.
+func TestHistoryRoutesByRow(t *testing.T) {
+	row := types.Row{
+		types.NewInt(12345), types.NewInt(ch.CustomerKey(7, 3, 11)), types.NewInt(7),
+		types.NewInt(3), types.NewInt(0), types.NewFloat(10), types.NewString("x"),
+	}
+	w, ok := rowWarehouse(ch.THistory, 12345, row)
+	if !ok || w != 7 {
+		t.Fatalf("rowWarehouse(history) = %d, %v; want 7", w, ok)
+	}
+}
+
+// TestRouterRanges asserts the contiguous balanced partition: ranges
+// cover [1, W] without gaps, sizes differ by at most one, and shardOf
+// inverts rangeOf.
+func TestRouterRanges(t *testing.T) {
+	for _, tc := range []struct{ w, s int }{
+		{1, 1}, {2, 1}, {3, 3}, {4, 3}, {5, 2}, {7, 3}, {10, 4}, {100, 7},
+	} {
+		rt, err := newRouter(tc.w, tc.s)
+		if err != nil {
+			t.Fatalf("newRouter(%d,%d): %v", tc.w, tc.s, err)
+		}
+		next := int64(1)
+		for i := 0; i < tc.s; i++ {
+			lo, hi := rt.rangeOf(i)
+			if lo != next {
+				t.Fatalf("w=%d s=%d shard %d: range starts at %d, want %d", tc.w, tc.s, i, lo, next)
+			}
+			size := hi - lo + 1
+			if size < int64(tc.w/tc.s) || size > int64(tc.w/tc.s)+1 {
+				t.Fatalf("w=%d s=%d shard %d: unbalanced size %d", tc.w, tc.s, i, size)
+			}
+			for w := lo; w <= hi; w++ {
+				if got := rt.shardOf(w); got != i {
+					t.Fatalf("w=%d s=%d: shardOf(%d) = %d, want %d", tc.w, tc.s, w, got, i)
+				}
+			}
+			next = hi + 1
+		}
+		if next != int64(tc.w)+1 {
+			t.Fatalf("w=%d s=%d: ranges cover up to %d, want %d", tc.w, tc.s, next-1, tc.w)
+		}
+		if rt.shardOf(0) != 0 || rt.shardOf(int64(tc.w)+5) != tc.s-1 {
+			t.Fatalf("w=%d s=%d: out-of-range warehouses must clamp", tc.w, tc.s)
+		}
+	}
+	if _, err := newRouter(2, 3); err == nil {
+		t.Fatal("more shards than warehouses should be rejected")
+	}
+}

@@ -1,0 +1,158 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+
+	"htap/internal/client"
+	"htap/internal/core"
+	"htap/internal/exec"
+	"htap/internal/types"
+)
+
+// fragRef pairs a remote fragment with its shard name, so Query can wire
+// both the plan's error sink and the endpoint health report.
+type fragRef struct {
+	shard string
+	src   *client.FragmentSource
+}
+
+// scatter builds the gather source for one table scan: a union of
+// per-shard sources in shard (= warehouse) order, wrapped in the merge
+// counter. Local shards contribute their engine's own analytical source;
+// remote shards contribute a lazy fragment whose unsent window lets
+// Plan.Filter push predicates into the frame. Replicated tables live on
+// every shard, so only shard 0 scans — anything else would duplicate rows.
+func (d *Engine) scatter(ctx context.Context, table string, cols []string, pred *exec.ScanPred) (exec.Source, []fragRef) {
+	sch := d.byName[table]
+	if sch == nil {
+		return exec.NewUnion(), nil // carries the construction error
+	}
+	shards := d.shards
+	if replicated(table) {
+		shards = shards[:1]
+	}
+	proj := projectedSchema(sch, cols)
+	srcs := make([]exec.Source, len(shards))
+	var frags []fragRef
+	for i, s := range shards {
+		if s.local != nil {
+			srcs[i] = s.local.Source(ctx, table, cols, pred)
+			continue
+		}
+		fs := s.remote.Fragment(ctx, table, proj, pred)
+		srcs[i] = fs
+		frags = append(frags, fragRef{shard: s.name, src: fs})
+	}
+	scatterFragments.Add(int64(len(srcs)))
+	return &mergeCount{inner: exec.NewUnion(srcs...)}, frags
+}
+
+// projectedSchema resolves the scan's output schema from the catalog;
+// unknown columns pass through as Int so the binder (which validates
+// names itself) reports them, not a panic here.
+func projectedSchema(sch *types.Schema, cols []string) []types.Column {
+	if cols == nil {
+		return sch.Cols
+	}
+	out := make([]types.Column, len(cols))
+	for i, c := range cols {
+		out[i] = types.Column{Name: c, Type: types.Int}
+		if j := sch.ColIndex(c); j >= 0 {
+			out[i] = sch.Cols[j]
+		}
+	}
+	return out
+}
+
+// mergeCount is the coordinator's gather point: an order-preserving
+// pass-through (exec.PassThrough) over the shard union that counts the
+// rows merged back from shards. Being a PassThrough keeps the pushdown
+// rewrite flowing into the union's children — and from there into local
+// column scans or remote fragment frames — and splitting for parallel
+// merge delegates to the union's part-ordered Split, each part keeping
+// the count.
+type mergeCount struct {
+	inner exec.Source
+}
+
+// Schema implements exec.Source.
+func (m *mergeCount) Schema() []types.Column { return m.inner.Schema() }
+
+// Next implements exec.Source.
+func (m *mergeCount) Next() *exec.Batch {
+	b := m.inner.Next()
+	if b != nil {
+		mergeRowsTotal.Add(int64(b.N))
+	}
+	return b
+}
+
+// InnerSource implements exec.PassThrough.
+func (m *mergeCount) InnerSource() exec.Source { return m.inner }
+
+// SetInnerSource implements exec.PassThrough.
+func (m *mergeCount) SetInnerSource(s exec.Source) { m.inner = s }
+
+// Split implements exec.Splitter by delegating to the inner union; parts
+// concatenate in shard order, preserving the sequential row order.
+func (m *mergeCount) Split(n int) []exec.Source {
+	sp, ok := m.inner.(exec.Splitter)
+	if !ok {
+		return nil
+	}
+	parts := sp.Split(n)
+	if parts == nil {
+		return nil
+	}
+	out := make([]exec.Source, len(parts))
+	for i, p := range parts {
+		out[i] = &mergeCount{inner: p}
+	}
+	return out
+}
+
+// PartitionLoad wraps a shard server's engine so a full deterministic
+// generator pass loads only that shard's slice: rows owned by warehouses
+// in [its range] plus every replicated dimension row. Running the same
+// generator on every shard keeps derived global state — notably the
+// history-key allocator — identical across shard processes, so the
+// coordinator's handshake watermark is consistent no matter which shard
+// reports it.
+func PartitionLoad(e core.Engine, warehouses, index, count int) (core.Engine, error) {
+	rt, err := newRouter(warehouses, count)
+	if err != nil {
+		return nil, err
+	}
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("dist: shard index %d out of range [0,%d)", index, count)
+	}
+	return &loadFilter{Engine: e, rt: rt, idx: index}, nil
+}
+
+type loadFilter struct {
+	core.Engine
+	rt  router
+	idx int
+}
+
+// Load keeps replicated rows and rows whose warehouse falls in this
+// shard's range; everything else is silently skipped (another shard owns
+// it).
+func (f *loadFilter) Load(table string, row types.Row) error {
+	if replicated(table) {
+		return f.Engine.Load(table, row)
+	}
+	sch := f.Engine.Schema(table)
+	if sch == nil {
+		return fmt.Errorf("dist: no schema for %s", table)
+	}
+	w, ok := rowWarehouse(table, sch.Key(row), row)
+	if !ok {
+		return fmt.Errorf("dist: cannot route %s row", table)
+	}
+	if f.rt.shardOf(w) != f.idx {
+		return nil
+	}
+	return f.Engine.Load(table, row)
+}

@@ -1,0 +1,213 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"htap/internal/ch"
+	"htap/internal/core"
+	"htap/internal/twopc"
+	"htap/internal/types"
+)
+
+// distTx is one coordinator transaction: a lazy branch per shard, opened
+// the first time an operation routes there. Single-warehouse TPC-C
+// transactions therefore open exactly one branch and commit directly;
+// only genuinely cross-warehouse work (remote NewOrder items, remote
+// Payment customers) pays the prepare round.
+type distTx struct {
+	d    *Engine
+	ctx  context.Context
+	subs []core.Tx
+	done bool
+}
+
+// errTxDone mirrors the engines' finished-transaction errors.
+var errTxDone = errors.New("dist: transaction finished")
+
+func (t *distTx) sub(i int) core.Tx {
+	if t.subs[i] == nil {
+		t.subs[i] = t.d.shards[i].begin(t.ctx)
+	}
+	return t.subs[i]
+}
+
+// readShard picks the branch for a replicated-table read: the lowest-index
+// shard this transaction already opened, else shard 0. Preferring an open
+// branch keeps a single-warehouse transaction on its one shard — routing
+// dimension reads anywhere else would make every NewOrder cross-shard.
+func (t *distTx) readShard() int {
+	for i, s := range t.subs {
+		if s != nil {
+			return i
+		}
+	}
+	return 0
+}
+
+func (t *distTx) route(table string, key int64) (int, error) {
+	w, ok := warehouseOfKey(table, key)
+	if !ok {
+		return 0, fmt.Errorf("dist: cannot route %s by key", table)
+	}
+	return t.d.rt.shardOf(w), nil
+}
+
+// Get implements core.Tx.
+func (t *distTx) Get(table string, key int64) (types.Row, error) {
+	if t.done {
+		return nil, errTxDone
+	}
+	if replicated(table) {
+		return t.sub(t.readShard()).Get(table, key)
+	}
+	if table == ch.THistory {
+		// History keys come from a global sequence and carry no placement;
+		// probe shards in order. TPC-C never reads history transactionally,
+		// so the fan-out read is a test/debug convenience, not a hot path.
+		for i := range t.d.shards {
+			r, err := t.sub(i).Get(table, key)
+			if err == nil || !errors.Is(err, core.ErrNotFound) {
+				return r, err
+			}
+		}
+		return nil, core.ErrNotFound
+	}
+	i, err := t.route(table, key)
+	if err != nil {
+		return nil, err
+	}
+	return t.sub(i).Get(table, key)
+}
+
+// writeShard routes a write by row image (covers history's h_w_id).
+func (t *distTx) writeShard(table string, key int64, row types.Row) (int, error) {
+	w, ok := rowWarehouse(table, key, row)
+	if !ok {
+		return 0, fmt.Errorf("dist: cannot route %s row", table)
+	}
+	return t.d.rt.shardOf(w), nil
+}
+
+// Insert implements core.Tx. Replicated-table writes broadcast so every
+// shard's copy stays identical.
+func (t *distTx) Insert(table string, row types.Row) error {
+	return t.write(table, row, func(tx core.Tx) error { return tx.Insert(table, row) })
+}
+
+// Update implements core.Tx.
+func (t *distTx) Update(table string, row types.Row) error {
+	return t.write(table, row, func(tx core.Tx) error { return tx.Update(table, row) })
+}
+
+func (t *distTx) write(table string, row types.Row, op func(core.Tx) error) error {
+	if t.done {
+		return errTxDone
+	}
+	sch := t.d.byName[table]
+	if sch == nil {
+		return fmt.Errorf("%w: %s", core.ErrNoTable, table)
+	}
+	if replicated(table) {
+		for i := range t.d.shards {
+			if err := op(t.sub(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	i, err := t.writeShard(table, sch.Key(row), row)
+	if err != nil {
+		return err
+	}
+	return op(t.sub(i))
+}
+
+// Delete implements core.Tx.
+func (t *distTx) Delete(table string, key int64) error {
+	if t.done {
+		return errTxDone
+	}
+	if replicated(table) {
+		for i := range t.d.shards {
+			if err := t.sub(i).Delete(table, key); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	i, err := t.route(table, key)
+	if err != nil {
+		return err
+	}
+	return t.sub(i).Delete(table, key)
+}
+
+// Commit implements core.Tx. One open branch commits directly — its own
+// engine provides the one-shot semantics, and its error (retryable
+// conflict, indeterminate remote commit) passes through unchanged.
+// Several branches commit through twopc.CommitAll: parallel prepare,
+// abort-all on any prepare failure (safe to retry), then ordered commit
+// with indeterminate-commit semantics on a lost acknowledgement.
+func (t *distTx) Commit() error {
+	if t.done {
+		return errTxDone
+	}
+	t.done = true
+	var branches []twopc.TxParticipant
+	for i, s := range t.subs {
+		if s != nil {
+			branches = append(branches, txBranch{name: t.d.shards[i].name, tx: s})
+		}
+	}
+	switch len(branches) {
+	case 0:
+		return nil
+	case 1:
+		routedTxns.Inc()
+		return branches[0].Commit(t.ctx)
+	default:
+		crossShardTxns.Inc()
+		return twopc.CommitAll(t.ctx, branches...)
+	}
+}
+
+// Abort implements core.Tx.
+func (t *distTx) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	for _, s := range t.subs {
+		if s != nil {
+			s.Abort()
+		}
+	}
+}
+
+// txBranch adapts one shard's engine transaction to a 2PC participant.
+type txBranch struct {
+	name string
+	tx   core.Tx
+}
+
+// Name implements twopc.TxParticipant.
+func (b txBranch) Name() string { return b.name }
+
+// Prepare implements twopc.TxParticipant. Remote transactions expose a
+// wire-level prepare vote; in-process engine transactions acquired every
+// lock and passed every snapshot check as the writes were buffered (see
+// internal/txn), so an open local branch is implicitly prepared.
+func (b txBranch) Prepare(context.Context) error {
+	if p, ok := b.tx.(interface{ Prepare() error }); ok {
+		return p.Prepare()
+	}
+	return nil
+}
+
+// Commit implements twopc.TxParticipant.
+func (b txBranch) Commit(context.Context) error { return b.tx.Commit() }
+
+// Abort implements twopc.TxParticipant.
+func (b txBranch) Abort(context.Context) { b.tx.Abort() }

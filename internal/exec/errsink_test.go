@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"htap/internal/types"
+)
+
+func sinkRows(n int) Source {
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 3))}
+	}
+	return NewMemSource([]types.Column{
+		{Name: "id", Type: types.Int}, {Name: "grp", Type: types.Int},
+	}, rows)
+}
+
+// TestErrSinkFailsPlan: an error delivered through ErrSink — e.g. a remote
+// scan fragment dying mid-stream — must surface from RunCtx/CountCtx, not
+// truncate the result silently.
+func TestErrSinkFailsPlan(t *testing.T) {
+	boom := errors.New("fragment lost")
+
+	p := From(sinkRows(10))
+	sink := p.ErrSink()
+	if rows, err := p.RunCtx(context.Background()); err != nil || len(rows) != 10 {
+		t.Fatalf("clean plan: %d rows, %v", len(rows), err)
+	}
+
+	p = From(sinkRows(10))
+	sink = p.ErrSink()
+	sink(boom)
+	if _, err := p.RunCtx(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("RunCtx error = %v, want %v", err, boom)
+	}
+
+	p = From(sinkRows(10))
+	sink = p.ErrSink()
+	sink(boom)
+	if _, err := p.CountCtx(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("CountCtx error = %v, want %v", err, boom)
+	}
+}
+
+// TestErrSinkFirstWins: concurrent reporters race; the first error is the
+// cause, later ones are dropped.
+func TestErrSinkFirstWins(t *testing.T) {
+	p := From(sinkRows(3))
+	sink := p.ErrSink()
+	first := errors.New("first")
+	sink(first)
+	sink(errors.New("second"))
+	sink(nil) // nil reports are ignored
+	if _, err := p.RunCtx(context.Background()); !errors.Is(err, first) {
+		t.Fatalf("err = %v, want first error to stick", err)
+	}
+}
+
+// TestErrSinkSurvivesDeriveAndAdopt: sinks registered on a plan must still
+// fail the plan after operator chaining and a join's adoption of the right
+// side.
+func TestErrSinkSurvivesDeriveAndAdopt(t *testing.T) {
+	boom := errors.New("late failure")
+
+	left := From(sinkRows(6))
+	rrows := make([]types.Row, 3)
+	for i := range rrows {
+		rrows[i] = types.Row{types.NewInt(int64(i)), types.NewString(fmt.Sprintf("g%d", i))}
+	}
+	right := From(NewMemSource([]types.Column{
+		{Name: "rgrp", Type: types.Int}, {Name: "label", Type: types.String},
+	}, rrows))
+	rsink := right.ErrSink()
+
+	joined := left.Join(right, []string{"grp"}, []string{"rgrp"}).Filter(
+		Cmp(GE, ColName("id"), ConstInt(0)),
+	)
+	rsink(boom)
+	if _, err := joined.RunCtx(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("join plan error = %v, want adopted sink error %v", err, boom)
+	}
+}
+
+// TestErrSinkParallel: the error must also surface from the parallel drain
+// path.
+func TestErrSinkParallel(t *testing.T) {
+	p := From(sinkRows(64)).Parallel(4)
+	sink := p.ErrSink()
+	sink(fmt.Errorf("shard 2: %w", context.DeadlineExceeded))
+	if _, err := p.RunCtx(context.Background()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("parallel drain error = %v, want wrapped cause", err)
+	}
+}

@@ -56,6 +56,10 @@ func ConstFloat(v float64) Expr { return &constExpr{types.NewFloat(v)} }
 // ConstStr is a STRING literal.
 func ConstStr(v string) Expr { return &constExpr{types.NewString(v)} }
 
+// ConstDatum is a literal of any datum kind; PushedPred.Expr rebuilds
+// comparison predicates with it on the far side of the wire.
+func ConstDatum(d types.Datum) Expr { return &constExpr{d} }
+
 func (e *constExpr) Type([]types.Column) types.ColType { return e.d.Kind }
 func (e *constExpr) Bind([]types.Column) Expr          { return e }
 func (e *constExpr) Eval(*Batch, int) types.Datum      { return e.d }

@@ -2321,7 +2321,44 @@ type Plan struct {
 	ctx  context.Context // operator context (cancellation); nil = background
 	qm   *QueryMem       // memory accountant; nil = ungoverned
 	aux  []*QueryMem     // accountants adopted from joined plans, for Finish
+	rerr []*errSlot      // deferred runtime errors (ErrSink), checked like MemErr
 	prof *QueryProfile   // operator profiling; nil = disabled (zero cost)
+}
+
+// errSlot holds one deferred runtime error; the first recorded wins.
+type errSlot struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (s *errSlot) set(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *errSlot) get() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// ErrSink returns a function that records a runtime error against the
+// plan. Sources that discover failures only while the plan is running — a
+// remote scan whose transport died mid-query, say — report through a sink,
+// and RunCtx/CountCtx surface the error exactly like a spill failure
+// instead of letting the poisoned source masquerade as an empty table.
+// Join adoption carries sinks across plan composition, so a failure on a
+// joined input still fails the joined query. Safe for concurrent use.
+func (p *Plan) ErrSink() func(error) {
+	s := &errSlot{}
+	p.rerr = append(p.rerr, s)
+	return s.set
 }
 
 // derive builds the next plan in the chain, carrying the parallelism
@@ -2333,7 +2370,7 @@ func (p *Plan) derive(src Source) *Plan {
 			src = newStatsOp(src)
 		}
 	}
-	return &Plan{src: src, par: p.par, ctx: p.ctx, qm: p.qm, aux: p.aux, prof: p.prof}
+	return &Plan{src: src, par: p.par, ctx: p.ctx, qm: p.qm, aux: p.aux, rerr: p.rerr, prof: p.prof}
 }
 
 // adopt records right's accountants on p so FinishMem releases them too;
@@ -2347,6 +2384,7 @@ func (p *Plan) adopt(right *Plan) *Plan {
 			p.aux = append(p.aux, m)
 		}
 	}
+	p.rerr = append(p.rerr, right.rerr...)
 	return p
 }
 
@@ -2380,6 +2418,11 @@ func (p *Plan) MemErr() error {
 	}
 	for _, m := range p.aux {
 		if err := m.Err(); err != nil {
+			return err
+		}
+	}
+	for _, s := range p.rerr {
+		if err := s.get(); err != nil {
 			return err
 		}
 	}
@@ -2446,7 +2489,7 @@ func (p *Plan) Filter(e Expr) *Plan {
 	// attached counters, and derive re-wraps the rewritten pipeline).
 	if so, ok := src.(*statsOp); ok {
 		switch so.inner.(type) {
-		case *colScan, *unionSource:
+		case *colScan, *unionSource, PassThrough, PredPusher:
 			src = so.inner
 		}
 	}

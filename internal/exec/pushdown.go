@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"htap/internal/bitmap"
@@ -162,6 +163,88 @@ func asColPred(e Expr) (colPred, bool) {
 	return colPred{}, false
 }
 
+// PushKind classifies a PushedPred.
+type PushKind uint8
+
+// Pushable predicate shapes, mirroring the conjuncts fuseFilter accepts.
+const (
+	PushCmp PushKind = iota + 1
+	PushPrefix
+	PushInSet
+)
+
+// PushedPred is the exported, transport-friendly form of one pushable
+// conjunct: col ⊗ const, a string prefix, or an int IN-set. A source that
+// evaluates predicates elsewhere — a remote shard fragment — accepts these
+// from the pushdown rewrite, ships them over the wire, and the far side
+// rebuilds the expression with Expr. Ints is kept sorted so the encoding
+// is deterministic.
+type PushedPred struct {
+	Kind   PushKind
+	Col    string
+	Op     CmpOp       // PushCmp
+	Datum  types.Datum // PushCmp comparand (never NULL)
+	Prefix string      // PushPrefix
+	Ints   []int64     // PushInSet, sorted ascending
+}
+
+// AsPushedPred recognizes a pushable conjunct in its exported form; the
+// accepted shapes are exactly those fuseFilter pushes into column scans.
+func AsPushedPred(e Expr) (PushedPred, bool) {
+	cp, ok := asColPred(e)
+	if !ok {
+		return PushedPred{}, false
+	}
+	switch cp.kind {
+	case predPrefix:
+		return PushedPred{Kind: PushPrefix, Col: cp.col, Prefix: cp.prefix}, true
+	case predInSet:
+		ints := make([]int64, 0, len(cp.set))
+		for v := range cp.set {
+			ints = append(ints, v)
+		}
+		sort.Slice(ints, func(i, j int) bool { return ints[i] < ints[j] })
+		return PushedPred{Kind: PushInSet, Col: cp.col, Ints: ints}, true
+	default:
+		return PushedPred{Kind: PushCmp, Col: cp.col, Op: cp.op, Datum: cp.d}, true
+	}
+}
+
+// Expr rebuilds the predicate as an expression with identical semantics;
+// the receiving shard filters through the ordinary pushdown path, so the
+// conjunct keeps exactly the rows it would have kept at the coordinator.
+func (p PushedPred) Expr() Expr {
+	switch p.Kind {
+	case PushPrefix:
+		return HasPrefix(ColName(p.Col), p.Prefix)
+	case PushInSet:
+		return InInts(ColName(p.Col), p.Ints...)
+	default:
+		return Cmp(p.Op, ColName(p.Col), ConstDatum(p.Datum))
+	}
+}
+
+// PredPusher is a source that can evaluate pushable conjuncts itself,
+// typically by shipping them to a remote shard before any rows are
+// fetched. PushPred offers one conjunct; returning true means the source
+// will apply it and the rewrite drops it from the residual filter, so an
+// accepted conjunct must keep exactly the rows the residual filter would
+// have kept.
+type PredPusher interface {
+	Source
+	PushPred(PushedPred) bool
+}
+
+// PassThrough is an order-preserving pass-through shim over one inner
+// source — a row counter, a tracing wrapper. The pushdown rewrite (and
+// parallel splitting, via the shim's own Split) applies to the inner
+// pipeline in place, so scans beneath the shim still fuse predicates.
+type PassThrough interface {
+	Source
+	InnerSource() Source
+	SetInnerSource(Source)
+}
+
 // pushFilter places the bound filter expr above src, pushing what it can
 // into column scans. Filters distribute over unions, so the rewrite
 // recurses into unstarted union children; sources that cannot evaluate a
@@ -179,8 +262,35 @@ func pushFilter(src Source, expr Expr) Source {
 			}
 			return s
 		}
+	case PassThrough:
+		s.SetInnerSource(pushFilter(s.InnerSource(), expr))
+		return s
+	case PredPusher:
+		return fusePusher(s, expr)
 	}
 	return &filterOp{in: src, expr: expr}
+}
+
+// fusePusher offers each pushable conjunct to a PredPusher source and
+// keeps declined or unpushable conjuncts in a residual filter, exactly
+// like fuseFilter does for column scans.
+func fusePusher(s PredPusher, expr Expr) Source {
+	var residual []Expr
+	for _, e := range splitConjuncts(expr, nil) {
+		if p, ok := AsPushedPred(e); ok && s.PushPred(p) {
+			pushPredsTotal.Inc()
+			continue
+		}
+		residual = append(residual, e)
+	}
+	switch len(residual) {
+	case 0:
+		return s
+	case 1:
+		return &filterOp{in: s, expr: residual[0]}
+	default:
+		return &filterOp{in: s, expr: &andExpr{terms: residual}}
+	}
 }
 
 // fuseFilter attaches the pushable conjuncts of expr to the scan and

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"htap/internal/core"
+	"htap/internal/exec"
+	"htap/internal/obs"
+	"htap/internal/wire"
+)
+
+// This file is the server half of distributed execution: the PREPARE vote
+// for cross-shard transactions and the FRAGMENT scan for scatter–gather
+// queries. Both reuse the session's existing admission, watchdog, and
+// trace plumbing — a shard server is just a server.
+
+// txPreparer is the optional vote surface of an engine transaction.
+// Engines that validate locks and snapshots as each write arrives are
+// implicitly prepared; ones with deferred validation expose it here.
+type txPreparer interface{ Prepare() error }
+
+// handlePrepare votes on the session's open transaction — phase one of a
+// coordinator-driven cross-shard commit. After MsgOK, the coordinator
+// holds this shard's promise that MsgCommit cannot fail validation.
+func (c *session) handlePrepare(payload []byte) error {
+	if c.tx == nil {
+		return c.sendErr(&wire.Error{Code: wire.CodeBadRequest, Msg: "no open transaction"})
+	}
+	m, err := wire.DecodePrepare(payload)
+	if err != nil {
+		return c.sendErr(&wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+	}
+	if m.TraceID != 0 {
+		sp := obs.Trace.StartRemote("server.prepare", m.TraceID, m.SpanID)
+		defer sp.End()
+	}
+	if p, ok := c.tx.(txPreparer); ok {
+		if err := p.Prepare(); err != nil {
+			return c.sendErr(err)
+		}
+	}
+	// Engines without a Prepare surface acquired every lock and passed
+	// every snapshot check when the writes were forwarded; reaching this
+	// point with the transaction still open IS the yes vote.
+	return c.send(wire.MsgOK, nil)
+}
+
+// handleFragment runs a pushed-down scan fragment: project the requested
+// columns, re-apply the coordinator's pushed predicates through the local
+// Filter rewrite — so they fuse into encoded column scans and prune zone
+// maps exactly as a local query's would — and stream the survivors.
+func (c *session) handleFragment(payload []byte) error {
+	m, err := wire.DecodeFragment(payload)
+	if err != nil {
+		return c.sendErr(&wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+	}
+	start := time.Now()
+	ctx, cancel := c.reqCtx(m.Deadline)
+	defer cancel()
+	sp := obs.Trace.StartRemote("server.fragment", m.TraceID, m.SpanID).Attr("table", m.Table)
+	defer sp.End()
+	admitStart := time.Now()
+	ok, cerr := c.admit(ctx, wire.ClassOLAP)
+	admitNS := time.Since(admitStart).Nanoseconds()
+	sp.AttrInt("admit_wait_ns", admitNS)
+	if !ok {
+		return cerr
+	}
+	sch := c.srv.cfg.Engine.Schema(m.Table)
+	if sch == nil {
+		return c.sendErr(fmt.Errorf("%w: %s", core.ErrNoTable, m.Table))
+	}
+	// Validate names before they reach exec, whose binder treats unknown
+	// columns as programmer error (panic); wire input is not trusted.
+	for _, col := range m.Cols {
+		if sch.ColIndex(col) < 0 {
+			return c.sendErr(&wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("no column %q in %s", col, m.Table)})
+		}
+	}
+	var filters []exec.Expr
+	for _, fp := range m.Preds {
+		pp, perr := pushedPredOf(fp)
+		if perr != nil {
+			return c.sendErr(&wire.Error{Code: wire.CodeBadRequest, Msg: perr.Error()})
+		}
+		found := false
+		for _, col := range m.Cols {
+			if col == pp.Col {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return c.sendErr(&wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("predicate column %q not in projection", pp.Col)})
+		}
+		filters = append(filters, pp.Expr())
+	}
+	var pred *exec.ScanPred
+	if m.HasPred {
+		pred = &exec.ScanPred{Col: m.PredCol, Lo: m.PredLo, Hi: m.PredHi}
+	}
+	qctx, stop := c.watch(ctx)
+	qctx = obs.ContextWithSpan(qctx, sp)
+	var prof *exec.QueryProfile
+	if m.Profile {
+		prof = exec.NewQueryProfile()
+		prof.SetAdmitNS(admitNS)
+		qctx = exec.WithProfile(qctx, prof)
+	}
+	plan := c.srv.cfg.Engine.Query(qctx, m.Table, m.Cols, pred)
+	for _, f := range filters {
+		plan = plan.Filter(f)
+	}
+	outSch := plan.Schema()
+	rows, err := plan.RunCtx(qctx)
+	broken := stop()
+	c.srv.m.reqNS[wire.ClassOLAP].Since(start)
+	if broken {
+		return fmt.Errorf("client broke protocol or disconnected")
+	}
+	if err != nil {
+		return c.sendErr(err)
+	}
+	return c.stream(outSch, rows, profileEOS(prof, admitNS))
+}
+
+// pushedPredOf converts a wire predicate back to its exec form, rejecting
+// malformed kinds and operators instead of letting them bind.
+func pushedPredOf(fp wire.FragPred) (exec.PushedPred, error) {
+	switch fp.Kind {
+	case wire.FragPredCmp:
+		if fp.Op < uint8(exec.EQ) || fp.Op > uint8(exec.GE) {
+			return exec.PushedPred{}, fmt.Errorf("bad comparison op %d", fp.Op)
+		}
+		return exec.PushedPred{Kind: exec.PushCmp, Col: fp.Col, Op: exec.CmpOp(fp.Op), Datum: fp.Datum}, nil
+	case wire.FragPredPrefix:
+		return exec.PushedPred{Kind: exec.PushPrefix, Col: fp.Col, Prefix: fp.Prefix}, nil
+	case wire.FragPredInSet:
+		return exec.PushedPred{Kind: exec.PushInSet, Col: fp.Col, Ints: fp.Ints}, nil
+	default:
+		return exec.PushedPred{}, fmt.Errorf("bad predicate kind %d", fp.Kind)
+	}
+}

@@ -343,8 +343,12 @@ func (c *session) dispatch(typ byte, payload []byte) error {
 		return c.handleKeyOp(typ, payload)
 	case wire.MsgInsert, wire.MsgUpdate:
 		return c.handleRowOp(typ, payload)
+	case wire.MsgPrepare:
+		return c.handlePrepare(payload)
 	case wire.MsgCommit:
 		return c.handleCommit()
+	case wire.MsgFragment:
+		return c.handleFragment(payload)
 	case wire.MsgAbort:
 		c.cleanup()
 		return c.send(wire.MsgOK, nil)

@@ -1,0 +1,140 @@
+package twopc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// This file is the service-layer face of two-phase commit: the Coordinator
+// above drives Raft proposals inside one engine, while CommitAll drives
+// whole transaction branches across engines (the distributed coordinator's
+// shards, in-process or behind a network connection). The branch itself is
+// opaque — a TxParticipant may be a pinned client connection whose Prepare
+// is a wire round-trip, or a local transaction whose Prepare is a no-op
+// because its writes were validated on the way in.
+
+// TxParticipant is one branch of a distributed transaction. Prepare must
+// leave the branch able to either Commit or Abort regardless of what other
+// branches decide; after Prepare succeeds, Commit may only fail for
+// reasons that leave the outcome unknown (a lost ack, a crashed peer) —
+// never because validation ran late.
+type TxParticipant interface {
+	// Name identifies the branch in errors and logs (e.g. "shard-2").
+	Name() string
+	// Prepare validates the branch and persists its writes as pending.
+	Prepare(ctx context.Context) error
+	// Commit makes the prepared writes durable and visible.
+	Commit(ctx context.Context) error
+	// Abort discards the branch. Best-effort: locks it fails to release
+	// die with their transaction's lease, so errors are not reported.
+	Abort(ctx context.Context)
+}
+
+// ErrIndeterminate is the sentinel matched by errors.Is for commit
+// outcomes the coordinator cannot know. It mirrors the client's
+// CommitIndeterminateError contract: not safe to retry, because some
+// branches may have committed.
+var ErrIndeterminate = errors.New("twopc: commit outcome indeterminate")
+
+// IndeterminateError reports a distributed commit whose point of no
+// return was passed but whose branches did not all acknowledge. The
+// transaction is committed on Committed branches; Failed branches hold
+// the commit record in their replicated log (or their prepared state) and
+// converge on recovery — the data never diverges, only the coordinator's
+// knowledge of it.
+type IndeterminateError struct {
+	Committed []string // branches that acknowledged the commit
+	Failed    []string // branches whose acknowledgement was lost
+	Cause     error    // first failure observed
+}
+
+func (e *IndeterminateError) Error() string {
+	return fmt.Sprintf("twopc: commit outcome indeterminate (committed: %s; unacked: %s): %v",
+		strings.Join(e.Committed, ","), strings.Join(e.Failed, ","), e.Cause)
+}
+
+func (e *IndeterminateError) Is(target error) bool { return target == ErrIndeterminate }
+func (e *IndeterminateError) Unwrap() error        { return e.Cause }
+
+// CommitAll drives two-phase commit across the branches of one
+// distributed transaction.
+//
+// A single branch skips the prepare round entirely — its own Commit
+// carries the one-shot semantics, and its error (including an
+// indeterminate one from a remote branch) passes through unchanged.
+//
+// With multiple branches, phase one prepares all of them in parallel; any
+// prepare failure aborts every branch and returns that failure, which is
+// safe to retry because nothing committed. Phase two is the point of no
+// return: commit records are delivered to every branch in order, and a
+// branch that fails to acknowledge yields an IndeterminateError — the
+// remaining branches are still driven to commit (their prepared state
+// must resolve), and the caller must surface the unknown outcome rather
+// than retry.
+func CommitAll(ctx context.Context, branches ...TxParticipant) error {
+	switch len(branches) {
+	case 0:
+		return nil
+	case 1:
+		return branches[0].Commit(ctx)
+	}
+
+	// Phase 1: prepare everywhere, in parallel.
+	var wg sync.WaitGroup
+	prepErrs := make([]error, len(branches))
+	for i, b := range branches {
+		wg.Add(1)
+		go func(i int, b TxParticipant) {
+			defer wg.Done()
+			prepErrs[i] = b.Prepare(ctx)
+		}(i, b)
+	}
+	wg.Wait()
+	prepErr := errors.Join(prepErrs...)
+	if prepErr == nil {
+		// Last chance to walk away: a cancelled caller aborts cleanly
+		// here, never mid-commit.
+		prepErr = ctx.Err()
+	}
+	if prepErr != nil {
+		abortAll(ctx, branches)
+		return prepErr
+	}
+
+	// Phase 2: the decision is commit. Deliver it to every branch even if
+	// the caller's context dies — a prepared branch left undecided holds
+	// its locks until recovery.
+	cctx := context.WithoutCancel(ctx)
+	var committed, failed []string
+	var cause error
+	for _, b := range branches {
+		if err := b.Commit(cctx); err != nil {
+			failed = append(failed, b.Name())
+			if cause == nil {
+				cause = err
+			}
+		} else {
+			committed = append(committed, b.Name())
+		}
+	}
+	if cause != nil {
+		return &IndeterminateError{Committed: committed, Failed: failed, Cause: cause}
+	}
+	return nil
+}
+
+func abortAll(ctx context.Context, branches []TxParticipant) {
+	actx := context.WithoutCancel(ctx)
+	var wg sync.WaitGroup
+	for _, b := range branches {
+		wg.Add(1)
+		go func(b TxParticipant) {
+			defer wg.Done()
+			b.Abort(actx)
+		}(b)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,247 @@
+package twopc
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"htap/internal/cluster"
+	"htap/internal/raft"
+	"htap/internal/txn"
+	"htap/internal/types"
+)
+
+// branchFault is a deterministic fault plan for one branch, in the style
+// of disk.FaultPlan: the test states exactly which protocol step fails,
+// so every run exercises the same crash.
+type branchFault struct {
+	failPrepare bool // prepare never reaches the branch
+	dropCommit  bool // crash BEFORE the commit record is logged: it is lost
+	dropAck     bool // crash AFTER the record is logged: only the ack is lost
+}
+
+var errInjected = errors.New("injected crash")
+
+// svcBranch is a TxParticipant whose durable state is a replayable command
+// log feeding a Participant — the service-layer analogue of one shard.
+// "Crash" discards the volatile participant and store; recovery rebuilds
+// both by replaying the log from the start, exactly what a restarted
+// replica does with its Raft log.
+type svcBranch struct {
+	name     string
+	p        *Participant
+	st       *memStorage
+	log      []raft.Command
+	fault    branchFault
+	prepares int
+	prepared bool
+
+	txnID, startTS, commitTS uint64
+	muts                     []cluster.Mutation
+}
+
+func newSvcBranch(name string, txnID, startTS, commitTS uint64, key int64) *svcBranch {
+	st := newMemStorage()
+	return &svcBranch{
+		name: name, p: NewParticipant(st), st: st,
+		txnID: txnID, startTS: startTS, commitTS: commitTS,
+		muts: []cluster.Mutation{{Table: 1, Key: key, Op: txn.OpUpdate, Row: types.Row{types.NewInt(key * 10)}}},
+	}
+}
+
+func (b *svcBranch) Name() string { return b.name }
+
+func (b *svcBranch) apply(cmd raft.Command) {
+	b.log = append(b.log, cmd)
+	b.p.Apply(cmd)
+}
+
+func (b *svcBranch) Prepare(ctx context.Context) error {
+	b.prepares++
+	if b.fault.failPrepare {
+		return errInjected
+	}
+	b.prepared = true
+	b.apply(EncodePrepare(Prepare{TxnID: b.txnID, StartTS: b.startTS, Muts: b.muts}))
+	if v, ok := b.p.Verdict(b.txnID); ok && v != nil {
+		return v
+	}
+	return nil
+}
+
+func (b *svcBranch) Commit(ctx context.Context) error {
+	if b.fault.dropCommit {
+		return errInjected
+	}
+	if b.prepared {
+		b.apply(EncodeCommit(b.txnID, b.commitTS))
+	} else {
+		// Never prepared: the driver chose the single-branch fast path, so
+		// this commit carries one-shot semantics like a lone shard would.
+		b.apply(EncodeOneShot(b.txnID, b.startTS, b.commitTS, b.muts))
+	}
+	if b.fault.dropAck {
+		return errInjected
+	}
+	return nil
+}
+
+func (b *svcBranch) Abort(ctx context.Context) { b.apply(EncodeAbort(b.txnID)) }
+
+// recover models a restart: volatile state is gone, the log replays.
+func (b *svcBranch) recover() {
+	b.st = newMemStorage()
+	b.p = NewParticipant(b.st)
+	for _, cmd := range b.log {
+		b.p.Apply(cmd)
+	}
+}
+
+func (b *svcBranch) committedValue(t *testing.T) int64 {
+	t.Helper()
+	r, ok := b.st.get(b.muts[0].Key)
+	if !ok {
+		t.Fatalf("branch %s: key %d not committed", b.name, b.muts[0].Key)
+	}
+	return r[0].Int()
+}
+
+func TestCommitAllSingleBranchSkipsPrepare(t *testing.T) {
+	b := newSvcBranch("only", 1, 0, 5, 1)
+	if err := CommitAll(context.Background(), b); err != nil {
+		t.Fatalf("single-branch commit: %v", err)
+	}
+	if b.prepares != 0 {
+		t.Fatalf("single branch prepared %d times, want the one-shot fast path", b.prepares)
+	}
+	if got := b.committedValue(t); got != 10 {
+		t.Fatalf("value = %d", got)
+	}
+}
+
+func TestCommitAllPrepareFailureAbortsAll(t *testing.T) {
+	a := newSvcBranch("s0", 1, 0, 5, 1)
+	b := newSvcBranch("s1", 1, 0, 5, 2)
+	c := newSvcBranch("s2", 1, 0, 5, 3)
+	b.fault.failPrepare = true
+
+	err := CommitAll(context.Background(), a, b, c)
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected prepare failure", err)
+	}
+	if errors.Is(err, ErrIndeterminate) {
+		t.Fatal("prepare failure must not be indeterminate: nothing committed, retry is safe")
+	}
+	for _, br := range []*svcBranch{a, b, c} {
+		if br.p.LockCount() != 0 {
+			t.Fatalf("branch %s holds %d locks after abort", br.name, br.p.LockCount())
+		}
+		if _, ok := br.st.get(br.muts[0].Key); ok {
+			t.Fatalf("branch %s installed data from an aborted transaction", br.name)
+		}
+	}
+
+	// Retry with a fresh transaction id and a healed branch: must succeed.
+	for _, br := range []*svcBranch{a, b, c} {
+		br.fault = branchFault{}
+		br.txnID, br.commitTS = 2, 6
+	}
+	if err := CommitAll(context.Background(), a, b, c); err != nil {
+		t.Fatalf("retry after clean abort: %v", err)
+	}
+	for _, br := range []*svcBranch{a, b, c} {
+		if got := br.committedValue(t); got != br.muts[0].Key*10 {
+			t.Fatalf("branch %s value = %d", br.name, got)
+		}
+	}
+}
+
+func TestCommitAllLostAckIsIndeterminateAndConverges(t *testing.T) {
+	a := newSvcBranch("s0", 1, 0, 5, 1)
+	b := newSvcBranch("s1", 1, 0, 5, 2)
+	c := newSvcBranch("s2", 1, 0, 5, 3)
+	b.fault.dropAck = true // commit record logged, participant dies before replying
+
+	err := CommitAll(context.Background(), a, b, c)
+	var ind *IndeterminateError
+	if !errors.As(err, &ind) || !errors.Is(err, ErrIndeterminate) {
+		t.Fatalf("err = %v, want IndeterminateError", err)
+	}
+	if len(ind.Committed) != 2 || len(ind.Failed) != 1 || ind.Failed[0] != "s1" {
+		t.Fatalf("outcome = committed %v / failed %v", ind.Committed, ind.Failed)
+	}
+
+	// The crashed branch restarts and replays its log: the commit record
+	// is durable there, so all branches converge with no divergence.
+	b.recover()
+	for _, br := range []*svcBranch{a, b, c} {
+		if got := br.committedValue(t); got != br.muts[0].Key*10 {
+			t.Fatalf("branch %s value = %d after recovery", br.name, got)
+		}
+		if br.p.AppliedTS() != 5 {
+			t.Fatalf("branch %s applied TS = %d, want 5", br.name, br.p.AppliedTS())
+		}
+		if br.p.LockCount() != 0 {
+			t.Fatalf("branch %s holds locks after recovery", br.name)
+		}
+	}
+}
+
+func TestCommitAllLostCommitRecordResolvesOnRecovery(t *testing.T) {
+	a := newSvcBranch("s0", 1, 0, 5, 1)
+	b := newSvcBranch("s1", 1, 0, 5, 2)
+	b.fault.dropCommit = true // crash between prepare and commit: record never logged
+
+	err := CommitAll(context.Background(), a, b)
+	if !errors.Is(err, ErrIndeterminate) {
+		t.Fatalf("err = %v, want indeterminate", err)
+	}
+
+	// After restart the branch replays only its prepare: the transaction
+	// is still pending there, locks held, data uninstalled — prepared
+	// state survives the crash instead of diverging.
+	b.recover()
+	if b.p.LockCount() != 1 {
+		t.Fatalf("recovered branch lost its prepared locks: %d", b.p.LockCount())
+	}
+	if _, ok := b.st.get(2); ok {
+		t.Fatal("recovered branch installed unresolved data")
+	}
+
+	// Resolution: the coordinator (or a recovery sweep reading the other
+	// branches' outcome) re-delivers the commit decision; idempotent
+	// apply converges both branches.
+	b.fault.dropCommit = false
+	if err := b.Commit(context.Background()); err != nil {
+		t.Fatalf("re-delivered commit: %v", err)
+	}
+	b.p.Apply(EncodeCommit(1, 5)) // duplicate delivery must stay a no-op
+	for _, br := range []*svcBranch{a, b} {
+		if got := br.committedValue(t); got != br.muts[0].Key*10 {
+			t.Fatalf("branch %s value = %d after resolution", br.name, got)
+		}
+		if br.p.AppliedTS() != 5 {
+			t.Fatalf("branch %s applied TS = %d", br.name, br.p.AppliedTS())
+		}
+	}
+}
+
+func TestCommitAllCancelledBeforeDecisionAborts(t *testing.T) {
+	a := newSvcBranch("s0", 1, 0, 5, 1)
+	b := newSvcBranch("s1", 1, 0, 5, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	err := CommitAll(ctx, a, b)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrIndeterminate) {
+		t.Fatal("cancellation before the decision must stay retryable")
+	}
+	for _, br := range []*svcBranch{a, b} {
+		if br.p.LockCount() != 0 {
+			t.Fatalf("branch %s holds locks after cancelled commit", br.name)
+		}
+	}
+}

@@ -54,6 +54,20 @@ func FuzzFrameDecode(f *testing.F) {
 	seed(MsgFreshnessInfo, Freshness{CommitTS: 10, AppliedTS: 8, LagTS: 2, LagNS: 5000}.Encode(nil))
 	seed(MsgError, EncodeError(nil, &Error{Code: CodeConflict, Msg: "write-write conflict"}))
 	seed(MsgCommit, nil)
+	seed(MsgPrepare, Prepare{Deadline: 1700000000000000000, TraceID: 7, SpanID: 9}.Encode(nil))
+	seed(MsgFragment, Fragment{
+		Deadline: 2, Table: "order_line", Cols: []string{"ol_w_id", "ol_amount"},
+		HasPred: true, PredCol: "ol_key", PredLo: 16, PredHi: 1 << 40,
+		Preds: []FragPred{
+			{Kind: FragPredCmp, Col: "ol_amount", Op: 5, Datum: types.NewFloat(0.25)},
+			{Kind: FragPredPrefix, Col: "ol_dist_info", Prefix: "ab"},
+			{Kind: FragPredInSet, Col: "ol_number", Ints: []int64{-3, 0, 7}},
+		},
+	}.Encode(nil))
+	// Hostile fragment headers: a predicate list claiming 2^28 entries on
+	// an empty tail, and an IN-set claiming 2^30 values.
+	seed(MsgFragment, append(Fragment{Table: "t"}.Encode(nil)[:4], 0x00, 0xff, 0xff, 0xff, 0x7f))
+	seed(MsgFragment, append(Fragment{Table: "t"}.Encode(nil)[:4], 0x00, 0x01, 0x03, 0x01, 'x', 0xff, 0xff, 0xff, 0xff, 0x03))
 	// Hostile headers the decoders must reject cheaply: a row claiming 2^32
 	// columns, and a string claiming a length that overflows int.
 	seed(MsgBatch, []byte{0x01, 0xff, 0xff, 0xff, 0xff, 0x0f})
@@ -98,6 +112,12 @@ func FuzzFrameDecode(f *testing.F) {
 		case MsgScan:
 			m, err := DecodeScan(payload)
 			rt(t, m, err, func(m Scan) []byte { return m.Encode(nil) }, DecodeScan)
+		case MsgPrepare:
+			m, err := DecodePrepare(payload)
+			rt(t, m, err, func(m Prepare) []byte { return m.Encode(nil) }, DecodePrepare)
+		case MsgFragment:
+			m, err := DecodeFragment(payload)
+			rt(t, m, err, func(m Fragment) []byte { return m.Encode(nil) }, DecodeFragment)
 		case MsgSchema:
 			m, err := DecodeSchema(payload)
 			rt(t, m, err, func(m Schema) []byte { return m.Encode(nil) }, DecodeSchema)

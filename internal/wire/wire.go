@@ -86,6 +86,19 @@ const (
 	// MsgError reports a failure: Error{Code, Msg}. For requests it ends
 	// the exchange; inside a batch stream it ends the stream.
 	MsgError
+
+	// Requests added after the first release are appended here so every
+	// existing type keeps its number on the wire.
+
+	// MsgPrepare votes the session's open transaction in a two-phase
+	// commit: Prepare{Deadline}. MsgOK is a yes vote — every operation the
+	// transaction forwarded has been applied and validated, and the
+	// session holds its locks until MsgCommit or MsgAbort resolves it.
+	MsgPrepare
+	// MsgFragment streams a scatter–gather plan fragment: a table scan
+	// with pushed-down predicate conjuncts the shard evaluates on its
+	// encoded segments. The response is a batch stream, like MsgScan.
+	MsgFragment
 )
 
 // Admission classes label requests for the server's per-class token
@@ -369,6 +382,11 @@ func DecodeBegin(b []byte) (Begin, error) {
 	if d.err == nil && len(d.b) > 0 {
 		m.TraceID = d.uvarint()
 		m.SpanID = d.uvarint()
+		if m.TraceID == 0 {
+			// A span without a trace is meaningless; canonicalize to the
+			// untraced form the encoder would have produced.
+			m.SpanID = 0
+		}
 	}
 	return m, d.err
 }
@@ -455,12 +473,23 @@ func (m Query) Encode(dst []byte) []byte {
 func DecodeQuery(b []byte) (Query, error) {
 	d := &dec{b: b}
 	m := Query{Deadline: d.varint(), N: uint32(d.uvarint())}
-	if d.err == nil && len(d.b) > 0 {
-		m.TraceID = d.uvarint()
-		m.SpanID = d.uvarint()
-		m.Profile = d.byte()&queryFlagProfile != 0
-	}
+	decodeTraceCtx(d, &m.TraceID, &m.SpanID, &m.Profile)
 	return m, d.err
+}
+
+// decodeTraceCtx reads the optional trailing [TraceID, SpanID, flags]
+// context, canonicalizing a meaningless trailer (no trace, no flags) to
+// the form appendTraceCtx would have produced — the empty one.
+func decodeTraceCtx(d *dec, traceID, spanID *uint64, profile *bool) {
+	if d.err != nil || len(d.b) == 0 {
+		return
+	}
+	*traceID = d.uvarint()
+	*spanID = d.uvarint()
+	*profile = d.byte()&queryFlagProfile != 0
+	if *traceID == 0 && !*profile {
+		*spanID = 0
+	}
 }
 
 // Scan streams a table scan. Cols nil means every column. HasPred guards
@@ -511,11 +540,164 @@ func DecodeScan(b []byte) (Scan, error) {
 		m.PredLo = d.varint()
 		m.PredHi = d.varint()
 	}
+	decodeTraceCtx(d, &m.TraceID, &m.SpanID, &m.Profile)
+	return m, d.err
+}
+
+// Prepare asks the session to vote on its open transaction (MsgPrepare):
+// MsgOK means every forwarded operation applied and validated and the
+// transaction's locks are held pending the coordinator's MsgCommit or
+// MsgAbort; MsgError is a no vote. The trace trailer follows the Begin
+// convention: optional, trailing, absent when untraced.
+type Prepare struct {
+	Deadline int64
+	TraceID  uint64
+	SpanID   uint64
+}
+
+// Encode appends the payload encoding.
+func (m Prepare) Encode(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, m.Deadline)
+	if m.TraceID != 0 {
+		dst = binary.AppendUvarint(dst, m.TraceID)
+		dst = binary.AppendUvarint(dst, m.SpanID)
+	}
+	return dst
+}
+
+// DecodePrepare parses a MsgPrepare payload.
+func DecodePrepare(b []byte) (Prepare, error) {
+	d := &dec{b: b}
+	m := Prepare{Deadline: d.varint()}
 	if d.err == nil && len(d.b) > 0 {
 		m.TraceID = d.uvarint()
 		m.SpanID = d.uvarint()
-		m.Profile = d.byte()&queryFlagProfile != 0
+		if m.TraceID == 0 {
+			m.SpanID = 0
+		}
 	}
+	return m, d.err
+}
+
+// Pushable predicate kinds carried by a Fragment, mirroring
+// exec.PushedPred: a column⊗constant comparison, a string prefix, or an
+// int IN-set.
+const (
+	FragPredCmp    uint8 = 1
+	FragPredPrefix uint8 = 2
+	FragPredInSet  uint8 = 3
+)
+
+// FragPred is one pushed conjunct of a fragment scan. The shard rebuilds
+// the expression and runs it through its own pushdown rewrite, so the
+// conjunct evaluates on encoded segment vectors with the coordinator's
+// exact comparison semantics.
+type FragPred struct {
+	Kind   uint8
+	Col    string
+	Op     uint8       // FragPredCmp: exec.CmpOp numbering
+	Datum  types.Datum // FragPredCmp comparand
+	Prefix string      // FragPredPrefix
+	Ints   []int64     // FragPredInSet, sorted ascending
+}
+
+// Fragment is a scatter–gather subplan pushed to one shard (MsgFragment):
+// a Scan plus the filter conjuncts the coordinator's pushdown rewrite
+// fused into it. The response is a Schema/Batch/EOS stream.
+type Fragment struct {
+	Deadline int64
+	Table    string
+	Cols     []string
+	HasPred  bool
+	PredCol  string
+	PredLo   int64
+	PredHi   int64
+	Preds    []FragPred
+	TraceID  uint64
+	SpanID   uint64
+	Profile  bool
+}
+
+// Encode appends the payload encoding.
+func (m Fragment) Encode(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, m.Deadline)
+	dst = appendString(dst, m.Table)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Cols)))
+	for _, c := range m.Cols {
+		dst = appendString(dst, c)
+	}
+	if !m.HasPred {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		dst = appendString(dst, m.PredCol)
+		dst = binary.AppendVarint(dst, m.PredLo)
+		dst = binary.AppendVarint(dst, m.PredHi)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.Preds)))
+	for _, p := range m.Preds {
+		dst = append(dst, p.Kind)
+		dst = appendString(dst, p.Col)
+		switch p.Kind {
+		case FragPredCmp:
+			dst = append(dst, p.Op)
+			dst = types.AppendRow(dst, types.Row{p.Datum})
+		case FragPredPrefix:
+			dst = appendString(dst, p.Prefix)
+		case FragPredInSet:
+			dst = binary.AppendUvarint(dst, uint64(len(p.Ints)))
+			for _, v := range p.Ints {
+				dst = binary.AppendVarint(dst, v)
+			}
+		}
+	}
+	return appendTraceCtx(dst, m.TraceID, m.SpanID, m.Profile)
+}
+
+// DecodeFragment parses a MsgFragment payload. Claimed counts never
+// preallocate: slices grow only while payload bytes remain, so a hostile
+// header cannot make the decoder over-allocate.
+func DecodeFragment(b []byte) (Fragment, error) {
+	d := &dec{b: b}
+	m := Fragment{Deadline: d.varint(), Table: d.str()}
+	n := d.uvarint()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Cols = append(m.Cols, d.str())
+	}
+	if d.byte() == 1 {
+		m.HasPred = true
+		m.PredCol = d.str()
+		m.PredLo = d.varint()
+		m.PredHi = d.varint()
+	}
+	n = d.uvarint()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		p := FragPred{Kind: d.byte(), Col: d.str()}
+		switch p.Kind {
+		case FragPredCmp:
+			p.Op = d.byte()
+			if r := d.row(); d.err == nil {
+				if len(r) != 1 {
+					d.fail("fragment comparand")
+				} else {
+					p.Datum = r[0]
+				}
+			}
+		case FragPredPrefix:
+			p.Prefix = d.str()
+		case FragPredInSet:
+			k := d.uvarint()
+			for j := uint64(0); j < k && d.err == nil; j++ {
+				p.Ints = append(p.Ints, d.varint())
+			}
+		default:
+			if d.err == nil {
+				d.err = fmt.Errorf("wire: unknown fragment predicate kind %d", p.Kind)
+			}
+		}
+		m.Preds = append(m.Preds, p)
+	}
+	decodeTraceCtx(d, &m.TraceID, &m.SpanID, &m.Profile)
 	return m, d.err
 }
 
