@@ -23,6 +23,7 @@ import (
 	"htap/internal/experiments"
 	"htap/internal/htapbench"
 	"htap/internal/micro"
+	"htap/internal/obs"
 )
 
 // benchOpts sizes experiment benchmarks for repeatable sub-second windows.
@@ -426,6 +427,9 @@ func BenchmarkDistShards(b *testing.B) {
 		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
 			e, s := loadedDist(b, n)
 			defer e.Close()
+			merge := obs.Default.Counter("htap_dist_merge_rows_total", nil)
+			groups := obs.Default.Counter("htap_dist_partial_groups_total", nil)
+			m0, g0 := merge.Value(), groups.Value()
 			b.ResetTimer()
 			var txns, queries int64
 			for i := 0; i < b.N; i++ {
@@ -440,6 +444,13 @@ func BenchmarkDistShards(b *testing.B) {
 			el := b.Elapsed().Seconds()
 			b.ReportMetric(float64(txns)/el, "txn/s")
 			b.ReportMetric(float64(queries)/el, "query/s")
+			if queries > 0 {
+				// Rows the coordinator pulled off shard streams per query,
+				// and the partial group states that replaced them on pushed
+				// aggregations — the merge-volume story for BENCH_dist.json.
+				b.ReportMetric(float64(merge.Value()-m0)/float64(queries), "merged-rows/query")
+				b.ReportMetric(float64(groups.Value()-g0)/float64(queries), "partial-groups/query")
+			}
 		})
 	}
 }

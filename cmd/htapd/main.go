@@ -19,8 +19,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -203,6 +205,14 @@ func main() {
 		}
 	}
 
+	// Online rebalancing admin surface: a coordinator over in-process
+	// shards accepts POST /rebalance?lo=&hi=&dest= on the metrics
+	// listener (and the same operation over the wire as MsgRebalance).
+	if d, ok := e.(*dist.Engine); ok && mSrv != nil {
+		mSrv.Handle("/rebalance", rebalanceHandler(d))
+		fmt.Printf("rebalance admin: POST http://%s/rebalance?lo=&hi=&dest=\n", mSrv.Addr())
+	}
+
 	srv, err := server.Serve(*addr, server.Config{
 		Engine: e, Meta: meta,
 		OLTPRate: *oltpRate, OLAPRate: *olapRate, MaxWait: *maxWait,
@@ -232,4 +242,31 @@ func main() {
 		_ = mSrv.Shutdown(ctx)
 	}
 	fmt.Println("bye")
+}
+
+// rebalanceHandler serves POST /rebalance?lo=&hi=&dest=: move warehouses
+// [lo, hi] to shard dest. The response reports rows moved and the new
+// routing version. Not idempotent — a failed request must be inspected,
+// not blindly retried.
+func rebalanceHandler(d *dist.Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		lo, err1 := strconv.Atoi(q.Get("lo"))
+		hi, err2 := strconv.Atoi(q.Get("hi"))
+		dest, err3 := strconv.Atoi(q.Get("dest"))
+		if err1 != nil || err2 != nil || err3 != nil {
+			http.Error(w, "need integer lo, hi, dest", http.StatusBadRequest)
+			return
+		}
+		moved, version, err := d.MoveRange(r.Context(), lo, hi, dest)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		fmt.Fprintf(w, "{\"moved\": %d, \"route_version\": %d}\n", moved, version)
+	})
 }

@@ -2,6 +2,7 @@ package ch
 
 import (
 	"fmt"
+	"sort"
 
 	"htap/internal/exec"
 	"htap/internal/types"
@@ -381,11 +382,19 @@ func Q17(e Queryer) []types.Row {
 		avgByItem[r[0].Int()] = r[1].Float()
 	}
 	rows := e.Query(TOrderLine, []string{"ol_i_id", "ol_quantity", "ol_amount"}, nil).Run()
-	sum := 0.0
+	// Sum in sorted order: the qualifying amounts form a multiset, and a
+	// fixed association makes the result independent of scan order (which
+	// storage layout, shard count, and rebalancing may all change).
+	var amounts []float64
 	for _, r := range rows {
 		if float64(r[1].Int()) < avgByItem[r[0].Int()] {
-			sum += r[2].Float()
+			amounts = append(amounts, r[2].Float())
 		}
+	}
+	sort.Float64s(amounts)
+	sum := 0.0
+	for _, a := range amounts {
+		sum += a
 	}
 	return []types.Row{{types.NewFloat(sum / 2)}}
 }

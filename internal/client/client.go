@@ -477,6 +477,80 @@ func readStream(ctx context.Context, c *conn, typ byte, payload []byte) ([]types
 	}
 }
 
+// readPartialStream consumes a pushed-aggregation reply: MsgPartial
+// frames carrying encoded group states, terminated by MsgEOS whose Rows
+// trailer counts groups. The broken-connection discipline mirrors
+// readStream — decode/protocol failures abandon frames in flight and
+// poison the conn; a server MsgError terminates cleanly.
+func readPartialStream(ctx context.Context, c *conn, typ byte, payload []byte) ([]types.Row, wire.EOS, error) {
+	fail := func(err error) ([]types.Row, wire.EOS, error) {
+		c.broken.Store(true)
+		return nil, wire.EOS{}, err
+	}
+	var groups []types.Row
+	for {
+		switch typ {
+		case wire.MsgPartial:
+			p, err := wire.DecodePartial(payload)
+			if err != nil {
+				return fail(err)
+			}
+			groups = append(groups, p.Groups...)
+		case wire.MsgEOS:
+			eos, err := wire.DecodeEOS(payload)
+			if err != nil {
+				return fail(err)
+			}
+			if int64(len(groups)) != eos.Rows {
+				return fail(fmt.Errorf("client: partial stream lost groups: got %d, server sent %d", len(groups), eos.Rows))
+			}
+			return groups, eos, nil
+		case wire.MsgError:
+			return nil, wire.EOS{}, wire.DecodeError(payload)
+		default:
+			return fail(fmt.Errorf("client: unexpected partial-stream frame %d", typ))
+		}
+		var err error
+		typ, payload, err = c.readFrame(ctx)
+		if err != nil {
+			return nil, wire.EOS{}, err // readFrame already marked the conn broken
+		}
+	}
+}
+
+// Rebalance asks the server's coordinator engine to move warehouses
+// [lo, hi] to shard dest, returning rows moved and the new routing
+// version. The request deliberately bypasses the do() retry loop: a
+// move is not idempotent under transport error — the first attempt may
+// have cut over before the acknowledgement was lost — so a failure is
+// reported to the operator instead of silently re-issued.
+func (r *Remote) Rebalance(ctx context.Context, lo, hi, dest int) (int64, int64, error) {
+	m := wire.Rebalance{Deadline: deadlineOf(ctx), Lo: int64(lo), Hi: int64(hi), Dest: int64(dest)}
+	c, err := r.get(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer r.put(c)
+	typ, payload, err := c.roundTrip(ctx, wire.MsgRebalance, m.Encode(nil))
+	if err != nil {
+		return 0, 0, err
+	}
+	switch typ {
+	case wire.MsgRebalanceInfo:
+		info, err := wire.DecodeRebalanceInfo(payload)
+		if err != nil {
+			c.broken.Store(true)
+			return 0, 0, err
+		}
+		return info.Moved, info.Version, nil
+	case wire.MsgError:
+		return 0, 0, wire.DecodeError(payload)
+	default:
+		c.broken.Store(true)
+		return 0, 0, fmt.Errorf("client: unexpected frame %d", typ)
+	}
+}
+
 // adoptRemoteProfile merges a profiled EOS trailer into the profile the
 // caller's context carries (if any) — the client-side half of remote
 // EXPLAIN ANALYZE.

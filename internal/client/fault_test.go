@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"htap/internal/core"
+	"htap/internal/exec"
 	"htap/internal/obs"
 	"htap/internal/types"
 	"htap/internal/wire"
@@ -413,5 +414,66 @@ func TestJitterDeterministicPerSeed(t *testing.T) {
 		if da < 500*time.Microsecond || da > 1500*time.Microsecond {
 			t.Fatalf("jitter %v outside 50%%..150%%", da)
 		}
+	}
+}
+
+// malformedPartial answers one pushed-aggregation fragment with a
+// MsgPartial whose group row decodes at the wire layer but violates the
+// partial-state contract (wrong arity for the advertised aggregates).
+func malformedPartial(t *testing.T, nc net.Conn) {
+	if !handshake(t, nc) {
+		return
+	}
+	typ, payload, err := wire.ReadFrame(nc)
+	if err != nil || typ != wire.MsgFragment {
+		return
+	}
+	if m, err := wire.DecodeFragment(payload); err != nil || m.Agg == nil {
+		return
+	}
+	bad := wire.Partial{Groups: []types.Row{{types.NewInt(1), types.NewInt(2)}}}
+	if wire.WriteFrame(nc, wire.MsgPartial, bad.Encode(nil)) != nil {
+		return
+	}
+	_ = wire.WriteFrame(nc, wire.MsgEOS, wire.EOS{Rows: 1}.Encode(nil))
+	serveN(nc, 1)
+}
+
+func TestMalformedPartialBreaksConn(t *testing.T) {
+	// A partial-state group that fails exec.DecodePartial is a server-side
+	// protocol violation: the fetch must surface a non-retryable error
+	// through the fragment's error sink, and the connection — which is
+	// positionally intact but no longer trusted — must not return to the
+	// pool. The follow-up query has to dial fresh.
+	f := startFake(t, malformedPartial, serveQueries(1))
+	r, reg := connect(t, f, Options{})
+
+	schema := []types.Column{{Name: "g", Type: types.Int}, {Name: "v", Type: types.Float}}
+	fs := r.Fragment(context.Background(), "acct", schema, nil)
+	var sinkErr error
+	fs.OnError(func(err error) { sinkErr = err })
+	ps := fs.PushAgg([]string{"g"}, []exec.Agg{{Kind: exec.Sum, Expr: exec.ColName("v"), Name: "s"}})
+	if ps == nil {
+		t.Fatal("PushAgg declined a pushable aggregation")
+	}
+	if g := ps.NextPartial(); g != nil {
+		t.Fatalf("malformed partial stream produced a group: %+v", g)
+	}
+	if sinkErr == nil {
+		t.Fatal("malformed partial surfaced no error")
+	}
+	if retries(reg) != 0 {
+		t.Fatalf("protocol violation was retried %d times; must fail fast", retries(reg))
+	}
+
+	rows, err := r.RunCH(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("RunCH after malformed partial: %v", err)
+	}
+	if len(rows) != 1 || rows[0][0].Int() != 42 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if dials := reg.Counter("htap_client_dials_total", nil).Value(); dials != 2 {
+		t.Fatalf("dials = %d, want 2 (malformed-partial conn discarded, fresh dial)", dials)
 	}
 }

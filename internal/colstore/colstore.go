@@ -368,7 +368,12 @@ func (t *Table) flushLocked() {
 }
 
 // AppendRows seals rows directly into one or more segments; merges use it.
+// Any buffered loads are sealed first: the upsert resolves supersession
+// through the key locator, which only indexes sealed segments — a stale
+// image still sitting in the buffer would otherwise dodge the tombstone
+// and, once flushed, supersede the newer merged image.
 func (t *Table) AppendRows(rows []types.Row) {
+	t.Flush()
 	for len(rows) > 0 {
 		n := len(rows)
 		if n > SegmentRows {

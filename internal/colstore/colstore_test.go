@@ -275,3 +275,43 @@ func TestTableStats(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
+
+// TestAppendRowsUpsertsBufferedLoads is the regression gate for a
+// supersession bug: AppendRows resolves upserts through the key locator,
+// which indexes only sealed segments. A row still sitting in the load
+// buffer was invisible to the upsert, and when a later scan flushed the
+// buffer, the stale image tombstoned the newer merged one — scans went
+// permanently stale while key lookups stayed fresh.
+func TestAppendRowsUpsertsBufferedLoads(t *testing.T) {
+	tbl := NewTable(testSchema)
+	tbl.Append(mkRow(1, 1, -10, "old"))
+	tbl.Append(mkRow(2, 1, 5, "keep"))
+	// Merge a newer image of key 1 while key 1 is still buffered.
+	tbl.AppendRows([]types.Row{mkRow(1, 1, 18.01, "new")})
+
+	if r, ok := tbl.GetKey(1); !ok || r[2].Float() != 18.01 {
+		t.Fatalf("GetKey(1) = %v, %v; want the merged image", r, ok)
+	}
+	seen := map[int64]float64{}
+	for _, seg := range tbl.Segments() {
+		for i := 0; i < seg.N; i++ {
+			if seg.Deleted(i) {
+				continue
+			}
+			r := seg.Row(i)
+			if _, dup := seen[r[0].Int()]; dup {
+				t.Fatalf("key %d visible twice in scan", r[0].Int())
+			}
+			seen[r[0].Int()] = r[2].Float()
+		}
+	}
+	if seen[1] != 18.01 {
+		t.Fatalf("scan shows key 1 = %v, want merged image 18.01", seen[1])
+	}
+	if seen[2] != 5 {
+		t.Fatalf("scan shows key 2 = %v, want 5", seen[2])
+	}
+	if tbl.LiveRows() != 2 {
+		t.Fatalf("LiveRows = %d, want 2", tbl.LiveRows())
+	}
+}

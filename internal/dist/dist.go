@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"htap/internal/ch"
@@ -11,6 +12,7 @@ import (
 	"htap/internal/exec"
 	"htap/internal/freshness"
 	"htap/internal/sched"
+	"htap/internal/twopc"
 	"htap/internal/types"
 )
 
@@ -35,13 +37,32 @@ func (s *shardRef) begin(ctx context.Context) core.Tx {
 // chbench, the wire server — runs against N shards unchanged.
 type Engine struct {
 	shards []*shardRef
-	rt     router
+	rt     router // load-time layout; live ownership is rtab
 	ts     []*types.Schema
 	byName map[string]*types.Schema
 	par    atomic.Int32
 	gov    atomic.Pointer[exec.Governor]
 	eps    *client.Endpoints // owned in remote mode; closed by Close
 	base   string            // shard engine name, for Name()
+
+	rtab     atomic.Pointer[routeTable] // live versioned warehouse→shard map
+	pushdown atomic.Bool                // partial-agg / top-k pushdown enabled
+
+	// Rebalance state: one move at a time (moveMu); fence blocks new
+	// transactions from entering the moving range; the open-transaction
+	// registry lets the move drain in-flight transactions that already
+	// touched it. See rebalance.go.
+	moveMu sync.Mutex
+	fence  atomic.Pointer[moveFence]
+	txMu   sync.Mutex
+	open   map[*distTx]struct{}
+
+	// Test hooks (rebalance gate): called between copy and fence, and
+	// after branches are built but before the cutover 2PC; wrapBranch
+	// injects prepare/commit faults into the cutover branches.
+	afterCopy     func()
+	beforeCutover func()
+	wrapBranch    func(twopc.TxParticipant) twopc.TxParticipant
 }
 
 // New builds a coordinator over in-process shard engines. Shard i owns
@@ -53,6 +74,7 @@ func New(warehouses int, engines ...core.Engine) (*Engine, error) {
 		return nil, err
 	}
 	d := &Engine{rt: rt, base: engines[0].Name()}
+	d.init()
 	for i, e := range engines {
 		d.shards = append(d.shards, &shardRef{name: fmt.Sprintf("shard-%d", i), local: e})
 	}
@@ -72,6 +94,7 @@ func NewRemote(warehouses int, eps *client.Endpoints) (*Engine, error) {
 		return nil, err
 	}
 	d := &Engine{rt: rt, eps: eps}
+	d.init()
 	for _, n := range names {
 		r := eps.Get(n)
 		d.shards = append(d.shards, &shardRef{name: n, remote: r})
@@ -80,6 +103,21 @@ func NewRemote(warehouses int, eps *client.Endpoints) (*Engine, error) {
 	d.adoptCatalog(ch.Schemas())
 	return d, nil
 }
+
+func (d *Engine) init() {
+	d.rtab.Store(newRouteTable(d.rt))
+	d.pushdown.Store(true)
+	d.open = make(map[*distTx]struct{})
+}
+
+// SetPushdown enables or disables partial-aggregate and top-k pushdown
+// (on by default). The differential equivalence suite flips it to
+// compare pushed plans against raw-gather plans over identical data.
+func (d *Engine) SetPushdown(on bool) { d.pushdown.Store(on) }
+
+// RouteVersion returns the live routing-table version; each completed
+// rebalance bumps it.
+func (d *Engine) RouteVersion() int64 { return d.rtab.Load().version }
 
 func (d *Engine) adoptCatalog(schemas []*types.Schema) {
 	d.ts = schemas
@@ -116,7 +154,18 @@ func (d *Engine) Begin(ctx context.Context) core.Tx {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &distTx{d: d, ctx: ctx, subs: make([]core.Tx, len(d.shards))}
+	t := &distTx{d: d, ctx: ctx, subs: make([]core.Tx, len(d.shards))}
+	d.txMu.Lock()
+	d.open[t] = struct{}{}
+	d.txMu.Unlock()
+	return t
+}
+
+// forget removes a finished transaction from the open registry.
+func (d *Engine) forget(t *distTx) {
+	d.txMu.Lock()
+	delete(d.open, t)
+	d.txMu.Unlock()
 }
 
 // Load implements core.Engine: rows route to their owning shard,
@@ -139,7 +188,7 @@ func (d *Engine) Load(table string, row types.Row) error {
 	if !ok {
 		return fmt.Errorf("dist: cannot route %s row", table)
 	}
-	return d.loadOn(d.shards[d.rt.shardOf(w)], table, row)
+	return d.loadOn(d.shards[d.rtab.Load().shardOf(w)], table, row)
 }
 
 func (d *Engine) loadOn(s *shardRef, table string, row types.Row) error {

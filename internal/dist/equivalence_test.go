@@ -184,6 +184,82 @@ func TestDistGoldenEquivalence(t *testing.T) {
 	}
 }
 
+// TestDistPushdownDifferential is the combine-correctness gate for
+// partial-aggregate and top-k pushdown: every CH query must produce
+// bit-identical results with pushdown enabled (partial states combined
+// at the coordinator) and disabled (raw rows gathered and aggregated
+// centrally), at every shard count and at sequential and parallel DOP.
+// Exact summation (internal/exec exactSum) is what makes this bit-exact
+// rather than epsilon-close: per-shard partial sums and the central sum
+// round to float64 exactly once, from the same exact value.
+func TestDistPushdownDifferential(t *testing.T) {
+	cfgs := eqConfigs(t)
+	for _, n := range []int{1, 2, 3} {
+		name := fmt.Sprintf("dist-%dx", n)
+		d := cfgs[name].(*Engine)
+		for _, par := range []int{1, 4} {
+			d.SetPushdown(true)
+			pushed := runAll(t, d, par)
+			d.SetPushdown(false)
+			gathered := runAll(t, d, par)
+			d.SetPushdown(true)
+			for q := 1; q <= 22; q++ {
+				if !exactEqual(pushed[q], gathered[q]) {
+					i, c, _ := rowsClose(pushed[q], gathered[q])
+					t.Errorf("Q%02d: %s DOP %d pushed vs gathered diverge (row %d col %d)", q, name, par, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestDistPushdownReducesMergeRows pins the point of the tentpole: on a
+// decomposable wide GROUP BY (Q1), pushing partial aggregation must cut
+// the coordinator's merged-row volume by at least 10× — shards send a
+// handful of group states instead of every order line.
+func TestDistPushdownReducesMergeRows(t *testing.T) {
+	engines := make([]core.Engine, 3)
+	for i := range engines {
+		engines[i] = core.NewEngineA(core.ConfigA{Schemas: ch.Schemas()})
+	}
+	d, err := New(3, engines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := ch.NewGenerator(eqDistScale()).Load(d); err != nil {
+		t.Fatal(err)
+	}
+	d.Sync()
+
+	run := func() (mergedRows, groups, pushes int64) {
+		m0, g0, p0 := mergeRowsTotal.Value(), partialGroups.Value(), partialPushdowns.Value()
+		if _, err := ch.RunQuery(context.Background(), d, 1); err != nil {
+			t.Fatal(err)
+		}
+		return mergeRowsTotal.Value() - m0, partialGroups.Value() - g0, partialPushdowns.Value() - p0
+	}
+
+	d.SetPushdown(false)
+	rawRows, _, rawPushes := run()
+	d.SetPushdown(true)
+	pushedRows, groups, pushes := run()
+
+	if rawPushes != 0 {
+		t.Fatalf("pushdown fired %d times while disabled", rawPushes)
+	}
+	if pushes == 0 {
+		t.Fatal("Q1 did not push its aggregation; the differential gate would be vacuous")
+	}
+	if groups == 0 {
+		t.Fatal("pushed Q1 merged no partial groups")
+	}
+	merged := pushedRows + groups // rows gathered by other pipelines + group states
+	if merged*10 > rawRows {
+		t.Fatalf("pushdown merged %d rows+groups vs %d raw rows; want >=10x reduction", merged, rawRows)
+	}
+}
+
 // TestDistGoldenEquivalenceArchC covers the hash-sharded IMCS arch: scan
 // order differs between a plain EngineC and sharded EngineCs (each shard
 // hashes its own key subset), so equality is order-normalized with the

@@ -19,4 +19,30 @@ var (
 	// htap_dist_merge_rows_total: rows the coordinator merged from shard
 	// streams into query pipelines.
 	mergeRowsTotal = obs.Default.Counter("htap_dist_merge_rows_total", nil)
+
+	// htap_dist_partial_pushdowns_total: aggregations pushed into shard
+	// fragments (the coordinator combined partial states instead of
+	// merging raw rows).
+	partialPushdowns = obs.Default.Counter("htap_dist_partial_pushdowns_total", nil)
+	// htap_dist_partial_groups_total: partial-aggregation groups merged at
+	// the coordinator. These replace merged rows on pushed plans, so the
+	// merge-rows-vs-partial-groups ratio is the pushdown's row reduction.
+	partialGroups = obs.Default.Counter("htap_dist_partial_groups_total", nil)
+	// htap_dist_topk_pushdowns_total: top-k operators pushed into shard
+	// fragments, bounding each shard's stream to k rows.
+	topkPushdowns = obs.Default.Counter("htap_dist_topk_pushdowns_total", nil)
+
+	// htap_dist_rebalance_moves_total: warehouse-range moves started.
+	rebalanceMoves = obs.Default.Counter("htap_dist_rebalance_moves_total", nil)
+	// htap_dist_rebalance_rows_moved_total: rows cut over to their new
+	// shard by completed moves.
+	rebalanceRows = obs.Default.Counter("htap_dist_rebalance_rows_moved_total", nil)
+	// htap_dist_rebalance_catchup_rows_total: rows whose images changed
+	// between a move's fuzzy snapshot and its fenced rescan — the work the
+	// catch-up phase absorbed.
+	rebalanceCatchup = obs.Default.Counter("htap_dist_rebalance_catchup_rows_total", nil)
+	// htap_dist_rebalance_failures_total: moves that aborted (fence drain
+	// timeout, cutover failure). The routing table is unchanged after a
+	// failed move.
+	rebalanceFailures = obs.Default.Counter("htap_dist_rebalance_failures_total", nil)
 )

@@ -141,3 +141,45 @@ func (r router) rangeOf(i int) (lo, hi int64) {
 	}
 	return lo, lo + size - 1
 }
+
+// routeTable is the live, versioned warehouse→shard ownership map. The
+// initial table mirrors the contiguous router layout; every rebalance
+// installs a fresh table (new owners slice, version+1) with a single
+// atomic pointer store, so routing reads never lock and never observe a
+// half-updated move. The router itself keeps describing the load-time
+// layout (PartitionLoad, initial placement).
+type routeTable struct {
+	version    int64
+	warehouses int
+	owners     []int // owners[w-1] = owning shard
+}
+
+func newRouteTable(rt router) *routeTable {
+	owners := make([]int, rt.warehouses)
+	for w := 1; w <= rt.warehouses; w++ {
+		owners[w-1] = rt.shardOf(int64(w))
+	}
+	return &routeTable{version: 1, warehouses: rt.warehouses, owners: owners}
+}
+
+// shardOf returns warehouse w's current owner, clamping out-of-range
+// warehouses like router.shardOf does.
+func (t *routeTable) shardOf(w int64) int {
+	if w < 1 {
+		return t.owners[0]
+	}
+	if w > int64(t.warehouses) {
+		return t.owners[t.warehouses-1]
+	}
+	return t.owners[w-1]
+}
+
+// moved returns a new table with warehouses [lo, hi] owned by dest and
+// the version bumped.
+func (t *routeTable) moved(lo, hi, dest int) *routeTable {
+	owners := append([]int(nil), t.owners...)
+	for w := lo; w <= hi; w++ {
+		owners[w-1] = dest
+	}
+	return &routeTable{version: t.version + 1, warehouses: t.warehouses, owners: owners}
+}

@@ -1,9 +1,13 @@
 package dist
 
 import (
+	"context"
+	"errors"
+	"math/rand"
 	"testing"
 
 	"htap/internal/ch"
+	"htap/internal/core"
 	"htap/internal/types"
 )
 
@@ -93,5 +97,161 @@ func TestRouterRanges(t *testing.T) {
 	}
 	if _, err := newRouter(2, 3); err == nil {
 		t.Fatal("more shards than warehouses should be rejected")
+	}
+}
+
+// TestRouteTableProperties drives the versioned table through random
+// move sequences and asserts the routing invariants rebalancing relies
+// on:
+//
+//   - total: every warehouse always has an owner in [0, shards)
+//   - stable: shardOf is deterministic for a given version
+//   - minimal: a move changes ownership exactly inside [lo, hi]
+//   - monotone: each move bumps the version by one
+func TestRouteTableProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		warehouses := 1 + rng.Intn(40)
+		shards := 1 + rng.Intn(5)
+		if shards > warehouses {
+			shards = warehouses
+		}
+		rt, err := newRouter(warehouses, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := newRouteTable(rt)
+		if tab.version != 1 {
+			t.Fatalf("fresh table version = %d, want 1", tab.version)
+		}
+		for step := 0; step < 8; step++ {
+			lo := 1 + rng.Intn(warehouses)
+			hi := lo + rng.Intn(warehouses-lo+1)
+			dest := rng.Intn(shards)
+			next := tab.moved(lo, hi, dest)
+
+			if next.version != tab.version+1 {
+				t.Fatalf("moved version = %d, want %d", next.version, tab.version+1)
+			}
+			for w := 1; w <= warehouses; w++ {
+				own := next.shardOf(int64(w))
+				if own < 0 || own >= shards {
+					t.Fatalf("warehouse %d unowned after move: shard %d of %d", w, own, shards)
+				}
+				if own != next.shardOf(int64(w)) {
+					t.Fatalf("shardOf(%d) unstable within one version", w)
+				}
+				switch {
+				case w >= lo && w <= hi:
+					if own != dest {
+						t.Fatalf("moved warehouse %d owned by %d, want %d", w, own, dest)
+					}
+				default:
+					if own != tab.shardOf(int64(w)) {
+						t.Fatalf("move [%d,%d]->%d perturbed warehouse %d: %d -> %d",
+							lo, hi, dest, w, tab.shardOf(int64(w)), own)
+					}
+				}
+			}
+			tab = next
+		}
+	}
+}
+
+// TestRouteRowsToExactlyOneOwner is the round-trip property: a routable
+// row of every partitioned table reaches exactly one shard — the one
+// its warehouse owns — under both key routing and row routing.
+func TestRouteRowsToExactlyOneOwner(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const warehouses, shards = 9, 3
+	rt, err := newRouter(warehouses, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := newRouteTable(rt)
+	for iter := 0; iter < 200; iter++ {
+		w := 1 + rng.Int63n(warehouses)
+		d := 1 + rng.Int63n(10)
+		c := 1 + rng.Int63n(3000)
+		keys := map[string]int64{
+			ch.TWarehouse: ch.WarehouseKey(w),
+			ch.TDistrict:  ch.DistrictKey(w, d),
+			ch.TCustomer:  ch.CustomerKey(w, d, c),
+			ch.TOrders:    ch.OrderKey(w, d, c),
+			ch.TNewOrder:  ch.OrderKey(w, d, c),
+			ch.TOrderLine: ch.OrderLineKey(w, d, c, 1+rng.Int63n(15)),
+			ch.TStock:     ch.StockKey(w, 1+rng.Int63n(100_000)),
+		}
+		want := tab.shardOf(w)
+		for table, key := range keys {
+			got, ok := warehouseOfKey(table, key)
+			if !ok {
+				t.Fatalf("%s key %d does not route", table, key)
+			}
+			owners := 0
+			for s := 0; s < shards; s++ {
+				if tab.shardOf(got) == s {
+					owners++
+				}
+			}
+			if owners != 1 || tab.shardOf(got) != want {
+				t.Fatalf("%s key %d: %d owners, shard %d, want exactly shard %d",
+					table, key, owners, tab.shardOf(got), want)
+			}
+		}
+	}
+}
+
+// TestReplicatedBroadcastInvariant pins the replicated-dimension
+// invariant the scatter plan relies on (only shard 0 scans them): a
+// replicated write through the coordinator lands on EVERY shard, and a
+// partitioned write lands on exactly its owner.
+func TestReplicatedBroadcastInvariant(t *testing.T) {
+	engines := make([]core.Engine, 3)
+	for i := range engines {
+		engines[i] = core.NewEngineA(core.ConfigA{Schemas: ch.Schemas()})
+	}
+	d, err := New(6, engines...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	itemKey := int64(77)
+	item := types.Row{
+		types.NewInt(itemKey), types.NewInt(itemKey), types.NewInt(1),
+		types.NewString("widget"), types.NewFloat(9.99), types.NewString("data"),
+	}
+	tx := d.Begin(context.Background())
+	if err := tx.Insert(ch.TItem, item); err != nil {
+		t.Fatal(err)
+	}
+	wk := ch.WarehouseKey(5)
+	wh := types.Row{
+		types.NewInt(wk), types.NewInt(5), types.NewString("w5"),
+		types.NewString("st"), types.NewFloat(0.1), types.NewFloat(300000),
+	}
+	if err := tx.Insert(ch.TWarehouse, wh); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	d.Sync()
+
+	owner := d.rtab.Load().shardOf(5)
+	for i, e := range engines {
+		etx := e.Begin(context.Background())
+		if _, err := etx.Get(ch.TItem, itemKey); err != nil {
+			t.Errorf("shard %d missing replicated item row: %v", i, err)
+		}
+		_, err := etx.Get(ch.TWarehouse, wk)
+		if i == owner && err != nil {
+			t.Errorf("owner shard %d missing warehouse row: %v", i, err)
+		}
+		if i != owner && !errors.Is(err, core.ErrNotFound) {
+			t.Errorf("non-owner shard %d: warehouse get = %v, want not-found", i, err)
+		}
+		etx.Abort()
 	}
 }

@@ -45,7 +45,7 @@ func (d *Engine) scatter(ctx context.Context, table string, cols []string, pred 
 		frags = append(frags, fragRef{shard: s.name, src: fs})
 	}
 	scatterFragments.Add(int64(len(srcs)))
-	return &mergeCount{inner: exec.NewUnion(srcs...)}, frags
+	return &mergeCount{inner: exec.NewUnion(srcs...), d: d}, frags
 }
 
 // projectedSchema resolves the scan's output schema from the catalog;
@@ -74,6 +74,7 @@ func projectedSchema(sch *types.Schema, cols []string) []types.Column {
 // the count.
 type mergeCount struct {
 	inner exec.Source
+	d     *Engine // for the pushdown switch; nil on Split parts
 }
 
 // Schema implements exec.Source.
@@ -93,6 +94,97 @@ func (m *mergeCount) InnerSource() exec.Source { return m.inner }
 
 // SetInnerSource implements exec.PassThrough.
 func (m *mergeCount) SetInnerSource(s exec.Source) { m.inner = s }
+
+// PushAgg implements exec.AggPusher: Plan.Agg offers the aggregation
+// when this gather point is its direct input — i.e. every filter fused
+// into the shard scans and nothing else in between. Acceptance is
+// all-or-none across shards: local members aggregate in-process
+// (exec.NewPartialAgg over the member source, arbitrary expressions);
+// remote members ship the spec in their fragment frame, which restricts
+// them to bare-column aggregates — if any remote member can't carry the
+// spec, the whole offer is declined and the plan gathers raw rows.
+func (m *mergeCount) PushAgg(groupBy []string, aggs []exec.Agg, par int, ctx context.Context) []exec.PartialSource {
+	if m.d == nil || !m.d.pushdown.Load() {
+		return nil
+	}
+	members := exec.UnionMembers(m.inner)
+	if members == nil {
+		return nil
+	}
+	for _, s := range members {
+		if fs, ok := s.(*client.FragmentSource); ok {
+			if !fs.CanPushAgg(groupBy, aggs) {
+				return nil
+			}
+		}
+	}
+	out := make([]exec.PartialSource, len(members))
+	for i, s := range members {
+		if fs, ok := s.(*client.FragmentSource); ok {
+			ps := fs.PushAgg(groupBy, aggs)
+			if ps == nil {
+				return nil
+			}
+			out[i] = &countingPartial{inner: ps}
+			continue
+		}
+		out[i] = &countingPartial{inner: exec.NewPartialAgg(s, groupBy, aggs, par, ctx)}
+	}
+	partialPushdowns.Inc()
+	return out
+}
+
+// countingPartial counts groups merged at the coordinator — the pushed
+// plans' analogue of mergeRowsTotal, kept as a separate series so the
+// merge-row reduction stays visible.
+type countingPartial struct {
+	inner exec.PartialSource
+}
+
+func (c *countingPartial) NextPartial() *exec.PartialGroup {
+	g := c.inner.NextPartial()
+	if g != nil {
+		partialGroups.Inc()
+	}
+	return g
+}
+
+// PushTopK implements exec.TopKPusher: bound each shard member to the k
+// smallest rows under keys before gathering. Local members wrap in the
+// executor's own top-k operator; remote members ship the spec in their
+// fragment frame (their reply stays a batch stream, now at most k
+// rows). The plan keeps its final top-k over the union, so declining
+// half-way (any remote member refusing) just declines the whole offer.
+func (m *mergeCount) PushTopK(k int, keys []exec.SortKey) bool {
+	if m.d == nil || !m.d.pushdown.Load() {
+		return false
+	}
+	members := exec.UnionMembers(m.inner)
+	if members == nil {
+		return false
+	}
+	for _, s := range members {
+		if fs, ok := s.(*client.FragmentSource); ok {
+			if !fs.CanPushTopK(keys) {
+				return false
+			}
+		}
+	}
+	wrapped := make([]exec.Source, len(members))
+	for i, s := range members {
+		if fs, ok := s.(*client.FragmentSource); ok {
+			if !fs.PushTopK(k, keys) {
+				return false
+			}
+			wrapped[i] = fs
+			continue
+		}
+		wrapped[i] = exec.NewTopK(s, k, keys)
+	}
+	m.inner = exec.NewUnion(wrapped...)
+	topkPushdowns.Inc()
+	return true
+}
 
 // Split implements exec.Splitter by delegating to the inner union; parts
 // concatenate in shard order, preserving the sequential row order.

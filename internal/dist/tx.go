@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"htap/internal/ch"
 	"htap/internal/core"
@@ -21,6 +22,55 @@ type distTx struct {
 	ctx  context.Context
 	subs []core.Tx
 	done bool
+
+	mu      sync.Mutex
+	touched []int64 // warehouses this transaction routed to
+}
+
+// shardFor routes warehouse w through the live table, honoring a
+// rebalance fence: a transaction entering the moving range for the
+// first time blocks until the cutover completes (or its context dies),
+// while a transaction that already touched the range before the fence
+// rose passes through — the move's drain phase is waiting on IT to
+// finish, so parking it would deadlock.
+func (t *distTx) shardFor(w int64) (int, error) {
+	for {
+		f := t.d.fence.Load()
+		if f == nil || w < f.lo || w > f.hi || t.touchedRange(f.lo, f.hi) {
+			break
+		}
+		select {
+		case <-f.done:
+		case <-t.ctx.Done():
+			return 0, t.ctx.Err()
+		}
+	}
+	t.mu.Lock()
+	seen := false
+	for _, tw := range t.touched {
+		if tw == w {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		t.touched = append(t.touched, w)
+	}
+	t.mu.Unlock()
+	return t.d.rtab.Load().shardOf(w), nil
+}
+
+// touchedRange reports whether the transaction already routed into
+// [lo, hi].
+func (t *distTx) touchedRange(lo, hi int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, w := range t.touched {
+		if w >= lo && w <= hi {
+			return true
+		}
+	}
+	return false
 }
 
 // errTxDone mirrors the engines' finished-transaction errors.
@@ -51,7 +101,7 @@ func (t *distTx) route(table string, key int64) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("dist: cannot route %s by key", table)
 	}
-	return t.d.rt.shardOf(w), nil
+	return t.shardFor(w)
 }
 
 // Get implements core.Tx.
@@ -87,7 +137,7 @@ func (t *distTx) writeShard(table string, key int64, row types.Row) (int, error)
 	if !ok {
 		return 0, fmt.Errorf("dist: cannot route %s row", table)
 	}
-	return t.d.rt.shardOf(w), nil
+	return t.shardFor(w)
 }
 
 // Insert implements core.Tx. Replicated-table writes broadcast so every
@@ -155,6 +205,7 @@ func (t *distTx) Commit() error {
 		return errTxDone
 	}
 	t.done = true
+	t.d.forget(t)
 	var branches []twopc.TxParticipant
 	for i, s := range t.subs {
 		if s != nil {
@@ -179,6 +230,7 @@ func (t *distTx) Abort() {
 		return
 	}
 	t.done = true
+	t.d.forget(t)
 	for _, s := range t.subs {
 		if s != nil {
 			s.Abort()

@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// exactSumPrec is the mantissa precision of the exact SUM accumulator.
+// Any finite float64 is an integer multiple of 2^-1074 with magnitude
+// below 2^1024, so a sum of up to 2^63 addends is a multiple of 2^-1074
+// with magnitude below 2^1087 — at most 2162 significant bits. 2176
+// (34 64-bit words) covers that with slack, so every Add is exact: the
+// accumulated value is the true real-number sum, independent of the
+// order rows arrive in. That is what makes parallel, spilled, and
+// distributed partial aggregation bit-identical to a sequential scan —
+// each partial is exact, merging partials is exact, and the single
+// rounding to float64 happens once at render time.
+const exactSumPrec = 2176
+
+// maxExactSumBytes bounds the serialized accumulator accepted by
+// decodeExactSum. A legitimate prec-2176 big.Float gob encoding is
+// ~300 bytes; anything larger is hostile input.
+const maxExactSumBytes = 4096
+
+// exactSum accumulates float64 addends without rounding error.
+// Non-finite addends are tracked as flags (IEEE summation involving a
+// NaN is NaN; +Inf and -Inf together are NaN; otherwise the infinity
+// wins), keeping the big.Float strictly finite.
+type exactSum struct {
+	f    *big.Float // exact running sum of finite addends; nil until first add
+	nan  bool       // saw a NaN addend
+	pinf bool       // saw a +Inf addend
+	ninf bool       // saw a -Inf addend
+}
+
+// add folds one float64 into the sum.
+func (s *exactSum) add(v float64) {
+	switch {
+	case math.IsNaN(v):
+		s.nan = true
+	case math.IsInf(v, 1):
+		s.pinf = true
+	case math.IsInf(v, -1):
+		s.ninf = true
+	default:
+		if s.f == nil {
+			s.f = new(big.Float).SetPrec(exactSumPrec)
+		}
+		s.f.Add(s.f, big.NewFloat(v))
+	}
+}
+
+// merge folds another partial sum into this one.
+func (s *exactSum) merge(o *exactSum) {
+	s.nan = s.nan || o.nan
+	s.pinf = s.pinf || o.pinf
+	s.ninf = s.ninf || o.ninf
+	if o.f == nil {
+		return
+	}
+	if s.f == nil {
+		s.f = new(big.Float).SetPrec(exactSumPrec).Set(o.f)
+		return
+	}
+	s.f.Add(s.f, o.f)
+}
+
+// clone returns an independent copy (big.Float accumulators must never
+// be shared between two growing states).
+func (s *exactSum) clone() exactSum {
+	c := exactSum{nan: s.nan, pinf: s.pinf, ninf: s.ninf}
+	if s.f != nil {
+		c.f = new(big.Float).SetPrec(exactSumPrec).Set(s.f)
+	}
+	return c
+}
+
+// round collapses the exact sum to the nearest float64 — the one place
+// rounding happens. An overflowing finite sum rounds to ±Inf, which is
+// the correctly-rounded result and is deterministic.
+func (s *exactSum) round() float64 {
+	switch {
+	case s.nan || (s.pinf && s.ninf):
+		return math.NaN()
+	case s.pinf:
+		return math.Inf(1)
+	case s.ninf:
+		return math.Inf(-1)
+	case s.f == nil:
+		return 0
+	}
+	v, _ := s.f.Float64()
+	return v
+}
+
+const (
+	sumFlagNaN  = 1 << 0
+	sumFlagPInf = 1 << 1
+	sumFlagNInf = 1 << 2
+)
+
+// encode serializes the accumulator: one flag byte followed by the
+// big.Float gob encoding of the finite part (absent when no finite
+// addend was seen). The gob encoding is deterministic for a given value
+// and precision, so equal partials serialize identically.
+func (s *exactSum) encode() []byte {
+	var flags byte
+	if s.nan {
+		flags |= sumFlagNaN
+	}
+	if s.pinf {
+		flags |= sumFlagPInf
+	}
+	if s.ninf {
+		flags |= sumFlagNInf
+	}
+	out := []byte{flags}
+	if s.f != nil {
+		gb, err := s.f.GobEncode()
+		if err != nil {
+			// Only possible for a nil receiver; s.f is non-nil here.
+			panic(fmt.Sprintf("exec: exactSum gob encode: %v", err))
+		}
+		out = append(out, gb...)
+	}
+	return out
+}
+
+// decodeExactSum parses an encoded accumulator, rejecting hostile input
+// (oversized payloads, unknown flags, non-finite finite-parts) before
+// allocating anything proportional to claimed sizes.
+func decodeExactSum(b []byte) (exactSum, error) {
+	var s exactSum
+	if len(b) < 1 {
+		return s, fmt.Errorf("exec: exact sum truncated")
+	}
+	if len(b) > maxExactSumBytes {
+		return s, fmt.Errorf("exec: exact sum too large (%d bytes)", len(b))
+	}
+	flags := b[0]
+	if flags&^byte(sumFlagNaN|sumFlagPInf|sumFlagNInf) != 0 {
+		return s, fmt.Errorf("exec: exact sum has unknown flags %#x", flags)
+	}
+	s.nan = flags&sumFlagNaN != 0
+	s.pinf = flags&sumFlagPInf != 0
+	s.ninf = flags&sumFlagNInf != 0
+	if rest := b[1:]; len(rest) > 0 {
+		f := new(big.Float)
+		if err := f.GobDecode(rest); err != nil {
+			return exactSum{}, fmt.Errorf("exec: exact sum: %w", err)
+		}
+		if f.IsInf() {
+			return exactSum{}, fmt.Errorf("exec: exact sum finite part is infinite")
+		}
+		if f.Prec() != exactSumPrec {
+			f.SetPrec(exactSumPrec)
+		}
+		s.f = f
+	}
+	return s, nil
+}

@@ -1394,7 +1394,7 @@ type Agg struct {
 }
 
 type aggState struct {
-	sum   float64
+	sum   exactSum
 	isum  int64
 	count int64
 	min   types.Datum
@@ -1549,7 +1549,7 @@ func (t *aggTable) accumulate(g *aggGroup, b *Batch, i int) {
 		d := o.aggExprs[ai].Eval(b, i)
 		switch a.Kind {
 		case Sum, Avg:
-			st.sum += d.Float()
+			st.sum.add(d.Float())
 			if d.Kind == types.Int {
 				st.isum += d.I
 			}
@@ -1637,9 +1637,10 @@ func (t *aggTable) merge(other *aggTable) {
 }
 
 // encodeGroup serializes one group as a spill record: [ord, key...,
-// then per aggregate sum (Float, exact bits), isum, count, min, max].
-// Unused min/max slots carry an Int(0) placeholder so the record has a
-// fixed arity.
+// then per aggregate sum (the exact accumulator's bytes in a String
+// datum — Go strings are binary-safe), isum, count, min, max]. Unused
+// min/max slots carry an Int(0) placeholder so the record has a fixed
+// arity.
 func (o *hashAggOp) encodeGroup(g *aggGroup) types.Row {
 	r := make(types.Row, 0, 1+len(g.key)+5*len(o.aggs))
 	r = append(r, types.NewInt(g.ord))
@@ -1647,7 +1648,7 @@ func (o *hashAggOp) encodeGroup(g *aggGroup) types.Row {
 	zero := types.NewInt(0)
 	for ai := range o.aggs {
 		st := g.states[ai]
-		r = append(r, types.NewFloat(st.sum), types.NewInt(st.isum), types.NewInt(st.count))
+		r = append(r, types.NewString(string(st.sum.encode())), types.NewInt(st.isum), types.NewInt(st.count))
 		if o.aggs[ai].Kind == Min && st.count > 0 {
 			r = append(r, st.min)
 		} else {
@@ -1668,8 +1669,15 @@ func (o *hashAggOp) decodeGroup(r types.Row) *aggGroup {
 	g := &aggGroup{ord: r[0].I, key: r[1 : 1+nk], states: make([]aggState, len(o.aggs))}
 	for ai := range o.aggs {
 		off := 1 + nk + 5*ai
+		sum, err := decodeExactSum([]byte(r[off].Str()))
+		if err != nil {
+			// Spill records are written by this process; a bad record
+			// means a corrupted spill file, which the cursor's checksums
+			// should have caught first.
+			panic(fmt.Sprintf("exec: corrupt agg spill record: %v", err))
+		}
 		g.states[ai] = aggState{
-			sum:   r[off].Float(),
+			sum:   sum,
 			isum:  r[off+1].I,
 			count: r[off+2].I,
 			min:   r[off+3],
@@ -1916,9 +1924,12 @@ func mergeAggState(dst, src *aggState, kind AggKind) {
 	}
 	if dst.count == 0 {
 		*dst = *src
+		// The exact-sum accumulator owns a growing big.Float; aliasing it
+		// between two states would corrupt both.
+		dst.sum = src.sum.clone()
 		return
 	}
-	dst.sum += src.sum
+	dst.sum.merge(&src.sum)
 	dst.isum += src.isum
 	dst.count += src.count
 	switch kind {
@@ -1933,7 +1944,10 @@ func mergeAggState(dst, src *aggState, kind AggKind) {
 	}
 }
 
-func (o *hashAggOp) run() {
+// buildTable drains the input into a hash table: split into per-worker
+// part tables merged in part order when the source parallelizes, a
+// single sequential drain otherwise.
+func (o *hashAggOp) buildTable() *aggTable {
 	drainInto := func(t *aggTable, src Source) {
 		if o.mem != nil {
 			t.drainBounded(src)
@@ -1963,16 +1977,18 @@ func (o *hashAggOp) run() {
 	} else {
 		drainInto(t, o.in)
 	}
-	if o.mem != nil && o.mem.Err() != nil {
-		o.failed = true
-		o.done = true
-		return
-	}
-	order := t.order
+	return t
+}
+
+// render finalizes groups to output rows: the one place accumulators
+// collapse to their rendered values. Shared by the in-engine aggregate
+// and the coordinator-side combine of pushed-down partials.
+func (o *hashAggOp) render(order []*aggGroup) []types.Row {
 	// A global aggregate over zero rows still yields one row of zeros.
 	if len(order) == 0 && len(o.groupBy) == 0 {
 		order = append(order, &aggGroup{states: make([]aggState, len(o.aggs))})
 	}
+	out := make([]types.Row, 0, len(order))
 	for _, g := range order {
 		row := make(types.Row, 0, len(o.schema))
 		row = append(row, g.key...)
@@ -1985,13 +2001,13 @@ func (o *hashAggOp) run() {
 				if o.intSum[ai] {
 					row = append(row, types.NewInt(st.isum))
 				} else {
-					row = append(row, types.NewFloat(st.sum))
+					row = append(row, types.NewFloat(st.sum.round()))
 				}
 			case Avg:
 				if st.count == 0 {
 					row = append(row, types.NewFloat(0))
 				} else {
-					row = append(row, types.NewFloat(st.sum/float64(st.count)))
+					row = append(row, types.NewFloat(st.sum.round()/float64(st.count)))
 				}
 			case Min:
 				row = append(row, st.min)
@@ -1999,8 +2015,19 @@ func (o *hashAggOp) run() {
 				row = append(row, st.max)
 			}
 		}
-		o.out = append(o.out, row)
+		out = append(out, row)
 	}
+	return out
+}
+
+func (o *hashAggOp) run() {
+	t := o.buildTable()
+	if o.mem != nil && o.mem.Err() != nil {
+		o.failed = true
+		o.done = true
+		return
+	}
+	o.out = o.render(t.order)
 	o.done = true
 }
 
@@ -2542,6 +2569,24 @@ func (p *Plan) AntiJoin(right *Plan, leftCols, rightCols []string) *Plan {
 func (p *Plan) Agg(groupBy []string, aggs ...Agg) *Plan {
 	if p.err != nil {
 		return p
+	}
+	// A source that can evaluate the aggregation close to the data — the
+	// dist scatter union — is offered it first. Only a source that is
+	// still the bare scatter (no residual filters, joins, or projections
+	// in between) accepts; anything else declines and aggregates here
+	// over the gathered rows. Unwrap the profiling shim like Filter does
+	// so pushdown still fires on profiled plans.
+	src := p.src
+	if so, ok := src.(*statsOp); ok {
+		if _, ok := so.inner.(AggPusher); ok {
+			src = so.inner
+		}
+	}
+	if ap, ok := src.(AggPusher); ok {
+		if parts := ap.PushAgg(groupBy, aggs, p.par, p.ctx); parts != nil {
+			o := newHashAgg(src, groupBy, aggs, p.par, p.ctx, p.qm)
+			return p.derive(&combineAggOp{o: o, parts: parts})
+		}
 	}
 	return p.derive(newHashAgg(p.src, groupBy, aggs, p.par, p.ctx, p.qm))
 }

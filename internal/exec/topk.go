@@ -42,24 +42,40 @@ func (h *rowHeap) Pop() any {
 
 func (o *topKOp) Schema() []types.Column { return o.in.Schema() }
 
-func (o *topKOp) run() {
-	idxs := make([]int, len(o.keys))
-	for i, k := range o.keys {
-		idxs[i] = colIndex(o.in.Schema(), k.Col)
+// topKLess builds a TOTAL order over rows of schema: the sort keys
+// first, then every remaining column ascending. The tie-break matters
+// for distributed pushdown: with a keys-only comparator, which of two
+// key-equal rows survives a shard's local top-k depends on heap layout,
+// so a pushed plan could retain a different key-equal row than an
+// unpushed one. Under a total order every top-k over the same multiset
+// retains the same rows, wherever the k-boundary ties fall.
+func topKLess(schema []types.Column, keys []SortKey) func(a, b types.Row) bool {
+	idxs := make([]int, len(keys))
+	for i, k := range keys {
+		idxs[i] = colIndex(schema, k.Col)
 	}
-	less := func(a, b types.Row) bool {
+	return func(a, b types.Row) bool {
 		for ki, idx := range idxs {
 			c := a[idx].Compare(b[idx])
 			if c == 0 {
 				continue
 			}
-			if o.keys[ki].Desc {
+			if keys[ki].Desc {
 				return c > 0
 			}
 			return c < 0
 		}
+		for i := range a {
+			if c := a[i].Compare(b[i]); c != 0 {
+				return c < 0
+			}
+		}
 		return false
 	}
+}
+
+func (o *topKOp) run() {
+	less := topKLess(o.in.Schema(), o.keys)
 	h := &rowHeap{less: less}
 	for {
 		b := o.in.Next()
@@ -100,14 +116,32 @@ func (o *topKOp) Next() *Batch {
 	return b
 }
 
+// NewTopK wraps in with a bounded top-k operator — the shard-side half
+// of top-k pushdown uses it to cap each member's output at k rows.
+func NewTopK(in Source, k int, keys []SortKey) Source {
+	return &topKOp{in: in, keys: keys, k: k}
+}
+
 // TopK is Sort(keys...).Limit(k) with a bounded heap: equivalent output,
 // O(n log k) time and O(k) memory instead of materializing the input.
+// A source that can bound its own output (the dist scatter union) is
+// offered the top-k first; the plan's own operator still runs over
+// whatever comes back, so the pushdown only shrinks the stream.
 func (p *Plan) TopK(k int, keys ...SortKey) *Plan {
 	if p.err != nil {
 		return p
 	}
 	if k <= 0 {
 		return p.Limit(0)
+	}
+	src := p.src
+	if so, ok := src.(*statsOp); ok {
+		if _, ok := so.inner.(TopKPusher); ok {
+			src = so.inner
+		}
+	}
+	if tp, ok := src.(TopKPusher); ok {
+		tp.PushTopK(k, keys)
 	}
 	// TopK is already O(k) memory; it needs no accountant, but the chain
 	// keeps carrying the plan's context and accountants forward.

@@ -21,6 +21,7 @@ import (
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+	mux *http.ServeMux
 }
 
 // Serve starts a server on addr ("127.0.0.1:0" picks a free port). Nil reg
@@ -80,10 +81,15 @@ func Serve(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}, mux: mux}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
+
+// Handle registers an extra handler on the server's mux — admin surfaces
+// (e.g. the coordinator's /rebalance) ride the same listener as the
+// metrics endpoints. ServeMux registration is safe while serving.
+func (s *Server) Handle(pattern string, h http.Handler) { s.mux.Handle(pattern, h) }
 
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }

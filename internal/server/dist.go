@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"htap/internal/core"
 	"htap/internal/exec"
 	"htap/internal/obs"
+	"htap/internal/types"
 	"htap/internal/wire"
 )
 
@@ -112,6 +114,43 @@ func (c *session) handleFragment(payload []byte) error {
 	for _, f := range filters {
 		plan = plan.Filter(f)
 	}
+	if m.Agg != nil {
+		aggs, aerr := fragAggsOf(m.Agg, m.Cols)
+		if aerr != nil {
+			stop()
+			c.srv.m.reqNS[wire.ClassOLAP].Since(start)
+			return c.sendErr(&wire.Error{Code: wire.CodeBadRequest, Msg: aerr.Error()})
+		}
+		// Partial groups are computed eagerly so any execution error
+		// becomes a clean MsgError before the first stream frame.
+		groups, err := plan.PartialAgg(m.Agg.GroupBy, aggs)
+		broken := stop()
+		c.srv.m.reqNS[wire.ClassOLAP].Since(start)
+		if broken {
+			return fmt.Errorf("client broke protocol or disconnected")
+		}
+		if err != nil {
+			return c.sendErr(err)
+		}
+		return c.streamPartials(groups, aggs, profileEOS(prof, admitNS))
+	}
+	if m.TopK != nil {
+		if m.TopK.K < 1 || m.TopK.K > maxFragTopK {
+			stop()
+			c.srv.m.reqNS[wire.ClassOLAP].Since(start)
+			return c.sendErr(&wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("top-k bound %d outside [1, %d]", m.TopK.K, maxFragTopK)})
+		}
+		keys := make([]exec.SortKey, len(m.TopK.Keys))
+		for i, k := range m.TopK.Keys {
+			if !inProjection(k.Col, m.Cols) {
+				stop()
+				c.srv.m.reqNS[wire.ClassOLAP].Since(start)
+				return c.sendErr(&wire.Error{Code: wire.CodeBadRequest, Msg: fmt.Sprintf("top-k column %q not in projection", k.Col)})
+			}
+			keys[i] = exec.SortKey{Col: k.Col, Desc: k.Desc}
+		}
+		plan = plan.TopK(int(m.TopK.K), keys...)
+	}
 	outSch := plan.Schema()
 	rows, err := plan.RunCtx(qctx)
 	broken := stop()
@@ -123,6 +162,93 @@ func (c *session) handleFragment(payload []byte) error {
 		return c.sendErr(err)
 	}
 	return c.stream(outSch, rows, profileEOS(prof, admitNS))
+}
+
+// maxFragTopK bounds the per-fragment top-k heap a frame may request;
+// wire input is not trusted to size server allocations.
+const maxFragTopK = 1 << 20
+
+func inProjection(col string, cols []string) bool {
+	for _, c := range cols {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
+// fragAggsOf validates a wire aggregate spec against the fragment's
+// projection and rebuilds the exec aggregates. Only bare projected
+// columns travel — the coordinator declined anything richer.
+func fragAggsOf(spec *wire.FragAgg, cols []string) ([]exec.Agg, error) {
+	for _, g := range spec.GroupBy {
+		if !inProjection(g, cols) {
+			return nil, fmt.Errorf("group-by column %q not in projection", g)
+		}
+	}
+	aggs := make([]exec.Agg, len(spec.Aggs))
+	for i, a := range spec.Aggs {
+		kind := exec.AggKind(a.Kind)
+		if kind < exec.Sum || kind > exec.Max {
+			return nil, fmt.Errorf("bad aggregate kind %d", a.Kind)
+		}
+		aggs[i] = exec.Agg{Kind: kind, Name: fmt.Sprintf("a%d", i)}
+		if kind != exec.Count {
+			if !inProjection(a.Col, cols) {
+				return nil, fmt.Errorf("aggregate column %q not in projection", a.Col)
+			}
+			aggs[i].Expr = exec.ColName(a.Col)
+		}
+	}
+	return aggs, nil
+}
+
+// streamPartials is the pushed-aggregation stream: MsgPartial frames of
+// encoded group states, then MsgEOS whose Rows trailer counts groups.
+func (c *session) streamPartials(groups []*exec.PartialGroup, aggs []exec.Agg, eos wire.EOS) error {
+	eos.Rows = int64(len(groups))
+	for len(groups) > 0 {
+		n := streamBatch
+		if n > len(groups) {
+			n = len(groups)
+		}
+		p := wire.Partial{Groups: make([]types.Row, n)}
+		for i, g := range groups[:n] {
+			p.Groups[i] = exec.EncodePartial(g, aggs)
+		}
+		if err := c.send(wire.MsgPartial, p.Encode(nil)); err != nil {
+			return err
+		}
+		groups = groups[n:]
+	}
+	return c.send(wire.MsgEOS, eos.Encode(nil))
+}
+
+// rangeMover is the optional rebalance surface of the served engine —
+// implemented by the distributed coordinator, absent on single-shard
+// engines.
+type rangeMover interface {
+	MoveRange(ctx context.Context, lo, hi, dest int) (int64, int64, error)
+}
+
+// handleRebalance moves a warehouse range between shards — the admin
+// surface of online rebalancing. Only a coordinator engine can serve it.
+func (c *session) handleRebalance(payload []byte) error {
+	m, err := wire.DecodeRebalance(payload)
+	if err != nil {
+		return c.sendErr(&wire.Error{Code: wire.CodeBadRequest, Msg: err.Error()})
+	}
+	mover, ok := c.srv.cfg.Engine.(rangeMover)
+	if !ok {
+		return c.sendErr(&wire.Error{Code: wire.CodeBadRequest, Msg: "engine is not a distributed coordinator"})
+	}
+	ctx, cancel := c.reqCtx(m.Deadline)
+	defer cancel()
+	moved, version, err := mover.MoveRange(ctx, int(m.Lo), int(m.Hi), int(m.Dest))
+	if err != nil {
+		return c.sendErr(err)
+	}
+	return c.send(wire.MsgRebalanceInfo, wire.RebalanceInfo{Moved: moved, Version: version}.Encode(nil))
 }
 
 // pushedPredOf converts a wire predicate back to its exec form, rejecting

@@ -177,6 +177,34 @@ func Serve(addr string, cfg Config) (*Server, error) {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// helloPayload returns the ServerHello to send a connecting client. The
+// handshake is pre-encoded at startup, but the history-key watermark must
+// be live: each remote driver process bumps its allocator from the
+// handshake, so advertising the load-time value would hand every
+// successive driver the same key range. When the advertised meta carries
+// an hkey and history inserts have since raised the allocator, re-encode
+// with the current watermark.
+func (s *Server) helloPayload() []byte {
+	base, ok := s.cfg.Meta["hkey"]
+	if !ok {
+		return s.hello
+	}
+	live := ch.HistoryKeyWatermark()
+	if live <= base {
+		return s.hello
+	}
+	meta := make(map[string]int64, len(s.cfg.Meta))
+	for k, v := range s.cfg.Meta {
+		meta[k] = v
+	}
+	meta["hkey"] = live
+	return wire.ServerHello{
+		Version: wire.Version,
+		Arch:    uint8(s.cfg.Engine.Arch()),
+		Meta:    meta,
+	}.Encode(nil)
+}
+
 // Shutdown drains the server: it stops accepting, lets in-flight requests
 // finish (sessions see wire.ErrShutdown on their next request), and
 // returns when every connection has closed. If ctx expires first, open
@@ -309,7 +337,7 @@ func (c *session) run() {
 		_ = c.sendErr(&wire.Error{Code: wire.CodeBadRequest, Msg: "version mismatch"})
 		return
 	}
-	if err := c.send(wire.MsgServerHello, c.srv.hello); err != nil {
+	if err := c.send(wire.MsgServerHello, c.srv.helloPayload()); err != nil {
 		return
 	}
 	for {
@@ -349,6 +377,8 @@ func (c *session) dispatch(typ byte, payload []byte) error {
 		return c.handleCommit()
 	case wire.MsgFragment:
 		return c.handleFragment(payload)
+	case wire.MsgRebalance:
+		return c.handleRebalance(payload)
 	case wire.MsgAbort:
 		c.cleanup()
 		return c.send(wire.MsgOK, nil)
@@ -473,6 +503,12 @@ func (c *session) handleRowOp(typ byte, payload []byte) error {
 	}
 	if err := op(m.Table, m.Row); err != nil {
 		return c.sendErr(err)
+	}
+	// Track the history-key high-water mark as inserts land so later
+	// handshakes advertise a watermark above every key any driver has
+	// used (the key is column 0 of the history row).
+	if typ == wire.MsgInsert && m.Table == ch.THistory && len(m.Row) > 0 {
+		ch.BumpHistoryKey(m.Row[0].Int())
 	}
 	return c.send(wire.MsgOK, nil)
 }

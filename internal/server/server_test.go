@@ -457,3 +457,45 @@ func TestLimiterQueueWaitCancellable(t *testing.T) {
 		t.Fatalf("cancelled queue wait took %v", took)
 	}
 }
+
+// TestHandshakeAdvertisesLiveHistoryWatermark pins the cross-driver key
+// protocol: each remote driver bumps its history-key allocator from the
+// handshake, so after one driver's Payments have inserted history rows,
+// the next connection must see a watermark above those keys — a static
+// load-time value would hand every successive driver the same range and
+// produce cross-shard duplicate primary keys.
+func TestHandshakeAdvertisesLiveHistoryWatermark(t *testing.T) {
+	e, _ := newEngine(t, smallScale())
+	base := ch.HistoryKeyWatermark()
+	srv, r := startServer(t, Config{Engine: e, Meta: map[string]int64{"hkey": base}})
+	if got := r.Meta()["hkey"]; got != base {
+		t.Fatalf("first handshake hkey = %d, want load-time watermark %d", got, base)
+	}
+
+	// A driver that allocated above the watermark inserts a history row,
+	// exactly as a remote Payment does.
+	ctx := context.Background()
+	hi := base + 1000
+	tx := r.Begin(ctx)
+	err := tx.Insert(ch.THistory, types.Row{
+		types.NewInt(hi), types.NewInt(ch.CustomerKey(1, 1, 1)),
+		types.NewInt(1), types.NewInt(1), types.NewInt(0),
+		types.NewFloat(10), types.NewString("payment"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh connection's handshake must cover the inserted key.
+	r2, err := client.Connect(ctx, srv.Addr(), client.Options{Reg: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.Meta()["hkey"]; got < hi {
+		t.Fatalf("second handshake hkey = %d, want >= %d (stale watermark re-issues driver key ranges)", got, hi)
+	}
+}

@@ -64,6 +64,30 @@ func FuzzFrameDecode(f *testing.F) {
 			{Kind: FragPredInSet, Col: "ol_number", Ints: []int64{-3, 0, 7}},
 		},
 	}.Encode(nil))
+	seed(MsgFragment, Fragment{
+		Table: "order_line", Cols: []string{"ol_number", "ol_amount"},
+		Agg: &FragAgg{GroupBy: []string{"ol_number"}, Aggs: []FragAggFn{
+			{Kind: 1, Col: "ol_amount"}, {Kind: 2}, {Kind: 3, Col: "ol_amount"},
+		}},
+	}.Encode(nil))
+	seed(MsgFragment, Fragment{
+		Table: "customer", Cols: []string{"c_balance", "c_id"},
+		TopK: &FragTopK{K: 10, Keys: []FragSortKey{{Col: "c_balance", Desc: true}, {Col: "c_id"}}},
+	}.Encode(nil))
+	// A partial-state frame shaped like exec.EncodePartial output: group
+	// key, then per aggregate the exact-sum bytes, integer sum, count,
+	// min, max.
+	seed(MsgPartial, Partial{Groups: []types.Row{{
+		types.NewInt(7),
+		types.NewString("\x00\x08\x0a\x00\x01\x02"), types.NewInt(0), types.NewInt(3),
+		types.NewFloat(0.25), types.NewFloat(9.5),
+	}}}.Encode(nil))
+	// Hostile partial headers: a group count of 2^40 over an empty tail,
+	// and a single group whose row claims 2^32 columns.
+	seed(MsgPartial, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x1f})
+	seed(MsgPartial, []byte{0x01, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	seed(MsgRebalance, Rebalance{Deadline: 1700000000000000000, Lo: 2, Hi: 5, Dest: 1}.Encode(nil))
+	seed(MsgRebalanceInfo, RebalanceInfo{Moved: 1 << 33, Version: 4}.Encode(nil))
 	// Hostile fragment headers: a predicate list claiming 2^28 entries on
 	// an empty tail, and an IN-set claiming 2^30 values.
 	seed(MsgFragment, append(Fragment{Table: "t"}.Encode(nil)[:4], 0x00, 0xff, 0xff, 0xff, 0x7f))
@@ -124,6 +148,15 @@ func FuzzFrameDecode(f *testing.F) {
 		case MsgRow, MsgBatch:
 			m, err := DecodeBatch(payload)
 			rt(t, m, err, func(m Batch) []byte { return m.Encode(nil) }, DecodeBatch)
+		case MsgPartial:
+			m, err := DecodePartial(payload)
+			rt(t, m, err, func(m Partial) []byte { return m.Encode(nil) }, DecodePartial)
+		case MsgRebalance:
+			m, err := DecodeRebalance(payload)
+			rt(t, m, err, func(m Rebalance) []byte { return m.Encode(nil) }, DecodeRebalance)
+		case MsgRebalanceInfo:
+			m, err := DecodeRebalanceInfo(payload)
+			rt(t, m, err, func(m RebalanceInfo) []byte { return m.Encode(nil) }, DecodeRebalanceInfo)
 		case MsgEOS:
 			m, err := DecodeEOS(payload)
 			rt(t, m, err, func(m EOS) []byte { return m.Encode(nil) }, DecodeEOS)

@@ -98,7 +98,22 @@ const (
 	// MsgFragment streams a scatter–gather plan fragment: a table scan
 	// with pushed-down predicate conjuncts the shard evaluates on its
 	// encoded segments. The response is a batch stream, like MsgScan.
+	// A fragment may additionally carry an aggregate spec (the response
+	// becomes a MsgPartial stream) or a top-k spec (the response stays a
+	// batch stream bounded to k rows).
 	MsgFragment
+	// MsgPartial carries serialized partial-aggregation groups produced
+	// by a fragment with an aggregate spec: Partial{Groups}. Zero or more
+	// MsgPartial frames are followed by MsgEOS, whose row count is the
+	// total group count.
+	MsgPartial
+	// MsgRebalance asks a coordinator to move a warehouse range to
+	// another shard: Rebalance{Deadline, Lo, Hi, Dest}. Answered by
+	// MsgRebalanceInfo or MsgError.
+	MsgRebalance
+	// MsgRebalanceInfo answers MsgRebalance: RebalanceInfo{Moved,
+	// Version} — rows moved and the new routing-table version.
+	MsgRebalanceInfo
 )
 
 // Admission classes label requests for the server's per-class token
@@ -601,9 +616,48 @@ type FragPred struct {
 	Ints   []int64     // FragPredInSet, sorted ascending
 }
 
+// Fragment spec kinds: the trailing operator a fragment pushes past the
+// filtered scan. Absent on old-release frames — the decoder treats an
+// empty remainder as no spec, like the trace trailer.
+const (
+	fragSpecNone uint8 = 0
+	fragSpecAgg  uint8 = 1
+	fragSpecTopK uint8 = 2
+)
+
+// FragAggFn is one aggregate of a pushed-down partial aggregation.
+// Kind uses exec.AggKind numbering; Col is empty for COUNT(*).
+type FragAggFn struct {
+	Kind uint8
+	Col  string
+}
+
+// FragAgg asks the shard to aggregate the filtered scan and stream
+// partial group states (MsgPartial frames) instead of raw rows.
+type FragAgg struct {
+	GroupBy []string
+	Aggs    []FragAggFn
+}
+
+// FragSortKey is one key of a pushed-down top-k.
+type FragSortKey struct {
+	Col  string
+	Desc bool
+}
+
+// FragTopK asks the shard to bound the filtered scan to the k smallest
+// rows under Keys (total order — see exec's top-k comparator). The
+// response stays a normal batch stream.
+type FragTopK struct {
+	K    int64
+	Keys []FragSortKey
+}
+
 // Fragment is a scatter–gather subplan pushed to one shard (MsgFragment):
 // a Scan plus the filter conjuncts the coordinator's pushdown rewrite
-// fused into it. The response is a Schema/Batch/EOS stream.
+// fused into it, plus at most one of an aggregate or top-k spec. The
+// response is a Schema/Batch/EOS stream, or a MsgPartial stream when an
+// aggregate spec is present.
 type Fragment struct {
 	Deadline int64
 	Table    string
@@ -613,6 +667,8 @@ type Fragment struct {
 	PredLo   int64
 	PredHi   int64
 	Preds    []FragPred
+	Agg      *FragAgg
+	TopK     *FragTopK
 	TraceID  uint64
 	SpanID   uint64
 	Profile  bool
@@ -650,6 +706,33 @@ func (m Fragment) Encode(dst []byte) []byte {
 				dst = binary.AppendVarint(dst, v)
 			}
 		}
+	}
+	switch {
+	case m.Agg != nil:
+		dst = append(dst, fragSpecAgg)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Agg.GroupBy)))
+		for _, g := range m.Agg.GroupBy {
+			dst = appendString(dst, g)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(m.Agg.Aggs)))
+		for _, a := range m.Agg.Aggs {
+			dst = append(dst, a.Kind)
+			dst = appendString(dst, a.Col)
+		}
+	case m.TopK != nil:
+		dst = append(dst, fragSpecTopK)
+		dst = binary.AppendUvarint(dst, uint64(m.TopK.K))
+		dst = binary.AppendUvarint(dst, uint64(len(m.TopK.Keys)))
+		for _, k := range m.TopK.Keys {
+			dst = appendString(dst, k.Col)
+			if k.Desc {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+	default:
+		dst = append(dst, fragSpecNone)
 	}
 	return appendTraceCtx(dst, m.TraceID, m.SpanID, m.Profile)
 }
@@ -697,7 +780,119 @@ func DecodeFragment(b []byte) (Fragment, error) {
 		}
 		m.Preds = append(m.Preds, p)
 	}
+	// Spec trailer: absent entirely on old-release frames.
+	if d.err == nil && len(d.b) > 0 {
+		switch kind := d.byte(); kind {
+		case fragSpecNone:
+		case fragSpecAgg:
+			a := &FragAgg{}
+			k := d.uvarint()
+			for i := uint64(0); i < k && d.err == nil; i++ {
+				a.GroupBy = append(a.GroupBy, d.str())
+			}
+			k = d.uvarint()
+			for i := uint64(0); i < k && d.err == nil; i++ {
+				a.Aggs = append(a.Aggs, FragAggFn{Kind: d.byte(), Col: d.str()})
+			}
+			m.Agg = a
+		case fragSpecTopK:
+			t := &FragTopK{K: int64(d.uvarint())}
+			k := d.uvarint()
+			for i := uint64(0); i < k && d.err == nil; i++ {
+				key := FragSortKey{Col: d.str()}
+				switch d.byte() {
+				case 0:
+				case 1:
+					key.Desc = true
+				default:
+					d.fail("fragment top-k desc flag")
+				}
+				t.Keys = append(t.Keys, key)
+			}
+			m.TopK = t
+		default:
+			if d.err == nil {
+				d.err = fmt.Errorf("wire: unknown fragment spec kind %d", kind)
+			}
+		}
+	}
 	decodeTraceCtx(d, &m.TraceID, &m.SpanID, &m.Profile)
+	return m, d.err
+}
+
+// Partial carries one batch of serialized partial-aggregation groups
+// (MsgPartial). Each group is an exec.EncodePartial row: the group key
+// followed by five datums per aggregate — the exact-sum accumulator
+// bytes in a String datum, the integer sum, the count, and the min/max
+// datums. The row codec's own hostile-header guards bound every claimed
+// length; group arity and accumulator contents are validated again by
+// exec.DecodePartial before any state is combined.
+type Partial struct {
+	Groups []types.Row
+}
+
+// Encode appends the payload encoding.
+func (m Partial) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m.Groups)))
+	for _, g := range m.Groups {
+		dst = types.AppendRow(dst, g)
+	}
+	return dst
+}
+
+// DecodePartial parses a MsgPartial payload. Claimed counts never
+// preallocate: groups grow only while payload bytes remain.
+func DecodePartial(b []byte) (Partial, error) {
+	d := &dec{b: b}
+	n := d.uvarint()
+	m := Partial{}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Groups = append(m.Groups, d.row())
+	}
+	return m, d.err
+}
+
+// Rebalance asks a coordinator to move warehouses [Lo, Hi] to shard
+// Dest (MsgRebalance).
+type Rebalance struct {
+	Deadline int64
+	Lo       int64
+	Hi       int64
+	Dest     int64
+}
+
+// Encode appends the payload encoding.
+func (m Rebalance) Encode(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, m.Deadline)
+	dst = binary.AppendVarint(dst, m.Lo)
+	dst = binary.AppendVarint(dst, m.Hi)
+	return binary.AppendVarint(dst, m.Dest)
+}
+
+// DecodeRebalance parses a MsgRebalance payload.
+func DecodeRebalance(b []byte) (Rebalance, error) {
+	d := &dec{b: b}
+	m := Rebalance{Deadline: d.varint(), Lo: d.varint(), Hi: d.varint(), Dest: d.varint()}
+	return m, d.err
+}
+
+// RebalanceInfo answers MsgRebalance: rows moved and the routing-table
+// version now in effect.
+type RebalanceInfo struct {
+	Moved   int64
+	Version int64
+}
+
+// Encode appends the payload encoding.
+func (m RebalanceInfo) Encode(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, m.Moved)
+	return binary.AppendVarint(dst, m.Version)
+}
+
+// DecodeRebalanceInfo parses a MsgRebalanceInfo payload.
+func DecodeRebalanceInfo(b []byte) (RebalanceInfo, error) {
+	d := &dec{b: b}
+	m := RebalanceInfo{Moved: d.varint(), Version: d.varint()}
 	return m, d.err
 }
 
